@@ -1,0 +1,91 @@
+"""E11c — Ablation: scalar loops vs vectorised kernels vs partitioning.
+
+The scalar kernels transcribe the paper's algorithms (and feed the node
+counters); the vectorised kernels express the same tree knowledge as
+numpy bulk operations.  In C the two would be within a small factor; in
+Python the bulk kernels show what the algorithm costs without
+interpreter overhead.  Partition-parallel execution is measured for plan
+overhead (CPython threads cannot speed the loops up — the bench
+documents that honestly rather than claiming a parallel win).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mpmgjn import mpmgjn_step
+from repro.baselines.stacktree import stack_tree_step
+from repro.core.partition import partitioned_staircase_join
+from repro.core.staircase import SkipMode, staircase_join
+from repro.core.vectorized import staircase_join_vectorized
+
+
+@pytest.fixture(scope="module")
+def desc_context(bench_doc):
+    return bench_doc.pres_with_tag("open_auction")
+
+
+@pytest.fixture(scope="module")
+def anc_context(bench_doc):
+    return bench_doc.pres_with_tag("increase")
+
+
+class TestDescendantKernels:
+    def test_scalar(self, benchmark, bench_doc, desc_context):
+        benchmark(
+            lambda: staircase_join(
+                bench_doc, desc_context, "descendant", SkipMode.ESTIMATE
+            )
+        )
+
+    def test_vectorized(self, benchmark, bench_doc, desc_context):
+        benchmark(
+            lambda: staircase_join_vectorized(bench_doc, desc_context, "descendant")
+        )
+
+    def test_partitioned_serial(self, benchmark, bench_doc, desc_context):
+        benchmark(
+            lambda: partitioned_staircase_join(
+                bench_doc, desc_context, "descendant", workers=0
+            )
+        )
+
+    def test_partitioned_threads(self, benchmark, bench_doc, desc_context):
+        benchmark(
+            lambda: partitioned_staircase_join(
+                bench_doc, desc_context, "descendant", workers=4
+            )
+        )
+
+
+class TestAncestorKernels:
+    def test_scalar(self, benchmark, bench_doc, anc_context):
+        benchmark(
+            lambda: staircase_join(
+                bench_doc, anc_context, "ancestor", SkipMode.ESTIMATE
+            )
+        )
+
+    def test_vectorized(self, benchmark, bench_doc, anc_context):
+        benchmark(
+            lambda: staircase_join_vectorized(bench_doc, anc_context, "ancestor")
+        )
+
+    def test_mpmgjn(self, benchmark, bench_doc, anc_context):
+        benchmark(lambda: mpmgjn_step(bench_doc, anc_context, "ancestor"))
+
+    def test_stack_tree(self, benchmark, bench_doc, anc_context):
+        benchmark(lambda: stack_tree_step(bench_doc, anc_context, "ancestor"))
+
+
+def test_kernels_agree(bench_doc, desc_context, anc_context, benchmark):
+    def check():
+        for axis, context in (
+            ("descendant", desc_context),
+            ("ancestor", anc_context),
+        ):
+            scalar = staircase_join(bench_doc, context, axis, SkipMode.ESTIMATE)
+            bulk = staircase_join_vectorized(bench_doc, context, axis)
+            assert scalar.tolist() == bulk.tolist()
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

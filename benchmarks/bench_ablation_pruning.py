@@ -1,0 +1,73 @@
+"""E11b — Ablation: what pruning itself buys and costs.
+
+Pruning is a single pass over the context (cheap); its payoff is that
+the join's partition count drops to the staircase boundary.  Measured on
+a deliberately nested context (open_auction ∪ bidder ∪ increase — every
+increase is covered twice over).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_step_with_duplicates
+from repro.core.pruning import prune
+from repro.core.staircase import SkipMode, staircase_join
+from repro.counters import JoinStatistics
+from repro.harness.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def nested_context(bench_doc):
+    return np.sort(
+        np.concatenate(
+            [
+                bench_doc.pres_with_tag("open_auction"),
+                bench_doc.pres_with_tag("bidder"),
+                bench_doc.pres_with_tag("increase"),
+            ]
+        )
+    )
+
+
+def test_pruning_effect_report(benchmark, bench_doc, nested_context, emit):
+    def measure():
+        stats = JoinStatistics()
+        pruned = prune(bench_doc, nested_context, "descendant", stats)
+        naive = JoinStatistics()
+        naive_step_with_duplicates(bench_doc, nested_context, "descendant", naive)
+        return {
+            "context": len(nested_context),
+            "pruned_context": len(pruned),
+            "removed": stats.context_pruned,
+            "naive_produced": naive.result_size,
+        }
+
+    row = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("Pruning ablation (nested auction context):", format_table([row]))
+    # bidders and increases are inside their open_auction: all pruned.
+    assert row["pruned_context"] == len(bench_doc.pres_with_tag("open_auction"))
+    assert row["naive_produced"] > 0
+
+
+def test_prune_pass_cost(benchmark, bench_doc, nested_context):
+    benchmark(lambda: prune(bench_doc, nested_context, "descendant"))
+
+
+def test_join_on_pruned_vs_duplicate_work(benchmark, bench_doc, nested_context):
+    """The staircase join (pruning included) on the nested context."""
+    result = benchmark(
+        lambda: staircase_join(
+            bench_doc, nested_context, "descendant", SkipMode.ESTIMATE
+        )
+    )
+    assert np.all(np.diff(result) > 0)
+
+
+def test_naive_on_unpruned_context(benchmark, bench_doc, nested_context):
+    """The counterfactual: per-context evaluation re-derives covered
+    subtrees once per covering context node."""
+    produced = benchmark(
+        lambda: naive_step_with_duplicates(bench_doc, nested_context, "descendant")
+    )
+    unique = len(np.unique(produced))
+    benchmark.extra_info["duplicate_ratio"] = round(1 - unique / len(produced), 3)

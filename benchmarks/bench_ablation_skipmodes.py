@@ -1,0 +1,58 @@
+"""E11a — Ablation: the four skip modes on both staircase axes.
+
+DESIGN.md calls out the design ladder NONE → SKIP → ESTIMATE → EXACT
+(our extension using the level term, cf. the paper's footnote 5 on exact
+subtree-size encodings).  This bench quantifies each rung on Q1's and
+Q2's second step: node touches are exact counters, times come from
+pytest-benchmark.
+"""
+
+import pytest
+
+from repro.core.staircase import SkipMode, staircase_join
+from repro.counters import JoinStatistics
+from repro.harness.reporting import format_table
+
+MODES = [SkipMode.NONE, SkipMode.SKIP, SkipMode.ESTIMATE, SkipMode.EXACT]
+
+
+def test_touch_counts_ladder(benchmark, bench_doc, emit):
+    """Each rung must touch no more nodes than the one below."""
+
+    def measure():
+        rows = []
+        for axis, tag in (("descendant", "profile"), ("ancestor", "increase")):
+            context = bench_doc.pres_with_tag(tag)
+            for mode in MODES:
+                stats = JoinStatistics()
+                staircase_join(bench_doc, context, axis, mode, stats)
+                rows.append(
+                    {
+                        "axis": axis,
+                        "mode": mode.value,
+                        "touched": stats.nodes_touched,
+                        "skipped": stats.nodes_skipped,
+                        "comparisons": stats.post_comparisons,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("Skip-mode ablation (node touches):", format_table(rows))
+    by_key = {(r["axis"], r["mode"]): r for r in rows}
+    for axis in ("descendant", "ancestor"):
+        none = by_key[(axis, "none")]["touched"]
+        skip = by_key[(axis, "skip")]["touched"]
+        estimate = by_key[(axis, "estimate")]["touched"]
+        assert skip <= none
+        assert estimate <= none
+        # EXACT eliminates comparisons entirely on the descendant axis.
+        if axis == "descendant":
+            assert by_key[(axis, "exact")]["comparisons"] == 0
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+@pytest.mark.parametrize("axis, tag", [("descendant", "profile"), ("ancestor", "increase")])
+def test_skip_mode_timing(benchmark, bench_doc, mode, axis, tag):
+    context = bench_doc.pres_with_tag(tag)
+    benchmark(lambda: staircase_join(bench_doc, context, axis, mode))

@@ -1,0 +1,104 @@
+"""Feature benchmarks: persistence, updates, collections, MIL plans.
+
+Library capabilities beyond the paper's figures — measured so that
+adopters can see the cost of document lifecycle operations relative to
+query time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.encoding.persist import load, save
+from repro.encoding.prepost import encode
+from repro.encoding.updates import delete_subtree, insert_subtree
+from repro.engine.mil import run_mil
+from repro.xmark.generator import generate
+from repro.xmltree.model import element, text
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+
+
+@pytest.fixture(scope="module")
+def xmark_tree():
+    return generate(0.55)
+
+
+@pytest.fixture(scope="module")
+def xmark_doc(xmark_tree):
+    return encode(xmark_tree)
+
+
+def test_cold_load_parse_encode(benchmark, xmark_tree):
+    """Baseline document load: parse text + encode."""
+    xml_text = serialize(xmark_tree)
+    doc = benchmark(lambda: encode(parse(xml_text)))
+    assert len(doc) > 1000
+
+
+def test_warm_load_from_npz(benchmark, xmark_doc, tmp_path_factory, emit):
+    """Persistence payoff: loading columns beats re-parsing."""
+    path = str(tmp_path_factory.mktemp("persist") / "doc.npz")
+    save(xmark_doc, path)
+    loaded = benchmark(lambda: load(path))
+    assert len(loaded) == len(xmark_doc)
+
+
+def test_save_benchmark(benchmark, xmark_doc, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("persist") / "doc.npz")
+    benchmark(lambda: save(xmark_doc, path))
+
+
+def test_delete_subtree_benchmark(benchmark, xmark_doc):
+    victim = int(xmark_doc.pres_with_tag("person")[0])
+    updated = benchmark(lambda: delete_subtree(xmark_doc, victim))
+    assert len(updated) < len(xmark_doc)
+
+
+def test_insert_subtree_benchmark(benchmark, xmark_doc):
+    people = int(xmark_doc.pres_with_tag("people")[0])
+    fragment = element(
+        "person",
+        element("name", text("New Bidder")),
+        element("emailaddress", text("mailto:new@example.org")),
+        id="person-new",
+    )
+    updated = benchmark(lambda: insert_subtree(xmark_doc, people, fragment))
+    # person + @id + name + text + emailaddress + text = 6 new nodes
+    assert len(updated) == len(xmark_doc) + 6
+
+
+def test_mil_q2_plan_benchmark(benchmark, xmark_doc):
+    script = """
+    r  := root(doc)
+    s1 := nametest(staircasejoin_desc(doc, r), "increase")
+    s2 := nametest(staircasejoin_anc(doc, s1), "bidder")
+    return s2
+    """
+    result = benchmark(lambda: run_mil(xmark_doc, script))
+    assert len(result) > 0
+
+
+def test_collection_build_benchmark(benchmark):
+    from repro.encoding.collection import DocumentCollection
+
+    members = [(f"d{i}", generate(0.05, )) for i in range(4)]
+
+    def build():
+        return DocumentCollection(
+            [(name, tree) for name, tree in members]
+        )
+
+    collection = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(collection) == 4
+
+
+def test_collection_cross_document_query(benchmark):
+    from repro.encoding.collection import DocumentCollection
+    from repro.xmark.generator import XMarkConfig
+
+    collection = DocumentCollection(
+        [(f"d{i}", generate(0.05, XMarkConfig(seed=i))) for i in range(4)]
+    )
+    result = benchmark(lambda: collection.evaluate("//increase/ancestor::bidder"))
+    parts = collection.partition_by_document(result)
+    assert sum(len(p) for p in parts.values()) == len(result)

@@ -1,0 +1,52 @@
+"""E3 — Figure 11 (a): avoiding duplicates (Q2's ancestor step).
+
+The paper plots, per document size, the number of result nodes the naive
+per-context evaluation would produce vs the staircase join's
+duplicate-free output; "the staircase join saves generation and
+subsequent removal of the about 75 % duplicates".
+"""
+
+import numpy as np
+import pytest
+
+from conftest import SWEEP_SIZES
+from repro.baselines.naive import naive_step_with_duplicates
+from repro.core.staircase import SkipMode, staircase_join
+from repro.harness.experiments import experiment1_duplicates
+from repro.harness.reporting import format_series
+
+SERIES = ["naive_produced", "staircase_result", "duplicates_avoided"]
+
+
+def test_figure11a_regeneration(benchmark, emit):
+    rows = benchmark.pedantic(
+        experiment1_duplicates, args=(SWEEP_SIZES,), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 11(a) — duplicates avoided (Q2 ancestor step, log-scale axes)",
+        format_series(rows, "size_mb", SERIES),
+        f"duplicate ratios: {[round(r['duplicate_ratio'], 3) for r in rows]}"
+        "  (paper: ≈ 0.75)",
+    )
+    for row in rows:
+        # who wins and by what shape: the staircase join's output is the
+        # naive output minus a majority of duplicates
+        assert 0.5 <= row["duplicate_ratio"] <= 0.85
+        assert row["staircase_result"] < row["naive_produced"]
+
+
+def test_naive_ancestor_step_benchmark(benchmark, bench_doc):
+    context = bench_doc.pres_with_tag("increase")
+    produced = benchmark(
+        lambda: naive_step_with_duplicates(bench_doc, context, "ancestor")
+    )
+    benchmark.extra_info["produced"] = int(len(produced))
+
+
+def test_staircase_ancestor_step_benchmark(benchmark, bench_doc):
+    context = bench_doc.pres_with_tag("increase")
+    result = benchmark(
+        lambda: staircase_join(bench_doc, context, "ancestor", SkipMode.ESTIMATE)
+    )
+    benchmark.extra_info["result"] = int(len(result))
+    assert np.all(np.diff(result) > 0)  # document order, no duplicates

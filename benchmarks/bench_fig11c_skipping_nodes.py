@@ -1,0 +1,49 @@
+"""E5 — Figure 11 (c): effectiveness of skipping (nodes scanned).
+
+The experiment counts accessed nodes for the staircase join in Q1's
+second axis step.  Paper findings the regeneration must reproduce:
+
+* "about 92 % of the nodes were skipped";
+* "skipping makes the number of accessed nodes independent of the
+  document size" (accesses ≤ |result incl. attributes| + |context|,
+  footnote 7);
+* the "no skipping" series keeps growing with the document.
+"""
+
+import pytest
+
+from conftest import SWEEP_SIZES
+from repro.harness.experiments import experiment2_skipping
+from repro.harness.figures import ascii_chart
+from repro.harness.reporting import format_series
+
+SERIES = [
+    "no_skipping_accessed",
+    "skipping_accessed",
+    "skipping_estimated_accessed",
+    "result_size",
+]
+
+
+def test_figure11c_regeneration(benchmark, emit):
+    rows = benchmark.pedantic(
+        experiment2_skipping, args=(SWEEP_SIZES,), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 11(c) — nodes scanned, Q1 second step (log-scale in paper)",
+        format_series(rows, "size_mb", SERIES),
+        f"skipped fractions: {[round(r['skipped_fraction'], 3) for r in rows]}"
+        "  (paper: ≈ 0.92)",
+        ascii_chart(rows, "size_mb", SERIES[:3] + ["result_size"],
+                    title="shape: no-skipping grows, skipping tracks the result"),
+    )
+    for row in rows:
+        assert row["skipped_fraction"] > 0.8
+        bound = row["result_size_with_attributes"] + row["context"]
+        assert row["skipping_accessed"] <= bound
+    # no-skipping accesses grow with the document; skipping accesses
+    # track the result instead.
+    assert rows[-1]["no_skipping_accessed"] > 3 * rows[0]["no_skipping_accessed"]
+    growth = rows[-1]["skipping_accessed"] / max(1, rows[0]["skipping_accessed"])
+    result_growth = rows[-1]["result_size"] / max(1, rows[0]["result_size"])
+    assert growth == pytest.approx(result_growth, rel=0.5)

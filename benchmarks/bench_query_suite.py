@@ -1,0 +1,52 @@
+"""Query-suite benchmark: the XMark-inspired workload end to end.
+
+Times every suite query through the staircase evaluator (pushdown on —
+the fast configuration of Experiment 3) and prints a per-query summary
+with result cardinalities, so regressions in any XPath feature path show
+up as a line item.
+"""
+
+import pytest
+
+from repro.harness.queries import QUERY_SUITE
+from repro.harness.reporting import format_table
+from repro.xpath.evaluator import Evaluator
+
+
+@pytest.fixture(scope="module")
+def evaluator(bench_doc):
+    e = Evaluator(bench_doc, pushdown=True)
+    e.fragments  # load-time work
+    return e
+
+
+@pytest.mark.parametrize("query", QUERY_SUITE, ids=[q.key for q in QUERY_SUITE])
+def test_suite_query(benchmark, evaluator, query):
+    result = benchmark(lambda: evaluator.evaluate(query.xpath))
+    benchmark.extra_info["results"] = int(len(result))
+    benchmark.extra_info["features"] = ", ".join(query.features)
+
+
+def test_suite_summary(benchmark, bench_doc, emit):
+    evaluator = Evaluator(bench_doc, pushdown=True)
+    evaluator.fragments
+
+    def run_all():
+        rows = []
+        for query in QUERY_SUITE:
+            result = evaluator.evaluate(query.xpath)
+            rows.append(
+                {
+                    "query": query.key,
+                    "results": len(result),
+                    "xpath": query.xpath,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        f"XMark-inspired query suite on {len(bench_doc):,} nodes:",
+        format_table(rows, ["query", "results", "xpath"]),
+    )
+    assert all(row["results"] >= 0 for row in rows)

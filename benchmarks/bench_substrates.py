@@ -1,0 +1,76 @@
+"""Substrate benchmarks: parser, encoder, generator, B+-tree, BATs.
+
+Not a paper figure — these measure the supporting systems so regressions
+in the substrate don't masquerade as staircase join effects, and they
+back the storage claim of Section 4.1 (void columns make the doc table
+compact; loading builds the index once).
+"""
+
+import numpy as np
+import pytest
+
+from repro.encoding.prepost import encode
+from repro.engine.db2 import DocIndex
+from repro.storage.btree import BPlusTree
+from repro.xmark.generator import generate
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+
+
+@pytest.fixture(scope="module")
+def xmark_tree():
+    return generate(0.55)
+
+
+@pytest.fixture(scope="module")
+def xmark_text(xmark_tree):
+    return serialize(xmark_tree)
+
+
+def test_generator_benchmark(benchmark):
+    tree = benchmark(lambda: generate(0.2))
+    assert tree.children
+
+
+def test_serializer_benchmark(benchmark, xmark_tree):
+    text = benchmark(lambda: serialize(xmark_tree))
+    assert text.startswith("<?xml")
+
+
+def test_parser_benchmark(benchmark, xmark_text, emit):
+    document = benchmark(lambda: parse(xmark_text))
+    mb = len(xmark_text.encode()) / 1e6
+    emit(f"parser throughput on a {mb:.2f} (text) MB document")
+    assert document.children
+
+
+def test_encoder_benchmark(benchmark, xmark_tree, emit):
+    doc = benchmark(lambda: encode(xmark_tree))
+    footprint = doc.memory_footprint()
+    emit(
+        f"encoded {len(doc):,} nodes; column storage "
+        f"{footprint / 1e6:.1f} MB ({footprint / len(doc):.0f} B/node; the "
+        "void pre column is free — Monet stored 4 B/node for post)"
+    )
+
+
+def test_btree_bulk_load_benchmark(benchmark, bench_doc):
+    items = [((pre,), pre) for pre in range(len(bench_doc))]
+    tree = benchmark(lambda: BPlusTree.bulk_load(items, order=64, key_width=1))
+    assert len(tree) == len(bench_doc)
+
+
+def test_btree_point_lookups_benchmark(benchmark, bench_doc):
+    items = [((pre,), pre) for pre in range(len(bench_doc))]
+    tree = BPlusTree.bulk_load(items, order=64, key_width=1)
+    keys = [(int(k),) for k in np.random.default_rng(3).integers(0, len(bench_doc), 1000)]
+
+    def probe():
+        return sum(tree.search(k) for k in keys)
+
+    benchmark(probe)
+
+
+def test_doc_index_build_benchmark(benchmark, bench_doc):
+    index = benchmark(lambda: DocIndex(bench_doc))
+    assert len(index.tree) == len(bench_doc)

@@ -1,0 +1,74 @@
+"""E2 — Table 1: number of nodes in intermediary results (Q1, Q2).
+
+Paper (1 GB document, 50 844 982 nodes):
+
+    Q1: /descendant::profile /descendant::education
+        47,015,212   127,984   1,849,360   63,793
+    Q2: /descendant::increase /ancestor::bidder
+        47,015,212   597,777     706,193  597,777
+
+We regenerate the same four counts per query on the scaled document and
+assert the structural identities the paper's numbers exhibit (bidder
+count == increase count; counts shrink along Q1's pipeline; sizes for
+other documents are 'proportionally smaller').
+"""
+
+import pytest
+
+from conftest import BENCH_SIZE, SWEEP_SIZES
+from repro.harness.experiments import table1_intermediary_sizes
+from repro.harness.reporting import format_table
+from repro.xpath.evaluator import evaluate
+
+COLUMNS = [
+    "query",
+    "descendant_from_root",
+    "after_first_nametest",
+    "second_axis_step",
+    "after_second_nametest",
+]
+
+
+def test_table1_regeneration(benchmark, emit):
+    rows = benchmark.pedantic(
+        table1_intermediary_sizes, args=(BENCH_SIZE,), rounds=1, iterations=1
+    )
+    emit(
+        f"Table 1 — intermediary result sizes ({BENCH_SIZE} MB nominal)",
+        format_table(rows, COLUMNS),
+        "paper @1GB: Q1 47,015,212 / 127,984 / 1,849,360 / 63,793",
+        "            Q2 47,015,212 / 597,777 /   706,193 / 597,777",
+    )
+    q1, q2 = rows
+    # Structural identities from the paper's Table 1:
+    assert q2["after_second_nametest"] == q2["after_first_nametest"]
+    assert q1["descendant_from_root"] > q1["second_axis_step"] > q1["after_second_nametest"]
+    assert q2["second_axis_step"] > q2["after_first_nametest"]
+
+
+def test_table1_proportional_scaling(benchmark, emit):
+    """'sizes for other documents are proportionally smaller'."""
+
+    def sweep():
+        return [
+            dict(size_mb=size, **table1_intermediary_sizes(size)[1])
+            for size in SWEEP_SIZES
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Q2 counts across sizes:", format_table(rows, ["size_mb"] + COLUMNS[1:]))
+    small, large = rows[0], rows[-1]
+    scale = large["size_mb"] / small["size_mb"]
+    measured = large["after_first_nametest"] / small["after_first_nametest"]
+    assert measured == pytest.approx(scale, rel=0.35)
+
+
+@pytest.mark.parametrize("query_index, name", [(0, "Q1"), (1, "Q2")])
+def test_query_evaluation_benchmark(benchmark, bench_doc, query_index, name):
+    paths = (
+        "/descendant::profile/descendant::education",
+        "/descendant::increase/ancestor::bidder",
+    )
+    result = benchmark(lambda: evaluate(bench_doc, paths[query_index]))
+    benchmark.extra_info["result_size"] = int(len(result))
+    assert len(result) > 0

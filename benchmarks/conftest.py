@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures and output helpers.
+
+Benchmarks print the regenerated tables/series through ``emit`` (capture
+is temporarily disabled so the rows appear in normal ``pytest
+benchmarks/ --benchmark-only`` runs, mirroring how the paper's figures
+would be read off).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.workloads import get_document
+
+#: Size ladder used by the sweep benchmarks (nominal MB; the paper used
+#: 1.1–1111 MB — see workloads.DEFAULT_SIZES for the scaling rationale).
+SWEEP_SIZES = (0.11, 0.55, 1.1)
+
+#: Size used by single-document benchmarks.
+BENCH_SIZE = 1.1
+
+
+@pytest.fixture(scope="session")
+def bench_doc():
+    """The default benchmark document (~55k nodes)."""
+    return get_document(BENCH_SIZE)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print experiment output past pytest's capture."""
+
+    def _emit(*chunks):
+        with capsys.disabled():
+            print()
+            for chunk in chunks:
+                print(chunk)
+
+    return _emit

@@ -1,0 +1,11 @@
+"""Thin setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments where
+the ``wheel`` package (required for PEP 660 editable installs) is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Staircase join — a reproduction of Grust, van Keulen & Teubner (VLDB 2003).
+
+``repro`` packages a tree-aware XPath execution stack on top of a small
+main-memory column store:
+
+* :mod:`repro.xmltree` — XML model, parser, serializer (from scratch);
+* :mod:`repro.storage` — Monet-style BATs, void columns, a B+-tree;
+* :mod:`repro.encoding` — the XPath accelerator pre/post encoding;
+* :mod:`repro.core` — **the staircase join**: pruning, skipping,
+  estimation-based skipping, partitioning, tag fragmentation;
+* :mod:`repro.baselines` — naive region joins, MPMGJN, Stack-Tree;
+* :mod:`repro.engine` — a tree-unaware SQL-plan emulation (the "DB2"
+  comparison point);
+* :mod:`repro.xpath` — XPath parsing + evaluation over the accelerator;
+* :mod:`repro.xmark` — deterministic XMark-style documents;
+* :mod:`repro.simulator` — the paper's cache/CPU cost arithmetic;
+* :mod:`repro.harness` — experiment runners for every table and figure.
+
+Quickstart
+----------
+>>> from repro import xmark, xpath
+>>> doc = xmark.generate_table(0.5)           # ~25k-node auction document
+>>> hits = xpath.evaluate(doc, "/descendant::increase/ancestor::bidder")
+>>> [doc.tag_of(int(p)) for p in hits[:1]]
+['bidder']
+"""
+
+from repro.counters import JoinStatistics
+from repro.encoding import DocTable, encode
+from repro.core import (
+    SkipMode,
+    staircase_join,
+    staircase_join_vectorized,
+    prune,
+    FragmentedDocument,
+)
+from repro.xmltree import parse, serialize
+from repro.xpath import Evaluator, evaluate, parse_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JoinStatistics",
+    "DocTable",
+    "encode",
+    "SkipMode",
+    "staircase_join",
+    "staircase_join_vectorized",
+    "prune",
+    "FragmentedDocument",
+    "parse",
+    "serialize",
+    "Evaluator",
+    "evaluate",
+    "parse_xpath",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline join algorithms the paper compares against (or cites).
+
+* :mod:`repro.baselines.naive` — the "naive approach" of Experiment 1:
+  evaluate the region query independently per context node and merge,
+  generating (and then having to remove) duplicate result nodes.
+* :mod:`repro.baselines.mpmgjn` — the multi-predicate merge join of
+  Zhang et al. [SIGMOD 2001], designed for interval containment; it
+  exploits interval nesting but lacks pruning and staircase skipping
+  (Section 5).
+* :mod:`repro.baselines.stacktree` — the stack-based structural join in
+  the style the paper's related work ([5, 9]) builds on: a single merge
+  pass with an ancestor stack.
+
+All baselines return the same duplicate-free, document-ordered node sets
+as the staircase join (asserted property-based in the tests); what differs
+is how many nodes they touch and how many duplicates they generate on the
+way — the quantities Figures 11(a) and (c) report.
+"""
+
+from repro.baselines.naive import naive_step
+from repro.baselines.mpmgjn import mpmgjn_step
+from repro.baselines.stacktree import stack_tree_step
+
+__all__ = ["naive_step", "mpmgjn_step", "stack_tree_step"]

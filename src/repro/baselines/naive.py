@@ -1,0 +1,99 @@
+"""The naive per-context-node axis step (Experiment 1's strawman).
+
+"The naive way of evaluating an axis step for a context node sequence
+would be to evaluate the step for each context node independently and
+construct the end result from these intermediary results."  Every region
+query is answered exactly (we use the encoding's subtree/ancestor
+structure, not a full table scan, so the *time* stays tolerable in
+Python), but — crucially — overlapping regions produce their nodes once
+per covering context node.  The duplicates, and the sort/unique pass that
+removes them, are what the staircase join eliminates by construction.
+
+``stats.duplicates_generated`` counts surplus tuples;
+``stats.result_size`` counts the tuples *produced* (duplicates included),
+which is the "naive" series of Figure 11 (a).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.counters import JoinStatistics
+from repro.core.pruning import normalize_context
+from repro.encoding.doctable import DocTable
+from repro.errors import XPathEvaluationError
+from repro.xmltree.model import NodeKind
+
+__all__ = ["naive_step", "naive_step_with_duplicates"]
+
+_ATTR = int(NodeKind.ATTRIBUTE)
+
+
+def _region_for(doc: DocTable, c: int, axis: str) -> np.ndarray:
+    """Exact region query for a single context node."""
+    post_c = int(doc.post[c])
+    if axis == "descendant":
+        end = c + int(doc.post[c]) - c + int(doc.level[c])  # Equation (1)
+        return np.arange(c + 1, end + 1, dtype=np.int64)
+    if axis == "ancestor":
+        return np.asarray(sorted(doc.ancestors_of(c)), dtype=np.int64)
+    if axis == "following":
+        end = c + int(doc.post[c]) - c + int(doc.level[c])
+        return np.arange(end + 1, len(doc), dtype=np.int64)
+    if axis == "preceding":
+        before = np.arange(0, c, dtype=np.int64)
+        return before[doc.post[before] < post_c]
+    raise XPathEvaluationError(f"naive step handles partitioning axes, not {axis!r}")
+
+
+def naive_step_with_duplicates(
+    doc: DocTable,
+    context: np.ndarray,
+    axis: str,
+    stats: Optional[JoinStatistics] = None,
+    keep_attributes: bool = False,
+) -> np.ndarray:
+    """All per-context region results concatenated — duplicates included.
+
+    This is the raw join output before the ``unique`` operator of the
+    Figure 3 plan; callers measuring duplicate ratios use it directly.
+    """
+    stats = stats if stats is not None else JoinStatistics()
+    context = normalize_context(context)
+    pieces: List[np.ndarray] = []
+    for c in context:
+        region = _region_for(doc, int(c), axis)
+        if not keep_attributes and len(region):
+            region = region[doc.kind[region] != _ATTR]
+        pieces.append(region)
+        stats.partitions += 1
+        stats.nodes_scanned += len(region)
+    produced = (
+        np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+    )
+    stats.result_size += len(produced)
+    return produced
+
+
+def naive_step(
+    doc: DocTable,
+    context: np.ndarray,
+    axis: str,
+    stats: Optional[JoinStatistics] = None,
+    keep_attributes: bool = False,
+) -> np.ndarray:
+    """Naive step with the mandatory sort + duplicate elimination.
+
+    Returns the same node set as the staircase join;
+    ``stats.duplicates_generated`` records how many surplus tuples the
+    ``unique`` pass had to discard.
+    """
+    stats = stats if stats is not None else JoinStatistics()
+    produced = naive_step_with_duplicates(
+        doc, context, axis, stats, keep_attributes=keep_attributes
+    )
+    unique = np.unique(produced)
+    stats.duplicates_generated += len(produced) - len(unique)
+    return unique

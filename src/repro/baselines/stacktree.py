@@ -1,0 +1,99 @@
+"""Stack-based structural join (Stack-Tree style).
+
+The related-work algorithms the paper positions against ([5, 9] build
+indexes to add skipping to this family): a single merge pass over two
+pre-sorted node lists with an in-flight stack holding the current chain
+of nested ancestor-list entries.  Every list element is visited exactly
+once, but — unlike the staircase join — the context is not pruned and the
+output is per *pair*, so duplicate result nodes appear whenever a node
+has several matching partners and a final sort/unique pass is needed.
+
+The stack discipline relies only on interval nesting: when the merge
+reaches node ``x``, every stack entry ``s`` with ``post(s) < post(x)``
+has ended (its subtree cannot contain ``x``) and is popped; the survivors
+all contain ``x``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.counters import JoinStatistics
+from repro.core.pruning import normalize_context
+from repro.encoding.doctable import DocTable
+from repro.errors import XPathEvaluationError
+from repro.xmltree.model import NodeKind
+
+__all__ = ["stack_tree_step", "stack_tree_pairs"]
+
+_ATTR = int(NodeKind.ATTRIBUTE)
+
+
+def stack_tree_pairs(
+    doc: DocTable,
+    ancestor_list: np.ndarray,
+    descendant_list: np.ndarray,
+    stats: Optional[JoinStatistics] = None,
+) -> List[Tuple[int, int]]:
+    """All ``(a, d)`` containment pairs via one stack-merge pass."""
+    stats = stats if stats is not None else JoinStatistics()
+    post = doc.post
+    stack: List[int] = []
+    pairs: List[Tuple[int, int]] = []
+    i = 0  # ancestor cursor
+    j = 0  # descendant cursor
+    n_a, n_d = len(ancestor_list), len(descendant_list)
+    while j < n_d:
+        d = int(descendant_list[j])
+        if i < n_a and int(ancestor_list[i]) < d:
+            a = int(ancestor_list[i])
+            stats.nodes_scanned += 1
+            while stack and post[stack[-1]] < post[a]:
+                stack.pop()  # ended before a begins
+            stack.append(a)
+            i += 1
+            continue
+        stats.nodes_scanned += 1
+        while stack and post[stack[-1]] < post[d]:
+            stack.pop()  # ended before d begins
+        for s in stack:  # every survivor contains d
+            pairs.append((s, d))
+        j += 1
+    return pairs
+
+
+def stack_tree_step(
+    doc: DocTable,
+    context: np.ndarray,
+    axis: str,
+    stats: Optional[JoinStatistics] = None,
+    keep_attributes: bool = False,
+) -> np.ndarray:
+    """Evaluate a ``descendant`` or ``ancestor`` step with the stack join.
+
+    ``descendant``: context = ancestor list, document = descendant list.
+    ``ancestor``: document = ancestor list, context = descendant list.
+    The pair output is projected, counted (``result_size`` includes the
+    duplicates) and de-duplicated.
+    """
+    stats = stats if stats is not None else JoinStatistics()
+    context = normalize_context(context)
+    everything = doc.pres()
+    if axis == "descendant":
+        pairs = stack_tree_pairs(doc, context, everything, stats)
+        produced = np.asarray([d for _, d in pairs], dtype=np.int64)
+    elif axis == "ancestor":
+        pairs = stack_tree_pairs(doc, everything, context, stats)
+        produced = np.asarray([a for a, _ in pairs], dtype=np.int64)
+    else:
+        raise XPathEvaluationError(
+            f"stack-tree join evaluates descendant/ancestor steps, not {axis!r}"
+        )
+    if not keep_attributes and len(produced):
+        produced = produced[doc.kind[produced] != _ATTR]
+    stats.result_size += len(produced)
+    unique = np.unique(produced)
+    stats.duplicates_generated += len(produced) - len(unique)
+    return unique

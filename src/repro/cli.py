@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Makes the library usable without writing Python::
+
+    python -m repro generate --size 0.5 -o auction.xml
+    python -m repro encode auction.xml -o auction.npz
+    python -m repro query auction.npz "/descendant::increase/ancestor::bidder"
+    python -m repro query auction.xml "//person[profile]" --serialize --limit 2
+    python -m repro info auction.npz
+    python -m repro sql "/descendant::profile/descendant::education"
+
+Documents may be given as ``.xml`` (parsed + encoded on the fly) or as
+``.npz`` archives produced by ``encode`` (instant load).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.counters import JoinStatistics
+from repro.encoding.decode import subtree
+from repro.encoding.doctable import DocTable
+from repro.encoding.persist import load, save
+from repro.encoding.prepost import encode
+from repro.engine.sqlgen import path_to_sql
+from repro.errors import ReproError
+from repro.xmark.generator import XMarkConfig, generate
+from repro.xmltree.model import NodeKind
+from repro.xmltree.parser import parse_file
+from repro.xmltree.serializer import serialize, write_file
+from repro.xpath.evaluator import Evaluator
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_document(path: str) -> DocTable:
+    if path.endswith(".npz"):
+        return load(path)
+    return encode(parse_file(path))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = XMarkConfig(seed=args.seed)
+    started = time.perf_counter()
+    tree = generate(args.size, config)
+    write_file(tree, args.output, pretty=args.pretty)
+    doc = encode(tree)
+    print(
+        f"wrote {args.output}: {len(doc):,} nodes, height {doc.height}, "
+        f"{time.perf_counter() - started:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    doc = encode(parse_file(args.document))
+    save(doc, args.output)
+    print(
+        f"encoded {len(doc):,} nodes (height {doc.height}) to {args.output} "
+        f"in {time.perf_counter() - started:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    doc = _load_document(args.document)
+    stats = JoinStatistics()
+    evaluator = Evaluator(
+        doc, strategy=args.strategy, pushdown=args.pushdown, stats=stats
+    )
+    started = time.perf_counter()
+    result = evaluator.evaluate(args.xpath)
+    elapsed = time.perf_counter() - started
+    shown = result if args.limit is None else result[: args.limit]
+    for pre in shown:
+        pre = int(pre)
+        if args.serialize:
+            print(serialize(subtree(doc, pre)))
+        else:
+            kind = doc.kind_of(pre).name.lower()
+            label = doc.tag_of(pre) or (doc.value_of(pre) or "")[:40]
+            print(f"{pre}\t{doc.post_of(pre)}\t{kind}\t{label}")
+    if args.limit is not None and len(result) > args.limit:
+        print(f"... ({len(result) - args.limit} more)", file=sys.stderr)
+    print(
+        f"{len(result):,} nodes in {elapsed * 1000:.2f} ms",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(f"join statistics: {stats.as_dict()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    doc = _load_document(args.document)
+    print(f"nodes           {len(doc):,}")
+    print(f"height          {doc.height}")
+    print(f"distinct tags   {len(doc.tag.dictionary):,}")
+    print(f"column storage  {doc.memory_footprint():,} bytes")
+    kinds = {kind.name.lower(): 0 for kind in NodeKind}
+    for kind in NodeKind:
+        count = int((doc.kind == int(kind)).sum())
+        if count:
+            print(f"  {kind.name.lower():24s} {count:,}")
+    counts = sorted(
+        (
+            (tag, len(doc.pres_with_tag(tag)))
+            for tag in doc.tag.dictionary
+            if tag
+        ),
+        key=lambda kv: -kv[1],
+    )
+    print("top tags:")
+    for tag, count in counts[: args.top]:
+        print(f"  {tag:24s} {count:,}")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    print(path_to_sql(args.xpath, eq1_delimiter=args.eq1))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.engine.explain import explain
+
+    doc = _load_document(args.document)
+    pushdown = {"auto": "auto", "on": True, "off": False}[args.pushdown]
+    print(explain(doc, args.xpath, pushdown=pushdown))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Staircase join reproduction — XPath over pre/post-encoded XML.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("generate", help="generate an XMark-style document")
+    cmd.add_argument("--size", type=float, default=1.0, help="nominal MB (default 1.0)")
+    cmd.add_argument("--seed", type=int, default=2003)
+    cmd.add_argument("--pretty", action="store_true", help="indent the output")
+    cmd.add_argument("-o", "--output", required=True)
+    cmd.set_defaults(handler=_cmd_generate)
+
+    cmd = commands.add_parser("encode", help="pre/post encode an XML file to .npz")
+    cmd.add_argument("document")
+    cmd.add_argument("-o", "--output", required=True)
+    cmd.set_defaults(handler=_cmd_encode)
+
+    cmd = commands.add_parser("query", help="evaluate an XPath expression")
+    cmd.add_argument("document", help=".xml or .npz file")
+    cmd.add_argument("xpath")
+    cmd.add_argument("--pushdown", action="store_true", help="push name tests below joins")
+    cmd.add_argument(
+        "--strategy", choices=("staircase", "vectorized"), default="staircase"
+    )
+    cmd.add_argument("--serialize", action="store_true", help="print result subtrees as XML")
+    cmd.add_argument("--limit", type=int, default=None, help="show at most N results")
+    cmd.add_argument("--stats", action="store_true", help="print join statistics")
+    cmd.set_defaults(handler=_cmd_query)
+
+    cmd = commands.add_parser("info", help="document statistics")
+    cmd.add_argument("document")
+    cmd.add_argument("--top", type=int, default=10, help="tags to list")
+    cmd.set_defaults(handler=_cmd_info)
+
+    cmd = commands.add_parser("sql", help="translate XPath to Figure-3 style SQL")
+    cmd.add_argument("xpath")
+    cmd.add_argument("--eq1", action="store_true", help="add the Equation (1) delimiter")
+    cmd.set_defaults(handler=_cmd_sql)
+
+    cmd = commands.add_parser("explain", help="show the execution plan for a query")
+    cmd.add_argument("document", help=".xml or .npz file (for catalogue statistics)")
+    cmd.add_argument("xpath")
+    cmd.add_argument(
+        "--pushdown", choices=("auto", "on", "off"), default="auto",
+        help="name-test placement (default: cost model decides)",
+    )
+    cmd.set_defaults(handler=_cmd_explain)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

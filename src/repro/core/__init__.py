@@ -1,0 +1,58 @@
+"""The staircase join — the paper's contribution.
+
+Public surface:
+
+* :func:`~repro.core.pruning.prune` — context pruning for all four
+  partitioning axes (Algorithm 1 and its ancestor/following/preceding
+  analogues, Section 3.1).
+* :func:`~repro.core.staircase.staircase_join` — the join itself, with the
+  three skipping modes of the paper (``SkipMode.NONE`` = Algorithm 2,
+  ``SkipMode.SKIP`` = Algorithm 3, ``SkipMode.ESTIMATE`` = Algorithm 4) and
+  optional on-the-fly pruning.
+* :func:`~repro.core.vectorized.staircase_join_vectorized` — a numpy bulk
+  formulation exploiting the same tree knowledge (used where Python loop
+  overhead would drown the measurement).
+* :func:`~repro.core.partition.partitioned_staircase_join` — the
+  partition-parallel execution strategy sketched in Section 3.2.
+* :mod:`repro.core.fragments` — tag-name fragmentation (the future-work
+  experiment: Q1 345 ms → 39 ms).
+"""
+
+from repro.core.pruning import (
+    prune,
+    prune_ancestor,
+    prune_descendant,
+    prune_following,
+    prune_preceding,
+    is_proper_staircase,
+)
+from repro.core.staircase import (
+    SkipMode,
+    staircase_join,
+    staircase_join_anc,
+    staircase_join_desc,
+    staircase_join_following,
+    staircase_join_preceding,
+)
+from repro.core.vectorized import staircase_join_vectorized
+from repro.core.partition import partitioned_staircase_join, plan_partitions
+from repro.core.fragments import FragmentedDocument
+
+__all__ = [
+    "prune",
+    "prune_ancestor",
+    "prune_descendant",
+    "prune_following",
+    "prune_preceding",
+    "is_proper_staircase",
+    "SkipMode",
+    "staircase_join",
+    "staircase_join_anc",
+    "staircase_join_desc",
+    "staircase_join_following",
+    "staircase_join_preceding",
+    "staircase_join_vectorized",
+    "partitioned_staircase_join",
+    "plan_partitions",
+    "FragmentedDocument",
+]

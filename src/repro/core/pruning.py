@@ -1,0 +1,201 @@
+"""Context pruning (Section 3.1, Algorithm 1).
+
+Evaluating an axis step over a whole context *sequence* duplicates work
+wherever the per-node regions overlap (Figure 5).  Pruning shrinks the
+context to the nodes at the cover's boundary without changing the step
+result:
+
+* ``descendant`` — drop every context node contained in the subtree of an
+  earlier context node (Algorithm 1 verbatim).  The survivors relate
+  pairwise as preceding/following: a *proper staircase* (Figure 6).
+* ``ancestor`` — symmetric: drop every context node that is a proper
+  ancestor of another context node (its ancestors are a subset of the
+  descendant's ancestors plus itself, which the descendant's ancestors
+  already contain).  Survivors again form a staircase.
+* ``following`` — only the context node with the *minimum postorder* rank
+  survives; its following region contains every other node's (Section 3.1,
+  consequence of empty region ``S`` in Figure 7 (a)).
+* ``preceding`` — only the node with the *maximum preorder* rank survives.
+
+All functions take and return sorted, duplicate-free ``int64`` arrays of
+preorder ranks and count removed nodes in ``stats.context_pruned``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.counters import JoinStatistics
+from repro.encoding.doctable import DocTable
+from repro.errors import XPathEvaluationError
+
+__all__ = [
+    "prune",
+    "prune_descendant",
+    "prune_ancestor",
+    "prune_following",
+    "prune_preceding",
+    "is_proper_staircase",
+    "normalize_context",
+    "validate_context",
+]
+
+
+def normalize_context(context: np.ndarray) -> np.ndarray:
+    """Sort and de-duplicate a context array (document order, unique).
+
+    XPath step semantics demand duplicate-free, document-ordered sequences
+    [2]; accepting arbitrary arrays here keeps the public API forgiving.
+    """
+    return np.unique(np.asarray(context, dtype=np.int64))
+
+
+def prune_descendant(
+    doc: DocTable,
+    context: np.ndarray,
+    stats: Optional[JoinStatistics] = None,
+) -> np.ndarray:
+    """Algorithm 1: drop context nodes covered by an earlier subtree.
+
+    A context node ``c`` survives iff ``post(c)`` exceeds the postorder
+    rank of the last survivor — i.e. iff ``c`` is *not* a descendant of
+    any earlier context node.  One pass, pre-sorted input.
+    """
+    context = normalize_context(context)
+    post = doc.post
+    result = []
+    prev = -1  # paper initialises to 0; ranks start at 0 here, so use −1
+    for c in context:
+        if post[c] > prev:
+            result.append(c)
+            prev = int(post[c])
+    if stats is not None:
+        stats.context_pruned += len(context) - len(result)
+    return np.asarray(result, dtype=np.int64)
+
+
+def prune_ancestor(
+    doc: DocTable,
+    context: np.ndarray,
+    stats: Optional[JoinStatistics] = None,
+) -> np.ndarray:
+    """Drop context nodes that are proper ancestors of later context nodes.
+
+    If ``a`` is an ancestor of ``b`` then ``ancestor(a) ∪ ancestor(b) =
+    ancestor(b)`` (``b``'s ancestors include ``a`` and everything above
+    it), so ``a`` can go.  A stack pass keeps exactly the nodes whose
+    postorder ranks increase left-to-right — the ancestor staircase.
+    """
+    context = normalize_context(context)
+    post = doc.post
+    stack = []
+    for c in context:
+        # pre(stack[-1]) < pre(c) always; ancestor iff its post is larger.
+        while stack and post[stack[-1]] > post[c]:
+            stack.pop()
+        stack.append(int(c))
+    if stats is not None:
+        stats.context_pruned += len(context) - len(stack)
+    return np.asarray(stack, dtype=np.int64)
+
+
+def prune_following(
+    doc: DocTable,
+    context: np.ndarray,
+    stats: Optional[JoinStatistics] = None,
+) -> np.ndarray:
+    """Keep only the context node with the minimum postorder rank.
+
+    For any two context nodes the one with smaller post has the larger
+    following region (region ``S`` of Figure 7 (a) is empty), so the
+    context degenerates to a singleton and the staircase join becomes a
+    single region query.
+    """
+    context = normalize_context(context)
+    if len(context) == 0:
+        return context
+    posts = doc.post[context]
+    keeper = context[int(np.argmin(posts))]
+    if stats is not None:
+        stats.context_pruned += len(context) - 1
+    return np.asarray([keeper], dtype=np.int64)
+
+
+def prune_preceding(
+    doc: DocTable,
+    context: np.ndarray,
+    stats: Optional[JoinStatistics] = None,
+) -> np.ndarray:
+    """Keep only the context node with the maximum preorder rank."""
+    context = normalize_context(context)
+    if len(context) == 0:
+        return context
+    keeper = context[-1]  # pre-sorted: maximum pre is the last entry
+    if stats is not None:
+        stats.context_pruned += len(context) - 1
+    return np.asarray([keeper], dtype=np.int64)
+
+
+_PRUNERS = {
+    "descendant": prune_descendant,
+    "ancestor": prune_ancestor,
+    "following": prune_following,
+    "preceding": prune_preceding,
+}
+
+
+def validate_context(doc: DocTable, context: np.ndarray) -> np.ndarray:
+    """Reject preorder ranks outside the document.
+
+    A context rank beyond ``len(doc)`` would make the partition scans
+    read garbage silently; all public join entry points funnel through
+    this check.  ``context`` must already be normalised (sorted).
+    """
+    if len(context) and (int(context[0]) < 0 or int(context[-1]) >= len(doc)):
+        raise XPathEvaluationError(
+            f"context rank out of range: document holds preorder ranks "
+            f"0..{len(doc) - 1}, context spans "
+            f"{int(context[0])}..{int(context[-1])}"
+        )
+    return context
+
+
+def prune(
+    doc: DocTable,
+    context: np.ndarray,
+    axis: str,
+    stats: Optional[JoinStatistics] = None,
+) -> np.ndarray:
+    """Prune ``context`` for an axis step along ``axis``."""
+    try:
+        pruner = _PRUNERS[axis]
+    except KeyError:
+        raise XPathEvaluationError(
+            f"pruning is defined for the partitioning axes "
+            f"{sorted(_PRUNERS)}, not {axis!r}"
+        ) from None
+    validate_context(doc, normalize_context(context))
+    return pruner(doc, context, stats)
+
+
+def is_proper_staircase(doc: DocTable, context: np.ndarray, axis: str) -> bool:
+    """Check the staircase property pruning must establish.
+
+    For ``descendant`` and ``ancestor``: successive context nodes relate
+    pairwise on the preceding/following axis, i.e. both pre *and* post
+    ranks are strictly increasing.  For the degenerate axes: at most one
+    node remains.  Used by tests and by :func:`staircase_join`'s optional
+    validation mode.
+    """
+    context = np.asarray(context, dtype=np.int64)
+    if axis in ("following", "preceding"):
+        return len(context) <= 1
+    if axis not in ("descendant", "ancestor"):
+        raise XPathEvaluationError(f"no staircase property for axis {axis!r}")
+    if len(context) <= 1:
+        return True
+    pres_increasing = bool(np.all(np.diff(context) > 0))
+    posts_increasing = bool(np.all(np.diff(doc.post[context]) > 0))
+    return pres_increasing and posts_increasing

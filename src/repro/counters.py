@@ -1,0 +1,103 @@
+"""Instrumentation counters for join algorithms.
+
+The paper's Figures 11(a) and 11(c) report *node-access counts*, not times:
+how many nodes each algorithm scanned, copied, skipped, and how many
+duplicates a tree-unaware evaluation would have produced.  Every join
+implementation in :mod:`repro.core` and :mod:`repro.baselines` accepts an
+optional :class:`JoinStatistics` object and increments it while running, so
+the experiment harness can regenerate those figures exactly (counts are
+deterministic, unlike wall-clock times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["JoinStatistics"]
+
+
+@dataclass
+class JoinStatistics:
+    """Mutable counter bundle threaded through join algorithms.
+
+    Attributes
+    ----------
+    nodes_scanned:
+        Document nodes whose postorder rank was inspected during a scan
+        phase (the ``(?)`` comparison of Algorithm 3).
+    nodes_copied:
+        Document nodes copied to the result without a comparison
+        (the copy phase of Algorithm 4, estimation-based skipping).
+    nodes_skipped:
+        Document nodes hopped over without being touched at all
+        (the ``skip`` arrow of Figure 9 / the subtree hop of the
+        ancestor-axis skip).
+    result_size:
+        Nodes appended to the result.
+    duplicates_generated:
+        Result tuples that duplicate an earlier tuple (only non-zero for
+        tree-unaware algorithms; staircase join never generates any —
+        property (3) in Section 3.2).
+    context_pruned:
+        Context nodes removed by pruning (Algorithm 1).
+    post_comparisons:
+        Total postorder-rank comparisons performed.  Estimation-based
+        skipping bounds this by ``h × |context|`` (Section 4.2).
+    index_probes:
+        B+-tree descents performed (tree-unaware baseline only).
+    partitions:
+        Partition scans started (one per surviving context node).
+    """
+
+    nodes_scanned: int = 0
+    nodes_copied: int = 0
+    nodes_skipped: int = 0
+    result_size: int = 0
+    duplicates_generated: int = 0
+    context_pruned: int = 0
+    post_comparisons: int = 0
+    index_probes: int = 0
+    partitions: int = 0
+
+    @property
+    def nodes_touched(self) -> int:
+        """Nodes physically accessed: scanned plus copied.
+
+        Skipped nodes are *not* touched — that is the whole point of
+        Section 3.3 ("skipping makes the number of accessed nodes
+        independent of the document size").
+        """
+        return self.nodes_scanned + self.nodes_copied
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def merge(self, other: "JoinStatistics") -> "JoinStatistics":
+        """Add ``other``'s counters into ``self`` and return ``self``.
+
+        Used by the partition-parallel strategy to combine per-partition
+        statistics into a single report.
+        """
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return a plain ``dict`` snapshot (for reporting/serialisation)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"JoinStatistics({parts})"
+
+
+# A shared "do not count" sink.  Passing ``None`` everywhere would force
+# ``if stats is not None`` checks in inner loops; handing out a throwaway
+# JoinStatistics keeps the algorithms branch-free, matching the paper's
+# emphasis on predictable control flow.
+def null_statistics() -> JoinStatistics:
+    """Return a fresh statistics sink callers may ignore."""
+    return JoinStatistics()

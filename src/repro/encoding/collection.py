@@ -1,0 +1,165 @@
+"""Multi-document databases (footnote 1 of the paper).
+
+"Our discussion readily carries over to multi-document databases (e.g.,
+by introduction of document identifiers or a new virtual root node under
+which several documents may be gathered)."
+
+:class:`DocumentCollection` implements the virtual-root flavour: the
+member documents' trees are gathered, in insertion order, under a
+synthetic root element, and the combined tree is pre/post encoded once.
+Every staircase join property carries over verbatim because the result
+*is* a single document — the collection merely remembers which preorder
+interval belongs to which member, so results can be attributed and
+queries can be scoped to one document without re-encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.encoding.doctable import DocTable
+from repro.encoding.prepost import encode
+from repro.errors import EncodingError
+from repro.xmltree.model import Node, NodeKind, element
+
+__all__ = ["DocumentCollection"]
+
+
+class DocumentCollection:
+    """Several documents behind one pre/post plane.
+
+    Parameters
+    ----------
+    documents:
+        ``(name, tree)`` pairs; each tree is a document or element node.
+    virtual_root_tag:
+        Tag of the synthetic root (kept out of query results by scoping;
+        it *is* visible to raw absolute paths, as it would have been in
+        the paper's setup).
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[Tuple[str, Node]],
+        virtual_root_tag: str = "collection",
+    ):
+        if not documents:
+            raise EncodingError("a collection needs at least one document")
+        names = [name for name, _ in documents]
+        if len(set(names)) != len(names):
+            raise EncodingError("document names must be unique")
+        gathered = element(virtual_root_tag)
+        for name, tree in documents:
+            if tree.kind == NodeKind.DOCUMENT:
+                roots = [c for c in tree.children if c.kind == NodeKind.ELEMENT]
+                if len(roots) != 1:
+                    raise EncodingError(
+                        f"document {name!r} must have exactly one root element"
+                    )
+                gathered.append(roots[0])
+            elif tree.kind == NodeKind.ELEMENT:
+                gathered.append(tree)
+            else:
+                raise EncodingError(f"document {name!r} is not element-rooted")
+        self.virtual_root_tag = virtual_root_tag
+        self.doc: DocTable = encode(gathered)
+        # Member spans: the children of the virtual root, in order.
+        self._spans: Dict[str, Tuple[int, int]] = {}
+        self._names: List[str] = []
+        for name, child in zip(names, self.doc.children_of(self.doc.root)):
+            end = child + self.doc.subtree_size_exact(child)
+            self._spans[name] = (child, end)
+            self._names.append(name)
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        """Member document names, in insertion (document) order."""
+        return list(self._names)
+
+    def span(self, name: str) -> Tuple[int, int]:
+        """Inclusive preorder interval ``[root, last]`` of a member."""
+        try:
+            return self._spans[name]
+        except KeyError:
+            raise EncodingError(f"no document named {name!r}") from None
+
+    def root_of(self, name: str) -> int:
+        """Preorder rank of a member's root element."""
+        return self.span(name)[0]
+
+    def document_of(self, pre: int) -> Optional[str]:
+        """Which member a preorder rank belongs to (None = virtual root)."""
+        for name in self._names:
+            start, end = self._spans[name]
+            if start <= pre <= end:
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        path: str,
+        document: Optional[str] = None,
+        **evaluator_options,
+    ) -> np.ndarray:
+        """Evaluate an XPath expression over the collection.
+
+        With ``document`` given, absolute paths are anchored at that
+        member's root (the per-document view); otherwise they run over
+        the whole gathered plane and results from the virtual root
+        itself are filtered out.
+        """
+        from repro.xpath.ast import LocationPath, Step
+        from repro.xpath.evaluator import Evaluator
+        from repro.xpath.parser import parse_xpath
+
+        evaluator = Evaluator(self.doc, **evaluator_options)
+        parsed = parse_xpath(path)
+        if document is None:
+            result = evaluator.evaluate(parsed)
+            return result[result != self.doc.root]
+
+        start, end = self.span(document)
+        if parsed.absolute:
+            if not parsed.steps:
+                return np.empty(0, dtype=np.int64)
+            # Treat the member root as the document node: a document's
+            # descendants are the root element or-self; its only child
+            # is the root element itself.
+            axis_from_document = {
+                "descendant": "descendant-or-self",
+                "descendant-or-self": "descendant-or-self",
+                "child": "self",
+            }
+            first = parsed.steps[0]
+            mapped_axis = axis_from_document.get(first.axis)
+            if mapped_axis is None:
+                raise EncodingError(
+                    f"axis {first.axis!r} cannot start a document-scoped "
+                    "absolute path"
+                )
+            steps = (Step(mapped_axis, first.test, first.predicates),) + parsed.steps[1:]
+            result = evaluator.evaluate(LocationPath(False, steps), context=start)
+        else:
+            result = evaluator.evaluate(parsed, context=start)
+        return result[(result >= start) & (result <= end)]
+
+    def partition_by_document(self, pres: np.ndarray) -> Dict[str, np.ndarray]:
+        """Split a result array by owning member document."""
+        out: Dict[str, np.ndarray] = {}
+        for name in self._names:
+            start, end = self._spans[name]
+            out[name] = pres[(pres >= start) & (pres <= end)]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DocumentCollection(documents={len(self)}, "
+            f"nodes={len(self.doc)})"
+        )

@@ -1,0 +1,61 @@
+"""Decode a :class:`DocTable` back into a node tree.
+
+The pre/post encoding is lossless: preorder ranks give document order,
+the ``parent`` column gives structure, and ``kind``/``tag``/``values``
+restore node content.  ``decode(encode(tree))`` reproduces ``tree``
+exactly (a property test in ``tests/test_encoding_decode.py``).
+
+Decoding matters operationally: query results are preorder ranks, and
+users eventually want XML back — the CLI's ``query --serialize`` path and
+:func:`subtree` both go through this module.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.encoding.doctable import DocTable
+from repro.errors import EncodingError
+from repro.xmltree.model import Node, NodeKind
+
+__all__ = ["decode", "subtree"]
+
+
+def _make_node(doc: DocTable, pre: int) -> Node:
+    kind = doc.kind_of(pre)
+    if kind == NodeKind.ELEMENT:
+        return Node(NodeKind.ELEMENT, name=doc.tag_of(pre))
+    if kind in (NodeKind.ATTRIBUTE, NodeKind.PROCESSING_INSTRUCTION):
+        return Node(kind, name=doc.tag_of(pre), value=doc.value_of(pre) or "")
+    return Node(kind, value=doc.value_of(pre) or "")
+
+
+def subtree(doc: DocTable, pre: int) -> Node:
+    """Materialise the subtree rooted at preorder rank ``pre``.
+
+    Walks the contiguous preorder interval of the subtree (Equation (1)
+    gives its exact extent), rebuilding parent links from the ``parent``
+    column.  O(subtree size).
+    """
+    if not 0 <= pre < len(doc):
+        raise EncodingError(f"preorder rank {pre} out of range [0, {len(doc)})")
+    end = pre + doc.subtree_size_exact(pre)
+    nodes: List[Node] = []
+    for i in range(pre, end + 1):
+        node = _make_node(doc, i)
+        nodes.append(node)
+        if i > pre:
+            parent = nodes[doc.parent_of(i) - pre]
+            parent.append(node)
+    return nodes[0]
+
+
+def decode(doc: DocTable, as_document: bool = True) -> Node:
+    """Rebuild the full tree; with ``as_document`` wrap it in a document
+    node (the encoder's inverse for document inputs)."""
+    root = subtree(doc, doc.root)
+    if not as_document:
+        return root
+    document = Node(NodeKind.DOCUMENT)
+    document.append(root)
+    return document

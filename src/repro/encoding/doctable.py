@@ -1,0 +1,272 @@
+"""The ``doc`` table: the relational face of an encoded document.
+
+A :class:`DocTable` is the family of BATs the paper's Monet implementation
+stores (Section 4.1): a void ``pre`` column shared by dense ``post``,
+``level``, ``parent``, ``kind`` and dictionary-encoded ``tag`` columns.
+All join algorithms in this repository take a ``DocTable`` plus a context
+(an array of preorder ranks) and return preorder ranks.
+
+Beyond raw storage the class offers the O(1) "tree knowledge" primitives
+the staircase join is built from: ancestor/descendant tests via rank
+comparisons, Equation (1) subtree-size estimation, and conversions between
+pre and post rank orders.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.storage.bat import BAT
+from repro.storage.column import IntColumn, StringColumn, VoidColumn
+from repro.xmltree.model import NodeKind
+
+__all__ = ["DocTable"]
+
+
+class DocTable:
+    """Pre/post encoded document (the table of Figure 2, plus bookkeeping).
+
+    Parameters
+    ----------
+    post, level, parent, kind:
+        Dense ``int64`` vectors indexed by preorder rank.
+    tag:
+        Dictionary-encoded tag/attribute-name column.
+    values:
+        Optional per-node string content (``None`` for elements); kept as a
+        plain Python list since it is never touched on the query hot path.
+    """
+
+    __slots__ = (
+        "post",
+        "level",
+        "parent",
+        "kind",
+        "tag",
+        "values",
+        "height",
+        "_pre_of_post",
+        "_first_child_cache",
+    )
+
+    def __init__(
+        self,
+        post: np.ndarray,
+        level: np.ndarray,
+        parent: np.ndarray,
+        kind: np.ndarray,
+        tag: StringColumn,
+        values: Optional[List[Optional[str]]] = None,
+    ):
+        n = post.shape[0]
+        for name, column in (("level", level), ("parent", parent), ("kind", kind)):
+            if column.shape[0] != n:
+                raise EncodingError(f"column {name!r} length {column.shape[0]} != {n}")
+        if len(tag) != n:
+            raise EncodingError(f"tag column length {len(tag)} != {n}")
+        if n == 0:
+            raise EncodingError("cannot build an empty DocTable")
+        sorted_post = np.sort(post)
+        if not np.array_equal(sorted_post, np.arange(n, dtype=np.int64)):
+            raise EncodingError("post column must be a permutation of 0..n-1")
+        self.post = post
+        self.level = level
+        self.parent = parent
+        self.kind = kind
+        self.tag = tag
+        self.values = values if values is not None else [None] * n
+        # h — the document height; computed once at load time (footnote 3).
+        self.height = int(level.max())
+        self._pre_of_post: Optional[np.ndarray] = None
+        self._first_child_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Size / iteration
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.post.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Number of encoded nodes (attributes included)."""
+        return len(self)
+
+    @property
+    def root(self) -> int:
+        """Preorder rank of the root element (always 0)."""
+        return 0
+
+    def pres(self) -> np.ndarray:
+        """All preorder ranks, ``0..n-1``."""
+        return np.arange(len(self), dtype=np.int64)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self)))
+
+    # ------------------------------------------------------------------
+    # Per-node accessors (scalar, O(1))
+    # ------------------------------------------------------------------
+    def post_of(self, pre: int) -> int:
+        return int(self.post[pre])
+
+    def level_of(self, pre: int) -> int:
+        return int(self.level[pre])
+
+    def parent_of(self, pre: int) -> int:
+        """Preorder rank of the parent, or −1 for the root."""
+        return int(self.parent[pre])
+
+    def kind_of(self, pre: int) -> NodeKind:
+        return NodeKind(int(self.kind[pre]))
+
+    def tag_of(self, pre: int) -> str:
+        return self.tag[pre]
+
+    def tag_code_of(self, pre: int) -> int:
+        return self.tag.code_at(pre)
+
+    def value_of(self, pre: int) -> Optional[str]:
+        return self.values[pre]
+
+    def is_element(self, pre: int) -> bool:
+        return int(self.kind[pre]) == int(NodeKind.ELEMENT)
+
+    def is_attribute(self, pre: int) -> bool:
+        return int(self.kind[pre]) == int(NodeKind.ATTRIBUTE)
+
+    # ------------------------------------------------------------------
+    # Tree knowledge (Section 2 / Equation (1))
+    # ------------------------------------------------------------------
+    def is_ancestor(self, a: int, v: int) -> bool:
+        """True iff ``a`` is a proper ancestor of ``v``.
+
+        The defining property of the pre/post plane: ancestors are up-left
+        of ``v`` (smaller pre, larger post).
+        """
+        return a < v and self.post[a] > self.post[v]
+
+    def subtree_size_estimate(self, pre: int) -> int:
+        """Lower bound on ``|v/descendant|`` from Equation (1).
+
+        ``post(v) − pre(v) + level(v)`` is exact, but an algorithm that
+        wants to avoid the ``level`` lookup can use
+        ``post(v) − pre(v)`` which undershoots by at most ``h``.
+        """
+        return max(0, int(self.post[pre]) - pre)
+
+    def subtree_size_exact(self, pre: int) -> int:
+        """``|v/descendant|`` exactly, via Equation (1) with the level term."""
+        return int(self.post[pre]) - pre + int(self.level[pre])
+
+    def pre_of_post(self) -> np.ndarray:
+        """Inverse permutation: map postorder rank → preorder rank.
+
+        Needed by the ``following`` axis degeneration (the surviving
+        context node is the one with *minimum postorder* rank).  Computed
+        lazily once and cached.
+        """
+        if self._pre_of_post is None:
+            inverse = np.empty(len(self), dtype=np.int64)
+            inverse[self.post] = np.arange(len(self), dtype=np.int64)
+            self._pre_of_post = inverse
+        return self._pre_of_post
+
+    # ------------------------------------------------------------------
+    # Structure navigation (used by child/sibling axes and examples)
+    # ------------------------------------------------------------------
+    def children_of(self, pre: int) -> List[int]:
+        """Preorder ranks of the node's children (attributes included)."""
+        result = []
+        # Children of v are exactly the nodes with parent == v; they lie in
+        # v's subtree, which spans pre+1 .. pre+subtree_size_exact(v).
+        end = pre + self.subtree_size_exact(pre)
+        child = pre + 1
+        while child <= end and child < len(self):
+            if int(self.parent[child]) == pre:
+                result.append(child)
+                child += 1 + self.subtree_size_exact(child)
+            else:  # pragma: no cover - defensive; parents are contiguous
+                child += 1
+        return result
+
+    def ancestors_of(self, pre: int) -> List[int]:
+        """Preorder ranks of all proper ancestors, nearest first."""
+        result = []
+        node = int(self.parent[pre])
+        while node >= 0:
+            result.append(node)
+            node = int(self.parent[node])
+        return result
+
+    def string_value(self, pre: int) -> str:
+        """XPath string value of the node at ``pre``.
+
+        Elements concatenate the values of all text nodes in their subtree
+        (found positionally: the subtree is the contiguous preorder span
+        given by Equation (1)); other kinds carry their value directly.
+        """
+        if int(self.kind[pre]) != int(NodeKind.ELEMENT):
+            return self.values[pre] or ""
+        end = pre + self.subtree_size_exact(pre)
+        parts = []
+        text_kind = int(NodeKind.TEXT)
+        for i in range(pre + 1, min(end, len(self) - 1) + 1):
+            if int(self.kind[i]) == text_kind:
+                parts.append(self.values[i] or "")
+        return "".join(parts)
+
+    # ------------------------------------------------------------------
+    # BAT views (the Monet storage shape)
+    # ------------------------------------------------------------------
+    def post_bat(self) -> BAT:
+        """``pre|post`` — the BAT the staircase join scans."""
+        return BAT(VoidColumn(len(self)), IntColumn(self.post), name="doc_post")
+
+    def level_bat(self) -> BAT:
+        return BAT(VoidColumn(len(self)), IntColumn(self.level), name="doc_level")
+
+    def parent_bat(self) -> BAT:
+        return BAT(VoidColumn(len(self)), IntColumn(self.parent), name="doc_parent")
+
+    def kind_bat(self) -> BAT:
+        return BAT(VoidColumn(len(self)), IntColumn(self.kind), name="doc_kind")
+
+    def memory_footprint(self) -> int:
+        """Approximate bytes of column storage (void ``pre`` is free)."""
+        total = self.post.nbytes + self.level.nbytes
+        total += self.parent.nbytes + self.kind.nbytes
+        total += self.tag.codes.nbytes
+        total += sum(len(s.encode("utf-8")) for s in self.tag.dictionary)
+        return total
+
+    # ------------------------------------------------------------------
+    # Selections (used for name-test pushdown and fragmentation)
+    # ------------------------------------------------------------------
+    def pres_with_tag(self, tag_name: str, kind: NodeKind = NodeKind.ELEMENT) -> np.ndarray:
+        """Preorder ranks of all nodes with the given tag and kind.
+
+        Name tests become one integer comparison per node thanks to the
+        dictionary encoding; an absent tag short-circuits to empty.
+        """
+        code = self.tag.code_of(tag_name)
+        if code < 0:
+            return np.empty(0, dtype=np.int64)
+        mask = (self.tag.codes == code) & (self.kind == int(kind))
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def pres_with_kind(self, kind: NodeKind) -> np.ndarray:
+        """Preorder ranks of all nodes of the given kind."""
+        return np.nonzero(self.kind == int(kind))[0].astype(np.int64)
+
+    def non_attribute_pres(self) -> np.ndarray:
+        """All nodes the non-attribute axes may ever return."""
+        return np.nonzero(self.kind != int(NodeKind.ATTRIBUTE))[0].astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DocTable(nodes={len(self)}, height={self.height}, "
+            f"tags={len(self.tag.dictionary)})"
+        )

@@ -1,0 +1,87 @@
+"""Binary persistence for encoded documents.
+
+Parsing and encoding a large document is the expensive part of loading
+(Section 4.1 builds the index "at document loading time"); persisting the
+``DocTable`` lets repeated experiment runs start from the columns
+directly.  The format is a single ``.npz`` container: the four dense
+``int64`` columns, the tag code vector, and the tag dictionary plus node
+values as UTF-8 string arrays — everything needed to reconstruct the
+table bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.doctable import DocTable
+from repro.errors import EncodingError
+from repro.storage.column import StringColumn
+
+__all__ = ["save", "load", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+#: Sentinel distinguishing "no value" (elements) from an empty string in
+#: the persisted value column.
+_NONE_SENTINEL = "\x00<none>"
+
+
+def save(doc: DocTable, path: str) -> None:
+    """Write ``doc`` to ``path`` as a compressed ``.npz`` archive."""
+    values = np.asarray(
+        [_NONE_SENTINEL if v is None else v for v in doc.values], dtype=object
+    )
+    np.savez_compressed(
+        path,
+        format_version=np.asarray([FORMAT_VERSION]),
+        post=doc.post,
+        level=doc.level,
+        parent=doc.parent,
+        kind=doc.kind,
+        tag_codes=doc.tag.codes,
+        tag_dictionary=np.asarray(doc.tag.dictionary, dtype=object),
+        values=values,
+    )
+
+
+def load(path: str) -> DocTable:
+    """Read a table previously written by :func:`save`.
+
+    Raises :class:`~repro.errors.EncodingError` on version or schema
+    mismatch (a truncated or foreign ``.npz`` must not half-load).
+    """
+    with np.load(path, allow_pickle=True) as archive:
+        names = set(archive.files)
+        required = {
+            "format_version",
+            "post",
+            "level",
+            "parent",
+            "kind",
+            "tag_codes",
+            "tag_dictionary",
+            "values",
+        }
+        if not required <= names:
+            raise EncodingError(
+                f"{path}: not a DocTable archive (missing {sorted(required - names)})"
+            )
+        version = int(archive["format_version"][0])
+        if version != FORMAT_VERSION:
+            raise EncodingError(
+                f"{path}: format version {version} != supported {FORMAT_VERSION}"
+            )
+        tag = StringColumn(
+            archive["tag_codes"], [str(s) for s in archive["tag_dictionary"]]
+        )
+        values = [
+            None if v == _NONE_SENTINEL else str(v) for v in archive["values"]
+        ]
+        return DocTable(
+            post=archive["post"].astype(np.int64),
+            level=archive["level"].astype(np.int64),
+            parent=archive["parent"].astype(np.int64),
+            kind=archive["kind"].astype(np.int64),
+            tag=tag,
+            values=values,
+        )

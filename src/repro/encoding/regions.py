@@ -1,0 +1,182 @@
+"""Region algebra of the pre/post plane (Sections 2 and 3.1).
+
+For a context node ``c``, each of the four partitioning XPath axes selects
+an (open) rectangular region of the plane:
+
+===========  =================  ==================
+axis         pre condition      post condition
+===========  =================  ==================
+descendant   ``pre > pre(c)``   ``post < post(c)``
+ancestor     ``pre < pre(c)``   ``post > post(c)``
+preceding    ``pre < pre(c)``   ``post < post(c)``
+following    ``pre > pre(c)``   ``post > post(c)``
+===========  =================  ==================
+
+Together with ``c`` itself these cover the whole document (Figure 1) — a
+property the hypothesis tests verify on random documents.
+
+This module also captures the *empty-region analysis* of Figure 7: for two
+nodes ``a``, ``b`` (``pre(a) < pre(b)``) either ``b`` is a descendant of
+``a`` (then nothing both precedes ``a`` and descends from ``b``, etc.) or
+``b`` follows ``a`` (then ``a`` and ``b`` have no common descendants —
+region ``Z`` is empty).  Pruning and skipping are both direct consequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.encoding.doctable import DocTable
+
+__all__ = [
+    "Region",
+    "axis_region",
+    "is_descendant",
+    "is_ancestor",
+    "is_following",
+    "is_preceding",
+    "node_relationship",
+    "subtree_size_estimate",
+    "subtree_size_exact",
+    "partitioning_axes",
+    "region_select",
+]
+
+#: The four axes that partition the document around a context node.
+partitioning_axes = ("preceding", "descendant", "ancestor", "following")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A rectangular region of the pre/post plane.
+
+    Bounds are *exclusive* on both sides, matching the strict inequalities
+    of the axis definitions; ``-1`` / ``n`` (outside the rank range) encode
+    unbounded sides.
+    """
+
+    pre_low: int
+    pre_high: int
+    post_low: int
+    post_high: int
+
+    def contains(self, pre: int, post: int) -> bool:
+        """Point-in-region test with the strict bounds."""
+        return (
+            self.pre_low < pre < self.pre_high
+            and self.post_low < post < self.post_high
+        )
+
+    def is_empty_for(self, n: int) -> bool:
+        """True when no rank pair inside ``0..n-1`` can satisfy the bounds."""
+        return (
+            self.pre_high - self.pre_low <= 1
+            or self.post_high - self.post_low <= 1
+            or self.pre_low >= n - 1
+            or self.post_low >= n - 1
+            or self.pre_high <= 0
+            or self.post_high <= 0
+        )
+
+
+def axis_region(doc: DocTable, context_pre: int, axis: str) -> Region:
+    """The plane region reachable from ``context_pre`` along ``axis``.
+
+    Only the four partitioning axes have pure rectangular regions; the
+    remaining axes are derived from them (with level/parent refinements) in
+    :mod:`repro.xpath.axes`.
+    """
+    n = len(doc)
+    pre = context_pre
+    post = int(doc.post[context_pre])
+    if axis == "descendant":
+        return Region(pre, n, -1, post)
+    if axis == "ancestor":
+        return Region(-1, pre, post, n)
+    if axis == "preceding":
+        return Region(-1, pre, -1, post)
+    if axis == "following":
+        return Region(pre, n, post, n)
+    raise EncodingError(f"axis {axis!r} does not induce a rectangular region")
+
+
+def region_select(doc: DocTable, region: Region) -> np.ndarray:
+    """All preorder ranks inside ``region`` (vectorised; attributes kept).
+
+    This is the *tree-unaware* region query — what a plain SQL engine
+    evaluates.  The staircase join computes the same sets while touching
+    far fewer nodes.
+    """
+    pre = doc.pres()
+    post = doc.post
+    mask = (
+        (pre > region.pre_low)
+        & (pre < region.pre_high)
+        & (post > region.post_low)
+        & (post < region.post_high)
+    )
+    return pre[mask]
+
+
+# ----------------------------------------------------------------------
+# Pairwise node relationships (pure integer arithmetic — the "cost of
+# simple integer operations" of the abstract)
+# ----------------------------------------------------------------------
+def is_descendant(doc: DocTable, v: int, c: int) -> bool:
+    """True iff ``v`` is a proper descendant of ``c``."""
+    return v > c and doc.post[v] < doc.post[c]
+
+
+def is_ancestor(doc: DocTable, v: int, c: int) -> bool:
+    """True iff ``v`` is a proper ancestor of ``c``."""
+    return v < c and doc.post[v] > doc.post[c]
+
+
+def is_preceding(doc: DocTable, v: int, c: int) -> bool:
+    """True iff ``v`` precedes ``c`` (document order, not an ancestor)."""
+    return v < c and doc.post[v] < doc.post[c]
+
+
+def is_following(doc: DocTable, v: int, c: int) -> bool:
+    """True iff ``v`` follows ``c`` (document order, not a descendant)."""
+    return v > c and doc.post[v] > doc.post[c]
+
+
+def node_relationship(doc: DocTable, a: int, b: int) -> str:
+    """Classify the relationship of ``a`` to ``b``.
+
+    Returns one of ``"self"``, ``"ancestor"``, ``"descendant"``,
+    ``"preceding"``, ``"following"`` — the five-way partition of Figure 1.
+    """
+    if a == b:
+        return "self"
+    if is_ancestor(doc, a, b):
+        return "ancestor"
+    if is_descendant(doc, a, b):
+        return "descendant"
+    if is_preceding(doc, a, b):
+        return "preceding"
+    return "following"
+
+
+# ----------------------------------------------------------------------
+# Equation (1)
+# ----------------------------------------------------------------------
+def subtree_size_exact(doc: DocTable, pre: int) -> int:
+    """``|v/descendant| = post(v) − pre(v) + level(v)`` (Equation (1))."""
+    return int(doc.post[pre]) - pre + int(doc.level[pre])
+
+
+def subtree_size_estimate(doc: DocTable, pre: int) -> Tuple[int, int]:
+    """Lower and upper bounds on ``|v/descendant|`` without the level term.
+
+    ``0 ≤ level(v) ≤ h`` turns Equation (1) into the two diagonals of
+    Figure 10: at least ``post(v) − pre(v)`` descendants (the guaranteed
+    copy-phase nodes) and at most ``post(v) − pre(v) + h``.
+    """
+    base = int(doc.post[pre]) - pre
+    return max(0, base), max(0, base + doc.height)

@@ -1,0 +1,209 @@
+"""Document updates on the pre/post encoding.
+
+Updates are the classic weakness of rank-based encodings: inserting or
+deleting a subtree renumbers every later preorder rank and every higher
+postorder rank.  The paper sidesteps updates (its documents are loaded
+once); a library users adopt cannot.  This module implements subtree
+insertion and deletion *by rank splicing* — O(n) array surgery instead of
+a full re-parse/re-encode — relying on the same tree property the
+staircase join exploits: a subtree occupies a contiguous preorder
+interval **and** a contiguous postorder interval (both of size
+``|desc(v)| + 1`` ending at ``post(v)``; Equation (1)).
+
+The returned tables are fresh (``DocTable`` is immutable by design —
+query results referencing old ranks stay valid against the old table).
+Property tests verify splice-equals-reencode on random documents.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.encoding.doctable import DocTable
+from repro.encoding.prepost import encode
+from repro.errors import EncodingError
+from repro.storage.column import StringColumn
+from repro.xmltree.model import Node, NodeKind
+
+__all__ = ["delete_subtree", "insert_subtree", "replace_subtree"]
+
+
+def _rebuild_tags(doc_tags: List[str]) -> StringColumn:
+    return StringColumn.from_strings(doc_tags)
+
+
+def delete_subtree(doc: DocTable, pre: int) -> DocTable:
+    """Remove the subtree rooted at ``pre`` (the root itself included).
+
+    Deleting the document root is rejected (a ``DocTable`` cannot be
+    empty).  O(n).
+    """
+    if not 0 <= pre < len(doc):
+        raise EncodingError(f"preorder rank {pre} out of range [0, {len(doc)})")
+    if pre == doc.root:
+        raise EncodingError("cannot delete the root element")
+    size = doc.subtree_size_exact(pre)
+    pre_stop = pre + size + 1  # exclusive end of the preorder interval
+    post_hi = int(doc.post[pre])  # subtree posts are [post_hi - size, post_hi]
+    removed = size + 1
+
+    keep = np.ones(len(doc), dtype=bool)
+    keep[pre:pre_stop] = False
+
+    post = doc.post[keep].copy()
+    post[post > post_hi] -= removed
+
+    parent = doc.parent[keep].copy()
+    parent[parent >= pre_stop] -= removed
+    # Parents inside the removed interval are impossible for survivors:
+    # a surviving node whose parent was in the subtree would itself be in
+    # the subtree (contiguity), so no further fixup is needed.
+
+    values = [v for v, k in zip(doc.values, keep) if k]
+    tags = [t for t, k in zip(doc.tag, keep) if k]
+
+    return DocTable(
+        post=post,
+        level=doc.level[keep].copy(),
+        parent=parent,
+        kind=doc.kind[keep].copy(),
+        tag=_rebuild_tags(tags),
+        values=values,
+    )
+
+
+def insert_subtree(
+    doc: DocTable,
+    parent_pre: int,
+    tree: Node,
+    before_pre: Optional[int] = None,
+) -> DocTable:
+    """Insert ``tree`` as a child of ``parent_pre``.
+
+    ``before_pre`` positions the new subtree immediately before an
+    existing child (given by its preorder rank); ``None`` appends as the
+    last child.  Attribute ordering is the caller's responsibility: the
+    paper's convention keeps attributes first, so inserting an element
+    before an attribute is rejected.
+    """
+    if not 0 <= parent_pre < len(doc):
+        raise EncodingError(
+            f"parent rank {parent_pre} out of range [0, {len(doc)})"
+        )
+    if doc.kind_of(parent_pre) != NodeKind.ELEMENT:
+        raise EncodingError("can only insert under an element node")
+    if tree.kind == NodeKind.DOCUMENT:
+        raise EncodingError("insert an element/leaf subtree, not a document")
+
+    # Encode the incoming subtree standalone to obtain its local ranks.
+    if tree.kind == NodeKind.ELEMENT:
+        fragment = encode(tree)
+        frag_post = fragment.post
+        frag_level = fragment.level
+        frag_parent = fragment.parent
+        frag_kind = fragment.kind
+        frag_tags = list(fragment.tag)
+        frag_values = list(fragment.values)
+        frag_size = len(fragment)
+    else:
+        # Leaf (text/comment/PI/attribute) nodes: a one-row fragment.
+        frag_post = np.zeros(1, dtype=np.int64)
+        frag_level = np.zeros(1, dtype=np.int64)
+        frag_parent = np.asarray([-1], dtype=np.int64)
+        frag_kind = np.asarray([int(tree.kind)], dtype=np.int64)
+        frag_tags = [
+            tree.name
+            if tree.kind
+            in (NodeKind.ATTRIBUTE, NodeKind.PROCESSING_INSTRUCTION)
+            else ""
+        ]
+        frag_values = [tree.value]
+        frag_size = 1
+
+    parent_subtree_end = parent_pre + doc.subtree_size_exact(parent_pre)
+    if before_pre is None:
+        insert_at = parent_subtree_end + 1
+        # Post rank just after the last current descendant's exit, i.e.
+        # the parent's own postorder rank (the parent exits after the new
+        # child once it is inserted).
+        post_base = int(doc.post[parent_pre])
+    else:
+        if doc.parent_of(before_pre) != parent_pre:
+            raise EncodingError(
+                f"{before_pre} is not a child of {parent_pre}"
+            )
+        if doc.kind_of(before_pre) == NodeKind.ATTRIBUTE and tree.kind != NodeKind.ATTRIBUTE:
+            raise EncodingError(
+                "cannot insert a non-attribute before an attribute child"
+            )
+        insert_at = before_pre
+        # New subtree's posts sit just below the sibling subtree's posts.
+        post_base = int(doc.post[before_pre]) - doc.subtree_size_exact(before_pre)
+
+    n = len(doc)
+    # --- preorder splice -------------------------------------------------
+    post = np.empty(n + frag_size, dtype=np.int64)
+    level = np.empty_like(post)
+    parent = np.empty_like(post)
+    kind = np.empty_like(post)
+
+    old_post = doc.post.copy()
+    old_post[old_post >= post_base] += frag_size
+    new_post = frag_post + post_base
+
+    old_parent = doc.parent.copy()
+    old_parent[old_parent >= insert_at] += frag_size
+    new_parent = frag_parent + insert_at
+    new_parent[frag_parent < 0] = parent_pre if parent_pre < insert_at else parent_pre + frag_size
+
+    post[:insert_at] = old_post[:insert_at]
+    post[insert_at : insert_at + frag_size] = new_post
+    post[insert_at + frag_size :] = old_post[insert_at:]
+
+    level[:insert_at] = doc.level[:insert_at]
+    level[insert_at : insert_at + frag_size] = frag_level + doc.level[parent_pre] + 1
+    level[insert_at + frag_size :] = doc.level[insert_at:]
+
+    parent[:insert_at] = old_parent[:insert_at]
+    parent[insert_at : insert_at + frag_size] = new_parent
+    parent[insert_at + frag_size :] = old_parent[insert_at:]
+
+    kind[:insert_at] = doc.kind[:insert_at]
+    kind[insert_at : insert_at + frag_size] = frag_kind
+    kind[insert_at + frag_size :] = doc.kind[insert_at:]
+
+    tags = list(doc.tag)
+    values = list(doc.values)
+    tags[insert_at:insert_at] = frag_tags
+    values[insert_at:insert_at] = frag_values
+
+    return DocTable(
+        post=post,
+        level=level,
+        parent=parent,
+        kind=kind,
+        tag=_rebuild_tags(tags),
+        values=values,
+    )
+
+
+def replace_subtree(doc: DocTable, pre: int, tree: Node) -> DocTable:
+    """Replace the subtree at ``pre`` with ``tree`` (delete + insert)."""
+    parent_pre = doc.parent_of(pre)
+    if parent_pre < 0:
+        raise EncodingError("cannot replace the root element; re-encode instead")
+    # Find the following sibling (if any) to preserve the position.
+    end = pre + doc.subtree_size_exact(pre)
+    following_sibling: Optional[int] = None
+    candidate = end + 1
+    if candidate < len(doc) and doc.parent_of(candidate) == parent_pre:
+        following_sibling = candidate
+    without = delete_subtree(doc, pre)
+    size = end - pre + 1
+    if following_sibling is not None:
+        anchor: Optional[int] = following_sibling - size
+    else:
+        anchor = None
+    return insert_subtree(without, parent_pre if parent_pre < pre else parent_pre - size, tree, before_pre=anchor)

@@ -1,0 +1,270 @@
+"""A MIL-flavoured plan language for staircase join pipelines.
+
+Section 4.4 shows how the paper's queries execute inside Monet::
+
+    r  = root(doc)
+    s1 = nametest(staircasejoin_desc(doc, r), "increase")
+    s2 = nametest(staircasejoin_anc(doc, s1), "bidder")
+
+This module makes that notation executable: a tiny interpreter over a
+handful of plan operators, each mapping onto the library's primitives.
+It is useful for writing physical plans directly in tests and examples —
+exactly the level of abstraction the paper's evaluation scripts use —
+and for demonstrating that the XPath evaluator is sugar over these
+operators.
+
+Grammar (statements separated by newlines or ``;``)::
+
+    statement := NAME ':=' expr | 'return' expr | expr
+    expr      := NAME | STRING | INT | NAME '(' [expr (',' expr)*] ')'
+
+Built-in plan operators:
+
+====================  ====================================================
+``root(doc)``          singleton context holding the root element
+``staircasejoin_desc(doc, ctx [, mode])``  descendant staircase join
+``staircasejoin_anc(doc, ctx [, mode])``   ancestor staircase join
+``staircasejoin_following(doc, ctx)``      following join (degenerate)
+``staircasejoin_preceding(doc, ctx)``      preceding join (degenerate)
+``nametest(ctx, tag)``  keep elements with the given tag
+``kindtest(ctx, kind)`` keep nodes of kind (element/text/comment/...)
+``children(doc, ctx)``  parent-column child join
+``parents(doc, ctx)``   parent projection
+``union(a, b)`` / ``intersect(a, b)`` / ``difference(a, b)``  set algebra
+``count(ctx)``          cardinality (an integer)
+====================  ====================================================
+
+The variable ``doc`` is pre-bound to the document; the script's ``return``
+value (or its last expression) is the result.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.staircase import (
+    SkipMode,
+    staircase_join_anc,
+    staircase_join_desc,
+    staircase_join_following,
+    staircase_join_preceding,
+)
+from repro.counters import JoinStatistics
+from repro.encoding.doctable import DocTable
+from repro.errors import PlanError
+from repro.xmltree.model import NodeKind
+
+__all__ = ["run_mil"]
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<newline>[;\n]+)
+  | (?P<assign>:=)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"[^"]*")
+  | (?P<int>\d+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<comment>\#[^\n]*)
+""",
+    re.VERBOSE,
+)
+
+_KINDS = {kind.name.lower(): kind for kind in NodeKind}
+
+_MODES = {mode.value: mode for mode in SkipMode}
+
+
+class _Interpreter:
+    def __init__(self, doc: DocTable, stats: Optional[JoinStatistics]):
+        self.doc = doc
+        self.stats = stats if stats is not None else JoinStatistics()
+        self.env: Dict[str, Any] = {"doc": doc}
+
+    # -- tokenisation ---------------------------------------------------
+    def tokenize(self, script: str) -> List[tuple]:
+        tokens: List[tuple] = []
+        position = 0
+        while position < len(script):
+            match = _TOKEN.match(script, position)
+            if match is None:
+                raise PlanError(
+                    f"MIL syntax error at {script[position:position + 10]!r}"
+                )
+            position = match.end()
+            kind = match.lastgroup
+            if kind in ("ws", "comment"):
+                continue
+            tokens.append((kind, match.group()))
+        tokens.append(("eof", ""))
+        return tokens
+
+    # -- parsing + evaluation (one pass; statements execute in order) ----
+    def run(self, script: str) -> Any:
+        self.tokens = self.tokenize(script)
+        self.index = 0
+        result: Any = None
+        while self.peek()[0] != "eof":
+            if self.peek()[0] == "newline":
+                self.advance()
+                continue
+            result = self.statement()
+        return result
+
+    def peek(self) -> tuple:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> tuple:
+        token = self.advance()
+        if token[0] != kind:
+            raise PlanError(f"MIL: expected {kind}, got {token[1]!r}")
+        return token
+
+    def statement(self) -> Any:
+        kind, value = self.peek()
+        if kind == "name" and value == "return":
+            self.advance()
+            return self.expression()
+        if kind == "name" and self.tokens[self.index + 1][0] == "assign":
+            name = self.advance()[1]
+            self.advance()  # :=
+            result = self.expression()
+            self.env[name] = result
+            return result
+        return self.expression()
+
+    def expression(self) -> Any:
+        kind, value = self.advance()
+        if kind == "string":
+            return value[1:-1]
+        if kind == "int":
+            return int(value)
+        if kind != "name":
+            raise PlanError(f"MIL: unexpected {value!r}")
+        if self.peek()[0] == "lparen":
+            self.advance()
+            args: List[Any] = []
+            if self.peek()[0] != "rparen":
+                args.append(self.expression())
+                while self.peek()[0] == "comma":
+                    self.advance()
+                    args.append(self.expression())
+            self.expect("rparen")
+            return self.call(value, args)
+        if value not in self.env:
+            raise PlanError(f"MIL: unknown variable {value!r}")
+        return self.env[value]
+
+    # -- operators --------------------------------------------------------
+    def _context(self, value: Any, operator: str) -> np.ndarray:
+        if not isinstance(value, np.ndarray):
+            raise PlanError(f"MIL: {operator} expects a node sequence")
+        return value
+
+    def _doc(self, value: Any, operator: str) -> DocTable:
+        if not isinstance(value, DocTable):
+            raise PlanError(f"MIL: {operator} expects the doc table")
+        return value
+
+    def _mode(self, args: List[Any]) -> SkipMode:
+        if not args:
+            return SkipMode.ESTIMATE
+        name = str(args[0])
+        if name not in _MODES:
+            raise PlanError(f"MIL: unknown skip mode {name!r}")
+        return _MODES[name]
+
+    def call(self, name: str, args: List[Any]) -> Any:
+        doc = self.doc
+        if name == "root":
+            self._doc(args[0], "root")
+            return np.asarray([doc.root], dtype=np.int64)
+        if name in (
+            "staircasejoin_desc",
+            "staircasejoin_anc",
+            "staircasejoin_following",
+            "staircasejoin_preceding",
+        ):
+            if len(args) < 2:
+                raise PlanError(f"MIL: {name} expects (doc, context [, mode])")
+            self._doc(args[0], name)
+            context = self._context(args[1], name)
+            join = {
+                "staircasejoin_desc": staircase_join_desc,
+                "staircasejoin_anc": staircase_join_anc,
+                "staircasejoin_following": staircase_join_following,
+                "staircasejoin_preceding": staircase_join_preceding,
+            }[name]
+            if name in ("staircasejoin_desc", "staircasejoin_anc"):
+                return join(doc, context, self._mode(args[2:]), self.stats)
+            return join(doc, context, stats=self.stats)
+        if name == "nametest":
+            context = self._context(args[0], "nametest")
+            if len(args) != 2 or not isinstance(args[1], str):
+                raise PlanError("MIL: nametest expects (context, \"tag\")")
+            code = doc.tag.code_of(args[1])
+            if code < 0:
+                return np.empty(0, dtype=np.int64)
+            mask = (doc.tag.codes[context] == code) & (
+                doc.kind[context] == int(NodeKind.ELEMENT)
+            )
+            return context[mask]
+        if name == "kindtest":
+            context = self._context(args[0], "kindtest")
+            kind_name = str(args[1]).lower()
+            if kind_name not in _KINDS:
+                raise PlanError(f"MIL: unknown node kind {args[1]!r}")
+            return context[doc.kind[context] == int(_KINDS[kind_name])]
+        if name == "children":
+            self._doc(args[0], "children")
+            context = self._context(args[1], "children")
+            mask = np.isin(doc.parent, context) & (
+                doc.kind != int(NodeKind.ATTRIBUTE)
+            )
+            return np.nonzero(mask)[0].astype(np.int64)
+        if name == "parents":
+            self._doc(args[0], "parents")
+            context = self._context(args[1], "parents")
+            parents = doc.parent[context]
+            return np.unique(parents[parents >= 0])
+        if name == "union":
+            return np.union1d(
+                self._context(args[0], "union"), self._context(args[1], "union")
+            )
+        if name == "intersect":
+            return np.intersect1d(
+                self._context(args[0], "intersect"),
+                self._context(args[1], "intersect"),
+            )
+        if name == "difference":
+            return np.setdiff1d(
+                self._context(args[0], "difference"),
+                self._context(args[1], "difference"),
+            )
+        if name == "count":
+            return int(len(self._context(args[0], "count")))
+        raise PlanError(f"MIL: unknown operator {name!r}")
+
+
+def run_mil(
+    doc: DocTable,
+    script: str,
+    stats: Optional[JoinStatistics] = None,
+) -> Any:
+    """Execute a MIL-style plan script against ``doc``.
+
+    Returns the ``return`` expression's value (or the last statement's).
+    Node sequences are ``int64`` preorder-rank arrays, interoperable with
+    everything else in the library.
+    """
+    return _Interpreter(doc, stats).run(script)

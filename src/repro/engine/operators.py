@@ -1,0 +1,157 @@
+"""Volcano-style physical operators for the tree-unaware engine.
+
+Minimal but honest: every operator is an iterator over tuples, composed
+into plans by :mod:`repro.engine.db2`.  Tuples are ``(pre, post)`` pairs
+(plus whatever a scan's projection adds); statistics flow through a shared
+:class:`~repro.counters.JoinStatistics` so the experiment harness can
+count index probes and scanned entries exactly like it counts staircase
+join node touches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.counters import JoinStatistics
+from repro.errors import PlanError
+from repro.storage.btree import BPlusTree
+
+__all__ = [
+    "IndexRangeScan",
+    "Filter",
+    "NestedLoopRegionJoin",
+    "Unique",
+    "Sort",
+    "Projection",
+]
+
+Row = Tuple[int, ...]
+
+
+class Operator:
+    """Base class: an iterable of rows."""
+
+    def __iter__(self) -> Iterator[Row]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def rows(self) -> List[Row]:
+        """Materialise the operator output (for tests and leaf harnesses)."""
+        return list(self)
+
+
+class IndexRangeScan(Operator):
+    """B+-tree range scan ``low ≤ key ≤ high`` with a residual predicate.
+
+    Emits the *values* stored in the tree (row tuples).  The residual
+    predicate models conditions "sufficiently simple to be evaluated
+    during the B-tree index scan" (Section 2.1) — they filter rows but
+    every scanned entry still counts toward ``nodes_scanned``.
+    """
+
+    def __init__(
+        self,
+        index: BPlusTree,
+        low,
+        high,
+        residual: Optional[Callable[[Row], bool]] = None,
+        stats: Optional[JoinStatistics] = None,
+    ):
+        self.index = index
+        self.low = low
+        self.high = high
+        self.residual = residual
+        self.stats = stats if stats is not None else JoinStatistics()
+
+    def __iter__(self) -> Iterator[Row]:
+        self.stats.index_probes += 1
+        for _, row in self.index.range_scan(self.low, self.high):
+            self.stats.nodes_scanned += 1
+            if self.residual is None or self.residual(row):
+                yield row
+
+
+class Filter(Operator):
+    """Plain row filter (a selection above another operator)."""
+
+    def __init__(self, child: Operator, predicate: Callable[[Row], bool]):
+        self.child = child
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            if self.predicate(row):
+                yield row
+
+
+class NestedLoopRegionJoin(Operator):
+    """For each outer row, run an inner scan built from that row.
+
+    The Figure 3 plan shape: the outer index scan provides the context
+    region's candidates in pre-sorted order; the inner scan factory opens
+    a fresh delimited index range scan per outer row.  This is a *join*
+    (inner rows are emitted), and because outer regions overlap the same
+    inner row may be emitted many times — the reason the plan needs its
+    ``unique`` operator.
+    """
+
+    def __init__(self, outer: Operator, inner_factory: Callable[[Row], Operator]):
+        self.outer = outer
+        self.inner_factory = inner_factory
+
+    def __iter__(self) -> Iterator[Row]:
+        for outer_row in self.outer:
+            for inner_row in self.inner_factory(outer_row):
+                yield inner_row
+
+
+class Unique(Operator):
+    """Duplicate elimination; counts removed rows as duplicates.
+
+    Hash-based (order preserving), since the join output of the Figure 3
+    plan is not guaranteed globally sorted for every step combination.
+    """
+
+    def __init__(self, child: Operator, stats: Optional[JoinStatistics] = None):
+        self.child = child
+        self.stats = stats if stats is not None else JoinStatistics()
+
+    def __iter__(self) -> Iterator[Row]:
+        seen = set()
+        for row in self.child:
+            if row in seen:
+                self.stats.duplicates_generated += 1
+                continue
+            seen.add(row)
+            yield row
+
+
+class Sort(Operator):
+    """Full sort on a key function (document order = pre rank)."""
+
+    def __init__(self, child: Operator, key: Callable[[Row], int] = lambda r: r[0]):
+        self.child = child
+        self.key = key
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self.child, key=self.key))
+
+
+class Projection(Operator):
+    """Map rows through a function (column projection)."""
+
+    def __init__(self, child: Operator, function: Callable[[Row], Row]):
+        self.child = child
+        self.function = function
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            yield self.function(row)
+
+
+def materialize(source: Iterable[Row]) -> List[Row]:
+    """Run a plan to completion."""
+    if not isinstance(source, (Operator, list, tuple)) and not hasattr(
+        source, "__iter__"
+    ):
+        raise PlanError(f"not a plan: {source!r}")
+    return list(source)

@@ -1,0 +1,134 @@
+"""Cost model for the pushdown decision (the paper's future research).
+
+Experiment 3 closes with: "Future research on a cost model is intended to
+let the system intelligently decide for or against name test pushdown or
+similar rewrites."  This module implements that cost model in the
+simplest form that captures the trade-off the paper describes:
+
+* a staircase join **without** pushdown touches about
+  ``|result_axis| + |context|`` nodes (skipping, Section 3.3) and then
+  filters by tag — its cost is driven by the *unfiltered* axis result;
+* a staircase join **with** pushdown scans only the fragment of the
+  tested tag — "which obviously makes sense for selective name tests
+  only": if the tag is dense (say, ``text`` nodes), the fragment is no
+  smaller than the axis result and pushdown buys nothing.
+
+Both estimates use statistics an RDBMS catalogue would have: the document
+size, the per-tag cardinalities, and the context size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.encoding.doctable import DocTable
+from repro.xmltree.model import NodeKind
+from repro.xpath.ast import LocationPath, Step
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["CostModel", "PushdownDecision", "choose_pushdown"]
+
+
+@dataclass(frozen=True)
+class PushdownDecision:
+    """The planner's verdict for one step."""
+
+    step_index: int
+    axis: str
+    tag: str
+    cost_no_pushdown: float
+    cost_pushdown: float
+
+    @property
+    def pushdown(self) -> bool:
+        return self.cost_pushdown < self.cost_no_pushdown
+
+
+class CostModel:
+    """Catalogue statistics + node-touch cost estimates for axis steps."""
+
+    #: Relative cost of one B+-tree probe (fragment partition entry) vs
+    #: one sequential node touch; probes pay pointer chasing.
+    PROBE_WEIGHT = 8.0
+
+    def __init__(self, doc: DocTable):
+        self.doc = doc
+        self.n = len(doc)
+        element_kind = int(NodeKind.ELEMENT)
+        self.tag_counts = {}
+        for code, tag in enumerate(doc.tag.dictionary):
+            count = int(
+                ((doc.tag.codes == code) & (doc.kind == element_kind)).sum()
+            )
+            if count:
+                self.tag_counts[tag] = count
+
+    # ------------------------------------------------------------------
+    def tag_cardinality(self, tag: str) -> int:
+        return self.tag_counts.get(tag, 0)
+
+    def estimate_axis_result(self, axis: str, context_size: int) -> float:
+        """Expected unfiltered axis-step result size.
+
+        Uses the uniform heuristics of textbook optimisers: a descendant
+        step from ``k`` staircase context nodes covers on average the
+        document minus the context's shared ancestry; an ancestor step
+        yields at most ``h`` nodes per context node, with heavy path
+        sharing (Experiment 1 saw ~75 % sharing).
+        """
+        if axis == "descendant":
+            # Pruned staircase subtrees are disjoint: bounded by n.
+            return min(float(self.n), context_size * (self.n / max(1, context_size + 1)))
+        if axis == "ancestor":
+            return min(float(self.n), 0.25 * context_size * self.doc.height)
+        return float(self.n)  # following/preceding degenerate to one region
+
+    def step_cost(
+        self, axis: str, tag: str, context_size: int, pushdown: bool
+    ) -> float:
+        axis_result = self.estimate_axis_result(axis, context_size)
+        if not pushdown:
+            # Touch ≈ result + context nodes, then tag-filter the result.
+            return axis_result + context_size + axis_result
+        fragment = self.tag_cardinality(tag)
+        # One probe per partition plus the fragment entries inspected.
+        return context_size * self.PROBE_WEIGHT + min(float(fragment), axis_result + context_size)
+
+
+def choose_pushdown(
+    doc: DocTable,
+    path,
+    context_size: int = 1,
+    model: Optional[CostModel] = None,
+) -> list:
+    """Decide pushdown per eligible step of ``path``.
+
+    Returns a list of :class:`PushdownDecision` (empty when no step is
+    eligible).  ``context_size`` seeds the cardinality estimate for the
+    first step; subsequent steps use the previous step's estimate.
+    """
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    model = model if model is not None else CostModel(doc)
+    decisions = []
+    size = float(context_size)
+    for index, step in enumerate(path.steps):
+        eligible = (
+            step.axis in ("descendant", "ancestor")
+            and step.test.kind == "name"
+            and not step.predicates
+        )
+        if eligible:
+            tag = step.test.name or ""
+            no_push = model.step_cost(step.axis, tag, int(size), pushdown=False)
+            push = model.step_cost(step.axis, tag, int(size), pushdown=True)
+            decisions.append(
+                PushdownDecision(index, step.axis, tag, no_push, push)
+            )
+            size = float(
+                min(model.tag_cardinality(tag), model.estimate_axis_result(step.axis, int(size)))
+            )
+        else:
+            size = model.estimate_axis_result(step.axis, int(size))
+    return decisions

@@ -1,0 +1,113 @@
+"""SQL text generation for XPath paths (Section 2.1 / Figure 3).
+
+"The pre/post plane encoding enables an RDBMS to translate XPath path
+expressions to pure SQL queries": a path of ``n`` steps becomes an
+``n``-way self-join of the ``doc`` table, each step contributing the
+region predicates of its axis.  This module performs that systematic
+translation — it exists for documentation, the example scripts, and the
+tests that check the Figure 3 query is reproduced verbatim in shape.
+
+The generated SQL is dialect-neutral; it is *rendered*, not executed
+(execution happens through :mod:`repro.engine.db2`'s physical plans).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import PlanError
+from repro.xpath.ast import LocationPath
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["path_to_sql", "axis_predicates"]
+
+
+def axis_predicates(axis: str, outer: str, inner: str) -> List[str]:
+    """The region predicates tying step variable ``inner`` to ``outer``.
+
+    These are the strict pre/post inequalities of the four partitioning
+    axes (the table in :mod:`repro.encoding.regions`).
+    """
+    if axis == "descendant":
+        return [f"{inner}.pre > {outer}.pre", f"{inner}.post < {outer}.post"]
+    if axis == "ancestor":
+        return [f"{inner}.pre < {outer}.pre", f"{inner}.post > {outer}.post"]
+    if axis == "following":
+        return [f"{inner}.pre > {outer}.pre", f"{inner}.post > {outer}.post"]
+    if axis == "preceding":
+        return [f"{inner}.pre < {outer}.pre", f"{inner}.post < {outer}.post"]
+    raise PlanError(f"no SQL region predicates for axis {axis!r}")
+
+
+def path_to_sql(
+    path,
+    context_name: str = "c",
+    eq1_delimiter: bool = False,
+    height_symbol: str = "h",
+) -> str:
+    """Translate an XPath path into the equivalent self-join SQL query.
+
+    Parameters
+    ----------
+    path:
+        An absolute or relative path of partitioning-axis steps (name
+        tests allowed; they become ``tag = '...'`` conjuncts).
+    context_name:
+        Name for the context-node parameters of a relative path
+        (rendered as ``pre(c)`` / ``post(c)``, as in Figure 3).
+    eq1_delimiter:
+        Emit the additional "line 7" range predicates derived from
+        Equation (1) for descendant steps.
+
+    Returns the SQL string.  With a relative single-step path and
+    ``following``/``descendant`` steps this reproduces the query of
+    Figure 3.
+    """
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    if not isinstance(path, LocationPath):
+        raise PlanError(f"cannot translate {path!r}")
+
+    variables = [f"v{i + 1}" for i in range(len(path.steps))]
+    predicates: List[str] = []
+    outer: Optional[str] = None
+    for variable, step in zip(variables, path.steps):
+        if step.predicates:
+            raise PlanError("SQL generation covers predicate-free paths")
+        if step.axis not in ("descendant", "ancestor", "following", "preceding"):
+            raise PlanError(
+                f"SQL generation covers the partitioning axes, not {step.axis!r}"
+            )
+        if outer is None:
+            if path.absolute:
+                if step.axis != "descendant":
+                    raise PlanError("absolute paths must start with descendant")
+                # descendants of the document node: every node qualifies —
+                # no region predicate needed for the first step.
+            else:
+                predicates += [
+                    p.replace(f"{context_name}.pre", f"pre({context_name})").replace(
+                        f"{context_name}.post", f"post({context_name})"
+                    )
+                    for p in axis_predicates(
+                        step.axis, context_name, variable
+                    )
+                ]
+        else:
+            predicates += axis_predicates(step.axis, outer, variable)
+            if eq1_delimiter and step.axis == "descendant":
+                predicates.append(f"{variable}.pre <= {outer}.post + {height_symbol}")
+                predicates.append(f"{variable}.post >= {outer}.pre - {height_symbol}")
+        if step.test.kind == "name":
+            predicates.append(f"{variable}.tag = '{step.test.name}'")
+        outer = variable
+
+    result = variables[-1]
+    tables = ", ".join(f"doc {v}" for v in variables)
+    lines = [f"SELECT DISTINCT {result}.pre", f"FROM   {tables}"]
+    if predicates:
+        lines.append(f"WHERE  {predicates[0]}")
+        for predicate in predicates[1:]:
+            lines.append(f"  AND  {predicate}")
+    lines.append(f"ORDER BY {result}.pre")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Experiment harness: workloads, runners and reporting.
+
+One function per paper artefact (see DESIGN.md's experiment index); the
+``benchmarks/`` suite and the examples call into this package so that
+"regenerate Figure 11(c)" is a single call that prints the same series
+the paper plots.
+"""
+
+from repro.harness.workloads import (
+    Q1,
+    Q2,
+    DEFAULT_SIZES,
+    figure1_document,
+    figure1_table,
+    get_document,
+)
+from repro.harness.experiments import (
+    table1_intermediary_sizes,
+    experiment1_duplicates,
+    experiment2_skipping,
+    experiment3_comparison,
+    fragmentation_experiment,
+    cache_model_report,
+)
+from repro.harness.figures import ascii_chart
+from repro.harness.reporting import format_table, format_series
+
+__all__ = [
+    "Q1",
+    "Q2",
+    "DEFAULT_SIZES",
+    "figure1_document",
+    "figure1_table",
+    "get_document",
+    "table1_intermediary_sizes",
+    "experiment1_duplicates",
+    "experiment2_skipping",
+    "experiment3_comparison",
+    "fragmentation_experiment",
+    "cache_model_report",
+    "format_table",
+    "format_series",
+    "ascii_chart",
+]

@@ -1,0 +1,275 @@
+"""Experiment runners — one per table/figure of the paper.
+
+Every function returns plain data (lists of dicts) so benchmarks can both
+assert on the numbers and print them with
+:func:`repro.harness.reporting.format_table`.  Node-access counts are
+exact and deterministic; wall-clock times are measured here only where a
+figure plots times.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.baselines.naive import naive_step_with_duplicates
+from repro.counters import JoinStatistics
+from repro.core.staircase import SkipMode, staircase_join
+from repro.encoding.doctable import DocTable
+from repro.engine.db2 import DocIndex, db2_path
+from repro.harness.workloads import Q1, Q2, get_document
+from repro.simulator.cache import PAPER_MACHINE, Machine
+from repro.simulator.cost import (
+    COPY_CYCLES_PER_NODE,
+    SCAN_CYCLES_PER_NODE,
+    cycles_per_cache_line,
+    effective_bandwidth_mb_s,
+    phase_bound,
+    sequential_bandwidth_mb_s,
+)
+from repro.xpath.evaluator import Evaluator
+
+__all__ = [
+    "table1_intermediary_sizes",
+    "experiment1_duplicates",
+    "experiment2_skipping",
+    "experiment3_comparison",
+    "fragmentation_experiment",
+    "cache_model_report",
+]
+
+
+def _documents(sizes: Iterable[float]) -> List[DocTable]:
+    return [get_document(size) for size in sizes]
+
+
+# ----------------------------------------------------------------------
+# Table 1 — intermediary result sizes for Q1 and Q2
+# ----------------------------------------------------------------------
+def table1_intermediary_sizes(size_mb: float) -> List[Dict]:
+    """Reproduce Table 1's four counts per query for one document.
+
+    Rows: per query, the size of each intermediary —
+    ``/descendant::node()`` (no attributes), the first name test, the
+    second axis step (no name test), the second name test.
+    """
+    doc = get_document(size_mb)
+    evaluator = Evaluator(doc)
+    rows = []
+
+    all_nodes = evaluator.evaluate("/descendant::node()")
+    profiles = evaluator.evaluate("/descendant::profile")
+    q1_step2 = evaluator.evaluate("descendant::node()", context=profiles)
+    education = evaluator.evaluate("descendant::education", context=profiles)
+    rows.append(
+        {
+            "query": "Q1",
+            "path": Q1,
+            "descendant_from_root": len(all_nodes),
+            "after_first_nametest": len(profiles),
+            "second_axis_step": len(q1_step2),
+            "after_second_nametest": len(education),
+        }
+    )
+
+    increases = evaluator.evaluate("/descendant::increase")
+    q2_step2 = evaluator.evaluate("ancestor::node()", context=increases)
+    bidders = evaluator.evaluate("ancestor::bidder", context=increases)
+    rows.append(
+        {
+            "query": "Q2",
+            "path": Q2,
+            "descendant_from_root": len(all_nodes),
+            "after_first_nametest": len(increases),
+            "second_axis_step": len(q2_step2),
+            "after_second_nametest": len(bidders),
+        }
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Experiment 1 — Figure 11 (a): duplicates avoided, (b): linear scaling
+# ----------------------------------------------------------------------
+def experiment1_duplicates(sizes: Iterable[float]) -> List[Dict]:
+    """Naive vs staircase join for Q2's ancestor step (Figure 11 (a)).
+
+    Per size: nodes the naive approach *produces* (duplicates included),
+    the staircase join's duplicate-free result size, and the measured
+    duplicate ratio (the paper reports ≈ 75 %).
+    """
+    rows = []
+    for size in sizes:
+        doc = get_document(size)
+        context = doc.pres_with_tag("increase")
+        naive_stats = JoinStatistics()
+        produced = naive_step_with_duplicates(doc, context, "ancestor", naive_stats)
+        stats = JoinStatistics()
+        start = time.perf_counter()
+        result = staircase_join(doc, context, "ancestor", SkipMode.ESTIMATE, stats)
+        elapsed = time.perf_counter() - start
+        duplicates = len(produced) - len(np.unique(produced))
+        rows.append(
+            {
+                "size_mb": size,
+                "nodes": len(doc),
+                "context": len(context),
+                "naive_produced": len(produced),
+                "staircase_result": len(result),
+                "duplicates_avoided": duplicates,
+                "duplicate_ratio": duplicates / max(1, len(produced)),
+                "staircase_seconds": elapsed,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Experiment 2 — Figure 11 (c)/(d): effectiveness of skipping
+# ----------------------------------------------------------------------
+def experiment2_skipping(sizes: Iterable[float]) -> List[Dict]:
+    """Nodes accessed and time for Q1's second step, per skip mode.
+
+    The context is the Q1 first-step result (``profile`` nodes); the
+    measured join is ``descendant`` with no name test, exactly the
+    configuration of Figures 11 (c) and (d).
+    """
+    rows = []
+    for size in sizes:
+        doc = get_document(size)
+        context = doc.pres_with_tag("profile")
+        row: Dict = {"size_mb": size, "nodes": len(doc), "context": len(context)}
+        for label, mode in (
+            ("no_skipping", SkipMode.NONE),
+            ("skipping", SkipMode.SKIP),
+            ("skipping_estimated", SkipMode.ESTIMATE),
+        ):
+            stats = JoinStatistics()
+            start = time.perf_counter()
+            result = staircase_join(doc, context, "descendant", mode, stats)
+            elapsed = time.perf_counter() - start
+            row[f"{label}_accessed"] = stats.nodes_touched
+            row[f"{label}_seconds"] = elapsed
+            row["result_size"] = len(result)
+        # Footnote 7: skipping's touch count is bounded by the result
+        # *including* attribute nodes (they are touched, then filtered).
+        raw_stats = JoinStatistics()
+        raw = staircase_join(
+            doc, context, "descendant", SkipMode.SKIP, raw_stats, keep_attributes=True
+        )
+        row["result_size_with_attributes"] = len(raw)
+        row["skipped_fraction"] = 1.0 - (
+            row["skipping_accessed"] / max(1, row["no_skipping_accessed"])
+        )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Experiment 3 — Figure 11 (e)/(f): staircase vs pushdown vs DB2
+# ----------------------------------------------------------------------
+def experiment3_comparison(
+    sizes: Iterable[float],
+    query: str = Q1,
+    include_db2: bool = True,
+    repeats: int = 1,
+) -> List[Dict]:
+    """Execution-time comparison for one of the paper's queries.
+
+    Three systems, as in Figures 11 (e)/(f):
+
+    * ``staircase``    — staircase join, name test *after* the join;
+    * ``scj_pushdown`` — staircase join with the name test pushed down
+      (the "scj (early nametest)" series);
+    * ``db2``          — the tree-unaware plan over the B+-tree (with the
+      Equation (1) delimiter and early name test, i.e. DB2's concatenated
+      key; Q2 runs through the symmetry rewrite, as in the paper).
+    """
+    rows = []
+    for size in sizes:
+        doc = get_document(size)
+        row: Dict = {"size_mb": size, "nodes": len(doc), "query": query}
+
+        def timed(fn) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        plain = Evaluator(doc, pushdown=False)
+        pushdown = Evaluator(doc, pushdown=True)
+        pushdown.fragments  # fragmenting is load-time work, not query time
+        row["staircase_seconds"] = timed(lambda: plain.evaluate(query))
+        row["scj_pushdown_seconds"] = timed(lambda: pushdown.evaluate(query))
+        row["result_size"] = len(pushdown.evaluate(query))
+        if include_db2:
+            index = DocIndex(doc)
+            row["db2_seconds"] = timed(
+                lambda: db2_path(index, query, rewrite_ancestor=True)
+            )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Future-work fragmentation experiment (Q1: 345 ms → 39 ms)
+# ----------------------------------------------------------------------
+def fragmentation_experiment(size_mb: float, repeats: int = 3) -> Dict:
+    """Q1 with the monolithic table vs per-tag fragments.
+
+    The paper reports 345 ms → 39 ms (×8.8) on the 1 GB document; the
+    reproduction reports the measured ratio on the scaled document.
+    """
+    doc = get_document(size_mb)
+    plain = Evaluator(doc, pushdown=False)
+    fragmented = Evaluator(doc, pushdown=True)
+    fragmented.fragments  # build fragments outside the timed region
+
+    def timed(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    monolithic = timed(lambda: plain.evaluate(Q1))
+    per_tag = timed(lambda: fragmented.evaluate(Q1))
+    return {
+        "size_mb": size_mb,
+        "nodes": len(doc),
+        "monolithic_seconds": monolithic,
+        "fragmented_seconds": per_tag,
+        "speedup": monolithic / max(per_tag, 1e-12),
+        "paper_speedup": 345.0 / 39.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 4.2/4.3 — the cache/CPU arithmetic
+# ----------------------------------------------------------------------
+def cache_model_report(machine: Optional[Machine] = None) -> Dict:
+    """Reproduce the published cost-model numbers for a machine.
+
+    For :data:`PAPER_MACHINE` this yields the quoted 544 cy vs 387 cy
+    scan-loop comparison, the 160 cy copy loop, 551 MB/s sequential
+    bandwidth, and the prefetch-boosted 719/805 MB/s figures.
+    """
+    machine = machine if machine is not None else PAPER_MACHINE
+    return {
+        "clock_ghz": machine.clock_ghz,
+        "scan_cycles_per_node": SCAN_CYCLES_PER_NODE,
+        "copy_cycles_per_node": COPY_CYCLES_PER_NODE,
+        "scan_cycles_per_line": cycles_per_cache_line(SCAN_CYCLES_PER_NODE, machine),
+        "copy_cycles_per_line": cycles_per_cache_line(COPY_CYCLES_PER_NODE, machine),
+        "l2_miss_latency_cycles": machine.l2.miss_latency_cycles,
+        "scan_phase_bound": phase_bound(SCAN_CYCLES_PER_NODE, machine),
+        "copy_phase_bound": phase_bound(COPY_CYCLES_PER_NODE, machine),
+        "sequential_bandwidth_mb_s": sequential_bandwidth_mb_s(machine),
+        "hw_prefetch_bandwidth_mb_s": effective_bandwidth_mb_s(machine, "hardware"),
+        "sw_prefetch_bandwidth_mb_s": effective_bandwidth_mb_s(machine, "software"),
+    }

@@ -1,0 +1,93 @@
+"""ASCII rendering of the paper's log-scale figures.
+
+The experiment benches print series tables; this module additionally
+renders them as terminal charts so the *shape* of Figure 11 — straight
+lines on log axes, flat skipping curves, the factor gaps between
+systems — is visible at a glance without plotting dependencies.
+
+Charts use a log-10 y-axis (the paper's figures all do) and place one
+letter per series at the grid cell nearest each (x, y) sample.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["ascii_chart"]
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1e-12))
+
+
+def ascii_chart(
+    rows: Sequence[Dict],
+    x: str,
+    series: Sequence[str],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render ``series`` columns of ``rows`` over ``x`` as a log-y chart.
+
+    Returns a multi-line string: a title, the grid with a 10-power
+    y-axis scale, and a legend mapping letters to series names.  Rows
+    with non-positive values are clamped to the bottom of the scale.
+    """
+    rows = list(rows)
+    if not rows or not series:
+        return "(no data)"
+    markers = "ABCDEFGHIJ"
+    xs = [float(row[x]) for row in rows]
+    x_low, x_high = _log(min(xs)), _log(max(xs))
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    values: List[float] = []
+    for name in series:
+        values.extend(float(row[name]) for row in rows if row.get(name) is not None)
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return "(no positive data)"
+    y_low = math.floor(_log(min(positive)))
+    y_high = math.ceil(_log(max(positive)))
+    if y_high == y_low:
+        y_high = y_low + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(series):
+        marker = markers[index % len(markers)]
+        for row in rows:
+            value = row.get(name)
+            if value is None:
+                continue
+            gx = int(round((_log(float(row[x])) - x_low) / (x_high - x_low) * (width - 1)))
+            gy = int(
+                round((_log(float(value)) - y_low) / (y_high - y_low) * (height - 1))
+            )
+            gy = min(max(gy, 0), height - 1)
+            line = height - 1 - gy
+            grid[line][gx] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for line_index, line in enumerate(grid):
+        # Scale label at the rows that land on integer powers of ten.
+        fraction = (height - 1 - line_index) / (height - 1)
+        level = y_low + fraction * (y_high - y_low)
+        if abs(level - round(level)) < 0.5 / (height - 1) * (y_high - y_low):
+            label = f"1e{int(round(level)):+03d}"
+        else:
+            label = ""
+        lines.append(f"{label:>6s} |{''.join(line)}")
+    axis = f"{'':>6s} +{'-' * width}"
+    lines.append(axis)
+    x_labels = f"{rows[0][x]}".ljust(width // 2) + f"{rows[-1][x]}".rjust(width // 2)
+    lines.append(f"{'':>6s}  {x_labels}   (x: {x}, log-log)")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>6s}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""An XMark-inspired XPath query suite.
+
+XMark ships twenty XQuery benchmark queries; the XPath-expressible core
+of that workload, adapted to this generator's document shape, gives the
+reproduction a realistic query mix beyond the paper's Q1/Q2 — axis
+chains, predicates, positions, value joins, functions.  The suite is
+used by ``benchmarks/bench_query_suite.py`` (per-query timings across
+execution strategies) and by tests that pin each query's cardinality
+characteristics.
+
+Each entry records which XPath features it exercises so coverage is
+auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["SuiteQuery", "QUERY_SUITE"]
+
+
+@dataclass(frozen=True)
+class SuiteQuery:
+    """One workload query with its documentation."""
+
+    key: str
+    xpath: str
+    description: str
+    features: Tuple[str, ...]
+
+
+QUERY_SUITE: Tuple[SuiteQuery, ...] = (
+    SuiteQuery(
+        "S01-paper-q1",
+        "/descendant::profile/descendant::education",
+        "the paper's Q1",
+        ("descendant", "name test"),
+    ),
+    SuiteQuery(
+        "S02-paper-q2",
+        "/descendant::increase/ancestor::bidder",
+        "the paper's Q2",
+        ("descendant", "ancestor"),
+    ),
+    SuiteQuery(
+        "S03-child-chain",
+        "/site/open_auctions/open_auction/bidder/increase",
+        "fully-specified root-to-leaf path",
+        ("child",),
+    ),
+    SuiteQuery(
+        "S04-existential",
+        "//open_auction[bidder]/seller",
+        "auctions that have bids, projected to their seller",
+        ("descendant-or-self", "predicate path", "child"),
+    ),
+    SuiteQuery(
+        "S05-negation",
+        "//open_auction[not(bidder)]",
+        "auctions nobody bid on",
+        ("not()",),
+    ),
+    SuiteQuery(
+        "S06-position",
+        "//open_auction/bidder[1]/increase",
+        "each auction's opening increase",
+        ("positional predicate",),
+    ),
+    SuiteQuery(
+        "S07-last",
+        "//open_auction/bidder[last()]",
+        "each auction's most recent bidder",
+        ("last()",),
+    ),
+    SuiteQuery(
+        "S08-count-compare",
+        "//open_auction[count(bidder) >= 3]",
+        "bidding wars",
+        ("count()", "relational"),
+    ),
+    SuiteQuery(
+        "S09-value-filter",
+        '//person[profile/education = "Graduate School"]',
+        "by education string value",
+        ("value comparison", "nested path"),
+    ),
+    SuiteQuery(
+        "S10-attribute",
+        '//person[@id = "person0"]/name',
+        "point lookup via attribute",
+        ("attribute axis", "value comparison"),
+    ),
+    SuiteQuery(
+        "S11-union",
+        "//seller | //buyer",
+        "everyone on either side of a sale",
+        ("union",),
+    ),
+    SuiteQuery(
+        "S12-arithmetic",
+        "//open_auction[initial + 20 < current]",
+        "auctions whose price rose by more than 20",
+        ("arithmetic", "relational"),
+    ),
+    SuiteQuery(
+        "S13-string-function",
+        '//item[starts-with(location, "A")]',
+        "items from locations starting with A",
+        ("starts-with()",),
+    ),
+    SuiteQuery(
+        "S14-following-sibling",
+        "//bidder[1]/following-sibling::bidder",
+        "all non-opening bidders",
+        ("following-sibling",),
+    ),
+    SuiteQuery(
+        "S15-text-nodes",
+        "//profile/education/text()",
+        "raw education text",
+        ("text()",),
+    ),
+    SuiteQuery(
+        "S16-deep-or-self",
+        "//description//keyword",
+        "keywords at any description depth",
+        ("descendant-or-self", "nested //"),
+    ),
+)

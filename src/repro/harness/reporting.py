@@ -1,0 +1,69 @@
+"""Plain-text table/series rendering for experiment output.
+
+The benchmarks print through these helpers so that running, say,
+``pytest benchmarks/bench_fig11c_skipping_nodes.py --benchmark-only``
+shows the same rows/series the paper's figure plots — no plotting
+dependencies, just aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.001):
+            return f"{value:.3e}"
+        if abs(value) < 1:
+            return f"{value:.4f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict], columns: Iterable[str] = ()) -> str:
+    """Render dict-rows as an aligned text table.
+
+    ``columns`` selects and orders the columns; when empty, the keys of
+    the first row are used in insertion order.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) or list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        table.append([_render(row.get(c, "")) for c in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    out = []
+    for index, line in enumerate(table):
+        out.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line)))
+        if index == 0:
+            out.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    return "\n".join(out)
+
+
+def format_series(rows: Sequence[Dict], x: str, series: Sequence[str]) -> str:
+    """Render selected columns as named series over an x column.
+
+    Matches the log-scale figure layout: one line per series, values
+    aligned under their x positions.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    header = [x] + [_render(row[x]) for row in rows]
+    lines = ["  ".join(header)]
+    for name in series:
+        cells = [name] + [_render(row.get(name, "")) for row in rows]
+        lines.append("  ".join(cells))
+    width = max(len(line.split("  ")[0]) for line in lines)
+    formatted = []
+    for line in lines:
+        head, *rest = line.split("  ")
+        formatted.append("  ".join([head.ljust(width)] + rest))
+    return "\n".join(formatted)

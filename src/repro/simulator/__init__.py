@@ -1,0 +1,51 @@
+"""Cache/CPU cost model (Sections 4.2–4.3).
+
+The paper's main-memory analysis is analytic: given the cache hierarchy
+of their Dual-Pentium 4 Xeon (measured with Calibrator) and the
+per-iteration instruction latencies of the scan and copy loops, it
+derives which staircase join phase is CPU-bound vs cache-bound and what
+sequential bandwidth the machine can sustain.  This package reproduces
+that arithmetic with the machine as a parameter:
+
+* :class:`~repro.simulator.cache.CacheLevel` /
+  :class:`~repro.simulator.cache.Machine` — the hardware description
+  (the paper's machine ships as
+  :data:`~repro.simulator.cache.PAPER_MACHINE`);
+* :class:`~repro.simulator.cache.CacheSimulator` — a trace-driven
+  two-level LRU cache simulator (used to *verify* the analytic model on
+  small traces: sequential scans miss once per line, random probes miss
+  almost always);
+* :mod:`~repro.simulator.cost` — the paper's formulas: cycles per cache
+  line for scan/copy phases, the 551 MB/s sequential bandwidth bound,
+  prefetching effects, and end-to-end staircase join time estimates.
+"""
+
+from repro.simulator.cache import (
+    CacheLevel,
+    Machine,
+    CacheSimulator,
+    PAPER_MACHINE,
+)
+from repro.simulator.cost import (
+    sequential_bandwidth_mb_s,
+    cycles_per_cache_line,
+    phase_bound,
+    join_time_estimate,
+    effective_bandwidth_mb_s,
+    SCAN_CYCLES_PER_NODE,
+    COPY_CYCLES_PER_NODE,
+)
+
+__all__ = [
+    "CacheLevel",
+    "Machine",
+    "CacheSimulator",
+    "PAPER_MACHINE",
+    "sequential_bandwidth_mb_s",
+    "cycles_per_cache_line",
+    "phase_bound",
+    "join_time_estimate",
+    "effective_bandwidth_mb_s",
+    "SCAN_CYCLES_PER_NODE",
+    "COPY_CYCLES_PER_NODE",
+]

@@ -1,0 +1,34 @@
+"""Mini main-memory column store in the spirit of Monet.
+
+The paper implements staircase join inside the Monet kernel (Section 4).
+Monet's bulk type is the *binary association table* (BAT): a two-column
+table of (head, tail) pairs.  Two of its features matter for the paper:
+
+* the ``void`` column type ("virtual oid"): a contiguous integer sequence
+  ``o, o+1, o+2, ...`` stored as just the offset ``o`` — the preorder ranks
+  of the ``doc`` table are exactly such a sequence, so positional lookup
+  ``doc[i]`` is O(1) and storage is a single dense array of postorder ranks;
+* strictly sequential, positionally addressable scans — the access pattern
+  every staircase join loop relies on.
+
+This package reproduces that substrate: typed columns
+(:class:`~repro.storage.column.VoidColumn`,
+:class:`~repro.storage.column.IntColumn`,
+:class:`~repro.storage.column.StringColumn` with dictionary encoding),
+the :class:`~repro.storage.bat.BAT` itself, and a from-scratch B+-tree
+(:mod:`repro.storage.btree`) used by the tree-unaware "DB2-style" baseline
+to index concatenated ``(pre, post, tag)`` keys.
+"""
+
+from repro.storage.column import Column, VoidColumn, IntColumn, StringColumn
+from repro.storage.bat import BAT
+from repro.storage.btree import BPlusTree
+
+__all__ = [
+    "Column",
+    "VoidColumn",
+    "IntColumn",
+    "StringColumn",
+    "BAT",
+    "BPlusTree",
+]

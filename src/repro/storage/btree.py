@@ -1,0 +1,284 @@
+"""A from-scratch B+-tree.
+
+The tree-unaware baseline of Section 2.1 evaluates region queries through a
+B-tree over concatenated ``(pre, post, tag)`` keys: the outer input is
+scanned in pre-sorted order and the region predicates act as index range
+delimiters.  This module provides that index.
+
+Design
+------
+* Keys are tuples of integers (lexicographic comparison models concatenated
+  keys); values are arbitrary (the baseline stores preorder ranks).
+* Leaves are chained left-to-right, so a range scan is one descent plus a
+  linked-leaf walk — the classic B+-tree access pattern whose cost the
+  experiment counters report (``index_probes`` counts descents,
+  ``nodes_scanned`` counts leaf entries visited).
+* Both one-by-one :meth:`BPlusTree.insert` and :meth:`BPlusTree.bulk_load`
+  from sorted input are supported; document loading uses bulk load (the
+  paper builds the index "at document loading time", Section 5).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import BTreeError
+
+__all__ = ["BPlusTree"]
+
+Key = Tuple[int, ...]
+
+
+class _Node:
+    """Internal or leaf node.
+
+    For leaves, ``children`` holds the values parallel to ``keys`` and
+    ``next_leaf`` links to the right sibling.  For internal nodes,
+    ``children[i]`` is the subtree for keys < ``keys[i]`` and
+    ``children[-1]`` the subtree for keys >= ``keys[-1]``.
+    """
+
+    __slots__ = ("leaf", "keys", "children", "next_leaf")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: List[Key] = []
+        self.children: List[Any] = []
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """B+-tree mapping integer-tuple keys to values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node (fan-out − 1).  The default of 64
+    keeps trees shallow for the document sizes the benchmarks use.
+    key_width:
+        When given, every key must be a tuple of exactly this many
+        integers; mismatches raise :class:`~repro.errors.BTreeError`.
+        Catches accidental mixing of ``(pre,)`` and ``(pre, post, tag)``
+        keys in one index.
+    """
+
+    def __init__(self, order: int = 64, key_width: Optional[int] = None):
+        if order < 3:
+            raise BTreeError("B+-tree order must be at least 3")
+        self.order = order
+        self.key_width = key_width
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self.probe_count = 0  # descents performed (reset by callers at will)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_key(self, key: Key) -> Key:
+        if not isinstance(key, tuple):
+            raise BTreeError(f"keys must be tuples, got {type(key).__name__}")
+        if self.key_width is not None and len(key) != self.key_width:
+            raise BTreeError(
+                f"key width {len(key)} != declared width {self.key_width}"
+            )
+        return key
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a lone leaf has height 1)."""
+        node, levels = self._root, 1
+        while not node.leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _descend(self, key: Key) -> _Node:
+        """Walk to the leaf that would contain ``key``."""
+        self.probe_count += 1
+        node = self._root
+        while not node.leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def search(self, key: Key) -> Optional[Any]:
+        """Return the value stored under ``key`` or ``None``."""
+        key = self._check_key(key)
+        leaf = self._descend(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.children[index]
+        return None
+
+    def __contains__(self, key: Key) -> bool:
+        return self.search(self._check_key(key)) is not None
+
+    def range_scan(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Key, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key (<|<=) high``.
+
+        ``None`` bounds are open.  This is the index range scan of the
+        Figure 3 plan: one descent to the ``low`` position, then a linked
+        walk across leaves until ``high`` is passed.
+        """
+        if low is not None:
+            low = self._check_key(low)
+            leaf = self._descend(low)
+            index = bisect.bisect_left(leaf.keys, low)
+        else:
+            self.probe_count += 1
+            leaf = self._root
+            while not leaf.leaf:
+                leaf = leaf.children[0]
+            index = 0
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if high is not None:
+                    if include_high:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                yield key, leaf.children[index]
+                index += 1
+            leaf = leaf.next_leaf
+            index = 0
+
+    def iter_items(self) -> Iterator[Tuple[Key, Any]]:
+        """All items in key order."""
+        return self.range_scan()
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: Any) -> None:
+        """Insert ``key`` → ``value``; duplicate keys are rejected."""
+        key = self._check_key(key)
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert_into(
+        self, node: _Node, key: Key, value: Any
+    ) -> Optional[Tuple[Key, _Node]]:
+        """Recursive insert; returns a (separator, new right node) split."""
+        if node.leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                raise BTreeError(f"duplicate key {key!r}")
+            node.keys.insert(index, key)
+            node.children.insert(index, value)
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[Key, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.children = node.children[mid:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[Key, _Node]:
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[Tuple[Key, Any]],
+        order: int = 64,
+        key_width: Optional[int] = None,
+    ) -> "BPlusTree":
+        """Build a tree from *sorted, duplicate-free* ``(key, value)`` pairs.
+
+        Packs leaves to ~full and builds internal levels bottom-up; loading
+        a document index this way is O(n) and yields better-packed leaves
+        than repeated inserts.
+        """
+        tree = cls(order=order, key_width=key_width)
+        if not items:
+            return tree
+        previous: Optional[Key] = None
+        for key, _ in items:
+            tree._check_key(key)
+            if previous is not None and key <= previous:
+                raise BTreeError("bulk_load requires strictly sorted unique keys")
+            previous = key
+
+        # Build the leaf level.
+        per_leaf = max(2, order)  # full leaves
+        leaves: List[_Node] = []
+        for start in range(0, len(items), per_leaf):
+            chunk = items[start : start + per_leaf]
+            leaf = _Node(leaf=True)
+            leaf.keys = [k for k, _ in chunk]
+            leaf.children = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+
+        # Build internal levels until a single root remains.
+        level: List[_Node] = leaves
+        while len(level) > 1:
+            parents: List[_Node] = []
+            fanout = max(2, order)  # children per internal node
+            for start in range(0, len(level), fanout):
+                group = level[start : start + fanout]
+                parent = _Node(leaf=False)
+                parent.children = list(group)
+                parent.keys = [_leftmost_key(child) for child in group[1:]]
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        tree._size = len(items)
+        return tree
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BPlusTree(size={self._size}, order={self.order}, height={self.height})"
+
+
+def _leftmost_key(node: _Node) -> Key:
+    while not node.leaf:
+        node = node.children[0]
+    return node.keys[0]

@@ -1,0 +1,333 @@
+"""Deterministic XMark-style auction document generator.
+
+``generate(size_mb)`` builds a document whose encoded node count is
+approximately ``size_mb × NODES_PER_MB`` (the paper's 1 GB instance holds
+50 844 982 nodes ⇒ ~50 000 nodes per MB) with height 11 and the element
+populations the paper's two queries depend on:
+
+* ``/site/people/person/profile`` (level 3) with an optional
+  ``education`` child (level 4) — query Q1;
+* ``/site/open_auctions/open_auction/bidder/increase`` (increase at
+  level 4, one per bidder, several bidders per auction) — query Q2 and
+  the ~75 % duplicate ratio of Experiment 1.
+
+The generator is deterministic for a given ``(seed, size)``; two calls
+produce byte-identical documents, which the experiment tables rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.encoding.doctable import DocTable
+from repro.encoding.prepost import encode
+from repro.errors import WorkloadError
+from repro.xmark import text as words
+from repro.xmltree.model import Node, document, element, text
+from repro.xmark.text import name as person_name, sentence, word
+
+__all__ = ["XMarkConfig", "XMarkGenerator", "generate", "generate_table", "NODES_PER_MB"]
+
+#: Nominal encoded nodes per "MB" of document (paper: 50 844 982 per GB).
+NODES_PER_MB = 50_000
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Population counts per nominal MB, and distribution knobs.
+
+    The defaults are tuned (see ``tests/test_xmark.py``) so that one MB
+    yields ≈ ``NODES_PER_MB`` encoded nodes with Table-1-like shares:
+    ``profile`` ≈ 0.25 % of nodes, ``increase`` ≈ 1.2 %.
+    """
+
+    items_per_mb: int = 1000
+    persons_per_mb: int = 150
+    open_auctions_per_mb: int = 200
+    closed_auctions_per_mb: int = 100
+    categories_per_mb: int = 50
+    min_bidders: int = 1
+    max_bidders: int = 6
+    education_probability: float = 0.5
+    profile_probability: float = 1.0
+    seed: int = 2003  # the paper's year; any fixed value works
+
+
+class XMarkGenerator:
+    """Stateful generator: one instance per (config, size) document."""
+
+    REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+    EDUCATIONS = ("High School", "College", "Graduate School", "Other")
+
+    def __init__(self, config: XMarkConfig = XMarkConfig()):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def generate(self, size_mb: float) -> Node:
+        """Build the document node for a ``size_mb`` nominal-size instance."""
+        if size_mb <= 0:
+            raise WorkloadError(f"document size must be positive, got {size_mb}")
+        cfg = self.config
+        rng = random.Random(f"{cfg.seed}-{round(size_mb * 1000)}")
+        n_items = max(1, round(cfg.items_per_mb * size_mb))
+        n_persons = max(1, round(cfg.persons_per_mb * size_mb))
+        n_open = max(1, round(cfg.open_auctions_per_mb * size_mb))
+        n_closed = max(1, round(cfg.closed_auctions_per_mb * size_mb))
+        n_categories = max(1, round(cfg.categories_per_mb * size_mb))
+
+        site = element("site")
+        site.append(self._regions(rng, n_items))
+        site.append(self._categories(rng, n_categories))
+        site.append(self._catgraph(rng, n_categories))
+        site.append(self._people(rng, n_persons))
+        site.append(self._open_auctions(rng, n_open, n_persons, n_items))
+        site.append(self._closed_auctions(rng, n_closed, n_persons, n_items))
+        return document(site)
+
+    # ------------------------------------------------------------------
+    # site/regions/*/item
+    # ------------------------------------------------------------------
+    def _regions(self, rng: random.Random, n_items: int) -> Node:
+        regions = element("regions")
+        buckets = {r: element(r) for r in self.REGIONS}
+        for r in self.REGIONS:
+            regions.append(buckets[r])
+        for i in range(n_items):
+            region = rng.choice(self.REGIONS)
+            buckets[region].append(self._item(rng, i))
+        return regions
+
+    def _item(self, rng: random.Random, index: int) -> Node:
+        item = element("item", id=f"item{index}")
+        item.append(element("location", text(word(rng).capitalize())))
+        item.append(element("quantity", text(str(rng.randint(1, 10)))))
+        item.append(element("name", text(f"{word(rng)} {word(rng)}")))
+        payment = element("payment", text("Creditcard"))
+        item.append(payment)
+        item.append(self._description(rng))
+        item.append(element("shipping", text(sentence(rng, 2, 5))))
+        for _ in range(rng.randint(0, 2)):
+            item.append(element("incategory", category=f"category{rng.randint(0, 40)}"))
+        if rng.random() < 0.3:
+            mailbox = element("mailbox")
+            for _ in range(rng.randint(1, 2)):
+                mail = element("mail")
+                mail.append(element("from", text(person_name(rng))))
+                mail.append(element("to", text(person_name(rng))))
+                mail.append(element("date", text(self._date(rng))))
+                mail.append(element("text", text(sentence(rng))))
+                mailbox.append(mail)
+            item.append(mailbox)
+        return item
+
+    def _description(self, rng: random.Random) -> Node:
+        """Item description — the deepest structure in the document.
+
+        ``description/parlist/listitem/parlist/listitem/text + keyword``
+        bottoms out at level 11 below ``site`` when the item sits at
+        level 3 (site/regions/africa/item), matching the paper's
+        "all documents were of height 11".
+        """
+        description = element("description")
+        parlist = element("parlist")
+        description.append(parlist)
+        for _ in range(rng.randint(1, 2)):
+            listitem = element("listitem")
+            parlist.append(listitem)
+            if rng.random() < 0.5:
+                inner = element("parlist")
+                listitem.append(inner)
+                inner_item = element("listitem")
+                inner.append(inner_item)
+                t = element("text", text(sentence(rng, 2, 6)))
+                t.append(element("keyword", text(word(rng))))
+                inner_item.append(t)
+            else:
+                listitem.append(element("text", text(sentence(rng, 2, 6))))
+        return description
+
+    # ------------------------------------------------------------------
+    # site/categories, site/catgraph
+    # ------------------------------------------------------------------
+    def _categories(self, rng: random.Random, n: int) -> Node:
+        categories = element("categories")
+        for i in range(n):
+            category = element("category", id=f"category{i}")
+            category.append(element("name", text(f"{word(rng)} {word(rng)}")))
+            category.append(element("description", text(sentence(rng, 3, 8))))
+            categories.append(category)
+        return categories
+
+    def _catgraph(self, rng: random.Random, n: int) -> Node:
+        catgraph = element("catgraph")
+        for _ in range(max(1, n // 2)):
+            catgraph.append(
+                element(
+                    "edge",
+                    **{
+                        "from": f"category{rng.randint(0, max(0, n - 1))}",
+                        "to": f"category{rng.randint(0, max(0, n - 1))}",
+                    },
+                )
+            )
+        return catgraph
+
+    # ------------------------------------------------------------------
+    # site/people/person[/profile[/education]]
+    # ------------------------------------------------------------------
+    def _people(self, rng: random.Random, n_persons: int) -> Node:
+        people = element("people")
+        for i in range(n_persons):
+            people.append(self._person(rng, i))
+        return people
+
+    def _person(self, rng: random.Random, index: int) -> Node:
+        person = element("person", id=f"person{index}")
+        person.append(element("name", text(person_name(rng))))
+        person.append(
+            element("emailaddress", text(f"mailto:user{index}@example.org"))
+        )
+        if rng.random() < 0.5:
+            person.append(element("phone", text(f"+{rng.randint(1, 99)} "
+                                                f"{rng.randint(100, 999)} "
+                                                f"{rng.randint(1000, 9999)}")))
+        if rng.random() < 0.6:
+            address = element("address")
+            address.append(element("street", text(f"{rng.randint(1, 99)} "
+                                                  f"{word(rng).capitalize()} St")))
+            address.append(element("city", text(word(rng).capitalize())))
+            address.append(element("country", text(word(rng).capitalize())))
+            address.append(element("zipcode", text(str(rng.randint(10000, 99999)))))
+            person.append(address)
+        if rng.random() < 0.4:
+            person.append(element("homepage", text(f"http://example.org/~user{index}")))
+        if rng.random() < 0.5:
+            person.append(element("creditcard", text(self._creditcard(rng))))
+        if rng.random() < self.config.profile_probability:
+            person.append(self._profile(rng))
+        if rng.random() < 0.3:
+            watches = element("watches")
+            for _ in range(rng.randint(1, 3)):
+                watches.append(
+                    element("watch", open_auction=f"open_auction{rng.randint(0, 999)}")
+                )
+            person.append(watches)
+        return person
+
+    def _profile(self, rng: random.Random) -> Node:
+        profile = element("profile", income=f"{rng.randint(20000, 120000)}")
+        for _ in range(rng.randint(0, 3)):
+            profile.append(element("interest", category=f"category{rng.randint(0, 40)}"))
+        if rng.random() < self.config.education_probability:
+            profile.append(element("education", text(rng.choice(self.EDUCATIONS))))
+        if rng.random() < 0.8:
+            profile.append(element("gender", text(rng.choice(("male", "female")))))
+        profile.append(element("business", text(rng.choice(("Yes", "No")))))
+        if rng.random() < 0.7:
+            profile.append(element("age", text(str(rng.randint(18, 90)))))
+        return profile
+
+    # ------------------------------------------------------------------
+    # site/open_auctions/open_auction/bidder/increase
+    # ------------------------------------------------------------------
+    def _open_auctions(
+        self, rng: random.Random, n_open: int, n_persons: int, n_items: int
+    ) -> Node:
+        open_auctions = element("open_auctions")
+        for i in range(n_open):
+            open_auctions.append(self._open_auction(rng, i, n_persons, n_items))
+        return open_auctions
+
+    def _open_auction(
+        self, rng: random.Random, index: int, n_persons: int, n_items: int
+    ) -> Node:
+        auction = element("open_auction", id=f"open_auction{index}")
+        initial = rng.randint(1, 200)
+        auction.append(element("initial", text(f"{initial}.00")))
+        if rng.random() < 0.4:
+            auction.append(element("reserve", text(f"{initial + rng.randint(5, 50)}.00")))
+        current = initial
+        for _ in range(rng.randint(self.config.min_bidders, self.config.max_bidders)):
+            bidder = element("bidder")
+            bidder.append(element("date", text(self._date(rng))))
+            bidder.append(element("time", text(self._time(rng))))
+            bidder.append(
+                element("personref", person=f"person{rng.randint(0, max(0, n_persons - 1))}")
+            )
+            step = rng.randint(1, 15)
+            current += step
+            bidder.append(element("increase", text(f"{step}.00")))
+            auction.append(bidder)
+        auction.append(element("current", text(f"{current}.00")))
+        if rng.random() < 0.2:
+            auction.append(element("privacy", text("Yes")))
+        auction.append(
+            element("itemref", item=f"item{rng.randint(0, max(0, n_items - 1))}")
+        )
+        auction.append(
+            element("seller", person=f"person{rng.randint(0, max(0, n_persons - 1))}")
+        )
+        auction.append(self._annotation(rng))
+        auction.append(element("quantity", text(str(rng.randint(1, 5)))))
+        auction.append(element("type", text(rng.choice(("Regular", "Featured")))))
+        interval = element("interval")
+        interval.append(element("start", text(self._date(rng))))
+        interval.append(element("end", text(self._date(rng))))
+        auction.append(interval)
+        return auction
+
+    def _closed_auctions(
+        self, rng: random.Random, n_closed: int, n_persons: int, n_items: int
+    ) -> Node:
+        closed_auctions = element("closed_auctions")
+        for _ in range(n_closed):
+            closed = element("closed_auction")
+            closed.append(
+                element("seller", person=f"person{rng.randint(0, max(0, n_persons - 1))}")
+            )
+            closed.append(
+                element("buyer", person=f"person{rng.randint(0, max(0, n_persons - 1))}")
+            )
+            closed.append(
+                element("itemref", item=f"item{rng.randint(0, max(0, n_items - 1))}")
+            )
+            closed.append(element("price", text(f"{rng.randint(10, 500)}.00")))
+            closed.append(element("date", text(self._date(rng))))
+            closed.append(element("quantity", text(str(rng.randint(1, 5)))))
+            closed.append(element("type", text(rng.choice(("Regular", "Featured")))))
+            closed.append(self._annotation(rng))
+            closed_auctions.append(closed)
+        return closed_auctions
+
+    def _annotation(self, rng: random.Random) -> Node:
+        annotation = element("annotation")
+        annotation.append(
+            element("author", person=f"person{rng.randint(0, 999)}")
+        )
+        annotation.append(element("description", text(sentence(rng, 3, 10))))
+        annotation.append(element("happiness", text(str(rng.randint(1, 10)))))
+        return annotation
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _date(rng: random.Random) -> str:
+        return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1999, 2003)}"
+
+    @staticmethod
+    def _time(rng: random.Random) -> str:
+        return f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"
+
+    @staticmethod
+    def _creditcard(rng: random.Random) -> str:
+        return " ".join(str(rng.randint(1000, 9999)) for _ in range(4))
+
+
+def generate(size_mb: float, config: XMarkConfig = XMarkConfig()) -> Node:
+    """Generate an XMark-style document of nominal size ``size_mb``."""
+    return XMarkGenerator(config).generate(size_mb)
+
+
+def generate_table(size_mb: float, config: XMarkConfig = XMarkConfig()) -> DocTable:
+    """Generate and pre/post encode a document in one call."""
+    return encode(generate(size_mb, config))

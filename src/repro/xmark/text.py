@@ -1,0 +1,56 @@
+"""Pseudo-random text content for generated documents.
+
+XMark fills element content with shuffled words from Shakespeare; we use a
+fixed in-repo word list with a seeded generator, which keeps documents
+deterministic for a given (seed, size) pair — a requirement for
+reproducible experiment tables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = ["WORDS", "sentence", "name", "word"]
+
+# A compact word pool; enough variety that dictionary-encoded text values
+# do not degenerate, small enough to keep the module readable.
+WORDS: List[str] = [
+    "auction", "bid", "seller", "buyer", "reserve", "item", "lot", "price",
+    "ship", "parcel", "city", "harbour", "market", "trade", "offer", "deal",
+    "green", "amber", "crimson", "silver", "golden", "ivory", "cobalt",
+    "quiet", "rapid", "steady", "bright", "hollow", "solid", "gentle",
+    "river", "meadow", "forest", "valley", "summit", "coast", "island",
+    "letter", "ledger", "invoice", "receipt", "charter", "permit", "notice",
+    "morning", "evening", "summer", "winter", "autumn", "spring", "harvest",
+    "copper", "marble", "timber", "linen", "velvet", "ceramic", "leather",
+    "engine", "wheel", "anchor", "compass", "lantern", "barrel", "crate",
+    "north", "south", "east", "west", "upper", "lower", "middle", "outer",
+]
+
+_FIRST_NAMES = [
+    "Ada", "Alan", "Edsger", "Grace", "Barbara", "Donald", "Leslie", "John",
+    "Tony", "Edgar", "Jim", "Michael", "Pat", "Robin", "Niklaus", "Dennis",
+]
+
+_LAST_NAMES = [
+    "Lovelace", "Turing", "Dijkstra", "Hopper", "Liskov", "Knuth", "Lamport",
+    "Backus", "Hoare", "Codd", "Gray", "Stonebraker", "Selinger", "Milner",
+    "Wirth", "Ritchie",
+]
+
+
+def word(rng: random.Random) -> str:
+    """One pseudo-random word."""
+    return rng.choice(WORDS)
+
+
+def sentence(rng: random.Random, min_words: int = 3, max_words: int = 12) -> str:
+    """A pseudo-random sentence of ``min_words``–``max_words`` words."""
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(WORDS) for _ in range(count))
+
+
+def name(rng: random.Random) -> str:
+    """A pseudo-random person name."""
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"

@@ -1,0 +1,35 @@
+"""From-scratch XML substrate: document model, parser and serializer.
+
+The paper's system stores *parsed* XML documents; the XPath accelerator
+(:mod:`repro.encoding`) consumes the node trees built here.  We implement our
+own small XML layer rather than relying on library machinery so that the node
+model matches exactly the node kinds the pre/post encoding distinguishes
+(elements, attributes, text, comments, processing instructions — Figure 1's
+caption enumerates them).
+"""
+
+from repro.xmltree.model import (
+    Node,
+    NodeKind,
+    document,
+    element,
+    text,
+    comment,
+    processing_instruction,
+)
+from repro.xmltree.parser import parse, parse_file
+from repro.xmltree.serializer import serialize, write_file
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "document",
+    "element",
+    "text",
+    "comment",
+    "processing_instruction",
+    "parse",
+    "parse_file",
+    "serialize",
+    "write_file",
+]

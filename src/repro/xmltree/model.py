@@ -1,0 +1,259 @@
+"""In-memory XML document model.
+
+A document is a tree of :class:`Node` objects.  The node kinds mirror the
+ones the XPath data model (and therefore the pre/post encoding) must
+distinguish: the document root, elements, attributes, text, comments and
+processing instructions.  Attributes are ordinary child nodes flagged with
+``NodeKind.ATTRIBUTE`` — the paper encodes attributes in the pre/post plane
+too and filters them during axis steps ("We use a special encoding for
+attribute nodes, which allow them to be filtered out if needed", Section 3).
+
+The model is intentionally simple and explicit: plain attributes, no
+namespace machinery (the paper's queries never use namespaces), and small
+helper constructors (:func:`element`, :func:`text`, ...) so documents can be
+built programmatically in tests and by the XMark generator.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "NodeKind",
+    "Node",
+    "document",
+    "element",
+    "attribute",
+    "text",
+    "comment",
+    "processing_instruction",
+]
+
+
+class NodeKind(IntEnum):
+    """XPath node kinds recognised by the encoding.
+
+    The integer values are stable: they are stored verbatim in the ``kind``
+    column of the :class:`~repro.encoding.doctable.DocTable`.
+    """
+
+    DOCUMENT = 0
+    ELEMENT = 1
+    ATTRIBUTE = 2
+    TEXT = 3
+    COMMENT = 4
+    PROCESSING_INSTRUCTION = 5
+
+
+class Node:
+    """One node of an XML document tree.
+
+    Parameters
+    ----------
+    kind:
+        The :class:`NodeKind` of this node.
+    name:
+        Tag name for elements, attribute name for attributes, target for
+        processing instructions; empty for document/text/comment nodes.
+    value:
+        Text content for text/comment/attribute/PI nodes; empty otherwise.
+
+    Notes
+    -----
+    * ``children`` holds attributes *first* (in definition order) followed by
+      the other children in document order.  This matches the convention of
+      the XPath accelerator: an element's attributes receive the preorder
+      ranks immediately after the element itself.
+    * Nodes know their ``parent``; the encoder uses this to derive the
+      ``parent`` column used by the child/parent/sibling axes.
+    """
+
+    __slots__ = ("kind", "name", "value", "children", "parent")
+
+    def __init__(self, kind: NodeKind, name: str = "", value: str = ""):
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.children: List[Node] = []
+        self.parent: Optional[Node] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, child: "Node") -> "Node":
+        """Attach ``child`` as the last child of this node and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def extend(self, children: List["Node"]) -> "Node":
+        """Attach several children in order and return ``self``."""
+        for child in children:
+            self.append(child)
+        return self
+
+    def set_attribute(self, name: str, value: str) -> "Node":
+        """Add an attribute node, keeping attributes ahead of other children."""
+        attr = Node(NodeKind.ATTRIBUTE, name=name, value=value)
+        attr.parent = self
+        insert_at = sum(1 for c in self.children if c.kind == NodeKind.ATTRIBUTE)
+        self.children.insert(insert_at, attr)
+        return attr
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_element(self) -> bool:
+        return self.kind == NodeKind.ELEMENT
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.kind == NodeKind.ATTRIBUTE
+
+    @property
+    def attributes(self) -> List["Node"]:
+        """The attribute children, in definition order."""
+        return [c for c in self.children if c.kind == NodeKind.ATTRIBUTE]
+
+    @property
+    def element_children(self) -> List["Node"]:
+        """Child elements only (no attributes, text, comments, PIs)."""
+        return [c for c in self.children if c.kind == NodeKind.ELEMENT]
+
+    @property
+    def non_attribute_children(self) -> List["Node"]:
+        """Children as XPath's child axis sees them (attributes excluded)."""
+        return [c for c in self.children if c.kind != NodeKind.ATTRIBUTE]
+
+    def get_attribute(self, name: str) -> Optional[str]:
+        """Return the value of attribute ``name``, or ``None``."""
+        for child in self.children:
+            if child.kind == NodeKind.ATTRIBUTE and child.name == name:
+                return child.value
+        return None
+
+    def find(self, tag: str) -> Optional["Node"]:
+        """Return the first descendant element with tag ``tag`` (or None)."""
+        for node in self.iter_preorder():
+            if node is not self and node.kind == NodeKind.ELEMENT and node.name == tag:
+                return node
+        return None
+
+    def text_content(self) -> str:
+        """Concatenation of all descendant text node values (string value)."""
+        parts = []
+        for node in self.iter_preorder():
+            if node.kind == NodeKind.TEXT:
+                parts.append(node.value)
+        return "".join(parts)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def iter_preorder(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in document (preorder) order.
+
+        Iterative, so arbitrarily deep documents do not hit the Python
+        recursion limit (XMark documents are shallow, but parser tests
+        exercise pathological depth).
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_postorder(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in postorder."""
+        # Two-stack iterative postorder.
+        stack = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                stack.extend((c, False) for c in reversed(node.children))
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield the proper ancestors of this node, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def level(self) -> int:
+        """Path length from the root to this node (root has level 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (including self)."""
+        return sum(1 for _ in self.iter_preorder())
+
+    def height(self) -> int:
+        """Height of the subtree rooted here (single node has height 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(c.height() for c in self.children)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == NodeKind.ELEMENT:
+            return f"<Node element {self.name!r} children={len(self.children)}>"
+        if self.kind == NodeKind.ATTRIBUTE:
+            return f"<Node attribute {self.name!r}={self.value!r}>"
+        if self.kind == NodeKind.TEXT:
+            preview = self.value if len(self.value) <= 20 else self.value[:17] + "..."
+            return f"<Node text {preview!r}>"
+        return f"<Node {self.kind.name.lower()}>"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def document(root: Optional[Node] = None) -> Node:
+    """Create a document node, optionally wrapping a root element."""
+    doc = Node(NodeKind.DOCUMENT)
+    if root is not None:
+        doc.append(root)
+    return doc
+
+
+def element(tag: str, *children: Node, **attrs: str) -> Node:
+    """Create an element; keyword arguments become attributes.
+
+    Example
+    -------
+    >>> n = element("bidder", element("increase"), date="2003-05-12")
+    >>> n.get_attribute("date")
+    '2003-05-12'
+    """
+    node = Node(NodeKind.ELEMENT, name=tag)
+    for name, value in attrs.items():
+        node.set_attribute(name, value)
+    node.extend(list(children))
+    return node
+
+
+def attribute(name: str, value: str) -> Node:
+    """Create a detached attribute node."""
+    return Node(NodeKind.ATTRIBUTE, name=name, value=value)
+
+
+def text(value: str) -> Node:
+    """Create a text node."""
+    return Node(NodeKind.TEXT, value=value)
+
+
+def comment(value: str) -> Node:
+    """Create a comment node."""
+    return Node(NodeKind.COMMENT, value=value)
+
+
+def processing_instruction(target: str, data: str = "") -> Node:
+    """Create a processing-instruction node."""
+    return Node(NodeKind.PROCESSING_INSTRUCTION, name=target, value=data)

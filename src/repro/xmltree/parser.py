@@ -1,0 +1,338 @@
+"""A small, strict, from-scratch XML parser.
+
+Supports the XML subset the experiments need (which is also the subset XMark
+documents use): elements, attributes, character data, CDATA sections,
+comments, processing instructions, the five predefined entities plus decimal
+and hexadecimal character references, and an optional XML declaration and
+DOCTYPE (both skipped).  Namespaces are treated as plain colonised names.
+
+The parser is a straightforward single-pass recursive-descent scanner over
+the input string.  It is strict about well-formedness (mismatched tags,
+unterminated constructs and stray ``<`` are syntax errors with line/column
+information) because the document encoder downstream assumes a well-formed
+tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.model import Node, NodeKind
+
+__all__ = ["parse", "parse_file"]
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+
+class _Scanner:
+    """Cursor over the XML text with line/column tracking for errors."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, xml_text: str):
+        self.text = xml_text
+        self.pos = 0
+        self.length = len(xml_text)
+
+    # -- error reporting ------------------------------------------------
+    def error(self, message: str, at: Optional[int] = None) -> XMLSyntaxError:
+        pos = self.pos if at is None else at
+        line = self.text.count("\n", 0, pos) + 1
+        last_nl = self.text.rfind("\n", 0, pos)
+        column = pos - last_nl
+        return XMLSyntaxError(message, line=line, column=column)
+
+    # -- primitives -----------------------------------------------------
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def read_until(self, token: str, construct: str) -> str:
+        """Consume text up to ``token`` (token consumed too) and return it."""
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {construct}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+
+def _decode_references(raw: str, scanner: _Scanner, at: int) -> str:
+    """Replace entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    out = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise scanner.error("unterminated entity reference", at=at + i)
+        body = raw[i + 1 : end]
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                out.append(chr(int(body[2:], 16)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{body};", at=at + i)
+        elif body.startswith("#"):
+            try:
+                out.append(chr(int(body[1:], 10)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{body};", at=at + i)
+        elif body in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[body])
+        else:
+            raise scanner.error(f"unknown entity &{body};", at=at + i)
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_attributes(scanner: _Scanner, node: Node) -> None:
+    """Parse ``name="value"`` pairs until ``>`` or ``/>``."""
+    seen = set()
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/") or ch == "":
+            return
+        at = scanner.pos
+        name = scanner.read_name()
+        if name in seen:
+            raise scanner.error(f"duplicate attribute {name!r}", at=at)
+        seen.add(name)
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.pos += 1
+        value_at = scanner.pos
+        raw = scanner.read_until(quote, "attribute value")
+        if "<" in raw:
+            raise scanner.error("'<' not allowed in attribute value", at=value_at)
+        node.set_attribute(name, _decode_references(raw, scanner, value_at))
+
+
+def _parse_misc(scanner: _Scanner, parent: Node) -> bool:
+    """Parse one comment/PI/whitespace item at document level.
+
+    Returns True if something was consumed.
+    """
+    scanner.skip_whitespace()
+    if scanner.startswith("<!--"):
+        scanner.pos += 4
+        value = scanner.read_until("-->", "comment")
+        if "--" in value:
+            raise scanner.error("'--' not allowed inside a comment")
+        parent.append(Node(NodeKind.COMMENT, value=value))
+        return True
+    if scanner.startswith("<?"):
+        scanner.pos += 2
+        target = scanner.read_name()
+        scanner.skip_whitespace()
+        data = scanner.read_until("?>", "processing instruction")
+        if target.lower() == "xml":
+            return True  # XML declaration: accepted, not materialised
+        parent.append(Node(NodeKind.PROCESSING_INSTRUCTION, name=target, value=data))
+        return True
+    if scanner.startswith("<!DOCTYPE"):
+        # Skip the doctype, honouring one level of [...] internal subset.
+        depth = 0
+        while not scanner.at_end():
+            ch = scanner.text[scanner.pos]
+            scanner.pos += 1
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                return True
+        raise scanner.error("unterminated DOCTYPE")
+    return False
+
+
+def _parse_start_tag(scanner: _Scanner) -> Tuple[Node, bool]:
+    """Parse ``<tag attrs...`` up to ``>`` or ``/>``.
+
+    Returns the element node and whether it self-closed.
+    """
+    scanner.expect("<")
+    tag = scanner.read_name()
+    node = Node(NodeKind.ELEMENT, name=tag)
+    _parse_attributes(scanner, node)
+    for attr in node.children:
+        attr.parent = node
+    scanner.skip_whitespace()
+    if scanner.startswith("/>"):
+        scanner.pos += 2
+        return node, True
+    scanner.expect(">")
+    return node, False
+
+
+def _parse_element(scanner: _Scanner) -> Node:
+    """Parse one element subtree (the scanner is positioned on its ``<``).
+
+    Iterative with an explicit open-element stack, so document depth is
+    bounded by memory, not the Python recursion limit.
+    """
+    root, closed = _parse_start_tag(scanner)
+    if closed:
+        return root
+    stack: List[Node] = [root]
+    text_parts: List[str] = []
+
+    def flush_text() -> None:
+        if text_parts:
+            stack[-1].append(Node(NodeKind.TEXT, value="".join(text_parts)))
+            text_parts.clear()
+
+    while stack:
+        if scanner.at_end():
+            raise scanner.error(f"unterminated element <{stack[-1].name}>")
+        ch = scanner.peek()
+        if ch != "<":
+            start = scanner.pos
+            next_lt = scanner.text.find("<", start)
+            if next_lt < 0:
+                next_lt = scanner.length
+            raw = scanner.text[start:next_lt]
+            scanner.pos = next_lt
+            text_parts.append(_decode_references(raw, scanner, start))
+            continue
+        if scanner.startswith("</"):
+            flush_text()
+            scanner.pos += 2
+            close_tag = scanner.read_name()
+            open_node = stack.pop()
+            if close_tag != open_node.name:
+                raise scanner.error(
+                    f"mismatched closing tag: expected </{open_node.name}>, "
+                    f"got </{close_tag}>"
+                )
+            scanner.skip_whitespace()
+            scanner.expect(">")
+        elif scanner.startswith("<!--"):
+            flush_text()
+            scanner.pos += 4
+            value = scanner.read_until("-->", "comment")
+            if "--" in value:
+                raise scanner.error("'--' not allowed inside a comment")
+            stack[-1].append(Node(NodeKind.COMMENT, value=value))
+        elif scanner.startswith("<![CDATA["):
+            scanner.pos += 9
+            text_parts.append(scanner.read_until("]]>", "CDATA section"))
+        elif scanner.startswith("<?"):
+            flush_text()
+            scanner.pos += 2
+            target = scanner.read_name()
+            scanner.skip_whitespace()
+            data = scanner.read_until("?>", "processing instruction")
+            stack[-1].append(
+                Node(NodeKind.PROCESSING_INSTRUCTION, name=target, value=data)
+            )
+        else:
+            flush_text()
+            child, child_closed = _parse_start_tag(scanner)
+            stack[-1].append(child)
+            if not child_closed:
+                stack.append(child)
+    return root
+
+
+def parse(xml_text: str, keep_whitespace_text: bool = False) -> Node:
+    """Parse ``xml_text`` and return the document node.
+
+    Parameters
+    ----------
+    xml_text:
+        The XML document as a string.
+    keep_whitespace_text:
+        When ``False`` (the default), text nodes consisting purely of
+        whitespace are dropped.  Pretty-printed documents otherwise encode
+        large numbers of meaningless text nodes, distorting node counts.
+
+    Returns
+    -------
+    Node
+        A ``NodeKind.DOCUMENT`` node whose children are the top-level
+        comments/PIs and exactly one root element.
+    """
+    scanner = _Scanner(xml_text)
+    doc = Node(NodeKind.DOCUMENT)
+
+    while _parse_misc(scanner, doc):
+        pass
+    scanner.skip_whitespace()
+    if scanner.at_end() or scanner.peek() != "<":
+        raise scanner.error("expected a root element")
+    doc.append(_parse_element(scanner))
+    while _parse_misc(scanner, doc):
+        pass
+    scanner.skip_whitespace()
+    if not scanner.at_end():
+        raise scanner.error("content after the root element")
+
+    if not keep_whitespace_text:
+        _strip_whitespace_text(doc)
+    return doc
+
+
+def _strip_whitespace_text(doc: Node) -> None:
+    """Remove whitespace-only text nodes from the whole tree, in place."""
+    stack = [doc]
+    while stack:
+        node = stack.pop()
+        kept = []
+        for child in node.children:
+            if child.kind == NodeKind.TEXT and not child.value.strip():
+                continue
+            kept.append(child)
+        node.children = kept
+        stack.extend(kept)
+
+
+def parse_file(path: str, keep_whitespace_text: bool = False) -> Node:
+    """Parse the XML document stored at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), keep_whitespace_text=keep_whitespace_text)

@@ -1,0 +1,102 @@
+"""Serialize node trees back to XML text.
+
+The serializer is the inverse of :mod:`repro.xmltree.parser` for the node
+model we support; ``parse(serialize(doc))`` reproduces the tree (a property
+the test suite checks with hypothesis-generated random documents).  The XMark
+generator uses it to materialise documents to disk for the parser round-trip
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmltree.model import Node, NodeKind
+
+__all__ = ["serialize", "write_file"]
+
+
+def _escape_text(value: str) -> str:
+    """Escape character data content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attribute(value: str) -> str:
+    """Escape an attribute value for double-quoted output."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def _serialize_node(node: Node, out: List[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    newline = "\n" if pretty else ""
+    if node.kind == NodeKind.TEXT:
+        out.append(_escape_text(node.value))
+        return
+    if node.kind == NodeKind.COMMENT:
+        out.append(f"{pad}<!--{node.value}-->{newline}")
+        return
+    if node.kind == NodeKind.PROCESSING_INSTRUCTION:
+        data = f" {node.value}" if node.value else ""
+        out.append(f"{pad}<?{node.name}{data}?>{newline}")
+        return
+    if node.kind == NodeKind.ATTRIBUTE:
+        # Attributes are emitted by their owning element, never standalone.
+        return
+
+    # Element
+    attrs = "".join(
+        f' {a.name}="{_escape_attribute(a.value)}"' for a in node.attributes
+    )
+    content = node.non_attribute_children
+    if not content:
+        out.append(f"{pad}<{node.name}{attrs}/>{newline}")
+        return
+    has_text = any(c.kind == NodeKind.TEXT for c in content)
+    if has_text or not pretty:
+        # Mixed content: do not introduce whitespace.
+        out.append(f"{pad}<{node.name}{attrs}>")
+        for child in content:
+            _serialize_node(child, out, 0, pretty=False)
+        out.append(f"</{node.name}>{newline}")
+    else:
+        out.append(f"{pad}<{node.name}{attrs}>{newline}")
+        for child in content:
+            _serialize_node(child, out, indent + 1, pretty)
+        out.append(f"{pad}</{node.name}>{newline}")
+
+
+def serialize(node: Node, pretty: bool = False, declaration: bool = True) -> str:
+    """Render ``node`` (a document or element) as XML text.
+
+    Parameters
+    ----------
+    node:
+        A document node or a standalone element.
+    pretty:
+        Indent element-only content for human inspection.  Mixed content is
+        never re-indented (that would change the document's text nodes).
+    declaration:
+        Emit ``<?xml version="1.0" encoding="UTF-8"?>`` for document nodes.
+    """
+    out: List[str] = []
+    if node.kind == NodeKind.DOCUMENT:
+        if declaration:
+            out.append('<?xml version="1.0" encoding="UTF-8"?>')
+            out.append("\n" if pretty else "")
+        for child in node.children:
+            _serialize_node(child, out, 0, pretty)
+    else:
+        _serialize_node(node, out, 0, pretty)
+    return "".join(out)
+
+
+def write_file(node: Node, path: str, pretty: bool = False) -> None:
+    """Serialize ``node`` and write it to ``path`` as UTF-8."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize(node, pretty=pretty))

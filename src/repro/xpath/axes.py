@@ -1,0 +1,257 @@
+"""Axis-step execution over the pre/post encoding.
+
+The four partitioning axes (``descendant``, ``ancestor``, ``following``,
+``preceding``) are the staircase join's territory; Section 2 of the paper
+notes the remaining axes "determine easily characterizable super- or
+subsets of these regions (e.g. ancestor-or-self) or are supported by
+standard RDBMS join algorithms (e.g. child, parent)".  We implement them
+accordingly:
+
+* ``child``/``parent``/siblings/``attribute`` — via the ``parent`` column
+  (a standard equi-join against context nodes);
+* ``*-or-self`` — union of the partitioning region with the context;
+* ``self`` — identity.
+
+Each function takes and returns sorted, duplicate-free ``int64`` arrays of
+preorder ranks, so chained steps compose without re-normalisation.
+
+A *strategy* selects the executor for the partitioning axes:
+``"staircase"`` (the scalar Algorithms 2–4 with a chosen
+:class:`~repro.core.staircase.SkipMode`) or ``"vectorized"`` (the numpy
+bulk kernels).  Both produce identical node sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.counters import JoinStatistics
+from repro.core.staircase import SkipMode, staircase_join
+from repro.core.vectorized import staircase_join_vectorized
+from repro.encoding.doctable import DocTable
+from repro.errors import XPathEvaluationError
+from repro.xmltree.model import NodeKind
+
+__all__ = ["AxisExecutor", "DOCUMENT_CONTEXT", "apply_node_test"]
+
+_ATTR = int(NodeKind.ATTRIBUTE)
+
+#: Sentinel context value for the (un-encoded) document node, used by the
+#: evaluator for absolute paths.
+DOCUMENT_CONTEXT = object()
+
+
+def _empty() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+class AxisExecutor:
+    """Evaluates single axis steps for a fixed document and strategy.
+
+    Parameters
+    ----------
+    doc:
+        The encoded document.
+    strategy:
+        ``"staircase"`` or ``"vectorized"`` — the executor for the four
+        partitioning axes.
+    mode:
+        Skip mode for the scalar staircase join.
+    stats:
+        Shared counters; every staircase join invocation accumulates here.
+    """
+
+    def __init__(
+        self,
+        doc: DocTable,
+        strategy: str = "staircase",
+        mode: SkipMode = SkipMode.ESTIMATE,
+        stats: Optional[JoinStatistics] = None,
+    ):
+        if strategy not in ("staircase", "vectorized"):
+            raise XPathEvaluationError(f"unknown strategy {strategy!r}")
+        self.doc = doc
+        self.strategy = strategy
+        self.mode = mode
+        self.stats = stats if stats is not None else JoinStatistics()
+        self._axes: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+            "descendant": lambda ctx: self._partitioning("descendant", ctx),
+            "ancestor": lambda ctx: self._partitioning("ancestor", ctx),
+            "following": lambda ctx: self._partitioning("following", ctx),
+            "preceding": lambda ctx: self._partitioning("preceding", ctx),
+            "descendant-or-self": self._descendant_or_self,
+            "ancestor-or-self": self._ancestor_or_self,
+            "child": self._child,
+            "parent": self._parent,
+            "attribute": self._attribute,
+            "self": lambda ctx: ctx,
+            "following-sibling": lambda ctx: self._siblings(ctx, following=True),
+            "preceding-sibling": lambda ctx: self._siblings(ctx, following=False),
+        }
+
+    # ------------------------------------------------------------------
+    def step(self, context, axis: str) -> np.ndarray:
+        """Evaluate one axis step; ``context`` may be the document sentinel."""
+        if context is DOCUMENT_CONTEXT:
+            return self._from_document(axis)
+        context = np.asarray(context, dtype=np.int64)
+        if len(context) == 0:
+            return _empty()
+        try:
+            executor = self._axes[axis]
+        except KeyError:
+            raise XPathEvaluationError(f"unsupported axis {axis!r}") from None
+        return executor(context)
+
+    # ------------------------------------------------------------------
+    # Partitioning axes → staircase join
+    # ------------------------------------------------------------------
+    def _partitioning(self, axis: str, context: np.ndarray) -> np.ndarray:
+        if self.strategy == "vectorized":
+            return staircase_join_vectorized(self.doc, context, axis, self.stats)
+        return staircase_join(self.doc, context, axis, self.mode, self.stats)
+
+    def _descendant_or_self(self, context: np.ndarray) -> np.ndarray:
+        descendants = self._partitioning("descendant", context)
+        return np.union1d(context, descendants)
+
+    def _ancestor_or_self(self, context: np.ndarray) -> np.ndarray:
+        ancestors = self._partitioning("ancestor", context)
+        return np.union1d(context, ancestors)
+
+    # ------------------------------------------------------------------
+    # Structural axes → parent-column joins
+    # ------------------------------------------------------------------
+    #: Context size below which child/attribute steps enumerate children
+    #: positionally (subtree hops) instead of scanning the parent column.
+    #: Predicate evaluation hits this path constantly (one-node contexts),
+    #: where an O(n) column scan per candidate would dominate the query.
+    SMALL_CONTEXT = 64
+
+    def _child(self, context: np.ndarray) -> np.ndarray:
+        doc = self.doc
+        if len(context) <= self.SMALL_CONTEXT:
+            out = []
+            for c in context:
+                out.extend(
+                    child
+                    for child in doc.children_of(int(c))
+                    if doc.kind[child] != _ATTR
+                )
+            return np.asarray(sorted(out), dtype=np.int64)
+        mask = np.isin(doc.parent, context) & (doc.kind != _ATTR)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def _attribute(self, context: np.ndarray) -> np.ndarray:
+        doc = self.doc
+        if len(context) <= self.SMALL_CONTEXT:
+            out = []
+            for c in context:
+                out.extend(
+                    child
+                    for child in doc.children_of(int(c))
+                    if doc.kind[child] == _ATTR
+                )
+            return np.asarray(sorted(out), dtype=np.int64)
+        mask = np.isin(doc.parent, context) & (doc.kind == _ATTR)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def _parent(self, context: np.ndarray) -> np.ndarray:
+        parents = self.doc.parent[context]
+        return np.unique(parents[parents >= 0])
+
+    def _siblings(self, context: np.ndarray, following: bool) -> np.ndarray:
+        """Siblings on one side, per context node, via the parent column.
+
+        A node's siblings share its parent; the following ones have larger
+        preorder ranks.  Attribute context nodes have no siblings in the
+        XPath sense (attributes are not children), and attribute nodes are
+        never produced.
+        """
+        doc = self.doc
+        result = set()
+        for c in context:
+            c = int(c)
+            p = int(doc.parent[c])
+            if p < 0 or doc.kind[c] == _ATTR:
+                continue
+            for sibling in doc.children_of(p):
+                if doc.kind[sibling] == _ATTR or sibling == c:
+                    continue
+                if (sibling > c) == following and sibling != c:
+                    result.add(sibling)
+        if not result:
+            return _empty()
+        return np.asarray(sorted(result), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Virtual document node (absolute paths)
+    # ------------------------------------------------------------------
+    def _from_document(self, axis: str) -> np.ndarray:
+        """Axis step whose context is the (un-encoded) document node.
+
+        The document node's only child is the root element; its descendant
+        region is the entire plane.  Axes that would *return* the document
+        node (``self``, ``ancestor-or-self``) yield the empty set because
+        the document node has no rank — a documented deviation that is
+        invisible to name-tested queries.
+        """
+        doc = self.doc
+        if axis == "child":
+            return np.asarray([doc.root], dtype=np.int64)
+        if axis in ("descendant", "descendant-or-self"):
+            return np.nonzero(doc.kind != _ATTR)[0].astype(np.int64)
+        if axis in (
+            "ancestor",
+            "ancestor-or-self",
+            "parent",
+            "self",
+            "following",
+            "preceding",
+            "following-sibling",
+            "preceding-sibling",
+            "attribute",
+        ):
+            return _empty()
+        raise XPathEvaluationError(f"unsupported axis {axis!r}")
+
+
+# ----------------------------------------------------------------------
+# Node tests
+# ----------------------------------------------------------------------
+def apply_node_test(
+    doc: DocTable, pres: np.ndarray, axis: str, kind: str, name: Optional[str]
+) -> np.ndarray:
+    """Filter step output ``pres`` by a node test.
+
+    ``kind``/``name`` come from :class:`repro.xpath.ast.NodeTest`.  The
+    *principal node kind* rule: a name test (or ``*``) selects elements on
+    every axis except ``attribute``, where it selects attribute nodes.
+    """
+    if len(pres) == 0:
+        return pres
+    principal = NodeKind.ATTRIBUTE if axis == "attribute" else NodeKind.ELEMENT
+    if kind == "node":
+        return pres
+    if kind == "*":
+        return pres[doc.kind[pres] == int(principal)]
+    if kind == "name":
+        code = doc.tag.code_of(name or "")
+        if code < 0:
+            return _empty()
+        mask = (doc.kind[pres] == int(principal)) & (doc.tag.codes[pres] == code)
+        return pres[mask]
+    if kind == "text":
+        return pres[doc.kind[pres] == int(NodeKind.TEXT)]
+    if kind == "comment":
+        return pres[doc.kind[pres] == int(NodeKind.COMMENT)]
+    if kind == "processing-instruction":
+        mask = doc.kind[pres] == int(NodeKind.PROCESSING_INSTRUCTION)
+        selected = pres[mask]
+        if name:
+            keep = [p for p in selected if doc.tag_of(int(p)) == name]
+            return np.asarray(keep, dtype=np.int64)
+        return selected
+    raise XPathEvaluationError(f"unknown node test kind {kind!r}")

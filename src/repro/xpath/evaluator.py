@@ -1,0 +1,509 @@
+"""XPath evaluation over the accelerator (steps → staircase joins).
+
+The evaluator walks a :class:`~repro.xpath.ast.LocationPath` step by step:
+the node sequence output by step ``s_i`` is the context sequence for
+``s_(i+1)`` (Section 2.1).  Every intermediate sequence is an ``int64``
+array of preorder ranks — duplicate-free and document-ordered, because the
+staircase join already guarantees both and the structural axes normalise.
+
+Name-test pushdown (Experiment 3) is available per evaluator: steps of the
+shape ``descendant::tag`` / ``ancestor::tag`` without predicates are then
+executed against the per-tag fragment
+(:class:`~repro.core.fragments.FragmentedDocument`), i.e. the name test is
+applied *before* the join — ``staircasejoin(nametest(doc, n), cs)`` — which
+is valid because pre/post-derived tree properties "remain valid for a
+subset of nodes".
+
+Predicates follow XPath 1.0 semantics: positional predicates see the axis
+order (reverse for the reverse axes); value comparisons use existential
+node-set semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.counters import JoinStatistics
+from repro.core.fragments import FragmentedDocument
+from repro.core.staircase import SkipMode
+from repro.encoding.doctable import DocTable
+from repro.errors import XPathEvaluationError
+from repro.xpath.ast import (
+    BinaryExpr,
+    Expr,
+    FunctionCall,
+    LocationPath,
+    NumberLiteral,
+    Step,
+    StringLiteral,
+)
+from repro.xpath.axes import DOCUMENT_CONTEXT, AxisExecutor, apply_node_test
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["Evaluator", "evaluate"]
+
+_REVERSE_AXES = frozenset(
+    ("ancestor", "ancestor-or-self", "preceding", "preceding-sibling", "parent")
+)
+
+
+def _uses_position(expr: Expr) -> bool:
+    """Does ``expr`` depend on the context position/size?"""
+    if isinstance(expr, NumberLiteral):
+        return True  # a top-level number predicate is positional shorthand
+    if isinstance(expr, FunctionCall):
+        if expr.name in ("position", "last"):
+            return True
+        return any(_uses_position(a) for a in expr.args)
+    if isinstance(expr, BinaryExpr):
+        return _uses_position(expr.left) or _uses_position(expr.right)
+    return False
+
+
+def _is_positional_predicate(expr: Expr) -> bool:
+    """Positional predicates compare against the context position.
+
+    Besides explicit ``position()``/``last()`` uses, any predicate whose
+    top-level value is numeric (a literal or a number-returning function
+    like ``count``) is shorthand for ``position() = <number>`` per the
+    XPath 1.0 rules, and therefore positional.
+    """
+    if _uses_position(expr):
+        return True
+    if isinstance(expr, FunctionCall):
+        return expr.name in ("count", "string-length")
+    return False
+
+
+class Evaluator:
+    """Evaluate XPath expressions against one encoded document.
+
+    Parameters
+    ----------
+    doc:
+        The encoded document.
+    strategy:
+        ``"staircase"`` (scalar Algorithms 2–4) or ``"vectorized"``
+        (numpy bulk kernels) for the partitioning axes.
+    mode:
+        :class:`SkipMode` for the scalar staircase join.
+    pushdown:
+        Push name tests below descendant/ancestor staircase joins
+        (Experiment 3's ~3× rewrite).  Fragments are built lazily on
+        first use and cached for the evaluator's lifetime.
+    stats:
+        Shared :class:`JoinStatistics`; accumulates across queries.
+    """
+
+    def __init__(
+        self,
+        doc: DocTable,
+        strategy: str = "staircase",
+        mode: SkipMode = SkipMode.ESTIMATE,
+        pushdown: bool = False,
+        stats: Optional[JoinStatistics] = None,
+    ):
+        self.doc = doc
+        self.stats = stats if stats is not None else JoinStatistics()
+        self.axes = AxisExecutor(doc, strategy=strategy, mode=mode, stats=self.stats)
+        self.pushdown = pushdown
+        self._fragments: Optional[FragmentedDocument] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def fragments(self) -> FragmentedDocument:
+        if self._fragments is None:
+            self._fragments = FragmentedDocument(self.doc)
+        return self._fragments
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        path: Union[str, LocationPath],
+        context: Union[None, int, np.ndarray] = None,
+    ) -> np.ndarray:
+        """Evaluate ``path``; returns preorder ranks in document order.
+
+        ``context`` seeds relative paths (default: the root element); it
+        is ignored by absolute paths, which start at the virtual document
+        node.
+        """
+        if isinstance(path, str):
+            path = parse_xpath(path)
+        if isinstance(path, BinaryExpr):
+            if path.op != "|":
+                raise XPathEvaluationError(
+                    f"top-level expression must be a path or union, got {path.op!r}"
+                )
+            left = self.evaluate(path.left, context=context)
+            right = self.evaluate(path.right, context=context)
+            return np.union1d(left, right)
+        if path.absolute:
+            current = DOCUMENT_CONTEXT
+        elif context is None:
+            current = np.asarray([self.doc.root], dtype=np.int64)
+        elif isinstance(context, (int, np.integer)):
+            current = np.asarray([int(context)], dtype=np.int64)
+        else:
+            current = np.unique(np.asarray(context, dtype=np.int64))
+        for step in path.steps:
+            current = self._evaluate_step(current, step)
+        if current is DOCUMENT_CONTEXT:
+            # A bare "/" — the document node itself is not encoded.
+            return np.empty(0, dtype=np.int64)
+        return current
+
+    # ------------------------------------------------------------------
+    def _evaluate_step(self, context, step: Step) -> np.ndarray:
+        positional = any(_is_positional_predicate(p) for p in step.predicates)
+        if positional and context is not DOCUMENT_CONTEXT:
+            # Positional semantics are per context node: evaluate the axis
+            # for each node separately so position()/last() see the right
+            # node list.
+            pieces = []
+            for c in np.asarray(context, dtype=np.int64):
+                single = np.asarray([int(c)], dtype=np.int64)
+                pieces.append(self._single_context_step(single, step))
+            if not pieces:
+                return np.empty(0, dtype=np.int64)
+            merged = np.concatenate(pieces)
+            return np.unique(merged)
+        return self._single_context_step(context, step)
+
+    def _single_context_step(self, context, step: Step) -> np.ndarray:
+        candidates = self._axis_with_test(context, step)
+        for predicate in step.predicates:
+            candidates = self._filter_predicate(candidates, step.axis, predicate)
+        return candidates
+
+    def _axis_with_test(self, context, step: Step) -> np.ndarray:
+        if (
+            self.pushdown
+            and context is DOCUMENT_CONTEXT
+            and step.test.kind == "name"
+            and step.axis in ("descendant", "descendant-or-self")
+        ):
+            # Every node descends from the document node: the pushed-down
+            # name test *is* the step — read the fragment and be done.
+            pres, _ = self.fragments.fragment(step.test.name or "")
+            return pres
+        if (
+            self.pushdown
+            and context is not DOCUMENT_CONTEXT
+            and step.test.kind == "name"
+            and step.axis in ("descendant", "ancestor")
+        ):
+            context_array = np.asarray(context, dtype=np.int64)
+            if step.axis == "descendant":
+                return self.fragments.descendant_step(
+                    context_array, step.test.name or "", self.stats
+                )
+            return self.fragments.ancestor_step(
+                context_array, step.test.name or "", self.stats
+            )
+        pres = self.axes.step(context, step.axis)
+        return apply_node_test(
+            self.doc, pres, step.axis, step.test.kind, step.test.name
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _filter_predicate(
+        self, candidates: np.ndarray, axis: str, predicate: Expr
+    ) -> np.ndarray:
+        if len(candidates) == 0:
+            return candidates
+        ordered = candidates[::-1] if axis in _REVERSE_AXES else candidates
+        size = len(ordered)
+        kept = []
+        for position, pre in enumerate(ordered, start=1):
+            value = self._expr(predicate, int(pre), position, size)
+            if isinstance(value, float):
+                # Positional shorthand: [n] ⇔ [position() = n].  Float
+                # comparison handles NaN/±inf/non-integers (all false).
+                keep = value == float(position)
+            else:
+                keep = self._to_boolean(value)
+            if keep:
+                kept.append(int(pre))
+        kept.sort()
+        return np.asarray(kept, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation (XPath 1.0 core semantics)
+    # ------------------------------------------------------------------
+    def _expr(self, expr: Expr, context_pre: int, position: int, size: int):
+        if isinstance(expr, NumberLiteral):
+            return expr.value
+        if isinstance(expr, StringLiteral):
+            return expr.value
+        if isinstance(expr, LocationPath):
+            seed = None if expr.absolute else context_pre
+            return self.evaluate(expr, context=seed)
+        if isinstance(expr, FunctionCall):
+            return self._function(expr, context_pre, position, size)
+        if isinstance(expr, BinaryExpr):
+            if expr.op == "or":
+                left = self._to_boolean(self._expr(expr.left, context_pre, position, size))
+                if left:
+                    return True
+                return self._to_boolean(self._expr(expr.right, context_pre, position, size))
+            if expr.op == "and":
+                left = self._to_boolean(self._expr(expr.left, context_pre, position, size))
+                if not left:
+                    return False
+                return self._to_boolean(self._expr(expr.right, context_pre, position, size))
+            left = self._expr(expr.left, context_pre, position, size)
+            right = self._expr(expr.right, context_pre, position, size)
+            if expr.op == "|":
+                if not (isinstance(left, np.ndarray) and isinstance(right, np.ndarray)):
+                    raise XPathEvaluationError("'|' requires node-set operands")
+                return np.union1d(left, right)
+            if expr.op in ("+", "-", "*", "div", "mod"):
+                return self._arithmetic(expr.op, left, right)
+            return self._compare(expr.op, left, right)
+        raise XPathEvaluationError(f"cannot evaluate expression {expr!r}")
+
+    def _arithmetic(self, op: str, left, right) -> float:
+        """XPath 1.0 numeric operators (NaN-propagating)."""
+        ln, rn = self._to_number(left), self._to_number(right)
+        if np.isnan(ln) or np.isnan(rn):
+            return float("nan")
+        if op == "+":
+            return ln + rn
+        if op == "-":
+            return ln - rn
+        if op == "*":
+            return ln * rn
+        if op == "div":
+            if rn == 0:
+                return float("inf") if ln > 0 else float("-inf") if ln < 0 else float("nan")
+            return ln / rn
+        # mod: remainder with the sign of the dividend (math.fmod semantics)
+        if rn == 0:
+            return float("nan")
+        import math
+
+        return math.fmod(ln, rn)
+
+    def _function(self, call: FunctionCall, context_pre: int, position: int, size: int):
+        name = call.name
+        args = [self._expr(a, context_pre, position, size) for a in call.args]
+        if name == "position":
+            return float(position)
+        if name == "last":
+            return float(size)
+        if name == "count":
+            if len(args) != 1 or not isinstance(args[0], np.ndarray):
+                raise XPathEvaluationError("count() expects one node-set argument")
+            return float(len(args[0]))
+        if name == "not":
+            if len(args) != 1:
+                raise XPathEvaluationError("not() expects one argument")
+            return not self._to_boolean(args[0])
+        if name == "name":
+            if args:
+                node_set = args[0]
+                if not isinstance(node_set, np.ndarray):
+                    raise XPathEvaluationError("name() expects a node-set argument")
+                if len(node_set) == 0:
+                    return ""
+                return self.doc.tag_of(int(node_set[0]))
+            return self.doc.tag_of(context_pre)
+        if name == "string-length":
+            if args:
+                return float(len(self._to_string(args[0])))
+            return float(len(self.doc.string_value(context_pre)))
+        if name == "contains":
+            if len(args) != 2:
+                raise XPathEvaluationError("contains() expects two arguments")
+            return self._to_string(args[1]) in self._to_string(args[0])
+        if name == "starts-with":
+            if len(args) != 2:
+                raise XPathEvaluationError("starts-with() expects two arguments")
+            return self._to_string(args[0]).startswith(self._to_string(args[1]))
+        if name == "local-name":
+            # No namespaces in this data model: local-name == name.
+            return self._function(
+                FunctionCall("name", call.args), context_pre, position, size
+            )
+        if name == "string":
+            if args:
+                return self._to_string(args[0])
+            return self.doc.string_value(context_pre)
+        if name == "number":
+            if args:
+                return self._to_number(args[0])
+            return self._to_number(self.doc.string_value(context_pre))
+        if name == "boolean":
+            if len(args) != 1:
+                raise XPathEvaluationError("boolean() expects one argument")
+            return self._to_boolean(args[0])
+        if name == "true":
+            return True
+        if name == "false":
+            return False
+        if name == "concat":
+            if len(args) < 2:
+                raise XPathEvaluationError("concat() expects two or more arguments")
+            return "".join(self._to_string(a) for a in args)
+        if name == "substring":
+            if len(args) not in (2, 3):
+                raise XPathEvaluationError("substring() expects two or three arguments")
+            value = self._to_string(args[0])
+            # XPath positions are 1-based and rounded; out-of-range is
+            # clamped, NaN yields the empty string.
+            start_number = self._to_number(args[1])
+            if np.isnan(start_number):
+                return ""
+            start = int(round(start_number))
+            if len(args) == 3:
+                length_number = self._to_number(args[2])
+                if np.isnan(length_number):
+                    return ""
+                end = start + int(round(length_number))
+            else:
+                end = len(value) + 1
+            begin = max(1, start)
+            return value[begin - 1 : max(begin - 1, end - 1)]
+        if name == "substring-before":
+            if len(args) != 2:
+                raise XPathEvaluationError("substring-before() expects two arguments")
+            value, marker = self._to_string(args[0]), self._to_string(args[1])
+            index = value.find(marker)
+            return value[:index] if index >= 0 else ""
+        if name == "substring-after":
+            if len(args) != 2:
+                raise XPathEvaluationError("substring-after() expects two arguments")
+            value, marker = self._to_string(args[0]), self._to_string(args[1])
+            index = value.find(marker)
+            return value[index + len(marker):] if index >= 0 else ""
+        if name == "normalize-space":
+            if args:
+                value = self._to_string(args[0])
+            else:
+                value = self.doc.string_value(context_pre)
+            return " ".join(value.split())
+        if name == "sum":
+            if len(args) != 1 or not isinstance(args[0], np.ndarray):
+                raise XPathEvaluationError("sum() expects one node-set argument")
+            return float(
+                sum(self._to_number(self.doc.string_value(int(p))) for p in args[0])
+            )
+        if name == "floor":
+            import math
+
+            return float(math.floor(self._to_number(args[0])))
+        if name == "ceiling":
+            import math
+
+            return float(math.ceil(self._to_number(args[0])))
+        if name == "round":
+            number = self._to_number(args[0])
+            if np.isnan(number):
+                return number
+            import math
+
+            return float(math.floor(number + 0.5))  # XPath rounds half up
+        raise XPathEvaluationError(f"unknown function {name!r}")
+
+    # -- coercions --------------------------------------------------------
+    def _to_boolean(self, value) -> bool:
+        if isinstance(value, np.ndarray):
+            return len(value) > 0
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float):
+            return value != 0.0 and not np.isnan(value)
+        if isinstance(value, str):
+            return value != ""
+        raise XPathEvaluationError(f"cannot coerce {type(value).__name__} to boolean")
+
+    def _to_number(self, value) -> float:
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if isinstance(value, float):
+            return value
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError:
+                return float("nan")
+        if isinstance(value, np.ndarray):
+            return self._to_number(self._to_string(value))
+        raise XPathEvaluationError(f"cannot coerce {type(value).__name__} to number")
+
+    def _to_string(self, value) -> str:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, float):
+            if value == int(value):
+                return str(int(value))
+            return str(value)
+        if isinstance(value, np.ndarray):
+            if len(value) == 0:
+                return ""
+            return self.doc.string_value(int(value[0]))
+        raise XPathEvaluationError(f"cannot coerce {type(value).__name__} to string")
+
+    def _compare(self, op: str, left, right) -> bool:
+        """XPath 1.0 comparison with existential node-set semantics."""
+        if isinstance(left, np.ndarray) and isinstance(right, np.ndarray):
+            left_values = {self.doc.string_value(int(p)) for p in left}
+            right_values = {self.doc.string_value(int(p)) for p in right}
+            return any(
+                self._compare_scalar(op, lv, rv)
+                for lv in left_values
+                for rv in right_values
+            )
+        if isinstance(left, np.ndarray):
+            return any(
+                self._compare_scalar(op, self.doc.string_value(int(p)), right)
+                for p in left
+            )
+        if isinstance(right, np.ndarray):
+            return any(
+                self._compare_scalar(op, left, self.doc.string_value(int(p)))
+                for p in right
+            )
+        return self._compare_scalar(op, left, right)
+
+    def _compare_scalar(self, op: str, left, right) -> bool:
+        if op in ("<", "<=", ">", ">="):
+            ln, rn = self._to_number(left), self._to_number(right)
+            if np.isnan(ln) or np.isnan(rn):
+                return False
+            return {"<": ln < rn, "<=": ln <= rn, ">": ln > rn, ">=": ln >= rn}[op]
+        # = / != : numbers if either side is numeric or boolean if either
+        # side is boolean, else strings.
+        if isinstance(left, bool) or isinstance(right, bool):
+            lb, rb = self._to_boolean(left), self._to_boolean(right)
+            return lb == rb if op == "=" else lb != rb
+        if isinstance(left, float) or isinstance(right, float):
+            ln, rn = self._to_number(left), self._to_number(right)
+            if np.isnan(ln) or np.isnan(rn):
+                return op == "!="
+            return ln == rn if op == "=" else ln != rn
+        ls, rs = self._to_string(left), self._to_string(right)
+        return ls == rs if op == "=" else ls != rs
+
+
+def evaluate(
+    doc: DocTable,
+    path: Union[str, LocationPath],
+    context: Union[None, int, np.ndarray] = None,
+    strategy: str = "staircase",
+    mode: SkipMode = SkipMode.ESTIMATE,
+    pushdown: bool = False,
+    stats: Optional[JoinStatistics] = None,
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`Evaluator`."""
+    evaluator = Evaluator(
+        doc, strategy=strategy, mode=mode, pushdown=pushdown, stats=stats
+    )
+    return evaluator.evaluate(path, context=context)

@@ -1,0 +1,91 @@
+"""Tokeniser for the XPath subset.
+
+A hand-written scanner producing a flat token list; the parser consumes it
+with one-token lookahead.  Token types:
+
+``NAME``, ``NUMBER``, ``STRING``, ``AXIS`` (a name directly followed by
+``::``), and the punctuation/operator tokens spelled literally (``/``,
+``//``, ``[``, ``]``, ``(``, ``)``, ``@``, ``.``, ``..``, ``*``, ``,``,
+``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``, ``|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import XPathSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_TWO_CHAR = ("//", "..", "!=", "<=", ">=", "::")
+_ONE_CHAR = set("/[]()@.*,=<>|+-")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str  # "NAME" | "NUMBER" | "STRING" | literal spelling | "EOF"
+    value: str
+    position: int
+
+
+def tokenize(expression: str) -> List[Token]:
+    """Scan ``expression`` into tokens (with a trailing ``EOF`` token)."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(expression)
+    while i < n:
+        ch = expression[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # String literals
+        if ch in ("'", '"'):
+            end = expression.find(ch, i + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", i, expression)
+            tokens.append(Token("STRING", expression[i + 1 : end], i))
+            i = end + 1
+            continue
+        # Numbers
+        if ch.isdigit():
+            start = i
+            while i < n and expression[i].isdigit():
+                i += 1
+            if i < n and expression[i] == "." and i + 1 < n and expression[i + 1].isdigit():
+                i += 1
+                while i < n and expression[i].isdigit():
+                    i += 1
+            tokens.append(Token("NUMBER", expression[start:i], start))
+            continue
+        # Names (axes, tags, functions, operators 'and'/'or')
+        if ch in _NAME_START:
+            start = i
+            while i < n and expression[i] in _NAME_CHARS:
+                i += 1
+            name = expression[start:i]
+            # A name with a trailing '.' or '-' that is really punctuation
+            # cannot occur in our grammar, so greedy scanning is safe.
+            if expression.startswith("::", i):
+                tokens.append(Token("AXIS", name, start))
+                i += 2
+            else:
+                tokens.append(Token("NAME", name, start))
+            continue
+        # Two-character operators
+        two = expression[i : i + 2]
+        if two in _TWO_CHAR:
+            if two == "::":
+                raise XPathSyntaxError("'::' without an axis name", i, expression)
+            tokens.append(Token(two, two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(ch, ch, i))
+            i += 1
+            continue
+        raise XPathSyntaxError(f"unexpected character {ch!r}", i, expression)
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,303 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (abbreviations are desugared while parsing — ``//`` becomes a
+``descendant-or-self::node()`` step, ``@x`` becomes ``attribute::x``,
+``.``/``..`` become ``self``/``parent`` steps):
+
+.. code-block:: text
+
+   path        := '/' relative? | '//' relative | relative
+   relative    := step (('/' | '//') step)*
+   step        := axis '::' nodetest predicate*
+                | '@' nodetest predicate*
+                | nodetest predicate*          (child axis)
+                | '.' | '..'
+   nodetest    := NAME | '*' | ('node'|'text'|'comment'
+                | 'processing-instruction') '(' ')'
+   predicate   := '[' expr ']'
+   expr        := or-expr
+   or-expr     := and-expr ('or' and-expr)*
+   and-expr    := cmp-expr ('and' cmp-expr)*
+   cmp-expr    := value (('='|'!='|'<'|'<='|'>'|'>=') value)?
+   value       := NUMBER | STRING | function '(' args ')' | '(' expr ')'
+                | path
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    AXES,
+    BinaryExpr,
+    Expr,
+    FunctionCall,
+    LocationPath,
+    NodeTest,
+    NumberLiteral,
+    Step,
+    StringLiteral,
+)
+from repro.xpath.lexer import Token, tokenize
+
+__all__ = ["parse_xpath"]
+
+_KIND_TESTS = ("node", "text", "comment", "processing-instruction")
+_DESC_OR_SELF = Step("descendant-or-self", NodeTest("node"))
+_KNOWN_FUNCTIONS = (
+    "position",
+    "last",
+    "count",
+    "not",
+    "name",
+    "local-name",
+    "string",
+    "number",
+    "boolean",
+    "true",
+    "false",
+    "string-length",
+    "contains",
+    "starts-with",
+    "concat",
+    "substring",
+    "substring-before",
+    "substring-after",
+    "normalize-space",
+    "sum",
+    "floor",
+    "ceiling",
+    "round",
+)
+
+
+class _Parser:
+    def __init__(self, expression: str):
+        self.expression = expression
+        self.tokens = tokenize(expression)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, token_type: str) -> bool:
+        if self.current.type == token_type:
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, token_type: str) -> Token:
+        if self.current.type != token_type:
+            raise self.error(f"expected {token_type!r}, got {self.current.type!r}")
+        return self.advance()
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, self.current.position, self.expression)
+
+    # -- entry points ------------------------------------------------------
+    def parse(self):
+        expression = self.parse_path()
+        while self.current.type == "|":
+            # Top-level union of paths: "//a | //b".
+            self.advance()
+            expression = BinaryExpr("|", expression, self.parse_path())
+        if self.current.type != "EOF":
+            raise self.error(f"unexpected trailing {self.current.value!r}")
+        return expression
+
+    def parse_path(self) -> LocationPath:
+        steps: List[Step] = []
+        if self.accept("//"):
+            steps.append(_DESC_OR_SELF)
+            steps.extend(self.parse_relative())
+            return LocationPath(True, tuple(steps))
+        if self.accept("/"):
+            if self._at_step_start():
+                steps.extend(self.parse_relative())
+            return LocationPath(True, tuple(steps))
+        steps.extend(self.parse_relative())
+        return LocationPath(False, tuple(steps))
+
+    def _at_step_start(self) -> bool:
+        return self.current.type in ("NAME", "AXIS", "@", ".", "..", "*")
+
+    def parse_relative(self) -> List[Step]:
+        steps = [self.parse_step()]
+        while True:
+            if self.accept("//"):
+                steps.append(_DESC_OR_SELF)
+                steps.append(self.parse_step())
+            elif self.accept("/"):
+                steps.append(self.parse_step())
+            else:
+                return steps
+
+    # -- steps -------------------------------------------------------------
+    def parse_step(self) -> Step:
+        if self.accept("."):
+            return Step("self", NodeTest("node"), self.parse_predicates())
+        if self.accept(".."):
+            return Step("parent", NodeTest("node"), self.parse_predicates())
+        if self.current.type == "AXIS":
+            axis = self.advance().value
+            if axis not in AXES:
+                if axis == "namespace":
+                    raise self.error(
+                        "the namespace axis is not supported (no namespace "
+                        "nodes in this data model)"
+                    )
+                raise self.error(f"unknown axis {axis!r}")
+            test = self.parse_nodetest(axis)
+            return Step(axis, test, self.parse_predicates())
+        if self.accept("@"):
+            test = self.parse_nodetest("attribute")
+            return Step("attribute", test, self.parse_predicates())
+        test = self.parse_nodetest("child")
+        return Step("child", test, self.parse_predicates())
+
+    def parse_nodetest(self, axis: str) -> NodeTest:
+        if self.accept("*"):
+            return NodeTest("*")
+        token = self.expect("NAME")
+        if token.value in _KIND_TESTS and self.current.type == "(":
+            self.advance()
+            target = None
+            if self.current.type == "STRING":
+                target = self.advance().value
+            self.expect(")")
+            if token.value == "processing-instruction":
+                return NodeTest("processing-instruction", target)
+            if target is not None:
+                raise self.error(f"{token.value}() takes no argument")
+            return NodeTest(token.value)
+        return NodeTest("name", token.value)
+
+    def parse_predicates(self) -> Tuple[Expr, ...]:
+        predicates: List[Expr] = []
+        while self.accept("["):
+            predicates.append(self.parse_expr())
+            self.expect("]")
+        return tuple(predicates)
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.current.type == "NAME" and self.current.value == "or":
+            self.advance()
+            left = BinaryExpr("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_equality()
+        while self.current.type == "NAME" and self.current.value == "and":
+            self.advance()
+            left = BinaryExpr("and", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> Expr:
+        left = self.parse_relational()
+        while self.current.type in ("=", "!="):
+            op = self.advance().type
+            left = BinaryExpr(op, left, self.parse_relational())
+        return left
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        while self.current.type in ("<", "<=", ">", ">="):
+            op = self.advance().type
+            left = BinaryExpr(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.current.type in ("+", "-"):
+            op = self.advance().type
+            left = BinaryExpr(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            # '*' after an operand is multiplication (XPath 1.0's
+            # operand-context disambiguation); 'div'/'mod' are operator
+            # names in the same position.
+            if self.current.type == "*":
+                self.advance()
+                left = BinaryExpr("*", left, self.parse_unary())
+            elif self.current.type == "NAME" and self.current.value in ("div", "mod"):
+                op = self.advance().value
+                left = BinaryExpr(op, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.current.type == "-":
+            self.advance()
+            # XPath defines -x as 0 - x; reuse the binary node.
+            return BinaryExpr("-", NumberLiteral(0.0), self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> Expr:
+        left = self.parse_value()
+        while self.current.type == "|":
+            self.advance()
+            left = BinaryExpr("|", left, self.parse_value())
+        return left
+
+    def parse_value(self) -> Expr:
+        token = self.current
+        if token.type == "NUMBER":
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.type == "STRING":
+            self.advance()
+            return StringLiteral(token.value)
+        if token.type == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.type == "NAME" and self.tokens[self.index + 1].type == "(":
+            if token.value in _KIND_TESTS:
+                return self._path_value()  # a kind test step, not a function
+            if token.value not in _KNOWN_FUNCTIONS:
+                raise self.error(f"unknown function {token.value!r}")
+            self.advance()
+            self.advance()  # '('
+            args: List[Expr] = []
+            if self.current.type != ")":
+                args.append(self.parse_expr())
+                while self.accept(","):
+                    args.append(self.parse_expr())
+            self.expect(")")
+            return FunctionCall(token.value, tuple(args))
+        if token.type in ("NAME", "AXIS", "@", ".", "..", "*", "/", "//"):
+            return self._path_value()
+        raise self.error(f"unexpected {token.value or token.type!r} in expression")
+
+    def _path_value(self) -> LocationPath:
+        return self.parse_path()
+
+
+def parse_xpath(expression: str):
+    """Parse an XPath expression.
+
+    Returns a :class:`LocationPath`, or a ``BinaryExpr("|", ...)`` tree
+    for top-level unions of paths.  Raises
+    :class:`~repro.errors.XPathSyntaxError` with a position marker on
+    malformed input.
+    """
+    if not expression or not expression.strip():
+        raise XPathSyntaxError("empty XPath expression")
+    return _Parser(expression).parse()

@@ -1,0 +1,100 @@
+"""XPath rewriting laws used in the paper's experiments.
+
+Two rewrites appear in Section 4.4:
+
+* **Name-test pushdown** (Experiment 3): ``cs/ancestor::n`` evaluated as
+  ``staircasejoin_anc(nametest(doc, n), cs)`` instead of
+  ``nametest(staircasejoin_anc(doc, cs), n)``.  Valid because the tree
+  properties staircase join relies on are "entirely based on preorder and
+  postorder ranks [and] remain valid for a subset of nodes".  In this
+  repository pushdown is an :class:`~repro.xpath.evaluator.Evaluator`
+  option; :func:`push_name_test` reports *where* it applies, which the
+  planner and the benchmarks use.
+
+* **Symmetry rewrite** [Olteanu et al. 2001]: the paper ran the DB2
+  comparison for Q2 on the manually rewritten
+  ``/descendant::bidder[descendant::increase]`` because the tree-unaware
+  optimiser mis-planned ``/descendant::increase/ancestor::bidder``.
+  :func:`symmetry_rewrite` implements exactly this law — a trailing
+  ``ancestor::n`` step becomes a name-tested descendant step with an
+  existential ``descendant`` predicate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.xpath.ast import LocationPath, NodeTest, Step
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["push_name_test", "pushdown_opportunities", "symmetry_rewrite"]
+
+
+def pushdown_opportunities(path: LocationPath) -> List[int]:
+    """Indices of steps where a name test can be pushed below the join.
+
+    A step qualifies when it walks ``descendant`` or ``ancestor`` with a
+    plain name test and no predicates — the exact shape of the paper's
+    Experiment 3 steps.
+    """
+    return [
+        index
+        for index, step in enumerate(path.steps)
+        if step.axis in ("descendant", "ancestor")
+        and step.test.kind == "name"
+        and not step.predicates
+    ]
+
+
+def push_name_test(path: LocationPath) -> Tuple[LocationPath, List[int]]:
+    """Return ``path`` plus the step indices eligible for pushdown.
+
+    The AST itself is unchanged (pushdown is an execution-strategy
+    decision, not a syntactic one); callers enable it by constructing an
+    evaluator with ``pushdown=True``.  Returning the opportunity list
+    keeps plan explanations honest: "pushdown makes sense for selective
+    name tests only" (Section 4.4) — an empty list means the evaluator
+    flag would change nothing.
+    """
+    return path, pushdown_opportunities(path)
+
+
+def symmetry_rewrite(path) -> LocationPath:
+    """Rewrite a trailing ``.../descendant::m/ancestor::n`` pair.
+
+    ``cs/descendant::m/ancestor::n`` is equivalent to
+    ``cs/descendant-or-self::node()/child::n[descendant::m]`` restricted
+    to descendants of ``cs`` — for the paper's absolute Q2,
+    ``/descendant::increase/ancestor::bidder`` becomes
+    ``/descendant::bidder[descendant::increase]``.
+
+    The law implemented here covers the absolute two-step shape the paper
+    used (and the test suite verifies the equivalence on random
+    documents); other shapes are returned unchanged.
+    """
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    steps = path.steps
+    # Only the absolute two-step shape: with a longer prefix the ancestor
+    # step may climb above the prefix context, where the rewritten
+    # descendant step would not look.
+    if len(steps) != 2 or not path.absolute:
+        return path
+    desc_step = steps[-2]
+    anc_step = steps[-1]
+    if not (
+        desc_step.axis == "descendant"
+        and desc_step.test.kind == "name"
+        and not desc_step.predicates
+        and anc_step.axis == "ancestor"
+        and anc_step.test.kind == "name"
+        and not anc_step.predicates
+    ):
+        return path
+    predicate = LocationPath(
+        False, (Step("descendant", NodeTest("name", desc_step.test.name)),)
+    )
+    rewritten_last = Step(
+        "descendant", NodeTest("name", anc_step.test.name), (predicate,)
+    )
+    return LocationPath(path.absolute, steps[:-2] + (rewritten_last,))

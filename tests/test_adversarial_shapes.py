@@ -1,0 +1,138 @@
+"""Staircase join on adversarial tree shapes.
+
+Random trees rarely produce the extreme shapes where off-by-one bugs in
+partition boundaries and skip hops live: pure chains (height = n−1,
+Equation (1)'s level term at its maximum), pure stars (h = 1, maximal
+fan-out), combs, and full binary trees.  Each shape runs all modes of
+both staircase axes against the tree-walk reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.staircase import SkipMode, staircase_join
+from repro.counters import JoinStatistics
+from repro.encoding.prepost import encode
+from repro.xmltree.model import Node, NodeKind, element
+
+from _reference import axis_pres
+
+ALL_MODES = [SkipMode.NONE, SkipMode.SKIP, SkipMode.ESTIMATE, SkipMode.EXACT]
+
+
+def chain(n):
+    """a0 > a1 > ... > a(n-1): one path, height n−1."""
+    root = element("n0")
+    node = root
+    for i in range(1, n):
+        node = node.append(element(f"n{i}"))
+    return root
+
+
+def star(n):
+    """One root, n−1 leaf children: height 1."""
+    return element("hub", *[element(f"leaf{i}") for i in range(n - 1)])
+
+
+def comb(n):
+    """Spine with a tooth at every level: worst case for subtree hops."""
+    root = element("s0")
+    node = root
+    for i in range(1, n // 2):
+        node.append(element(f"tooth{i}"))
+        node = node.append(element(f"s{i}"))
+    return root
+
+
+def binary(depth):
+    """Full binary tree of the given depth."""
+
+    def build(level):
+        node = element(f"b{level}")
+        if level < depth:
+            node.append(build(level + 1))
+            node.append(build(level + 1))
+        return node
+
+    return build(0)
+
+
+SHAPES = {
+    "chain": chain(60),
+    "star": star(60),
+    "comb": comb(60),
+    "binary": binary(5),
+}
+
+
+@pytest.mark.parametrize("shape", list(SHAPES), ids=list(SHAPES))
+@pytest.mark.parametrize("axis", ["descendant", "ancestor", "following", "preceding"])
+@pytest.mark.parametrize("mode", ALL_MODES, ids=[m.value for m in ALL_MODES])
+class TestShapes:
+    def test_matches_reference(self, shape, axis, mode):
+        tree = SHAPES[shape]
+        doc = encode(tree)
+        n = len(doc)
+        rng = np.random.default_rng(hash((shape, axis)) % 2**32)
+        for k in (1, 3, n // 2):
+            context = np.sort(rng.choice(n, size=min(k, n), replace=False))
+            got = staircase_join(doc, context, axis, mode)
+            expected = axis_pres(tree, context, axis)
+            assert got.tolist() == expected.tolist()
+
+
+class TestShapeSpecificBounds:
+    def test_chain_ancestor_from_leaf_touches_whole_path(self):
+        """On a chain every prefix node is an ancestor: touched == result."""
+        doc = encode(chain(100))
+        stats = JoinStatistics()
+        result = staircase_join(
+            doc, np.array([99]), "ancestor", SkipMode.SKIP, stats
+        )
+        assert len(result) == 99
+        assert stats.nodes_touched == 99
+        assert stats.nodes_skipped == 0  # nothing to skip on a pure path
+
+    def test_chain_level_equals_height(self):
+        doc = encode(chain(50))
+        assert doc.height == 49
+        assert doc.level_of(49) == 49
+
+    def test_star_descendant_is_pure_copy_phase(self):
+        """post(root) − pre(root) equals the child count: the whole step
+        is the Equation (1) copy phase, zero comparisons."""
+        doc = encode(star(80))
+        stats = JoinStatistics()
+        result = staircase_join(
+            doc, np.array([0]), "descendant", SkipMode.ESTIMATE, stats
+        )
+        assert len(result) == 79
+        assert stats.nodes_copied == 79
+        assert stats.nodes_scanned == 0
+
+    def test_comb_ancestor_skips_teeth(self):
+        """Teeth (and their absence of subtrees) must not break the
+        hop-ahead logic; ancestors of the deepest spine node are exactly
+        the spine."""
+        tree = comb(60)
+        doc = encode(tree)
+        deepest = int(np.argmax(doc.level))
+        stats = JoinStatistics()
+        result = staircase_join(
+            doc, np.array([deepest]), "ancestor", SkipMode.ESTIMATE, stats
+        )
+        assert len(result) == int(doc.level[deepest])
+        expected = axis_pres(tree, np.array([deepest]), "ancestor")
+        assert result.tolist() == expected.tolist()
+
+    def test_binary_tree_full_context(self):
+        """Every node as context: pruning must collapse to the root for
+        descendant and to the leaves for ancestor."""
+        from repro.core.pruning import prune
+
+        doc = encode(binary(6))
+        everything = np.arange(len(doc))
+        assert prune(doc, everything, "descendant").tolist() == [0]
+        leaves = prune(doc, everything, "ancestor")
+        assert all(doc.subtree_size_exact(int(p)) == 0 for p in leaves)
+        assert len(leaves) == 2 ** 6

@@ -1,0 +1,131 @@
+"""Baseline joins: result equivalence and duplicate accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.mpmgjn import mpmgjn_pairs, mpmgjn_step
+from repro.baselines.naive import naive_step, naive_step_with_duplicates
+from repro.baselines.stacktree import stack_tree_pairs, stack_tree_step
+from repro.core.staircase import SkipMode, staircase_join
+from repro.counters import JoinStatistics
+from repro.encoding.prepost import encode
+from repro.errors import XPathEvaluationError
+
+from _reference import random_tree
+
+
+def random_context(n, seed, k=6):
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n, size=min(k, n), replace=False))
+
+
+class TestNaive:
+    @given(
+        seed=st.integers(0, 5000),
+        size=st.integers(1, 150),
+        axis=st.sampled_from(["descendant", "ancestor", "following", "preceding"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_staircase_after_dedup(self, seed, size, axis):
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        expected = staircase_join(doc, context, axis, SkipMode.ESTIMATE)
+        got = naive_step(doc, context, axis)
+        assert got.tolist() == expected.tolist()
+
+    def test_duplicates_counted(self, fig1_doc):
+        # g and h share ancestors f, e, a entirely.
+        stats = JoinStatistics()
+        naive_step(fig1_doc, np.array([6, 7]), "ancestor", stats)
+        assert stats.duplicates_generated == 3
+
+    def test_produced_includes_duplicates(self, fig1_doc):
+        produced = naive_step_with_duplicates(fig1_doc, np.array([6, 7]), "ancestor")
+        assert len(produced) == 6  # (f,e,a) twice
+        assert len(np.unique(produced)) == 3
+
+    def test_staircase_never_generates_duplicates(self, fig1_doc):
+        stats = JoinStatistics()
+        staircase_join(fig1_doc, np.array([6, 7]), "ancestor", SkipMode.ESTIMATE, stats)
+        assert stats.duplicates_generated == 0
+
+    def test_unsupported_axis(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError):
+            naive_step(fig1_doc, np.array([0]), "child")
+
+
+class TestMPMGJN:
+    @given(
+        seed=st.integers(0, 5000),
+        size=st.integers(1, 150),
+        axis=st.sampled_from(["descendant", "ancestor"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_staircase_after_dedup(self, seed, size, axis):
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        expected = staircase_join(doc, context, axis, SkipMode.ESTIMATE)
+        got = mpmgjn_step(doc, context, axis)
+        assert got.tolist() == expected.tolist()
+
+    def test_pairs_are_exact_containment(self, fig1_doc):
+        pairs = mpmgjn_pairs(fig1_doc, np.array([4]), fig1_doc.pres())  # e
+        assert sorted(d for _, d in pairs) == [5, 6, 7, 8, 9]
+
+    def test_touches_more_nodes_than_staircase_on_overlap(self, medium_xmark):
+        """Section 5: 'staircase join touches and tests less nodes than
+        MPMGJN' — nested contexts are scanned once per cover."""
+        doc = medium_xmark
+        # open_auction contains its bidders: heavily nested context.
+        context = np.sort(
+            np.concatenate(
+                [doc.pres_with_tag("open_auction"), doc.pres_with_tag("bidder")]
+            )
+        )
+        mp_stats = JoinStatistics()
+        mpmgjn_step(doc, context, "descendant", mp_stats)
+        scj_stats = JoinStatistics()
+        staircase_join(doc, context, "descendant", SkipMode.ESTIMATE, scj_stats)
+        assert mp_stats.nodes_scanned > scj_stats.nodes_touched
+
+    def test_unsupported_axis(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError):
+            mpmgjn_step(fig1_doc, np.array([0]), "following")
+
+
+class TestStackTree:
+    @given(
+        seed=st.integers(0, 5000),
+        size=st.integers(1, 150),
+        axis=st.sampled_from(["descendant", "ancestor"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_staircase_after_dedup(self, seed, size, axis):
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        expected = staircase_join(doc, context, axis, SkipMode.ESTIMATE)
+        got = stack_tree_step(doc, context, axis)
+        assert got.tolist() == expected.tolist()
+
+    @given(seed=st.integers(0, 5000), size=st.integers(1, 150))
+    @settings(max_examples=50, deadline=None)
+    def test_pair_sets_agree_with_mpmgjn(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        everything = doc.pres()
+        st_pairs = set(stack_tree_pairs(doc, context, everything))
+        mp_pairs = set(mpmgjn_pairs(doc, context, everything))
+        assert st_pairs == mp_pairs
+
+    def test_single_merge_pass_bound(self, medium_xmark):
+        """Each list element enters the merge exactly once."""
+        doc = medium_xmark
+        context = doc.pres_with_tag("person")
+        stats = JoinStatistics()
+        stack_tree_pairs(doc, context, doc.pres(), stats)
+        assert stats.nodes_scanned <= len(context) + len(doc)
+
+    def test_unsupported_axis(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError):
+            stack_tree_step(fig1_doc, np.array([0]), "preceding")

@@ -1,0 +1,99 @@
+"""CLI tests (invoked in-process through ``repro.cli.main``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(
+        "<site><people>"
+        '<person id="p0"><name>Ada</name></person>'
+        '<person id="p1"><name>Alan</name></person>'
+        "</people></site>"
+    )
+    return str(path)
+
+
+class TestGenerateEncode:
+    def test_generate_writes_xml(self, tmp_path, capsys):
+        out = str(tmp_path / "g.xml")
+        assert main(["generate", "--size", "0.05", "-o", out]) == 0
+        content = open(out).read()
+        assert content.startswith("<?xml")
+        assert "<site>" in content
+        assert "wrote" in capsys.readouterr().err
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.xml"), str(tmp_path / "b.xml")
+        main(["generate", "--size", "0.05", "-o", a])
+        main(["generate", "--size", "0.05", "-o", b])
+        assert open(a).read() == open(b).read()
+
+    def test_encode_round_trip(self, xml_file, tmp_path, capsys):
+        out = str(tmp_path / "doc.npz")
+        assert main(["encode", xml_file, "-o", out]) == 0
+        assert main(["query", out, "//person"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+
+class TestQuery:
+    def test_query_prints_rows(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 2
+        assert "person" in lines[0]
+        assert "nodes in" in captured.err
+
+    def test_query_serialize(self, xml_file, capsys):
+        assert main(["query", xml_file, '//person[name = "Ada"]', "--serialize"]) == 0
+        out = capsys.readouterr().out
+        assert '<person id="p0">' in out
+        assert "<name>Ada</name>" in out
+
+    def test_query_limit(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person", "--limit", "1"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 1
+        assert "1 more" in captured.err
+
+    def test_query_stats_and_pushdown(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person", "--stats", "--pushdown"]) == 0
+        assert "join statistics" in capsys.readouterr().err
+
+    def test_query_strategies_agree(self, xml_file, capsys):
+        main(["query", xml_file, "//name", "--strategy", "staircase"])
+        a = capsys.readouterr().out
+        main(["query", xml_file, "//name", "--strategy", "vectorized"])
+        b = capsys.readouterr().out
+        assert a == b
+
+    def test_bad_xpath_is_a_clean_error(self, xml_file, capsys):
+        assert main(["query", xml_file, "sideways::x"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_a_clean_error(self, capsys):
+        assert main(["query", "no-such-file.xml", "//a"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInfoSql:
+    def test_info(self, xml_file, capsys):
+        assert main(["info", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "person" in out
+        assert "height" in out
+
+    def test_sql(self, capsys):
+        assert main(["sql", "/descendant::profile/descendant::education"]) == 0
+        out = capsys.readouterr().out
+        assert "SELECT DISTINCT" in out
+        assert "v1.tag = 'profile'" in out
+
+    def test_sql_with_eq1(self, capsys):
+        assert main(["sql", "/descendant::a/descendant::b", "--eq1"]) == 0
+        assert "v2.pre <= v1.post + h" in capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""JoinStatistics bookkeeping tests."""
+
+from repro.counters import JoinStatistics, null_statistics
+
+
+class TestCounters:
+    def test_fresh_statistics_are_zero(self):
+        stats = JoinStatistics()
+        assert all(v == 0 for v in stats.as_dict().values())
+
+    def test_nodes_touched_sums_scanned_and_copied(self):
+        stats = JoinStatistics(nodes_scanned=3, nodes_copied=4, nodes_skipped=100)
+        assert stats.nodes_touched == 7  # skips are free by definition
+
+    def test_reset(self):
+        stats = JoinStatistics(nodes_scanned=5)
+        stats.reset()
+        assert stats.nodes_scanned == 0
+
+    def test_merge_accumulates_and_returns_self(self):
+        a = JoinStatistics(nodes_scanned=1, result_size=2)
+        b = JoinStatistics(nodes_scanned=10, duplicates_generated=3)
+        merged = a.merge(b)
+        assert merged is a
+        assert a.nodes_scanned == 11
+        assert a.result_size == 2
+        assert a.duplicates_generated == 3
+
+    def test_as_dict_round_trip(self):
+        stats = JoinStatistics(partitions=7)
+        snapshot = stats.as_dict()
+        assert snapshot["partitions"] == 7
+        assert set(snapshot) == set(JoinStatistics().__dataclass_fields__)
+
+    def test_null_statistics_fresh_each_call(self):
+        assert null_statistics() is not null_statistics()

@@ -1,0 +1,72 @@
+"""Decoder tests: decode ∘ encode is the identity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.decode import decode, subtree
+from repro.encoding.prepost import encode
+from repro.errors import EncodingError
+from repro.xmltree.model import Node, NodeKind, document, element, text
+from repro.xmltree.serializer import serialize
+
+from _reference import random_tree
+
+
+def trees_equal(a: Node, b: Node) -> bool:
+    if (a.kind, a.name, a.value) != (b.kind, b.name, b.value):
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    return all(trees_equal(x, y) for x, y in zip(a.children, b.children))
+
+
+class TestDecode:
+    def test_figure1_round_trip(self, fig1_tree, fig1_doc):
+        rebuilt = decode(fig1_doc, as_document=False)
+        assert trees_equal(fig1_tree, rebuilt)
+
+    def test_document_wrapper(self, fig1_doc):
+        doc_node = decode(fig1_doc)
+        assert doc_node.kind == NodeKind.DOCUMENT
+        assert doc_node.children[0].name == "a"
+
+    def test_values_and_attributes_survive(self):
+        tree = element("p", text("body"), element("q"), id="42")
+        rebuilt = decode(encode(tree), as_document=False)
+        assert rebuilt.get_attribute("id") == "42"
+        assert rebuilt.text_content() == "body"
+
+    @given(seed=st.integers(0, 5000), size=st.integers(1, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_decode_of_encode_is_identity(self, seed, size):
+        tree = random_tree(size, seed)
+        rebuilt = decode(encode(tree), as_document=False)
+        assert trees_equal(tree, rebuilt)
+
+    @given(seed=st.integers(0, 5000), size=st.integers(1, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_serialized_forms_match(self, seed, size):
+        tree = random_tree(size, seed)
+        rebuilt = decode(encode(tree), as_document=False)
+        assert serialize(tree) == serialize(rebuilt)
+
+
+class TestSubtree:
+    def test_subtree_of_inner_node(self, fig1_doc):
+        e = subtree(fig1_doc, 4)
+        assert e.name == "e"
+        assert [c.name for c in e.children] == ["f", "i"]
+        assert e.subtree_size() == 6
+
+    def test_subtree_of_leaf(self, fig1_doc):
+        assert subtree(fig1_doc, 2).name == "c"
+        assert subtree(fig1_doc, 2).children == []
+
+    def test_out_of_range(self, fig1_doc):
+        with pytest.raises(EncodingError):
+            subtree(fig1_doc, 10)
+        with pytest.raises(EncodingError):
+            subtree(fig1_doc, -1)
+
+    def test_subtree_detached_from_rest(self, fig1_doc):
+        assert subtree(fig1_doc, 4).parent is None

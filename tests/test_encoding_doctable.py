@@ -1,0 +1,125 @@
+"""DocTable accessor and view tests."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.doctable import DocTable
+from repro.encoding.prepost import encode
+from repro.errors import EncodingError
+from repro.storage.column import StringColumn
+from repro.xmltree.model import NodeKind, element, text
+
+
+class TestValidation:
+    def test_post_must_be_permutation(self):
+        with pytest.raises(EncodingError, match="permutation"):
+            DocTable(
+                post=np.array([0, 0]),
+                level=np.zeros(2, dtype=np.int64),
+                parent=np.array([-1, 0]),
+                kind=np.ones(2, dtype=np.int64),
+                tag=StringColumn.from_strings(["a", "b"]),
+            )
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(EncodingError, match="level"):
+            DocTable(
+                post=np.array([1, 0]),
+                level=np.zeros(3, dtype=np.int64),
+                parent=np.array([-1, 0]),
+                kind=np.ones(2, dtype=np.int64),
+                tag=StringColumn.from_strings(["a", "b"]),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError, match="empty"):
+            DocTable(
+                post=np.empty(0, dtype=np.int64),
+                level=np.empty(0, dtype=np.int64),
+                parent=np.empty(0, dtype=np.int64),
+                kind=np.empty(0, dtype=np.int64),
+                tag=StringColumn.from_strings([]),
+            )
+
+
+class TestAccessors:
+    def test_scalar_accessors(self, fig1_doc):
+        assert fig1_doc.post_of(4) == 8
+        assert fig1_doc.level_of(4) == 1
+        assert fig1_doc.parent_of(4) == 0
+        assert fig1_doc.kind_of(4) == NodeKind.ELEMENT
+        assert fig1_doc.tag_of(4) == "e"
+        assert fig1_doc.is_element(4)
+        assert not fig1_doc.is_attribute(4)
+
+    def test_root_is_pre_zero(self, fig1_doc):
+        assert fig1_doc.root == 0
+
+    def test_is_ancestor(self, fig1_doc):
+        assert fig1_doc.is_ancestor(0, 9)  # a above j
+        assert fig1_doc.is_ancestor(8, 9)  # i above j
+        assert not fig1_doc.is_ancestor(9, 8)
+        assert not fig1_doc.is_ancestor(1, 9)  # b precedes j
+        assert not fig1_doc.is_ancestor(4, 4)  # not reflexive
+
+    def test_pre_of_post_inverse(self, fig1_doc):
+        inverse = fig1_doc.pre_of_post()
+        for pre in range(len(fig1_doc)):
+            assert inverse[fig1_doc.post_of(pre)] == pre
+
+    def test_children_of(self, fig1_doc):
+        assert fig1_doc.children_of(0) == [1, 3, 4]  # a → b, d, e
+        assert fig1_doc.children_of(4) == [5, 8]  # e → f, i
+        assert fig1_doc.children_of(2) == []  # c is a leaf
+
+    def test_ancestors_of(self, fig1_doc):
+        assert fig1_doc.ancestors_of(6) == [5, 4, 0]  # g → f, e, a
+        assert fig1_doc.ancestors_of(0) == []
+
+
+class TestStringValue:
+    def test_element_concatenates_descendant_text(self):
+        doc = encode(element("p", text("one "), element("b", text("two"))))
+        assert doc.string_value(0) == "one two"
+
+    def test_text_and_attribute_values(self):
+        tree = element("p", text("body"))
+        tree.set_attribute("id", "7")
+        doc = encode(tree)
+        assert doc.string_value(1) == "7"
+        assert doc.string_value(2) == "body"
+
+    def test_empty_element(self):
+        doc = encode(element("p"))
+        assert doc.string_value(0) == ""
+
+
+class TestSelections:
+    def test_pres_with_tag(self, fig1_doc):
+        assert fig1_doc.pres_with_tag("e").tolist() == [4]
+        assert fig1_doc.pres_with_tag("nothing").tolist() == []
+
+    def test_pres_with_tag_respects_kind(self):
+        tree = element("a", element("b"))
+        tree.set_attribute("b", "1")  # attribute named like the element
+        doc = encode(tree)
+        assert len(doc.pres_with_tag("b")) == 1
+        assert doc.kind_of(int(doc.pres_with_tag("b")[0])) == NodeKind.ELEMENT
+
+    def test_non_attribute_pres(self):
+        tree = element("a", element("b"), x="1")
+        doc = encode(tree)
+        assert doc.non_attribute_pres().tolist() == [0, 2]
+
+
+class TestViews:
+    def test_post_bat_shape(self, fig1_doc):
+        bat = fig1_doc.post_bat()
+        assert bat.is_dense_head
+        assert bat[0] == (0, 9)
+
+    def test_memory_footprint_positive(self, fig1_doc):
+        assert fig1_doc.memory_footprint() > 0
+
+    def test_height_computed_at_load(self, small_xmark):
+        assert small_xmark.height == 11  # the paper's document height

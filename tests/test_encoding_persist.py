@@ -1,0 +1,76 @@
+"""Persistence tests: save/load round-trip and format hygiene."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.persist import FORMAT_VERSION, load, save
+from repro.encoding.prepost import encode
+from repro.errors import EncodingError
+from repro.xpath.evaluator import evaluate
+
+from _reference import random_tree
+
+
+def tables_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.post, b.post)
+        and np.array_equal(a.level, b.level)
+        and np.array_equal(a.parent, b.parent)
+        and np.array_equal(a.kind, b.kind)
+        and list(a.tag) == list(b.tag)
+        and a.values == b.values
+    )
+
+
+class TestRoundTrip:
+    def test_figure1(self, fig1_doc, tmp_path):
+        path = str(tmp_path / "fig1.npz")
+        save(fig1_doc, path)
+        assert tables_equal(fig1_doc, load(path))
+
+    @given(seed=st.integers(0, 2000), size=st.integers(1, 150))
+    @settings(max_examples=25, deadline=None)
+    def test_random_documents(self, seed, size, tmp_path_factory):
+        doc = encode(random_tree(size, seed))
+        path = str(tmp_path_factory.mktemp("persist") / "doc.npz")
+        save(doc, path)
+        assert tables_equal(doc, load(path))
+
+    def test_loaded_table_answers_queries(self, small_xmark, tmp_path):
+        path = str(tmp_path / "xmark.npz")
+        save(small_xmark, path)
+        loaded = load(path)
+        query = "/descendant::increase/ancestor::bidder"
+        assert evaluate(loaded, query).tolist() == evaluate(small_xmark, query).tolist()
+
+    def test_none_vs_empty_string_values_distinguished(self, tmp_path):
+        from repro.xmltree.model import element, text
+
+        doc = encode(element("a", text("")))
+        # the empty text node is dropped by... build directly instead:
+        doc = encode(element("a", text("x")))
+        doc.values[1] = ""  # force an empty string value
+        path = str(tmp_path / "v.npz")
+        save(doc, path)
+        loaded = load(path)
+        assert loaded.values[0] is None
+        assert loaded.values[1] == ""
+
+
+class TestFormatHygiene:
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = str(tmp_path / "bogus.npz")
+        np.savez(path, post=np.arange(3))
+        with pytest.raises(EncodingError, match="not a DocTable archive"):
+            load(path)
+
+    def test_wrong_version_rejected(self, fig1_doc, tmp_path):
+        path = str(tmp_path / "doc.npz")
+        save(fig1_doc, path)
+        with np.load(path, allow_pickle=True) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["format_version"] = np.asarray([FORMAT_VERSION + 1])
+        np.savez(path, **arrays)
+        with pytest.raises(EncodingError, match="format version"):
+            load(path)

@@ -1,0 +1,166 @@
+"""Pre/post encoding tests: Figure 2 verbatim plus structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.prepost import encode
+from repro.errors import EncodingError
+from repro.xmltree.model import NodeKind, comment, document, element, text
+
+from _reference import pre_of, preorder_nodes, random_tree
+
+# The table of Figure 2: node tag → (pre, post).
+FIGURE2 = {
+    "a": (0, 9),
+    "b": (1, 1),
+    "c": (2, 0),
+    "d": (3, 2),
+    "e": (4, 8),
+    "f": (5, 5),
+    "g": (6, 3),
+    "h": (7, 4),
+    "i": (8, 7),
+    "j": (9, 6),
+}
+
+
+class TestFigure2:
+    def test_paper_table_reproduced_verbatim(self, fig1_doc):
+        for tag, (pre, post) in FIGURE2.items():
+            assert fig1_doc.tag_of(pre) == tag
+            assert fig1_doc.post_of(pre) == post
+
+    def test_levels(self, fig1_doc):
+        # a at level 0; c, d, g, h, j at the leaves.
+        assert fig1_doc.level_of(0) == 0
+        assert fig1_doc.level_of(2) == 2  # c
+        assert fig1_doc.level_of(6) == 3  # g
+
+    def test_parents(self, fig1_doc):
+        assert fig1_doc.parent_of(0) == -1  # a is the root
+        assert fig1_doc.parent_of(2) == 1  # c under b
+        assert fig1_doc.parent_of(9) == 8  # j under i
+
+    def test_height(self, fig1_doc):
+        assert fig1_doc.height == 3
+
+
+class TestEncodeInputs:
+    def test_document_and_element_inputs_agree(self, fig1_tree):
+        from_element = encode(fig1_tree)
+        from_document = encode(document(fig1_tree))
+        assert np.array_equal(from_element.post, from_document.post)
+
+    def test_document_without_root_rejected(self):
+        with pytest.raises(EncodingError, match="root element"):
+            encode(document())
+
+    def test_non_element_input_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(text("hello"))
+
+    def test_single_node_document(self):
+        doc = encode(element("only"))
+        assert len(doc) == 1
+        assert doc.post_of(0) == 0
+        assert doc.height == 0
+
+    def test_attributes_follow_their_element(self):
+        tree = element("a", element("b"), x="1", y="2")
+        doc = encode(tree)
+        # pre order: a, @x, @y, b
+        assert doc.tag_of(1) == "x"
+        assert doc.kind_of(1) == NodeKind.ATTRIBUTE
+        assert doc.tag_of(3) == "b"
+
+    def test_all_kinds_encoded(self):
+        tree = element("r", comment("c"), text("t"))
+        tree.set_attribute("id", "1")
+        doc = encode(tree)
+        kinds = {doc.kind_of(i) for i in range(len(doc))}
+        assert kinds == {
+            NodeKind.ELEMENT,
+            NodeKind.ATTRIBUTE,
+            NodeKind.COMMENT,
+            NodeKind.TEXT,
+        }
+
+    def test_values_stored_for_non_elements(self):
+        tree = element("r", text("body"))
+        tree.set_attribute("id", "42")
+        doc = encode(tree)
+        assert doc.value_of(0) is None
+        assert doc.value_of(1) == "42"
+        assert doc.value_of(2) == "body"
+
+
+class TestInvariants:
+    @given(seed=st.integers(0, 5000), size=st.integers(1, 250))
+    @settings(max_examples=80, deadline=None)
+    def test_post_is_permutation(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        assert sorted(doc.post.tolist()) == list(range(size))
+
+    @given(seed=st.integers(0, 5000), size=st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_pre_matches_reference_document_order(self, seed, size):
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        for pre, node in enumerate(preorder_nodes(tree)):
+            expected_tag = node.name if node.kind != NodeKind.TEXT else ""
+            assert doc.tag_of(pre) == (expected_tag or "")
+            assert doc.kind_of(pre) == node.kind
+
+    @given(seed=st.integers(0, 5000), size=st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_ancestor_iff_rank_sandwich(self, seed, size):
+        """pre(a) < pre(v) ∧ post(a) > post(v)  ⇔  a is an ancestor of v."""
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        nodes = preorder_nodes(tree)
+        ranks = pre_of(tree)
+        for v_pre, v in enumerate(nodes):
+            true_ancestors = {ranks[id(a)] for a in v.ancestors()}
+            plane_ancestors = {
+                a_pre
+                for a_pre in range(size)
+                if a_pre < v_pre and doc.post[a_pre] > doc.post[v_pre]
+            }
+            assert plane_ancestors == true_ancestors
+
+    @given(seed=st.integers(0, 5000), size=st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_equation_1_exact_with_level_term(self, seed, size):
+        """|v/descendant| = post(v) − pre(v) + level(v), Equation (1)."""
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        for pre, node in enumerate(preorder_nodes(tree)):
+            actual = node.subtree_size() - 1
+            assert doc.subtree_size_exact(pre) == actual
+            # And the level-free bounds: 0 ≤ level ≤ h.
+            assert doc.subtree_size_estimate(pre) <= actual
+            assert actual <= (doc.post_of(pre) - pre) + doc.height
+
+    @given(seed=st.integers(0, 5000), size=st.integers(2, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_parent_column_matches_tree(self, seed, size):
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        ranks = pre_of(tree)
+        for pre, node in enumerate(preorder_nodes(tree)):
+            expected = ranks[id(node.parent)] if node.parent is not None else -1
+            assert doc.parent_of(pre) == expected
+
+    @given(seed=st.integers(0, 5000), size=st.integers(1, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_subtrees_are_contiguous_preorder_intervals(self, seed, size):
+        """Descendants of v occupy exactly pre(v)+1 .. pre(v)+|desc(v)|."""
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        for pre in range(size):
+            span_end = pre + doc.subtree_size_exact(pre)
+            for v in range(size):
+                is_inside = pre < v <= span_end
+                is_descendant = v > pre and doc.post[v] < doc.post[pre]
+                assert is_inside == is_descendant

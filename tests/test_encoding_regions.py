@@ -1,0 +1,159 @@
+"""Region algebra tests: the Figure 1 partition and Figure 7 empty regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.prepost import encode
+from repro.encoding.regions import (
+    Region,
+    axis_region,
+    is_ancestor,
+    is_descendant,
+    is_following,
+    is_preceding,
+    node_relationship,
+    partitioning_axes,
+    region_select,
+    subtree_size_estimate,
+    subtree_size_exact,
+)
+from repro.errors import EncodingError
+
+from _reference import random_tree
+
+
+class TestFigure1Regions:
+    """The shaded regions of Figure 1, context node f (pre 5)."""
+
+    def test_preceding_of_f(self, fig1_doc):
+        got = region_select(fig1_doc, axis_region(fig1_doc, 5, "preceding"))
+        assert [fig1_doc.tag_of(int(p)) for p in got] == ["b", "c", "d"]
+
+    def test_descendant_of_f(self, fig1_doc):
+        got = region_select(fig1_doc, axis_region(fig1_doc, 5, "descendant"))
+        assert [fig1_doc.tag_of(int(p)) for p in got] == ["g", "h"]
+
+    def test_ancestor_of_f(self, fig1_doc):
+        got = region_select(fig1_doc, axis_region(fig1_doc, 5, "ancestor"))
+        assert [fig1_doc.tag_of(int(p)) for p in got] == ["a", "e"]
+
+    def test_following_of_f(self, fig1_doc):
+        got = region_select(fig1_doc, axis_region(fig1_doc, 5, "following"))
+        assert [fig1_doc.tag_of(int(p)) for p in got] == ["i", "j"]
+
+    def test_ancestor_of_g(self, fig1_doc):
+        """Section 2: 'the upper left region with respect to g hosts the
+        nodes g/ancestor = (a, e, f)'."""
+        got = region_select(fig1_doc, axis_region(fig1_doc, 6, "ancestor"))
+        assert [fig1_doc.tag_of(int(p)) for p in got] == ["a", "e", "f"]
+
+    def test_non_rectangular_axis_rejected(self, fig1_doc):
+        with pytest.raises(EncodingError):
+            axis_region(fig1_doc, 5, "child")
+
+
+class TestRegionObject:
+    def test_contains_strict_bounds(self):
+        region = Region(2, 6, 1, 5)
+        assert region.contains(3, 2)
+        assert not region.contains(2, 2)  # pre bound is exclusive
+        assert not region.contains(3, 5)  # post bound is exclusive
+
+    def test_is_empty_for(self):
+        assert Region(3, 4, 0, 10).is_empty_for(10)  # no pre fits
+        assert not Region(0, 5, 0, 5).is_empty_for(10)
+
+
+class TestPartitionProperty:
+    @given(seed=st.integers(0, 3000), size=st.integers(1, 150))
+    @settings(max_examples=60, deadline=None)
+    def test_four_axes_plus_self_partition_document(self, seed, size):
+        """Figure 1's caption: context node + four regions = all nodes,
+        pairwise disjoint."""
+        doc = encode(random_tree(size, seed))
+        rng = np.random.default_rng(seed)
+        for c in rng.choice(size, size=min(size, 5), replace=False):
+            c = int(c)
+            pieces = [np.asarray([c])]
+            for axis in partitioning_axes:
+                pieces.append(region_select(doc, axis_region(doc, c, axis)))
+            union = np.concatenate(pieces)
+            assert len(union) == size  # disjoint (no double counting) ...
+            assert sorted(union.tolist()) == list(range(size))  # ... and total
+
+    @given(seed=st.integers(0, 3000), size=st.integers(2, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_relationship_classification_consistent(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            a, b = int(rng.integers(size)), int(rng.integers(size))
+            relationship = node_relationship(doc, a, b)
+            checks = {
+                "ancestor": is_ancestor,
+                "descendant": is_descendant,
+                "preceding": is_preceding,
+                "following": is_following,
+            }
+            if relationship == "self":
+                assert a == b
+            else:
+                assert checks[relationship](doc, a, b)
+                # ... and none of the others hold.
+                for name, check in checks.items():
+                    if name != relationship:
+                        assert not check(doc, a, b)
+
+
+class TestFigure7EmptyRegions:
+    """The empty-region analysis pruning and skipping are built on."""
+
+    @given(seed=st.integers(0, 3000), size=st.integers(2, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_following_nodes_share_no_descendants(self, seed, size):
+        """Figure 7 (b): if b follows a, region Z (common descendants) is
+        empty."""
+        doc = encode(random_tree(size, seed))
+        posts = doc.post
+        for a in range(min(size, 25)):
+            for b in range(a + 1, min(size, 25)):
+                if posts[b] > posts[a]:  # b follows a
+                    descendants_a = {
+                        v for v in range(size) if v > a and posts[v] < posts[a]
+                    }
+                    descendants_b = {
+                        v for v in range(size) if v > b and posts[v] < posts[b]
+                    }
+                    assert not (descendants_a & descendants_b)
+
+    @given(seed=st.integers(0, 3000), size=st.integers(2, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_descendant_chain_empty_S_U(self, seed, size):
+        """Figure 7 (a): if b descends from a, no ancestor of b precedes
+        or follows a."""
+        doc = encode(random_tree(size, seed))
+        posts = doc.post
+        for b in range(min(size, 40)):
+            for a in doc.ancestors_of(b):
+                for x in doc.ancestors_of(b):
+                    # every ancestor of b relates to a on the
+                    # ancestor/descendant axis (or is a itself)
+                    assert (
+                        x == a
+                        or is_ancestor(doc, x, a)
+                        or is_descendant(doc, x, a)
+                    )
+
+
+class TestEquation1Helpers:
+    def test_exact_on_figure1(self, fig1_doc):
+        assert subtree_size_exact(fig1_doc, 0) == 9  # a
+        assert subtree_size_exact(fig1_doc, 4) == 5  # e
+        assert subtree_size_exact(fig1_doc, 2) == 0  # c (leaf)
+
+    def test_estimate_brackets_exact(self, fig1_doc):
+        for pre in range(len(fig1_doc)):
+            low, high = subtree_size_estimate(fig1_doc, pre)
+            exact = subtree_size_exact(fig1_doc, pre)
+            assert low <= exact <= high

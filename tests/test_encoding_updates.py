@@ -1,0 +1,186 @@
+"""Update-support tests: splice must equal re-encode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.decode import decode
+from repro.encoding.prepost import encode
+from repro.encoding.updates import delete_subtree, insert_subtree, replace_subtree
+from repro.errors import EncodingError
+from repro.xmltree.model import NodeKind, element, text
+
+from _reference import preorder_nodes, random_tree
+
+
+def tables_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.post, b.post)
+        and np.array_equal(a.level, b.level)
+        and np.array_equal(a.parent, b.parent)
+        and np.array_equal(a.kind, b.kind)
+        and list(a.tag) == list(b.tag)
+        and a.values == b.values
+    )
+
+
+class TestDelete:
+    def test_delete_leaf(self, fig1_doc):
+        # Delete c (pre 2): b loses its only child.
+        smaller = delete_subtree(fig1_doc, 2)
+        assert len(smaller) == 9
+        assert smaller.tag_of(1) == "b"
+        assert smaller.subtree_size_exact(1) == 0
+
+    def test_delete_inner_subtree(self, fig1_doc):
+        # Delete e (pre 4): f..j disappear with it.
+        smaller = delete_subtree(fig1_doc, 4)
+        assert [smaller.tag_of(i) for i in range(len(smaller))] == ["a", "b", "c", "d"]
+        assert smaller.post_of(0) == 3
+
+    def test_delete_root_rejected(self, fig1_doc):
+        with pytest.raises(EncodingError, match="root"):
+            delete_subtree(fig1_doc, 0)
+
+    def test_delete_out_of_range(self, fig1_doc):
+        with pytest.raises(EncodingError):
+            delete_subtree(fig1_doc, 10)
+
+    def test_original_table_untouched(self, fig1_doc):
+        before = fig1_doc.post.copy()
+        delete_subtree(fig1_doc, 4)
+        assert np.array_equal(fig1_doc.post, before)
+
+    @given(seed=st.integers(0, 3000), size=st.integers(2, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_splice_equals_reencode(self, seed, size):
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        nodes = preorder_nodes(tree)
+        victim = 1 + (seed % (size - 1))  # never the root
+        spliced = delete_subtree(doc, victim)
+        # Remove the same node from the tree and re-encode.
+        node = nodes[victim]
+        node.parent.children.remove(node)
+        reencoded = encode(tree)
+        assert tables_equal(spliced, reencoded)
+
+
+class TestInsert:
+    def test_append_leaf_element(self, fig1_doc):
+        bigger = insert_subtree(fig1_doc, 1, element("k"))  # under b
+        assert len(bigger) == 11
+        assert bigger.tag_of(3) == "k"  # after c, inside b
+        assert bigger.parent_of(3) == 1
+
+    def test_append_subtree(self, fig1_doc):
+        bigger = insert_subtree(fig1_doc, 3, element("x", element("y")))
+        x = int(bigger.pres_with_tag("x")[0])
+        assert bigger.parent_of(x) == 3
+        assert bigger.subtree_size_exact(x) == 1
+
+    def test_insert_before_sibling(self, fig1_doc):
+        # Insert z before e (pre 4) under a.
+        bigger = insert_subtree(fig1_doc, 0, element("z"), before_pre=4)
+        z = int(bigger.pres_with_tag("z")[0])
+        assert z == 4
+        assert bigger.parent_of(z) == 0
+        assert bigger.tag_of(5) == "e"
+
+    def test_insert_text_leaf(self, fig1_doc):
+        bigger = insert_subtree(fig1_doc, 2, text("hello"))
+        assert bigger.string_value(2) == "hello"
+
+    def test_insert_under_non_element_rejected(self):
+        doc = encode(element("a", text("t")))
+        with pytest.raises(EncodingError, match="element"):
+            insert_subtree(doc, 1, element("x"))
+
+    def test_insert_before_non_child_rejected(self, fig1_doc):
+        with pytest.raises(EncodingError, match="not a child"):
+            insert_subtree(fig1_doc, 0, element("z"), before_pre=2)
+
+    def test_insert_element_before_attribute_rejected(self):
+        doc = encode(element("a", id="1"))
+        with pytest.raises(EncodingError, match="attribute"):
+            insert_subtree(doc, 0, element("x"), before_pre=1)
+
+    @given(seed=st.integers(0, 3000), size=st.integers(1, 100), fragment_size=st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_append_splice_equals_reencode(self, seed, size, fragment_size):
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        nodes = preorder_nodes(tree)
+        elements = [
+            i for i, node in enumerate(nodes) if node.kind == NodeKind.ELEMENT
+        ]
+        target = elements[seed % len(elements)]
+        fragment_tree = random_tree(fragment_size, seed + 1)
+        spliced = insert_subtree(doc, target, fragment_tree)
+        nodes[target].append(fragment_tree)
+        reencoded = encode(tree)
+        assert tables_equal(spliced, reencoded)
+
+    @given(seed=st.integers(0, 3000), size=st.integers(2, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_before_splice_equals_reencode(self, seed, size):
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        nodes = preorder_nodes(tree)
+        # Pick a non-attribute child to insert before.
+        candidates = [
+            i
+            for i, node in enumerate(nodes)
+            if node.parent is not None and node.kind != NodeKind.ATTRIBUTE
+        ]
+        if not candidates:
+            return
+        target = candidates[seed % len(candidates)]
+        parent_pre = doc.parent_of(target)
+        fragment_tree = random_tree(8, seed + 2)
+        spliced = insert_subtree(doc, parent_pre, fragment_tree, before_pre=target)
+        parent_node = nodes[target].parent
+        index = parent_node.children.index(nodes[target])
+        parent_node.children.insert(index, fragment_tree)
+        fragment_tree.parent = parent_node
+        reencoded = encode(tree)
+        assert tables_equal(spliced, reencoded)
+
+
+class TestReplace:
+    def test_replace_keeps_position(self, fig1_doc):
+        # Replace f (pre 5, 2 descendants) with a single node w.
+        updated = replace_subtree(fig1_doc, 5, element("w"))
+        assert [updated.tag_of(i) for i in range(len(updated))] == [
+            "a", "b", "c", "d", "e", "w", "i", "j",
+        ]
+        assert updated.parent_of(5) == 4
+
+    def test_replace_last_child(self, fig1_doc):
+        updated = replace_subtree(fig1_doc, 8, element("w", element("v")))
+        assert [updated.tag_of(i) for i in range(len(updated))] == [
+            "a", "b", "c", "d", "e", "f", "g", "h", "w", "v",
+        ]
+
+    def test_replace_root_rejected(self, fig1_doc):
+        with pytest.raises(EncodingError, match="root"):
+            replace_subtree(fig1_doc, 0, element("x"))
+
+
+class TestQueriesAfterUpdates:
+    def test_staircase_join_on_updated_table(self, small_xmark):
+        """End to end: delete a person, queries still consistent."""
+        from repro.xpath.evaluator import evaluate
+
+        people_before = evaluate(small_xmark, "//person")
+        updated = delete_subtree(small_xmark, int(people_before[0]))
+        people_after = evaluate(updated, "//person")
+        assert len(people_after) == len(people_before) - 1
+        # The paper invariants survive the update.
+        bidders = evaluate(updated, "/descendant::increase/ancestor::bidder")
+        assert len(bidders) == len(updated.pres_with_tag("bidder"))
+
+    def test_round_trip_through_decode(self, fig1_doc):
+        updated = insert_subtree(fig1_doc, 3, element("x"))
+        rebuilt = encode(decode(updated))
+        assert np.array_equal(updated.post, rebuilt.post)

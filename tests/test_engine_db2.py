@@ -1,0 +1,136 @@
+"""Tree-unaware engine tests: correctness and cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.counters import JoinStatistics
+from repro.encoding.prepost import encode
+from repro.engine.db2 import DocIndex, db2_path, db2_step
+from repro.errors import PlanError
+from repro.xpath.evaluator import evaluate
+
+from _reference import random_tree
+
+
+@pytest.fixture(scope="module")
+def xmark_index(small_xmark_module):
+    return DocIndex(small_xmark_module)
+
+
+@pytest.fixture(scope="module")
+def small_xmark_module():
+    from repro.harness.workloads import get_document
+
+    return get_document(0.1)
+
+
+class TestSteps:
+    @given(seed=st.integers(0, 3000), size=st.integers(1, 120))
+    @settings(max_examples=30, deadline=None)
+    def test_descendant_step_matches_evaluator(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        index = DocIndex(doc)
+        rng = np.random.default_rng(seed)
+        context = np.sort(rng.choice(size, size=min(4, size), replace=False))
+        got = db2_step(index, context, "descendant", tag="b")
+        expected = evaluate(doc, "descendant::b", context=context)
+        assert got.tolist() == expected.tolist()
+
+    @given(seed=st.integers(0, 3000), size=st.integers(1, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_ancestor_step_matches_evaluator(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        index = DocIndex(doc)
+        rng = np.random.default_rng(seed)
+        context = np.sort(rng.choice(size, size=min(3, size), replace=False))
+        got = db2_step(index, context, "ancestor", tag="a")
+        expected = evaluate(doc, "ancestor::a", context=context)
+        assert got.tolist() == expected.tolist()
+
+    def test_late_nametest_same_result(self, small_xmark_module, xmark_index):
+        doc = small_xmark_module
+        context = doc.pres_with_tag("profile")
+        early = db2_step(xmark_index, context, "descendant", tag="education")
+        late = db2_step(
+            xmark_index, context, "descendant", tag="education", early_nametest=False
+        )
+        assert early.tolist() == late.tolist()
+
+    def test_eq1_delimiter_cuts_scanned_nodes(self, small_xmark_module, xmark_index):
+        """The [Grust 2002] observation: the line-7 delimiter makes the
+        inner scan proportional to subtree size, not document size."""
+        doc = small_xmark_module
+        context = doc.pres_with_tag("profile")
+        with_eq1 = JoinStatistics()
+        db2_step(xmark_index, context, "descendant", tag="education", stats=with_eq1)
+        without = JoinStatistics()
+        db2_step(
+            xmark_index,
+            context,
+            "descendant",
+            tag="education",
+            eq1_delimiter=False,
+            stats=without,
+        )
+        assert with_eq1.nodes_scanned < without.nodes_scanned / 10
+
+    def test_unknown_axis(self, xmark_index):
+        with pytest.raises(PlanError):
+            db2_step(xmark_index, np.array([0]), "following")
+
+
+class TestPaths:
+    def test_q1_matches_evaluator(self, small_xmark_module, xmark_index):
+        got = db2_path(xmark_index, "/descendant::profile/descendant::education")
+        expected = evaluate(
+            small_xmark_module, "/descendant::profile/descendant::education"
+        )
+        assert got.tolist() == expected.tolist()
+
+    def test_q2_with_rewrite_matches_evaluator(self, small_xmark_module, xmark_index):
+        got = db2_path(
+            xmark_index, "/descendant::increase/ancestor::bidder",
+            rewrite_ancestor=True,
+        )
+        expected = evaluate(
+            small_xmark_module, "/descendant::increase/ancestor::bidder"
+        )
+        assert got.tolist() == expected.tolist()
+
+    def test_q2_without_rewrite_also_correct_but_slower(self):
+        from repro.harness.workloads import get_document
+
+        doc = get_document(0.02)
+        index = DocIndex(doc)
+        rewritten_stats = JoinStatistics()
+        raw_stats = JoinStatistics()
+        a = db2_path(
+            index, "/descendant::increase/ancestor::bidder",
+            rewrite_ancestor=True, stats=rewritten_stats,
+        )
+        b = db2_path(
+            index, "/descendant::increase/ancestor::bidder",
+            rewrite_ancestor=False, stats=raw_stats,
+        )
+        assert a.tolist() == b.tolist()
+        # The un-rewritten ancestor step scans the whole prefix per
+        # context node — the paper's "bad plan".
+        assert raw_stats.nodes_scanned > rewritten_stats.nodes_scanned
+
+    def test_duplicates_are_generated_and_removed(self, xmark_index, small_xmark_module):
+        """Unlike the staircase join, the tree-unaware join produces
+        duplicates that the unique operator must discard."""
+        doc = small_xmark_module
+        stats = JoinStatistics()
+        context = doc.pres_with_tag("increase")
+        db2_step(xmark_index, context, "ancestor", tag=None, stats=stats)
+        assert stats.duplicates_generated > 0
+
+    def test_relative_path_rejected(self, xmark_index):
+        with pytest.raises(PlanError, match="absolute"):
+            db2_path(xmark_index, "descendant::a")
+
+    def test_unsupported_step_rejected(self, xmark_index):
+        with pytest.raises(PlanError):
+            db2_path(xmark_index, "/child::site")

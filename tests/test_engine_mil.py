@@ -1,0 +1,122 @@
+"""MIL plan-language tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.mil import run_mil
+from repro.errors import PlanError
+from repro.counters import JoinStatistics
+from repro.xpath.evaluator import evaluate
+
+Q2_SCRIPT = """
+r  := root(doc)
+s1 := nametest(staircasejoin_desc(doc, r), "increase")
+s2 := nametest(staircasejoin_anc(doc, s1), "bidder")
+return s2
+"""
+
+
+class TestPaperScript:
+    def test_q2_script_matches_xpath(self, small_xmark):
+        """The exact evaluation sketch of Section 4.4."""
+        via_mil = run_mil(small_xmark, Q2_SCRIPT)
+        via_xpath = evaluate(small_xmark, "/descendant::increase/ancestor::bidder")
+        assert via_mil.tolist() == via_xpath.tolist()
+
+    def test_q1_script_matches_xpath(self, small_xmark):
+        script = """
+        r  := root(doc)
+        s1 := nametest(staircasejoin_desc(doc, r), "profile")
+        s2 := nametest(staircasejoin_desc(doc, s1), "education")
+        return s2
+        """
+        via_mil = run_mil(small_xmark, script)
+        via_xpath = evaluate(small_xmark, "/descendant::profile/descendant::education")
+        assert via_mil.tolist() == via_xpath.tolist()
+
+
+class TestLanguage:
+    def test_last_statement_is_result(self, fig1_doc):
+        assert run_mil(fig1_doc, "count(root(doc))") == 1
+
+    def test_variables_and_semicolons(self, fig1_doc):
+        got = run_mil(fig1_doc, 'x := root(doc); count(staircasejoin_desc(doc, x))')
+        assert got == 9
+
+    def test_comments_ignored(self, fig1_doc):
+        got = run_mil(fig1_doc, "# a comment\ncount(root(doc))  # trailing")
+        assert got == 1
+
+    def test_skip_mode_argument(self, fig1_doc):
+        a = run_mil(fig1_doc, 'staircasejoin_desc(doc, root(doc), "none")')
+        b = run_mil(fig1_doc, 'staircasejoin_desc(doc, root(doc), "exact")')
+        assert a.tolist() == b.tolist()
+
+    def test_kindtest(self):
+        from repro.encoding.prepost import encode
+        from repro.xmltree.model import element, text
+
+        doc = encode(element("a", text("t"), element("b")))
+        got = run_mil(doc, 'kindtest(staircasejoin_desc(doc, root(doc)), "text")')
+        assert len(got) == 1
+
+    def test_children_and_parents(self, fig1_doc):
+        children = run_mil(fig1_doc, "children(doc, root(doc))")
+        assert children.tolist() == [1, 3, 4]
+        parents = run_mil(fig1_doc, "parents(doc, children(doc, root(doc)))")
+        assert parents.tolist() == [0]
+
+    def test_set_algebra(self, fig1_doc):
+        got = run_mil(
+            fig1_doc,
+            """
+            d := staircasejoin_desc(doc, root(doc))
+            e := nametest(d, "e")
+            under_e := staircasejoin_desc(doc, e)
+            return count(difference(d, under_e))
+            """,
+        )
+        assert got == 4  # b c d e
+
+    def test_union_and_intersect(self, fig1_doc):
+        got = run_mil(
+            fig1_doc,
+            """
+            b := nametest(staircasejoin_desc(doc, root(doc)), "b")
+            c := nametest(staircasejoin_desc(doc, root(doc)), "c")
+            return count(union(b, c))
+            """,
+        )
+        assert got == 2
+
+    def test_statistics_accumulate(self, small_xmark):
+        stats = JoinStatistics()
+        run_mil(small_xmark, Q2_SCRIPT, stats=stats)
+        assert stats.nodes_touched > 0
+        assert stats.duplicates_generated == 0
+
+
+class TestErrors:
+    def test_unknown_variable(self, fig1_doc):
+        with pytest.raises(PlanError, match="unknown variable"):
+            run_mil(fig1_doc, "count(nothing)")
+
+    def test_unknown_operator(self, fig1_doc):
+        with pytest.raises(PlanError, match="unknown operator"):
+            run_mil(fig1_doc, "frobnicate(doc)")
+
+    def test_syntax_error(self, fig1_doc):
+        with pytest.raises(PlanError, match="syntax"):
+            run_mil(fig1_doc, "x := @@@")
+
+    def test_type_error_doc_expected(self, fig1_doc):
+        with pytest.raises(PlanError, match="doc table"):
+            run_mil(fig1_doc, "staircasejoin_desc(root(doc), root(doc))")
+
+    def test_bad_skip_mode(self, fig1_doc):
+        with pytest.raises(PlanError, match="skip mode"):
+            run_mil(fig1_doc, 'staircasejoin_desc(doc, root(doc), "warp")')
+
+    def test_unknown_kind(self, fig1_doc):
+        with pytest.raises(PlanError, match="node kind"):
+            run_mil(fig1_doc, 'kindtest(root(doc), "alien")')

@@ -1,0 +1,80 @@
+"""Volcano operator tests."""
+
+import pytest
+
+from repro.counters import JoinStatistics
+from repro.engine.operators import (
+    Filter,
+    IndexRangeScan,
+    NestedLoopRegionJoin,
+    Projection,
+    Sort,
+    Unique,
+)
+from repro.storage.btree import BPlusTree
+
+
+@pytest.fixture
+def index():
+    # (pre,) → (pre, post) rows for the Figure 2 encoding.
+    posts = [9, 1, 0, 2, 8, 5, 3, 4, 7, 6]
+    return BPlusTree.bulk_load(
+        [((pre,), (pre, post)) for pre, post in enumerate(posts)], order=4
+    )
+
+
+class TestIndexRangeScan:
+    def test_range_bounds(self, index):
+        rows = IndexRangeScan(index, (3,), (6,)).rows()
+        assert [r[0] for r in rows] == [3, 4, 5, 6]
+
+    def test_residual_predicate_filters_but_counts(self, index):
+        stats = JoinStatistics()
+        rows = IndexRangeScan(
+            index, (0,), (9,), residual=lambda r: r[1] < 5, stats=stats
+        ).rows()
+        assert [r[0] for r in rows] == [1, 2, 3, 6, 7]
+        assert stats.nodes_scanned == 10  # every entry was touched
+        assert stats.index_probes == 1
+
+
+class TestComposition:
+    def test_filter(self, index):
+        plan = Filter(IndexRangeScan(index, (0,), (9,)), lambda r: r[0] % 2 == 0)
+        assert [r[0] for r in plan.rows()] == [0, 2, 4, 6, 8]
+
+    def test_projection(self, index):
+        plan = Projection(IndexRangeScan(index, (0,), (2,)), lambda r: (r[1],))
+        assert plan.rows() == [(9,), (1,), (0,)]
+
+    def test_sort(self, index):
+        plan = Sort(IndexRangeScan(index, (0,), (9,)), key=lambda r: r[1])
+        assert [r[1] for r in plan.rows()] == list(range(10))
+
+    def test_unique_counts_duplicates(self, index):
+        outer = IndexRangeScan(index, (0,), (1,))
+        stats = JoinStatistics()
+        # Every outer row opens the same inner scan → inner rows repeat.
+        join = NestedLoopRegionJoin(
+            outer, lambda row: IndexRangeScan(index, (5,), (6,))
+        )
+        unique = Unique(join, stats=stats)
+        assert [r[0] for r in unique.rows()] == [5, 6]
+        assert stats.duplicates_generated == 2
+
+    def test_nested_loop_join_shape(self, index):
+        """The Figure 3 inner-scan-per-outer-row shape: descendants of
+        each following(c) node for c = c (pre 2)."""
+        outer = IndexRangeScan(index, (3,), (9,), residual=lambda r: r[1] > 0)
+        plan = Sort(
+            Unique(
+                NestedLoopRegionJoin(
+                    outer,
+                    lambda row: IndexRangeScan(
+                        index, (row[0] + 1,), (9,), residual=lambda r, p=row[1]: r[1] < p
+                    ),
+                )
+            )
+        )
+        got = [r[0] for r in plan.rows()]
+        assert got == [5, 6, 7, 8, 9]  # f g h i j, as in Section 2.1

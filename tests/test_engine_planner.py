@@ -1,0 +1,51 @@
+"""Cost-model tests for the pushdown decision."""
+
+import pytest
+
+from repro.engine.planner import CostModel, choose_pushdown
+
+
+class TestCostModel:
+    def test_tag_cardinalities(self, small_xmark):
+        model = CostModel(small_xmark)
+        assert model.tag_cardinality("increase") == len(
+            small_xmark.pres_with_tag("increase")
+        )
+        assert model.tag_cardinality("no-such-tag") == 0
+
+    def test_selective_tag_prefers_pushdown(self, small_xmark):
+        """'pushing the name test ... obviously makes sense for selective
+        name tests only': education is rare → pushdown wins."""
+        model = CostModel(small_xmark)
+        context = len(small_xmark.pres_with_tag("profile"))
+        push = model.step_cost("descendant", "education", context, pushdown=True)
+        no_push = model.step_cost("descendant", "education", context, pushdown=False)
+        assert push < no_push
+
+    def test_estimates_are_positive_and_bounded(self, small_xmark):
+        model = CostModel(small_xmark)
+        for axis in ("descendant", "ancestor", "following"):
+            estimate = model.estimate_axis_result(axis, 10)
+            assert 0 <= estimate <= len(small_xmark)
+
+
+class TestChoice:
+    def test_q1_decisions(self, small_xmark):
+        decisions = choose_pushdown(
+            small_xmark, "/descendant::profile/descendant::education"
+        )
+        assert [d.step_index for d in decisions] == [0, 1]
+        assert [d.tag for d in decisions] == ["profile", "education"]
+        # Both tags are highly selective in XMark → pushdown for both.
+        assert all(d.pushdown for d in decisions)
+
+    def test_ineligible_steps_skipped(self, small_xmark):
+        decisions = choose_pushdown(small_xmark, "/site/people/person")
+        assert decisions == []
+
+    def test_accepts_parsed_path(self, small_xmark):
+        from repro.xpath.parser import parse_xpath
+
+        path = parse_xpath("/descendant::increase/ancestor::bidder")
+        decisions = choose_pushdown(small_xmark, path)
+        assert len(decisions) == 2

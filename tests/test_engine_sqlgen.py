@@ -1,0 +1,63 @@
+"""SQL generation tests: the Figure 3 query reproduced in shape."""
+
+import pytest
+
+from repro.engine.sqlgen import axis_predicates, path_to_sql
+from repro.errors import PlanError
+
+
+class TestFigure3:
+    def test_following_descendant_query(self):
+        """The query of Figure 3 for (c)/following::node()/descendant::node()."""
+        sql = path_to_sql("following::node()/descendant::node()", context_name="c")
+        assert "SELECT DISTINCT v2.pre" in sql
+        assert "FROM   doc v1, doc v2" in sql
+        assert "v1.pre > pre(c)" in sql
+        assert "v1.post > post(c)" in sql
+        assert "v2.pre > v1.pre" in sql
+        assert "v2.post < v1.post" in sql
+        assert "ORDER BY v2.pre" in sql
+
+    def test_line7_delimiter(self):
+        """Section 2.1's additional Equation (1) predicates (line 7)."""
+        sql = path_to_sql(
+            "following::node()/descendant::node()", eq1_delimiter=True
+        )
+        assert "v2.pre <= v1.post + h" in sql
+        assert "v2.post >= v1.pre - h" in sql
+
+
+class TestGeneralTranslation:
+    def test_q1_sql(self):
+        sql = path_to_sql("/descendant::profile/descendant::education")
+        assert "v1.tag = 'profile'" in sql
+        assert "v2.tag = 'education'" in sql
+        assert "v2.pre > v1.pre" in sql
+
+    def test_q2_sql(self):
+        sql = path_to_sql("/descendant::increase/ancestor::bidder")
+        assert "v2.pre < v1.pre" in sql
+        assert "v2.post > v1.post" in sql
+
+    def test_single_absolute_step_has_only_nametest(self):
+        sql = path_to_sql("/descendant::bidder")
+        assert "v1.tag = 'bidder'" in sql
+        assert "v1.pre >" not in sql  # every node descends from the root
+
+    def test_axis_predicates_table(self):
+        assert axis_predicates("preceding", "a", "b") == [
+            "b.pre < a.pre",
+            "b.post < a.post",
+        ]
+        assert axis_predicates("following", "a", "b") == [
+            "b.pre > a.pre",
+            "b.post > a.post",
+        ]
+
+    def test_unsupported_axis(self):
+        with pytest.raises(PlanError):
+            path_to_sql("child::a")
+
+    def test_predicates_unsupported(self):
+        with pytest.raises(PlanError):
+            path_to_sql("/descendant::a[b]")

@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example must run cleanly."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("auction_analytics.py", ["0.1"]),
+    ("sql_translation.py", []),
+    ("partitioned_execution.py", ["0.2"]),
+    ("cache_cost_model.py", []),
+    ("document_lifecycle.py", []),
+]
+
+
+@pytest.mark.parametrize("script, args", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_prints_figure2(capfd):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "f/preceding   -> (b, c, d)" in completed.stdout
+    assert "(c)/following::node()/descendant::node() = (f, g, h, i, j)" in completed.stdout

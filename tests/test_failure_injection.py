@@ -1,0 +1,63 @@
+"""Failure-injection tests: corrupt inputs must fail loudly, not subtly."""
+
+import numpy as np
+import pytest
+
+from repro.core.staircase import SkipMode, staircase_join
+from repro.core.vectorized import staircase_join_vectorized
+from repro.encoding.doctable import DocTable
+from repro.errors import EncodingError, XPathEvaluationError
+from repro.storage.column import StringColumn
+
+
+class TestOutOfRangeContexts:
+    @pytest.mark.parametrize("axis", ["descendant", "ancestor", "following", "preceding"])
+    def test_scalar_join_rejects_out_of_range(self, fig1_doc, axis):
+        with pytest.raises(XPathEvaluationError, match="out of range"):
+            staircase_join(fig1_doc, np.array([99]), axis)
+
+    def test_negative_rank_rejected(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError, match="out of range"):
+            staircase_join(fig1_doc, np.array([-1]), "descendant")
+
+    def test_vectorized_join_rejects_out_of_range(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError, match="out of range"):
+            staircase_join_vectorized(fig1_doc, np.array([10]), "ancestor")
+
+    def test_mixed_valid_invalid_rejected(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError):
+            staircase_join(fig1_doc, np.array([0, 5, 10]), "descendant")
+
+    def test_error_message_names_the_range(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError, match=r"0\.\.9"):
+            staircase_join(fig1_doc, np.array([42]), "descendant")
+
+
+class TestCorruptTables:
+    def _columns(self, n):
+        return dict(
+            level=np.zeros(n, dtype=np.int64),
+            parent=np.full(n, -1, dtype=np.int64),
+            kind=np.ones(n, dtype=np.int64),
+            tag=StringColumn.from_strings(["t"] * n),
+        )
+
+    def test_post_with_gap_rejected(self):
+        with pytest.raises(EncodingError, match="permutation"):
+            DocTable(post=np.array([0, 2, 3]), **self._columns(3))
+
+    def test_post_with_duplicate_rejected(self):
+        with pytest.raises(EncodingError, match="permutation"):
+            DocTable(post=np.array([0, 1, 1]), **self._columns(3))
+
+    def test_negative_post_rejected(self):
+        with pytest.raises(EncodingError, match="permutation"):
+            DocTable(post=np.array([-1, 0, 1]), **self._columns(3))
+
+
+class TestEvaluatorPropagation:
+    def test_evaluator_surfaces_context_errors(self, fig1_doc):
+        from repro.xpath.evaluator import evaluate
+
+        with pytest.raises(XPathEvaluationError):
+            evaluate(fig1_doc, "descendant::node()", context=99)

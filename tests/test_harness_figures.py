@@ -1,0 +1,61 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.harness.figures import ascii_chart
+
+ROWS = [
+    {"x": 1, "a": 10, "b": 100},
+    {"x": 10, "a": 100, "b": 100},
+    {"x": 100, "a": 1000, "b": 100},
+]
+
+
+class TestAsciiChart:
+    def test_renders_title_and_legend(self):
+        out = ascii_chart(ROWS, "x", ["a", "b"], title="shape")
+        assert out.startswith("shape")
+        assert "A=a" in out and "B=b" in out
+
+    def test_log_scale_labels(self):
+        out = ascii_chart(ROWS, "x", ["a", "b"])
+        assert "1e+01" in out
+        assert "1e+03" in out
+
+    def test_linear_series_renders_a_diagonal(self):
+        out = ascii_chart(ROWS, "x", ["a"], width=30, height=9)
+        lines = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        columns = [line.index("A") for line in lines if "A" in line]
+        # Three samples; the top grid row holds the largest value, so the
+        # marker walks right-to-left going down — a rising straight line.
+        assert len(columns) == 3
+        assert columns == sorted(columns, reverse=True)
+
+    def test_flat_series_stays_on_one_row(self):
+        out = ascii_chart(ROWS, "x", ["b"], width=30, height=9)
+        # 'b' is the only series here, so its marker is 'A'.
+        lines = [l for l in out.splitlines() if "|" in l and "A" in l]
+        assert len(lines) == 1  # all three samples on the same grid row
+
+    def test_x_axis_footer(self):
+        out = ascii_chart(ROWS, "x", ["a"])
+        assert "log-log" in out
+        assert "1" in out and "100" in out
+
+    def test_empty_inputs(self):
+        assert ascii_chart([], "x", ["a"]) == "(no data)"
+        assert ascii_chart(ROWS, "x", []) == "(no data)"
+
+    def test_nonpositive_values(self):
+        rows = [{"x": 1, "a": 0}, {"x": 10, "a": 0}]
+        assert ascii_chart(rows, "x", ["a"]) == "(no positive data)"
+
+    def test_missing_series_values_skipped(self):
+        rows = [{"x": 1, "a": 10}, {"x": 10}]
+        out = ascii_chart(rows, "x", ["a"])
+        assert out.count("A") >= 1  # one plotted sample + legend
+
+    def test_single_x_value_does_not_crash(self):
+        rows = [{"x": 5, "a": 7}]
+        out = ascii_chart(rows, "x", ["a"])
+        assert "A=a" in out

@@ -1,0 +1,149 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.mpmgjn import mpmgjn_step
+from repro.baselines.naive import naive_step
+from repro.baselines.stacktree import stack_tree_step
+from repro.core.staircase import SkipMode, staircase_join
+from repro.core.vectorized import staircase_join_vectorized
+from repro.encoding.prepost import encode
+from repro.engine.db2 import DocIndex, db2_path
+from repro.xmark.generator import generate
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import Evaluator, evaluate
+
+from _reference import axis_pres, random_tree
+
+
+class TestTextToQueryPipeline:
+    """XML text → parse → encode → query, cross-checked with tree walks."""
+
+    def test_xmark_serialise_parse_encode_query(self):
+        tree = generate(0.05)
+        doc_direct = encode(tree)
+        doc_via_text = encode(parse(serialize(tree)))
+        assert len(doc_direct) == len(doc_via_text)
+        for query in (
+            "/descendant::profile/descendant::education",
+            "/descendant::increase/ancestor::bidder",
+            "//open_auction[bidder]/seller",
+        ):
+            assert (
+                evaluate(doc_direct, query).tolist()
+                == evaluate(doc_via_text, query).tolist()
+            )
+
+    @given(seed=st.integers(0, 2000), size=st.integers(1, 120))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_preserves_all_axes(self, seed, size):
+        tree = random_tree(size, seed, text_probability=0.0)
+        reparsed = parse(serialize(tree))
+        a, b = encode(tree), encode(reparsed)
+        assert a.post.tolist() == b.post.tolist()
+        assert a.level.tolist() == b.level.tolist()
+
+
+class TestFiveWayAgreement:
+    """Staircase (scalar + vectorised), naive, MPMGJN, Stack-Tree and the
+    DB2 plan all compute the same steps."""
+
+    @given(
+        seed=st.integers(0, 4000),
+        size=st.integers(1, 130),
+        axis=st.sampled_from(["descendant", "ancestor"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_all_join_algorithms_agree(self, seed, size, axis):
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        rng = np.random.default_rng(seed)
+        context = np.sort(rng.choice(size, size=min(5, size), replace=False))
+        reference = axis_pres(tree, context, axis)
+        for implementation in (
+            lambda: staircase_join(doc, context, axis, SkipMode.ESTIMATE),
+            lambda: staircase_join_vectorized(doc, context, axis),
+            lambda: naive_step(doc, context, axis),
+            lambda: mpmgjn_step(doc, context, axis),
+            lambda: stack_tree_step(doc, context, axis),
+        ):
+            assert implementation().tolist() == reference.tolist()
+
+    def test_db2_agrees_on_paper_queries(self, small_xmark):
+        index = DocIndex(small_xmark)
+        for query in (
+            "/descendant::profile/descendant::education",
+            "/descendant::increase/ancestor::bidder",
+        ):
+            assert (
+                db2_path(index, query).tolist()
+                == evaluate(small_xmark, query).tolist()
+            )
+
+
+class TestMultiStepPaths:
+    @given(seed=st.integers(0, 2000), size=st.integers(2, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_three_step_random_paths(self, seed, size):
+        """Chained steps: evaluator output equals manual reference
+        step-by-step composition."""
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        reference = axis_pres(tree, np.array([0]), "descendant")
+        reference = axis_pres(tree, reference, "ancestor")
+        reference = axis_pres(tree, reference, "following")
+        got = evaluate(
+            doc,
+            "descendant::node()/ancestor::node()/following::node()",
+            context=0,
+        )
+        assert got.tolist() == reference.tolist()
+
+    def test_deep_path_on_xmark(self, medium_xmark):
+        got = evaluate(
+            medium_xmark,
+            "/site/open_auctions/open_auction/bidder/increase",
+        )
+        via_double_slash = evaluate(medium_xmark, "//increase")
+        assert got.tolist() == via_double_slash.tolist()
+
+
+class TestEvaluatorStatistics:
+    def test_stats_flow_through_whole_query(self, small_xmark):
+        evaluator = Evaluator(small_xmark)
+        evaluator.evaluate("/descendant::increase/ancestor::bidder")
+        assert evaluator.stats.partitions > 0
+        assert evaluator.stats.result_size > 0
+
+    def test_no_duplicates_ever_from_staircase_path(self, small_xmark):
+        evaluator = Evaluator(small_xmark)
+        evaluator.evaluate("/descendant::increase/ancestor::bidder")
+        assert evaluator.stats.duplicates_generated == 0
+
+
+class TestErrorsAcrossLayers:
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            BTreeError,
+            EncodingError,
+            ReproError,
+            StorageError,
+            XMLSyntaxError,
+            XPathSyntaxError,
+        )
+
+        assert issubclass(XMLSyntaxError, ReproError)
+        assert issubclass(BTreeError, StorageError)
+        assert issubclass(EncodingError, ReproError)
+        assert issubclass(XPathSyntaxError, ReproError)
+
+    def test_catch_all_with_repro_error(self, small_xmark):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            parse("<oops")
+        with pytest.raises(ReproError):
+            evaluate(small_xmark, "sideways::x")

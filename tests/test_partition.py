@@ -1,0 +1,76 @@
+"""Partition planning and partition-parallel execution tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import Partition, partitioned_staircase_join, plan_partitions
+from repro.core.pruning import prune
+from repro.core.staircase import SkipMode, staircase_join
+from repro.counters import JoinStatistics
+from repro.encoding.prepost import encode
+from repro.errors import XPathEvaluationError
+
+from _reference import random_tree
+
+
+class TestPlan:
+    def test_figure8_partitions(self, fig1_doc):
+        """Figure 8: pruned context (d, h, j) partitions the plane at
+        p0 < d, h, j — each partition owns one ancestor path."""
+        context = prune(fig1_doc, np.array([3, 4, 5, 7, 8, 9]), "ancestor")
+        plan = plan_partitions(fig1_doc, context, "ancestor")
+        assert [p.owner for p in plan] == [3, 7, 9]
+        assert plan[0].pre1 == 0 and plan[0].pre2 == 2
+        assert plan[1].pre1 == 4 and plan[1].pre2 == 6
+        assert plan[2].pre1 == 8 and plan[2].pre2 == 8
+
+    def test_descendant_partitions_cover_suffix(self, fig1_doc):
+        context = np.array([1, 4])  # b, e — already a staircase
+        plan = plan_partitions(fig1_doc, context, "descendant")
+        assert plan[0] == Partition(1, 2, 3, fig1_doc.post_of(1))
+        assert plan[1] == Partition(4, 5, 9, fig1_doc.post_of(4))
+
+    def test_empty_context(self, fig1_doc):
+        assert plan_partitions(fig1_doc, np.array([], dtype=np.int64), "descendant") == []
+
+    def test_unsupported_axis(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError):
+            plan_partitions(fig1_doc, np.array([0]), "following")
+
+
+class TestExecution:
+    @given(
+        seed=st.integers(0, 4000),
+        size=st.integers(1, 150),
+        axis=st.sampled_from(["descendant", "ancestor"]),
+        workers=st.sampled_from([0, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_plain_staircase_join(self, seed, size, axis, workers):
+        doc = encode(random_tree(size, seed))
+        rng = np.random.default_rng(seed)
+        context = np.sort(rng.choice(size, size=min(6, size), replace=False))
+        expected = staircase_join(doc, context, axis, SkipMode.ESTIMATE)
+        got = partitioned_staircase_join(
+            doc, context, axis, SkipMode.ESTIMATE, workers=workers
+        )
+        assert got.tolist() == expected.tolist()
+
+    def test_statistics_merge_across_partitions(self, fig1_doc):
+        serial_stats = JoinStatistics()
+        staircase_join(fig1_doc, np.arange(10), "ancestor", SkipMode.SKIP, serial_stats)
+        partitioned_stats = JoinStatistics()
+        partitioned_staircase_join(
+            fig1_doc, np.arange(10), "ancestor", SkipMode.SKIP,
+            workers=3, stats=partitioned_stats,
+        )
+        assert partitioned_stats.nodes_touched == serial_stats.nodes_touched
+        assert partitioned_stats.result_size == serial_stats.result_size
+
+    def test_document_order_preserved_with_threads(self, medium_xmark):
+        context = medium_xmark.pres_with_tag("bidder")
+        got = partitioned_staircase_join(
+            medium_xmark, context, "descendant", workers=4
+        )
+        assert np.all(np.diff(got) > 0)

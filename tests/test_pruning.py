@@ -1,0 +1,161 @@
+"""Context pruning tests (Algorithm 1 and its three siblings)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pruning import (
+    is_proper_staircase,
+    normalize_context,
+    prune,
+    prune_ancestor,
+    prune_descendant,
+    prune_following,
+    prune_preceding,
+)
+from repro.counters import JoinStatistics
+from repro.encoding.prepost import encode
+from repro.encoding.regions import axis_region, region_select
+from repro.errors import XPathEvaluationError
+
+from _reference import random_tree
+
+
+def contexts(doc, seed, k=6):
+    rng = np.random.default_rng(seed)
+    size = min(k, len(doc.post))
+    return np.sort(rng.choice(len(doc.post), size=size, replace=False))
+
+
+class TestNormalize:
+    def test_sorts_and_dedupes(self):
+        got = normalize_context(np.array([5, 1, 5, 3, 1]))
+        assert got.tolist() == [1, 3, 5]
+
+    def test_empty(self):
+        assert len(normalize_context(np.array([], dtype=np.int64))) == 0
+
+
+class TestFigure4:
+    """Figure 4: pruning (d, e, f, h, i, j) for ancestor-or-self keeps
+    (d, h, j) — in our proper-ancestor setting the same context prunes to
+    the same survivors."""
+
+    def test_paper_example(self, fig1_doc):
+        context = np.array([3, 4, 5, 7, 8, 9])  # d e f h i j
+        survivors = prune_ancestor(fig1_doc, context)
+        assert [fig1_doc.tag_of(int(p)) for p in survivors] == ["d", "h", "j"]
+
+    def test_pruned_count_in_stats(self, fig1_doc):
+        stats = JoinStatistics()
+        prune_ancestor(fig1_doc, np.array([3, 4, 5, 7, 8, 9]), stats)
+        assert stats.context_pruned == 3
+
+
+class TestDescendantPruning:
+    def test_nested_context_collapses_to_outermost(self, fig1_doc):
+        # e contains f contains g: only e survives.
+        got = prune_descendant(fig1_doc, np.array([4, 5, 6]))
+        assert got.tolist() == [4]
+
+    def test_disjoint_context_untouched(self, fig1_doc):
+        got = prune_descendant(fig1_doc, np.array([1, 3, 5]))  # b d f
+        assert got.tolist() == [1, 3, 5]
+
+    def test_root_swallows_everything(self, fig1_doc):
+        got = prune_descendant(fig1_doc, np.arange(10))
+        assert got.tolist() == [0]
+
+    def test_leaf_with_post_zero_survives(self, fig1_doc):
+        # c has post 0 — the paper's `prev := 0` would wrongly drop it.
+        got = prune_descendant(fig1_doc, np.array([2]))
+        assert got.tolist() == [2]
+
+
+class TestAncestorPruning:
+    def test_chain_keeps_deepest(self, fig1_doc):
+        got = prune_ancestor(fig1_doc, np.array([0, 4, 5, 6]))  # a e f g
+        assert got.tolist() == [6]
+
+    def test_siblings_kept(self, fig1_doc):
+        got = prune_ancestor(fig1_doc, np.array([6, 7]))  # g h
+        assert got.tolist() == [6, 7]
+
+
+class TestDegenerateAxes:
+    def test_following_keeps_min_post(self, fig1_doc):
+        # b (post 1) has the larger following region than i (post 7).
+        got = prune_following(fig1_doc, np.array([1, 8]))
+        assert got.tolist() == [1]
+
+    def test_preceding_keeps_max_pre(self, fig1_doc):
+        got = prune_preceding(fig1_doc, np.array([1, 8]))
+        assert got.tolist() == [8]
+
+    def test_empty_contexts(self, fig1_doc):
+        empty = np.array([], dtype=np.int64)
+        for axis in ("descendant", "ancestor", "following", "preceding"):
+            assert len(prune(fig1_doc, empty, axis)) == 0
+
+    def test_unknown_axis_rejected(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError):
+            prune(fig1_doc, np.array([0]), "child")
+
+
+class TestPruningProperties:
+    @given(
+        seed=st.integers(0, 4000),
+        size=st.integers(2, 150),
+        axis=st.sampled_from(["descendant", "ancestor", "following", "preceding"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pruning_preserves_region_union(self, seed, size, axis):
+        """The defining property: the union of per-node regions is
+        unchanged by pruning."""
+        doc = encode(random_tree(size, seed))
+        context = contexts(doc, seed)
+        pruned = prune(doc, context, axis)
+
+        def union(nodes):
+            out = set()
+            for c in nodes:
+                out.update(
+                    region_select(doc, axis_region(doc, int(c), axis)).tolist()
+                )
+            return out
+
+        assert union(context) == union(pruned)
+
+    @given(
+        seed=st.integers(0, 4000),
+        size=st.integers(2, 150),
+        axis=st.sampled_from(["descendant", "ancestor"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pruning_yields_proper_staircase(self, seed, size, axis):
+        doc = encode(random_tree(size, seed))
+        pruned = prune(doc, contexts(doc, seed), axis)
+        assert is_proper_staircase(doc, pruned, axis)
+
+    @given(seed=st.integers(0, 4000), size=st.integers(2, 150))
+    @settings(max_examples=50, deadline=None)
+    def test_pruning_is_idempotent(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        context = contexts(doc, seed)
+        for axis in ("descendant", "ancestor", "following", "preceding"):
+            once = prune(doc, context, axis)
+            twice = prune(doc, once, axis)
+            assert once.tolist() == twice.tolist()
+
+
+class TestStaircaseChecker:
+    def test_degenerate_axes_require_singleton(self, fig1_doc):
+        assert is_proper_staircase(fig1_doc, np.array([3]), "following")
+        assert not is_proper_staircase(fig1_doc, np.array([1, 3]), "preceding")
+
+    def test_unpruned_context_fails(self, fig1_doc):
+        assert not is_proper_staircase(fig1_doc, np.array([4, 5]), "descendant")
+
+    def test_unknown_axis(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError):
+            is_proper_staircase(fig1_doc, np.array([0]), "child")

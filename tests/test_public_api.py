@@ -1,0 +1,90 @@
+"""Public-API contract tests: exports exist, are documented, and the
+package's advertised quickstart works as written."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.xmltree",
+    "repro.storage",
+    "repro.encoding",
+    "repro.core",
+    "repro.baselines",
+    "repro.engine",
+    "repro.xpath",
+    "repro.xmark",
+    "repro.simulator",
+    "repro.harness",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), package_name
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name}"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_package_docstring(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and len(package.__doc__.strip()) > 40
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_public_callables_are_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            item = getattr(package, name)
+            if inspect.isfunction(item) or inspect.isclass(item):
+                assert item.__doc__, f"{package_name}.{name} lacks a docstring"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        """The README's quickstart, executed verbatim."""
+        from repro import (
+            JoinStatistics,
+            SkipMode,
+            encode,
+            evaluate,
+            parse,
+            staircase_join,
+        )
+
+        doc = encode(
+            parse("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>")
+        )
+        result = evaluate(doc, "/descendant::g/ancestor::f")
+        assert [doc.tag_of(int(p)) for p in result] == ["f"]
+
+        stats = JoinStatistics()
+        context = doc.pres_with_tag("f")
+        descendants = staircase_join(
+            doc, context, "descendant", SkipMode.ESTIMATE, stats
+        )
+        assert len(descendants) == 2
+        assert stats.duplicates_generated == 0
+
+    def test_xmark_snippet(self):
+        from repro import evaluate, xmark
+
+        doc = xmark.generate_table(0.05)
+        education = evaluate(doc, "/descendant::profile/descendant::education")
+        assert len(education) >= 0  # runs; cardinality checked elsewhere
+
+    def test_module_quickstart_doctest(self):
+        """The repro package docstring example."""
+        from repro import xmark, xpath
+
+        doc = xmark.generate_table(0.1)
+        hits = xpath.evaluate(doc, "/descendant::increase/ancestor::bidder")
+        assert [doc.tag_of(int(p)) for p in hits[:1]] == ["bidder"]

@@ -1,0 +1,106 @@
+"""Cache simulator tests: the access-pattern claims of Sections 4.3/5."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.cache import PAPER_MACHINE, CacheLevel, CacheSimulator, Machine
+
+
+class TestMachineDescription:
+    def test_paper_constants(self):
+        machine = PAPER_MACHINE
+        assert machine.clock_ghz == 2.2
+        assert machine.l1.size_bytes == 8 * 1024
+        assert machine.l1.line_bytes == 32
+        assert machine.l1.miss_latency_cycles == 28
+        assert machine.l2.size_bytes == 512 * 1024
+        assert machine.l2.line_bytes == 128
+        assert machine.l2.miss_latency_cycles == 387
+
+    def test_latency_conversion(self):
+        # 28 cy / 2.2 GHz = 12.7 ns; 387 cy = 176 ns (paper's Calibrator row).
+        assert PAPER_MACHINE.l1.miss_latency_ns(2.2) == pytest.approx(12.7, abs=0.1)
+        assert PAPER_MACHINE.l2.miss_latency_ns(2.2) == pytest.approx(176, abs=1)
+
+    def test_combined_latency_415(self):
+        assert PAPER_MACHINE.combined_miss_latency_cycles == 415
+
+    def test_line_counts(self):
+        assert PAPER_MACHINE.l1.lines == 256
+        assert PAPER_MACHINE.l2.lines == 4096
+
+
+class TestSequentialScan:
+    def test_one_miss_per_line(self):
+        """A sequential scan of n 4-byte nodes misses once per line:
+        'an L2 cache line contains 128/4 = 32 nodes'."""
+        sim = CacheSimulator(PAPER_MACHINE)
+        n = 32 * 100  # 100 L2 lines worth of nodes
+        sim.access_run(start=0, count=n, stride=4)
+        assert sim.l1_misses == n * 4 // 32  # one per L1 line
+        assert sim.l2_misses == n * 4 // 128  # one per L2 line
+        assert sim.l1_hits == n - sim.l1_misses
+
+    def test_rescan_of_resident_data_hits(self):
+        sim = CacheSimulator(PAPER_MACHINE)
+        sim.access_run(0, 1000, 4)
+        misses_before = sim.l1_misses
+        sim.access_run(0, 1000, 4)  # 4000 bytes — fits L1
+        assert sim.l1_misses == misses_before
+
+    def test_working_set_larger_than_cache_evicts(self):
+        sim = CacheSimulator(PAPER_MACHINE)
+        big = PAPER_MACHINE.l2.size_bytes * 2
+        sim.access_run(0, big // 4, 4)
+        sim.access_run(0, big // 4, 4)  # second pass: everything evicted
+        assert sim.l2_misses == 2 * (big // 128)
+
+
+class TestRandomAccess:
+    def test_random_probes_miss_almost_always(self):
+        """Why staircase join insists on sequential access: random probes
+        into a large array are miss-bound."""
+        machine = PAPER_MACHINE
+        sim_seq = CacheSimulator(machine)
+        sim_rnd = CacheSimulator(machine)
+        n = 50_000
+        area = machine.l2.size_bytes * 8
+        rng = np.random.default_rng(7)
+        sim_seq.access_run(0, n, 4)
+        for address in rng.integers(0, area, size=n):
+            sim_rnd.access(int(address) & ~3, 4)
+        assert sim_rnd.stall_cycles > 5 * sim_seq.stall_cycles
+
+    def test_straddling_access_touches_two_lines(self):
+        sim = CacheSimulator(PAPER_MACHINE)
+        sim.access(30, 4)  # bytes 30..33 straddle the 32-byte L1 boundary
+        assert sim.l1_misses == 2
+
+
+class TestBookkeeping:
+    def test_reset(self):
+        sim = CacheSimulator(PAPER_MACHINE)
+        sim.access_run(0, 100, 4)
+        sim.reset()
+        assert sim.summary() == {
+            "l1_hits": 0,
+            "l1_misses": 0,
+            "l2_hits": 0,
+            "l2_misses": 0,
+            "stall_cycles": 0,
+        }
+
+    def test_stall_cycles_weighted_by_latency(self):
+        sim = CacheSimulator(PAPER_MACHINE)
+        sim.access(0, 4)  # one L1 miss + one L2 miss
+        assert sim.stall_cycles == 28 + 387
+
+    def test_custom_machine(self):
+        tiny = Machine(
+            clock_ghz=1.0,
+            l1=CacheLevel(64, 16, 10),
+            l2=CacheLevel(256, 32, 100),
+        )
+        sim = CacheSimulator(tiny)
+        sim.access_run(0, 1024 // 4, 4)
+        assert sim.l2_misses == 1024 // 32

@@ -1,0 +1,209 @@
+"""Staircase join tests: Algorithms 2–4 plus the paper's four guarantees.
+
+Section 3.2 lists four characteristics; every join variant here is tested
+against all of them on random documents:
+
+1. sequential single scan (checked via the touch counters),
+2. one pass for the whole context,
+3. no duplicates,
+4. results in document order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.staircase import (
+    SkipMode,
+    staircase_join,
+    staircase_join_anc,
+    staircase_join_desc,
+    staircase_join_following,
+    staircase_join_preceding,
+)
+from repro.counters import JoinStatistics
+from repro.encoding.prepost import encode
+from repro.errors import XPathEvaluationError
+from repro.xmltree.model import NodeKind
+
+from _reference import axis_pres, random_tree
+
+ALL_MODES = [SkipMode.NONE, SkipMode.SKIP, SkipMode.ESTIMATE, SkipMode.EXACT]
+AXES = ["descendant", "ancestor", "following", "preceding"]
+
+
+def random_context(n, seed, k=6):
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n, size=min(k, n), replace=False))
+
+
+class TestPaperExamples:
+    def test_f_preceding(self, fig1_doc):
+        got = staircase_join_preceding(fig1_doc, np.array([5]))
+        assert [fig1_doc.tag_of(int(p)) for p in got] == ["b", "c", "d"]
+
+    def test_g_ancestor(self, fig1_doc):
+        got = staircase_join_anc(fig1_doc, np.array([6]))
+        assert [fig1_doc.tag_of(int(p)) for p in got] == ["a", "e", "f"]
+
+    def test_c_following_descendant(self, fig1_doc):
+        """Section 2.1: (c)/following/descendant = (f, g, h, i, j)."""
+        following = staircase_join_following(fig1_doc, np.array([2]))
+        got = staircase_join_desc(fig1_doc, following)
+        assert [fig1_doc.tag_of(int(p)) for p in got] == ["f", "g", "h", "i", "j"]
+
+    def test_figure4_ancestor_result(self, fig1_doc):
+        """(d,e,f,h,i,j)/ancestor ∪ context = (a,d,e,f,h,i,j) as in
+        Figure 4 (the paper shows ancestor-or-self)."""
+        context = np.array([3, 4, 5, 7, 8, 9])
+        ancestors = staircase_join_anc(fig1_doc, context)
+        or_self = np.union1d(ancestors, context)
+        assert [fig1_doc.tag_of(int(p)) for p in or_self] == list("adefhij")
+
+
+class TestModeEquivalence:
+    @given(
+        seed=st.integers(0, 6000),
+        size=st.integers(1, 180),
+        axis=st.sampled_from(AXES),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_all_modes_agree_with_reference(self, seed, size, axis):
+        tree = random_tree(size, seed)
+        doc = encode(tree)
+        context = random_context(size, seed)
+        expected = axis_pres(tree, context, axis)
+        for mode in ALL_MODES:
+            got = staircase_join(doc, context, axis, mode)
+            assert got.tolist() == expected.tolist(), (axis, mode)
+
+    @given(seed=st.integers(0, 6000), size=st.integers(1, 180))
+    @settings(max_examples=60, deadline=None)
+    def test_attribute_retention_flag(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        with_attrs = staircase_join_desc(
+            doc, context, keep_attributes=True
+        )
+        without = staircase_join_desc(doc, context, keep_attributes=False)
+        dropped = np.setdiff1d(with_attrs, without)
+        assert all(doc.kind[d] == int(NodeKind.ATTRIBUTE) for d in dropped)
+        assert len(np.setdiff1d(without, with_attrs)) == 0
+
+
+class TestFourGuarantees:
+    @given(
+        seed=st.integers(0, 6000),
+        size=st.integers(1, 180),
+        axis=st.sampled_from(AXES),
+        mode=st.sampled_from(ALL_MODES),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_no_duplicates_and_document_order(self, seed, size, axis, mode):
+        doc = encode(random_tree(size, seed))
+        got = staircase_join(doc, random_context(size, seed), axis, mode)
+        assert np.all(np.diff(got) > 0)  # strictly increasing pre ranks
+
+    @given(seed=st.integers(0, 6000), size=st.integers(2, 180))
+    @settings(max_examples=60, deadline=None)
+    def test_single_scan_bound_no_skipping(self, seed, size):
+        """Algorithm 2 touches each doc node at most once in total."""
+        doc = encode(random_tree(size, seed))
+        stats = JoinStatistics()
+        staircase_join(doc, random_context(size, seed), "descendant",
+                       SkipMode.NONE, stats)
+        assert stats.nodes_touched <= size
+
+
+class TestSkippingBounds:
+    @given(seed=st.integers(0, 6000), size=st.integers(2, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_descendant_skip_touches_at_most_result_plus_context(self, seed, size):
+        """Section 3.3: 'we never touch more than |result| + |context|
+        nodes' (attributes inside subtrees still count as touched)."""
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        stats = JoinStatistics()
+        result = staircase_join(
+            doc, context, "descendant", SkipMode.SKIP, stats, keep_attributes=True
+        )
+        assert stats.nodes_touched <= len(result) + len(context)
+
+    @given(seed=st.integers(0, 6000), size=st.integers(2, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_estimate_mode_comparison_bound(self, seed, size):
+        """Section 4.2: postorder comparisons ≤ h × |context| (+1 stopper
+        per partition)."""
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        stats = JoinStatistics()
+        staircase_join(doc, context, "descendant", SkipMode.ESTIMATE, stats)
+        pruned_size = len(context) - stats.context_pruned
+        assert stats.post_comparisons <= (doc.height + 1) * max(1, pruned_size)
+
+    @given(seed=st.integers(0, 6000), size=st.integers(2, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_mode_never_compares_postorders(self, seed, size):
+        """The ablation mode pays level lookups instead of any scanning."""
+        doc = encode(random_tree(size, seed))
+        stats = JoinStatistics()
+        staircase_join(
+            doc, random_context(size, seed), "descendant", SkipMode.EXACT, stats
+        )
+        assert stats.post_comparisons == 0
+        assert stats.nodes_scanned == 0
+
+    @given(seed=st.integers(0, 6000), size=st.integers(2, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_skipping_never_touches_more_than_no_skipping(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        touched = {}
+        for mode in (SkipMode.NONE, SkipMode.SKIP, SkipMode.ESTIMATE):
+            stats = JoinStatistics()
+            staircase_join(doc, context, "ancestor", mode, stats)
+            touched[mode] = stats.nodes_touched
+        assert touched[SkipMode.SKIP] <= touched[SkipMode.NONE]
+
+    def test_following_skips_subtree(self, fig1_doc):
+        """following(e) must skip e's whole subtree and copy nothing —
+        e is the last top-level node."""
+        stats = JoinStatistics()
+        got = staircase_join_following(fig1_doc, np.array([4]), stats=stats)
+        assert got.tolist() == []
+        # Eq. (1) guarantees post(e) − pre(e) = 4 descendants to hop; the
+        # fifth (level-term straggler) is scanned and ends the join.
+        assert stats.nodes_skipped == 4
+        assert stats.nodes_touched == 1
+
+
+class TestContracts:
+    def test_unknown_axis_rejected(self, fig1_doc):
+        with pytest.raises(XPathEvaluationError):
+            staircase_join(fig1_doc, np.array([0]), "child")
+
+    def test_empty_context(self, fig1_doc):
+        for axis in AXES:
+            got = staircase_join(fig1_doc, np.array([], dtype=np.int64), axis)
+            assert got.tolist() == []
+
+    def test_assume_pruned_trusts_caller(self, fig1_doc):
+        """With assume_pruned the algorithm runs the context verbatim —
+        callers that lie get the documented garbage-in behaviour, which
+        for a *valid* staircase matches the normal path."""
+        context = np.array([1, 3, 5])  # already a proper staircase
+        normal = staircase_join_desc(fig1_doc, context)
+        trusted = staircase_join_desc(fig1_doc, context, assume_pruned=True)
+        assert normal.tolist() == trusted.tolist()
+
+    def test_duplicate_context_entries_are_harmless(self, fig1_doc):
+        got = staircase_join_desc(fig1_doc, np.array([4, 4, 4]))
+        expected = staircase_join_desc(fig1_doc, np.array([4]))
+        assert got.tolist() == expected.tolist()
+
+    def test_stats_accumulate_across_calls(self, fig1_doc):
+        stats = JoinStatistics()
+        staircase_join_desc(fig1_doc, np.array([0]), stats=stats)
+        first = stats.nodes_touched
+        staircase_join_desc(fig1_doc, np.array([0]), stats=stats)
+        assert stats.nodes_touched == 2 * first

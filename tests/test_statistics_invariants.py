@@ -1,0 +1,101 @@
+"""Cross-algorithm accounting invariants on the JoinStatistics counters.
+
+The counters are what Figures 11(a)/(c) are made of, so they must obey
+exact conservation laws — not just look plausible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.naive import naive_step, naive_step_with_duplicates
+from repro.core.pruning import prune
+from repro.core.staircase import SkipMode, staircase_join
+from repro.counters import JoinStatistics
+from repro.encoding.prepost import encode
+
+from _reference import random_tree
+
+
+def random_context(n, seed, k=8):
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n, size=min(k, n), replace=False))
+
+
+class TestConservationLaws:
+    @given(seed=st.integers(0, 4000), size=st.integers(2, 150))
+    @settings(max_examples=60, deadline=None)
+    def test_descendant_partition_accounting(self, seed, size):
+        """Every position of the scan suffix is copied, scanned or
+        skipped — nothing lost, nothing double-counted."""
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        stats = JoinStatistics()
+        staircase_join(
+            doc, context, "descendant", SkipMode.ESTIMATE, stats,
+            keep_attributes=True,
+        )
+        pruned = prune(doc, context, "descendant")
+        if len(pruned) == 0:
+            return
+        suffix = size - int(pruned[0]) - len(pruned)  # scannable positions
+        accounted = stats.nodes_copied + stats.nodes_scanned + stats.nodes_skipped
+        assert accounted == suffix
+
+    @given(seed=st.integers(0, 4000), size=st.integers(2, 150))
+    @settings(max_examples=60, deadline=None)
+    def test_partitions_equal_pruned_context(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        stats = JoinStatistics()
+        staircase_join(doc, context, "descendant", SkipMode.SKIP, stats)
+        assert stats.partitions == len(context) - stats.context_pruned
+
+    @given(seed=st.integers(0, 4000), size=st.integers(2, 150))
+    @settings(max_examples=60, deadline=None)
+    def test_result_size_counter_matches_output(self, seed, size):
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        for axis in ("descendant", "ancestor", "following", "preceding"):
+            stats = JoinStatistics()
+            result = staircase_join(doc, context, axis, SkipMode.ESTIMATE, stats)
+            assert stats.result_size == len(result), axis
+
+    @given(seed=st.integers(0, 4000), size=st.integers(2, 150))
+    @settings(max_examples=60, deadline=None)
+    def test_naive_duplicates_conservation(self, seed, size):
+        """produced == unique + duplicates, and unique equals the
+        staircase result."""
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        stats = JoinStatistics()
+        unique = naive_step(doc, context, "ancestor", stats)
+        assert stats.result_size == len(unique) + stats.duplicates_generated
+        staircase = staircase_join(doc, context, "ancestor", SkipMode.ESTIMATE)
+        assert unique.tolist() == staircase.tolist()
+
+    @given(seed=st.integers(0, 4000), size=st.integers(2, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_scan_comparisons_equal_scanned_nodes(self, seed, size):
+        """In the pure scan modes every touched node costs exactly one
+        postorder comparison."""
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        for mode in (SkipMode.NONE, SkipMode.SKIP):
+            stats = JoinStatistics()
+            staircase_join(doc, context, "descendant", mode, stats)
+            assert stats.post_comparisons == stats.nodes_scanned
+            assert stats.nodes_copied == 0
+
+    @given(seed=st.integers(0, 4000), size=st.integers(2, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_skipping_only_reclassifies_work(self, seed, size):
+        """SKIP vs NONE: the same result from strictly less touching;
+        touched + skipped stays within the NONE touch count."""
+        doc = encode(random_tree(size, seed))
+        context = random_context(size, seed)
+        none, skip = JoinStatistics(), JoinStatistics()
+        a = staircase_join(doc, context, "descendant", SkipMode.NONE, none)
+        b = staircase_join(doc, context, "descendant", SkipMode.SKIP, skip)
+        assert a.tolist() == b.tolist()
+        assert skip.nodes_touched + skip.nodes_skipped == none.nodes_touched

@@ -1,0 +1,92 @@
+"""Unit tests for the BAT container and its relational operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.bat import BAT
+from repro.storage.column import IntColumn, VoidColumn
+
+
+@pytest.fixture
+def posts():
+    # The Figure 2 post column.
+    return BAT.dense(np.array([9, 1, 0, 2, 8, 5, 3, 4, 7, 6]), name="doc_post")
+
+
+class TestBasics:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(StorageError, match="length"):
+            BAT(VoidColumn(3), IntColumn([1, 2]))
+
+    def test_dense_constructor(self, posts):
+        assert posts.is_dense_head
+        assert len(posts) == 10
+        assert posts[0] == (0, 9)
+
+    def test_iteration_yields_pairs(self, posts):
+        assert list(posts)[:3] == [(0, 9), (1, 1), (2, 0)]
+
+    def test_reverse_swaps_columns(self, posts):
+        reversed_bat = posts.reverse()
+        assert reversed_bat[0] == (9, 0)
+        assert not reversed_bat.is_dense_head
+
+    def test_mirror_pairs_head_with_itself(self, posts):
+        assert posts.mirror()[4] == (4, 4)
+
+
+class TestSelections:
+    def test_select_less_than(self, posts):
+        selected = posts.select("<", 3)
+        assert [h for h, _ in selected] == [1, 2, 3]
+
+    def test_select_operators(self, posts):
+        assert len(posts.select(">=", 8)) == 2
+        assert len(posts.select("==", 5)) == 1
+        assert len(posts.select("!=", 5)) == 9
+
+    def test_unknown_operator_rejected(self, posts):
+        with pytest.raises(StorageError):
+            posts.select("~", 1)
+
+    def test_range_select_inclusive(self, posts):
+        selected = posts.range_select(3, 5)
+        assert sorted(t for _, t in selected) == [3, 4, 5]
+
+    def test_positional_slice(self, posts):
+        window = posts.positional_slice(2, 5)
+        assert list(window) == [(2, 0), (3, 2), (4, 8)]
+
+    def test_positional_slice_clamps(self, posts):
+        assert len(posts.positional_slice(-5, 100)) == 10
+        assert len(posts.positional_slice(8, 3)) == 0
+
+    def test_positional_slice_requires_dense_head(self, posts):
+        with pytest.raises(StorageError, match="dense"):
+            posts.reverse().positional_slice(0, 2)
+
+
+class TestJoins:
+    def test_semijoin_head(self, posts):
+        filtered = posts.semijoin_head(np.array([1, 4, 9]))
+        assert [h for h, _ in filtered] == [1, 4, 9]
+        assert [t for _, t in filtered] == [1, 8, 6]
+
+    def test_filter_head(self, posts):
+        evens = posts.filter_head(lambda h: h % 2 == 0)
+        assert [h for h, _ in evens] == [0, 2, 4, 6, 8]
+
+    def test_tails_for_heads_positional_fetch(self, posts):
+        tails = posts.tails_for_heads(np.array([2, 5, 0]))
+        assert tails.tolist() == [0, 5, 9]  # order follows the request
+
+    def test_tails_for_heads_respects_offset(self):
+        bat = BAT(VoidColumn(3, offset=10), IntColumn([7, 8, 9]))
+        assert bat.tails_for_heads(np.array([11])).tolist() == [8]
+
+
+class TestFootprint:
+    def test_void_head_costs_nothing(self, posts):
+        materialised = posts.select(">=", 0)  # same rows, dense arrays
+        assert posts.memory_footprint() < materialised.memory_footprint()

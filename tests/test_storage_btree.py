@@ -1,0 +1,151 @@
+"""Unit + property tests for the B+-tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BTreeError
+from repro.storage.btree import BPlusTree
+
+
+def build(keys, order=4):
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert((key,), key * 10)
+    return tree
+
+
+class TestInsertSearch:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search((1,)) is None
+        assert (1,) not in tree
+
+    def test_insert_and_search(self):
+        tree = build([5, 3, 8, 1, 9])
+        assert tree.search((3,)) == 30
+        assert tree.search((9,)) == 90
+        assert tree.search((4,)) is None
+
+    def test_duplicate_insert_rejected(self):
+        tree = build([1])
+        with pytest.raises(BTreeError, match="duplicate"):
+            tree.insert((1,), 99)
+
+    def test_non_tuple_key_rejected(self):
+        with pytest.raises(BTreeError, match="tuples"):
+            BPlusTree().insert(1, 1)
+
+    def test_key_width_enforced(self):
+        tree = BPlusTree(key_width=2)
+        tree.insert((1, 2), "ok")
+        with pytest.raises(BTreeError, match="width"):
+            tree.insert((1,), "bad")
+
+    def test_order_minimum(self):
+        with pytest.raises(BTreeError):
+            BPlusTree(order=2)
+
+    def test_splits_grow_height(self):
+        tree = build(range(100), order=4)
+        assert tree.height > 1
+        assert len(tree) == 100
+        for key in range(100):
+            assert tree.search((key,)) == key * 10
+
+
+class TestRangeScan:
+    def test_full_scan_is_sorted(self):
+        tree = build([7, 2, 9, 4, 1, 8])
+        keys = [k for k, _ in tree.iter_items()]
+        assert keys == sorted(keys)
+
+    def test_bounded_scan(self):
+        tree = build(range(20), order=4)
+        got = [k[0] for k, _ in tree.range_scan((5,), (11,))]
+        assert got == list(range(5, 12))
+
+    def test_exclusive_high(self):
+        tree = build(range(10), order=4)
+        got = [k[0] for k, _ in tree.range_scan((2,), (5,), include_high=False)]
+        assert got == [2, 3, 4]
+
+    def test_scan_from_missing_low_key(self):
+        tree = build([1, 3, 5, 7], order=4)
+        got = [k[0] for k, _ in tree.range_scan((2,), (6,))]
+        assert got == [3, 5]
+
+    def test_open_bounds(self):
+        tree = build([4, 2, 6])
+        assert len(list(tree.range_scan(None, None))) == 3
+        assert [k[0] for k, _ in tree.range_scan((5,), None)] == [6]
+
+    def test_probe_counting(self):
+        tree = build(range(50), order=4)
+        tree.probe_count = 0
+        list(tree.range_scan((10,), (40,)))
+        assert tree.probe_count == 1  # one descent, then leaf chaining
+
+    def test_compound_keys_sort_lexicographically(self):
+        tree = BPlusTree(order=4, key_width=2)
+        tree.insert((1, 5), "a")
+        tree.insert((1, 2), "b")
+        tree.insert((0, 9), "c")
+        assert [v for _, v in tree.iter_items()] == ["c", "b", "a"]
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self):
+        items = [((k,), k) for k in range(200)]
+        loaded = BPlusTree.bulk_load(items, order=8)
+        inserted = build(range(200), order=8)
+        assert [k for k, _ in loaded.iter_items()] == [
+            k for k, _ in inserted.iter_items()
+        ]
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_requires_sorted_unique(self):
+        with pytest.raises(BTreeError, match="sorted"):
+            BPlusTree.bulk_load([((2,), 0), ((1,), 0)])
+        with pytest.raises(BTreeError, match="sorted"):
+            BPlusTree.bulk_load([((1,), 0), ((1,), 0)])
+
+    def test_bulk_load_search(self):
+        items = [((k, k % 3), k) for k in range(500)]
+        tree = BPlusTree.bulk_load(items, order=16, key_width=2)
+        assert tree.search((123, 0)) == 123
+        assert tree.search((123, 1)) is None
+
+
+class TestProperties:
+    @given(
+        keys=st.lists(st.integers(0, 10_000), unique=True, max_size=300),
+        order=st.integers(3, 32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sorted_dict_semantics(self, keys, order):
+        tree = BPlusTree(order=order)
+        model = {}
+        for key in keys:
+            tree.insert((key,), key)
+            model[(key,)] = key
+        assert len(tree) == len(model)
+        assert [k for k, _ in tree.iter_items()] == sorted(model)
+        for key in list(model)[:20]:
+            assert tree.search(key) == model[key]
+
+    @given(
+        keys=st.lists(st.integers(0, 1000), unique=True, min_size=1, max_size=200),
+        low=st.integers(0, 1000),
+        high=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_scan_matches_filter(self, keys, low, high):
+        if low > high:
+            low, high = high, low
+        tree = BPlusTree.bulk_load([((k,), k) for k in sorted(keys)], order=6)
+        got = [k[0] for k, _ in tree.range_scan((low,), (high,))]
+        assert got == [k for k in sorted(keys) if low <= k <= high]

@@ -1,0 +1,109 @@
+"""Unit + property tests for the typed storage columns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.column import IntColumn, StringColumn, VoidColumn
+
+
+class TestVoidColumn:
+    def test_positional_access_is_offset_arithmetic(self):
+        column = VoidColumn(10, offset=5)
+        assert column[0] == 5
+        assert column[9] == 14
+
+    def test_negative_index(self):
+        assert VoidColumn(10)[-1] == 9
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            VoidColumn(3)[3]
+
+    def test_slice_preserves_voidness(self):
+        sliced = VoidColumn(10, offset=2)[3:7]
+        assert isinstance(sliced, VoidColumn)
+        assert list(sliced) == [5, 6, 7, 8]
+
+    def test_strided_slice_rejected(self):
+        with pytest.raises(StorageError):
+            VoidColumn(10)[::2]
+
+    def test_to_numpy_materialises_sequence(self):
+        assert VoidColumn(4, offset=1).to_numpy().tolist() == [1, 2, 3, 4]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(StorageError):
+            VoidColumn(-1)
+
+    @given(length=st.integers(0, 500), offset=st.integers(-100, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_equals_materialised_arange(self, length, offset):
+        column = VoidColumn(length, offset)
+        assert column.to_numpy().tolist() == list(range(offset, offset + length))
+
+
+class TestIntColumn:
+    def test_construction_from_list(self):
+        column = IntColumn([3, 1, 2])
+        assert len(column) == 3
+        assert column[1] == 1
+
+    def test_slice_returns_column(self):
+        column = IntColumn([5, 6, 7, 8])[1:3]
+        assert isinstance(column, IntColumn)
+        assert list(column) == [6, 7]
+
+    def test_min_max(self):
+        column = IntColumn([4, -2, 9])
+        assert column.min() == -2
+        assert column.max() == 9
+
+    def test_empty_min_rejected(self):
+        with pytest.raises(StorageError):
+            IntColumn([]).min()
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(StorageError):
+            IntColumn(np.zeros((2, 2)))
+
+
+class TestStringColumn:
+    def test_from_strings_dictionary_encodes(self):
+        column = StringColumn.from_strings(["a", "b", "a", "c", "b"])
+        assert len(column) == 5
+        assert column[0] == "a"
+        assert column[4] == "b"
+        assert len(column.dictionary) == 3
+
+    def test_code_of_known_and_unknown(self):
+        column = StringColumn.from_strings(["x", "y"])
+        assert column.code_of("x") == column.code_at(0)
+        assert column.code_of("nope") == -1
+
+    def test_codes_are_stable_per_first_occurrence(self):
+        column = StringColumn.from_strings(["p", "q", "p"])
+        assert column.code_at(0) == 0
+        assert column.code_at(1) == 1
+        assert column.code_at(2) == 0
+
+    def test_slice_shares_dictionary(self):
+        column = StringColumn.from_strings(["a", "b", "c"])
+        sliced = column[1:]
+        assert sliced[0] == "b"
+        assert sliced.dictionary == column.dictionary
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(StorageError):
+            StringColumn([0, 5], ["only"])
+
+    def test_duplicate_dictionary_rejected(self):
+        with pytest.raises(StorageError):
+            StringColumn([0], ["a", "a"])
+
+    @given(st.lists(st.sampled_from(["r", "s", "t", "u"]), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, strings):
+        column = StringColumn.from_strings(strings)
+        assert list(column) == strings

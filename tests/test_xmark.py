@@ -1,0 +1,130 @@
+"""XMark generator tests: determinism, shape and paper-like selectivities."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.prepost import encode
+from repro.errors import WorkloadError
+from repro.xmark.generator import (
+    NODES_PER_MB,
+    XMarkConfig,
+    XMarkGenerator,
+    generate,
+    generate_table,
+)
+from repro.xmltree.model import NodeKind
+from repro.xmltree.serializer import serialize
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        a = serialize(generate(0.05))
+        b = serialize(generate(0.05))
+        assert a == b
+
+    def test_different_seed_different_document(self):
+        a = serialize(generate(0.05, XMarkConfig(seed=1)))
+        b = serialize(generate(0.05, XMarkConfig(seed=2)))
+        assert a != b
+
+    def test_different_size_different_document(self):
+        a = serialize(generate(0.05))
+        b = serialize(generate(0.06))
+        assert a != b
+
+
+class TestShape:
+    def test_height_is_11(self):
+        """'All documents were of height 11' (Section 4.4)."""
+        for size in (0.05, 0.2, 1.0):
+            assert generate_table(size).height == 11
+
+    def test_node_count_tracks_nominal_size(self):
+        for size in (0.2, 0.5, 1.0):
+            doc = generate_table(size)
+            assert 0.7 * NODES_PER_MB * size <= len(doc) <= 1.3 * NODES_PER_MB * size
+
+    def test_root_is_site(self):
+        doc = generate_table(0.05)
+        assert doc.tag_of(0) == "site"
+        assert [doc.tag_of(c) for c in doc.children_of(0)] == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_increase_level_is_4(self):
+        """Experiment 1's analysis: 'for all context nodes c,
+        level(c) = 4' — site/open_auctions/open_auction/bidder/increase."""
+        doc = generate_table(0.1)
+        increases = doc.pres_with_tag("increase")
+        assert len(increases) > 0
+        assert all(doc.level_of(int(p)) == 4 for p in increases)
+
+    def test_one_increase_per_bidder(self):
+        doc = generate_table(0.1)
+        assert len(doc.pres_with_tag("increase")) == len(doc.pres_with_tag("bidder"))
+
+    def test_profile_under_person(self):
+        doc = generate_table(0.1)
+        for p in doc.pres_with_tag("profile"):
+            assert doc.tag_of(doc.parent_of(int(p))) == "person"
+            assert doc.level_of(int(p)) == 3
+
+
+class TestSelectivities:
+    """Table 1 shape: profile ≈ 0.25 %, increase ≈ 1.2 %, education in
+    about half the profiles, ≥ 90 % non-attribute nodes."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return generate_table(1.0)
+
+    def test_profile_share(self, doc):
+        share = len(doc.pres_with_tag("profile")) / len(doc)
+        assert 0.001 < share < 0.01
+
+    def test_increase_share(self, doc):
+        share = len(doc.pres_with_tag("increase")) / len(doc)
+        assert 0.005 < share < 0.03
+
+    def test_education_in_about_half_the_profiles(self, doc):
+        profiles = len(doc.pres_with_tag("profile"))
+        education = len(doc.pres_with_tag("education"))
+        assert 0.3 * profiles <= education <= 0.7 * profiles
+
+    def test_non_attribute_share(self, doc):
+        """Table 1: 47 015 212 of 50 844 982 nodes are non-attribute
+        (≈ 92 %)."""
+        share = len(doc.non_attribute_pres()) / len(doc)
+        assert 0.85 < share < 0.97
+
+    def test_several_bidders_per_auction(self, doc):
+        auctions = len(doc.pres_with_tag("open_auction"))
+        bidders = len(doc.pres_with_tag("bidder"))
+        assert 2.0 < bidders / auctions < 6.0
+
+
+class TestValidity:
+    def test_generated_xml_reparses(self):
+        from repro.xmltree.parser import parse
+
+        tree = generate(0.05)
+        reparsed = parse(serialize(tree))
+        assert len(encode(reparsed).post) == len(encode(tree).post)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate(0)
+        with pytest.raises(WorkloadError):
+            generate(-1)
+
+    def test_config_knobs_respected(self):
+        config = XMarkConfig(education_probability=0.0, min_bidders=2, max_bidders=2)
+        doc = encode(generate(0.1, config))
+        assert len(doc.pres_with_tag("education")) == 0
+        auctions = len(doc.pres_with_tag("open_auction"))
+        assert len(doc.pres_with_tag("bidder")) == 2 * auctions

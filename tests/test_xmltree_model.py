@@ -1,0 +1,127 @@
+"""Unit tests for the XML node model."""
+
+import pytest
+
+from repro.xmltree.model import (
+    Node,
+    NodeKind,
+    attribute,
+    comment,
+    document,
+    element,
+    processing_instruction,
+    text,
+)
+
+
+class TestConstruction:
+    def test_element_constructor_sets_tag(self):
+        node = element("bidder")
+        assert node.kind == NodeKind.ELEMENT
+        assert node.name == "bidder"
+        assert node.children == []
+
+    def test_element_constructor_attaches_children(self):
+        child = element("increase")
+        parent = element("bidder", child)
+        assert parent.children == [child]
+        assert child.parent is parent
+
+    def test_element_keyword_arguments_become_attributes(self):
+        node = element("person", id="person0")
+        assert node.get_attribute("id") == "person0"
+        assert node.attributes[0].kind == NodeKind.ATTRIBUTE
+
+    def test_attributes_stay_ahead_of_children(self):
+        node = element("item")
+        node.append(element("name"))
+        node.set_attribute("id", "item1")
+        node.set_attribute("featured", "yes")
+        kinds = [c.kind for c in node.children]
+        assert kinds == [NodeKind.ATTRIBUTE, NodeKind.ATTRIBUTE, NodeKind.ELEMENT]
+        # Definition order among attributes is preserved.
+        assert [a.name for a in node.attributes] == ["id", "featured"]
+
+    def test_document_wraps_root(self):
+        root = element("site")
+        doc = document(root)
+        assert doc.kind == NodeKind.DOCUMENT
+        assert doc.children == [root]
+        assert root.parent is doc
+
+    def test_text_comment_pi_constructors(self):
+        assert text("hello").kind == NodeKind.TEXT
+        assert comment("note").kind == NodeKind.COMMENT
+        pi = processing_instruction("xmlstylesheet", "href=x")
+        assert pi.kind == NodeKind.PROCESSING_INSTRUCTION
+        assert pi.name == "xmlstylesheet"
+        assert attribute("k", "v").value == "v"
+
+    def test_extend_appends_in_order(self):
+        a, b = element("a"), element("b")
+        parent = element("p").extend([a, b])
+        assert parent.children == [a, b]
+
+
+class TestInspection:
+    def test_get_attribute_missing_returns_none(self):
+        assert element("x").get_attribute("nope") is None
+
+    def test_element_children_excludes_non_elements(self):
+        node = element("p", text("t"), element("q"), comment("c"))
+        assert [c.name for c in node.element_children] == ["q"]
+
+    def test_non_attribute_children(self):
+        node = element("p", text("t"), element("q"), id="1")
+        assert len(node.non_attribute_children) == 2
+        assert len(node.children) == 3
+
+    def test_find_locates_first_descendant_by_tag(self):
+        inner = element("target")
+        tree = element("root", element("mid", inner), element("target"))
+        assert tree.find("target") is inner
+
+    def test_find_does_not_match_self(self):
+        tree = element("root")
+        assert tree.find("root") is None
+
+    def test_text_content_concatenates_descendant_text(self):
+        tree = element("p", text("one "), element("b", text("two")), text(" three"))
+        assert tree.text_content() == "one two three"
+
+
+class TestTraversal:
+    def test_preorder_is_document_order(self):
+        c, d = element("c"), element("d")
+        b = element("b", c, d)
+        a = element("a", b)
+        assert [n.name for n in a.iter_preorder()] == ["a", "b", "c", "d"]
+
+    def test_postorder_visits_children_first(self):
+        c, d = element("c"), element("d")
+        a = element("a", element("b", c, d))
+        assert [n.name for n in a.iter_postorder()] == ["c", "d", "b", "a"]
+
+    def test_preorder_handles_deep_trees_without_recursion(self):
+        node = element("leaf")
+        for i in range(5000):
+            node = element(f"n{i}", node)
+        assert sum(1 for _ in node.iter_preorder()) == 5001
+
+    def test_ancestors_nearest_first(self):
+        c = element("c")
+        b = element("b", c)
+        a = element("a", b)
+        assert [n.name for n in c.ancestors()] == ["b", "a"]
+
+    def test_level_and_height(self):
+        c = element("c")
+        a = element("a", element("b", c))
+        assert a.level() == 0
+        assert c.level() == 2
+        assert a.height() == 2
+        assert c.height() == 0
+
+    def test_subtree_size_counts_all_kinds(self):
+        node = element("p", text("t"), id="1")
+        assert node.subtree_size() == 3

@@ -1,0 +1,194 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.model import NodeKind
+from repro.xmltree.parser import parse
+
+
+def root_of(xml):
+    doc = parse(xml)
+    return doc.children[-1]
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        root = root_of("<site/>")
+        assert root.kind == NodeKind.ELEMENT
+        assert root.name == "site"
+        assert root.children == []
+
+    def test_open_close_pair(self):
+        root = root_of("<a></a>")
+        assert root.name == "a"
+        assert root.children == []
+
+    def test_nested_elements_preserve_order(self):
+        root = root_of("<a><b/><c/><d/></a>")
+        assert [c.name for c in root.children] == ["b", "c", "d"]
+
+    def test_text_content(self):
+        root = root_of("<p>hello world</p>")
+        assert root.children[0].kind == NodeKind.TEXT
+        assert root.children[0].value == "hello world"
+
+    def test_mixed_content_order(self):
+        root = root_of("<p>one<b>two</b>three</p>")
+        kinds = [c.kind for c in root.children]
+        assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+        assert root.text_content() == "onetwothree"
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        root = root_of("<a>\n  <b/>\n</a>")
+        assert [c.kind for c in root.children] == [NodeKind.ELEMENT]
+
+    def test_whitespace_kept_on_request(self):
+        doc = parse("<a>\n  <b/>\n</a>", keep_whitespace_text=True)
+        root = doc.children[-1]
+        assert [c.kind for c in root.children] == [
+            NodeKind.TEXT,
+            NodeKind.ELEMENT,
+            NodeKind.TEXT,
+        ]
+
+    def test_xml_declaration_is_skipped(self):
+        root = root_of('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert root.name == "a"
+
+    def test_doctype_is_skipped(self):
+        root = root_of('<!DOCTYPE site SYSTEM "auction.dtd"><site/>')
+        assert root.name == "site"
+
+    def test_doctype_with_internal_subset(self):
+        root = root_of("<!DOCTYPE a [ <!ELEMENT a EMPTY> ]><a/>")
+        assert root.name == "a"
+
+
+class TestAttributes:
+    def test_double_and_single_quotes(self):
+        root = root_of("<a x=\"1\" y='2'/>")
+        assert root.get_attribute("x") == "1"
+        assert root.get_attribute("y") == "2"
+
+    def test_attribute_order_preserved(self):
+        root = root_of('<a z="1" y="2" x="3"/>')
+        assert [a.name for a in root.attributes] == ["z", "y", "x"]
+
+    def test_whitespace_around_equals(self):
+        root = root_of('<a x = "1"/>')
+        assert root.get_attribute("x") == "1"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="duplicate attribute"):
+            parse('<a x="1" x="2"/>')
+
+    def test_unquoted_value_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="quoted"):
+            parse("<a x=1/>")
+
+    def test_entities_in_attribute_values(self):
+        root = root_of('<a x="a&amp;b&lt;c"/>')
+        assert root.get_attribute("x") == "a&b<c"
+
+    def test_literal_lt_in_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="not allowed"):
+            parse('<a x="a<b"/>')
+
+
+class TestEntitiesAndReferences:
+    def test_predefined_entities(self):
+        root = root_of("<p>&lt;&gt;&amp;&apos;&quot;</p>")
+        assert root.children[0].value == "<>&'\""
+
+    def test_decimal_character_reference(self):
+        assert root_of("<p>&#65;</p>").children[0].value == "A"
+
+    def test_hex_character_reference(self):
+        assert root_of("<p>&#x41;&#x2603;</p>").children[0].value == "A☃"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="unknown entity"):
+            parse("<p>&nbsp;</p>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated entity"):
+            parse("<p>&amp</p>")
+
+
+class TestSpecialConstructs:
+    def test_comment_node(self):
+        root = root_of("<a><!-- note --></a>")
+        assert root.children[0].kind == NodeKind.COMMENT
+        assert root.children[0].value == " note "
+
+    def test_top_level_comment(self):
+        doc = parse("<!--before--><a/><!--after-->")
+        kinds = [c.kind for c in doc.children]
+        assert kinds == [NodeKind.COMMENT, NodeKind.ELEMENT, NodeKind.COMMENT]
+
+    def test_double_dash_in_comment_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="--"):
+            parse("<a><!-- bad -- comment --></a>")
+
+    def test_processing_instruction(self):
+        root = root_of("<a><?target some data?></a>")
+        pi = root.children[0]
+        assert pi.kind == NodeKind.PROCESSING_INSTRUCTION
+        assert pi.name == "target"
+        assert pi.value == "some data"
+
+    def test_cdata_is_text(self):
+        root = root_of("<p><![CDATA[<not> &parsed;]]></p>")
+        assert root.children[0].kind == NodeKind.TEXT
+        assert root.children[0].value == "<not> &parsed;"
+
+    def test_cdata_merges_with_surrounding_text(self):
+        root = root_of("<p>a<![CDATA[b]]>c</p>")
+        assert len(root.children) == 1
+        assert root.children[0].value == "abc"
+
+
+class TestWellFormednessErrors:
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XMLSyntaxError, match="mismatched closing tag"):
+            parse("<a><b></a></b>")
+
+    def test_unterminated_element(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated element"):
+            parse("<a><b>")
+
+    def test_content_after_root(self):
+        with pytest.raises(XMLSyntaxError, match="after the root"):
+            parse("<a/><b/>")
+
+    def test_missing_root(self):
+        with pytest.raises(XMLSyntaxError, match="root element"):
+            parse("   ")
+
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            parse("<a>\n<b>\n</a>")
+        assert info.value.line >= 2
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated comment"):
+            parse("<a><!-- never closed</a>")
+
+    def test_bad_name_start(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<1a/>")
+
+
+class TestScale:
+    def test_deep_nesting(self):
+        depth = 2000
+        xml = "".join(f"<n{i}>" for i in range(depth))
+        xml += "".join(f"</n{i}>" for i in reversed(range(depth)))
+        doc = parse(xml)
+        count = sum(1 for _ in doc.children[0].iter_preorder())
+        assert count == depth
+
+    def test_wide_fanout(self):
+        xml = "<r>" + "<c/>" * 5000 + "</r>"
+        assert len(root_of(xml).children) == 5000

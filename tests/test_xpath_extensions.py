@@ -1,0 +1,166 @@
+"""Tests for the extended XPath surface: unions, arithmetic, functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.encoding.prepost import encode
+from repro.errors import XPathEvaluationError, XPathSyntaxError
+from repro.xmltree.model import element, text
+from repro.xmltree.parser import parse
+from repro.xpath.ast import BinaryExpr
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+XML = """
+<shop>
+  <item n="1"><price>10</price><qty>2</qty></item>
+  <item n="2"><price>4.5</price><qty>10</qty></item>
+  <item n="3"><price>7</price><qty>0</qty></item>
+  <note>  spread   out   text </note>
+</shop>
+"""
+
+
+@pytest.fixture(scope="module")
+def shop():
+    return encode(parse(XML))
+
+
+class TestUnions:
+    def test_top_level_union_parses(self):
+        expression = parse_xpath("//price | //qty")
+        assert isinstance(expression, BinaryExpr)
+        assert expression.op == "|"
+
+    def test_top_level_union_evaluates(self, shop):
+        got = evaluate(shop, "//price | //qty")
+        assert len(got) == 6
+        assert np.all(np.diff(got) > 0)  # document order, merged
+
+    def test_three_way_union(self, shop):
+        got = evaluate(shop, "//price | //qty | //note")
+        assert len(got) == 7
+
+    def test_union_in_predicate(self, shop):
+        got = evaluate(shop, "//item[price | missing]")
+        assert len(got) == 3
+
+    def test_union_of_non_nodesets_rejected(self, shop):
+        with pytest.raises(XPathEvaluationError, match="node-set"):
+            evaluate(shop, '//item[(1 | 2)]')
+
+
+class TestArithmetic:
+    def test_addition_in_predicate(self, shop):
+        got = evaluate(shop, "//item[price + qty > 13]")
+        assert len(got) == 1  # 4.5 + 10
+
+    def test_subtraction_and_unary_minus(self, shop):
+        got = evaluate(shop, "//item[price - qty > -1]")
+        # 10-2=8 ✓, 4.5-10=-5.5 ✗, 7-0=7 ✓
+        assert len(got) == 2
+
+    def test_multiplication(self, shop):
+        got = evaluate(shop, "//item[price * qty = 45]")
+        assert len(got) == 1
+
+    def test_div(self, shop):
+        got = evaluate(shop, "//item[price div qty = 5]")
+        assert len(got) == 1  # 10/2
+
+    def test_div_by_zero_is_infinite_not_error(self, shop):
+        got = evaluate(shop, "//item[price div qty > 100]")
+        assert len(got) == 1  # 7/0 = +inf
+
+    def test_mod(self, shop):
+        got = evaluate(shop, "//item[qty mod 2 = 0]")
+        assert len(got) == 3  # 2, 10, 0 all even
+
+    def test_precedence_mul_over_add(self, shop):
+        got = evaluate(shop, "//item[price + qty * 2 = 24.5]")
+        assert len(got) == 1  # 4.5 + 20
+
+    def test_star_still_a_wildcard_in_path_position(self, shop):
+        assert len(evaluate(shop, "/shop/*")) == 4
+
+    def test_nan_comparisons_false(self, shop):
+        got = evaluate(shop, '//item[price + "x" > 0]')
+        assert len(got) == 0
+
+
+class TestFunctions:
+    def test_string(self, shop):
+        got = evaluate(shop, '//item[string(price) = "10"]')
+        assert len(got) == 1
+
+    def test_number(self, shop):
+        got = evaluate(shop, "//item[number(price) >= 7]")
+        assert len(got) == 2
+
+    def test_boolean_true_false(self, shop):
+        assert len(evaluate(shop, "//item[true()]")) == 3
+        assert len(evaluate(shop, "//item[false()]")) == 0
+        assert len(evaluate(shop, "//item[boolean(qty)]")) == 3
+
+    def test_concat(self, shop):
+        got = evaluate(shop, '//item[concat(price, "/", qty) = "10/2"]')
+        assert len(got) == 1
+
+    def test_substring(self, shop):
+        got = evaluate(shop, '//note[substring(., 3, 6) = "spread"]')
+        assert len(got) == 1
+
+    def test_substring_one_based_clamping(self, shop):
+        got = evaluate(shop, '//item[substring(price, 0, 2) = "1"]')
+        # substring("10", 0, 2): positions 0,1 of a 1-based string → "1"
+        assert len(got) == 1
+
+    def test_substring_before_after(self, shop):
+        assert len(evaluate(shop, '//item[substring-before(price, ".") = "4"]')) == 1
+        assert len(evaluate(shop, '//item[substring-after(price, ".") = "5"]')) == 1
+
+    def test_normalize_space(self, shop):
+        got = evaluate(shop, '//note[normalize-space(.) = "spread out text"]')
+        assert len(got) == 1
+
+    def test_sum(self, shop):
+        got = evaluate(shop, "/shop[sum(item/price) = 21.5]")
+        assert len(got) == 1
+
+    def test_floor_ceiling_round(self, shop):
+        assert len(evaluate(shop, "//item[floor(price) = 4]")) == 1
+        assert len(evaluate(shop, "//item[ceiling(price) = 5]")) == 1
+        assert len(evaluate(shop, "//item[round(price) = 5]")) == 1  # 4.5 → 5 (half-up)
+
+    def test_local_name(self, shop):
+        got = evaluate(shop, '//*[local-name() = "note"]')
+        assert len(got) == 1
+
+    def test_sum_requires_nodeset(self, shop):
+        with pytest.raises(XPathEvaluationError):
+            evaluate(shop, "//item[sum(1)]")
+
+    def test_unknown_function_rejected_at_parse(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("//a[blorp()]")
+
+
+class TestArithmeticSemanticsDirect:
+    """Spot-check the numeric edge rules via tiny documents."""
+
+    @pytest.fixture(scope="class")
+    def one(self):
+        return encode(element("r", element("v", text("-7"))))
+
+    def test_negative_string_value(self, one):
+        assert len(evaluate(one, "//v[. = -7]")) == 1
+
+    def test_mod_sign_follows_dividend(self, one):
+        # -7 mod 3 = -1 in XPath (sign of dividend)
+        assert len(evaluate(one, "//v[. mod 3 = -1]")) == 1
+
+    def test_round_half_up_negative(self, one):
+        # round(-0.5) is -0 per XPath half-up; equality with 0 holds
+        assert len(evaluate(one, "//v[round(-0.5) = 0]")) == 1

@@ -1,0 +1,81 @@
+"""Tokeniser tests."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import tokenize
+
+
+def types(expr):
+    return [t.type for t in tokenize(expr)][:-1]  # drop EOF
+
+
+def values(expr):
+    return [t.value for t in tokenize(expr)][:-1]
+
+
+class TestTokens:
+    def test_simple_path(self):
+        assert types("/a/b") == ["/", "NAME", "/", "NAME"]
+
+    def test_axis_token(self):
+        assert types("descendant::profile") == ["AXIS", "NAME"]
+        assert values("descendant::profile") == ["descendant", "profile"]
+
+    def test_axis_with_dash(self):
+        assert values("descendant-or-self::node()")[0] == "descendant-or-self"
+
+    def test_double_slash(self):
+        assert types("//a") == ["//", "NAME"]
+
+    def test_dots(self):
+        assert types("..") == [".."]
+        assert types(".") == ["."]
+
+    def test_at_and_star(self):
+        assert types("@id") == ["@", "NAME"]
+        assert types("@*") == ["@", "*"]
+
+    def test_predicate_brackets(self):
+        assert types("a[1]") == ["NAME", "[", "NUMBER", "]"]
+
+    def test_comparison_operators(self):
+        assert types("a != b") == ["NAME", "!=", "NAME"]
+        assert types("a<=b") == ["NAME", "<=", "NAME"]
+        assert types("a >= b") == ["NAME", ">=", "NAME"]
+        assert types("a=b") == ["NAME", "=", "NAME"]
+
+    def test_string_literals_both_quotes(self):
+        assert values("'abc'") == ["abc"]
+        assert values('"x y"') == ["x y"]
+
+    def test_numbers(self):
+        assert values("3") == ["3"]
+        assert values("3.25") == ["3.25"]
+
+    def test_whitespace_ignored(self):
+        assert types("  a  /  b ") == ["NAME", "/", "NAME"]
+
+    def test_eof_token_appended(self):
+        tokens = tokenize("a")
+        assert tokens[-1].type == "EOF"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab / cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+        assert tokens[2].position == 5
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(XPathSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError, match="unexpected character"):
+            tokenize("a # b")
+
+    def test_dangling_double_colon(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("::x")

@@ -1,0 +1,179 @@
+"""Parser tests: grammar coverage and abbreviation desugaring."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    BinaryExpr,
+    FunctionCall,
+    LocationPath,
+    NumberLiteral,
+    StringLiteral,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestPaths:
+    def test_q1_shape(self):
+        path = parse_xpath("/descendant::profile/descendant::education")
+        assert path.absolute
+        assert [s.axis for s in path.steps] == ["descendant", "descendant"]
+        assert [s.test.name for s in path.steps] == ["profile", "education"]
+
+    def test_q2_shape(self):
+        path = parse_xpath("/descendant::increase/ancestor::bidder")
+        assert [s.axis for s in path.steps] == ["descendant", "ancestor"]
+
+    def test_relative_path(self):
+        path = parse_xpath("a/b")
+        assert not path.absolute
+        assert [s.axis for s in path.steps] == ["child", "child"]
+
+    def test_bare_slash(self):
+        path = parse_xpath("/")
+        assert path.absolute
+        assert path.steps == ()
+
+    def test_double_slash_desugars(self):
+        path = parse_xpath("//education")
+        assert [s.axis for s in path.steps] == ["descendant-or-self", "child"]
+        assert path.steps[0].test.kind == "node"
+
+    def test_inner_double_slash(self):
+        path = parse_xpath("/site//bidder")
+        assert [s.axis for s in path.steps] == [
+            "child",
+            "descendant-or-self",
+            "child",
+        ]
+
+    def test_dot_and_dotdot(self):
+        assert parse_xpath(".").steps[0].axis == "self"
+        assert parse_xpath("..").steps[0].axis == "parent"
+
+    def test_attribute_abbreviation(self):
+        step = parse_xpath("@id").steps[0]
+        assert step.axis == "attribute"
+        assert step.test.name == "id"
+
+    def test_star_tests(self):
+        assert parse_xpath("*").steps[0].test.kind == "*"
+        assert parse_xpath("@*").steps[0].test.kind == "*"
+
+    def test_kind_tests(self):
+        assert parse_xpath("text()").steps[0].test.kind == "text"
+        assert parse_xpath("comment()").steps[0].test.kind == "comment"
+        assert parse_xpath("node()").steps[0].test.kind == "node"
+        pi = parse_xpath("processing-instruction('t')").steps[0].test
+        assert pi.kind == "processing-instruction"
+        assert pi.name == "t"
+
+    def test_every_axis_parses(self):
+        from repro.xpath.ast import AXES
+
+        for axis in AXES:
+            path = parse_xpath(f"{axis}::node()")
+            assert path.steps[0].axis == axis
+
+
+class TestPredicates:
+    def test_positional(self):
+        step = parse_xpath("bidder[2]").steps[0]
+        assert isinstance(step.predicates[0], NumberLiteral)
+        assert step.predicates[0].value == 2
+
+    def test_multiple_predicates(self):
+        step = parse_xpath("a[1][2]").steps[0]
+        assert len(step.predicates) == 2
+
+    def test_comparison(self):
+        predicate = parse_xpath('person[name = "Ada"]').steps[0].predicates[0]
+        assert isinstance(predicate, BinaryExpr)
+        assert predicate.op == "="
+        assert isinstance(predicate.left, LocationPath)
+        assert isinstance(predicate.right, StringLiteral)
+
+    def test_boolean_connectives(self):
+        predicate = parse_xpath("a[b and c or d]").steps[0].predicates[0]
+        assert predicate.op == "or"
+        assert predicate.left.op == "and"
+
+    def test_function_calls(self):
+        predicate = parse_xpath("a[position() = last()]").steps[0].predicates[0]
+        assert isinstance(predicate.left, FunctionCall)
+        assert predicate.right.name == "last"
+
+    def test_count_function(self):
+        predicate = parse_xpath("a[count(b) > 2]").steps[0].predicates[0]
+        assert predicate.left.name == "count"
+        assert isinstance(predicate.left.args[0], LocationPath)
+
+    def test_not_function(self):
+        predicate = parse_xpath("a[not(b)]").steps[0].predicates[0]
+        assert predicate.name == "not"
+
+    def test_nested_path_predicate(self):
+        predicate = parse_xpath("/descendant::bidder[descendant::increase]")
+        inner = predicate.steps[-1].predicates[0]
+        assert isinstance(inner, LocationPath)
+        assert inner.steps[0].axis == "descendant"
+
+    def test_parenthesised_expression(self):
+        predicate = parse_xpath("a[(b or c) and d]").steps[0].predicates[0]
+        assert predicate.op == "and"
+
+    def test_relational_on_numbers(self):
+        predicate = parse_xpath("a[@n < 3.5]").steps[0].predicates[0]
+        assert predicate.op == "<"
+        assert predicate.right.value == 3.5
+
+
+class TestErrors:
+    def test_empty_expression(self):
+        with pytest.raises(XPathSyntaxError, match="empty"):
+            parse_xpath("   ")
+
+    def test_unknown_axis(self):
+        with pytest.raises(XPathSyntaxError, match="unknown axis"):
+            parse_xpath("sideways::x")
+
+    def test_namespace_axis_guidance(self):
+        with pytest.raises(XPathSyntaxError, match="namespace"):
+            parse_xpath("namespace::x")
+
+    def test_unknown_function(self):
+        with pytest.raises(XPathSyntaxError, match="unknown function"):
+            parse_xpath("a[frobnicate()]")
+
+    def test_unclosed_predicate(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("a[1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XPathSyntaxError, match="trailing"):
+            parse_xpath("a]")
+
+    def test_text_test_takes_no_argument(self):
+        with pytest.raises(XPathSyntaxError, match="no argument"):
+            parse_xpath("text('x')")
+
+    def test_error_shows_position_marker(self):
+        with pytest.raises(XPathSyntaxError) as info:
+            parse_xpath("a/sideways::b")
+        assert "^" in str(info.value)
+
+
+class TestRoundTripStrings:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "/descendant::profile/descendant::education",
+            "/descendant::increase/ancestor::bidder",
+            "//open_auction[bidder]/seller",
+            "child::a/child::b[3]",
+        ],
+    )
+    def test_str_of_ast_reparses_to_same_ast(self, expr):
+        once = parse_xpath(expr)
+        again = parse_xpath(str(once))
+        assert once == again

@@ -1,0 +1,84 @@
+"""Rewrite-law tests: pushdown opportunities and the symmetry rewrite."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.prepost import encode
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+from repro.xpath.rewrite import (
+    push_name_test,
+    pushdown_opportunities,
+    symmetry_rewrite,
+)
+
+from _reference import random_tree
+
+
+class TestPushdownOpportunities:
+    def test_q1_both_steps_eligible(self):
+        path = parse_xpath("/descendant::profile/descendant::education")
+        assert pushdown_opportunities(path) == [0, 1]
+
+    def test_q2_both_steps_eligible(self):
+        path = parse_xpath("/descendant::increase/ancestor::bidder")
+        assert pushdown_opportunities(path) == [0, 1]
+
+    def test_predicated_step_not_eligible(self):
+        path = parse_xpath("/descendant::bidder[descendant::increase]")
+        assert pushdown_opportunities(path) == []
+
+    def test_kind_test_not_eligible(self):
+        path = parse_xpath("/descendant::node()")
+        assert pushdown_opportunities(path) == []
+
+    def test_child_steps_not_eligible(self):
+        path = parse_xpath("/site/people/person")
+        assert pushdown_opportunities(path) == []
+
+    def test_push_name_test_returns_ast_unchanged(self):
+        path = parse_xpath("/descendant::increase/ancestor::bidder")
+        same, opportunities = push_name_test(path)
+        assert same == path
+        assert opportunities == [0, 1]
+
+
+class TestSymmetryRewrite:
+    def test_q2_rewrites_to_paper_form(self):
+        rewritten = symmetry_rewrite("/descendant::increase/ancestor::bidder")
+        assert str(rewritten) == "/descendant::bidder[descendant::increase]"
+
+    def test_non_matching_shapes_untouched(self):
+        for expr in (
+            "/descendant::a",
+            "/descendant::a/descendant::b",
+            "/a/descendant::b/ancestor::c",  # longer prefix: unsafe
+            "descendant::a/ancestor::b",  # relative: unsafe
+        ):
+            path = parse_xpath(expr)
+            assert symmetry_rewrite(path) == path
+
+    def test_accepts_string_input(self):
+        assert symmetry_rewrite("/descendant::a") == parse_xpath("/descendant::a")
+
+    @given(seed=st.integers(0, 4000), size=st.integers(1, 150))
+    @settings(max_examples=60, deadline=None)
+    def test_rewrite_preserves_semantics(self, seed, size):
+        """The law itself, checked on random documents for all tag pairs."""
+        doc = encode(random_tree(size, seed))
+        for m in ("a", "b"):
+            for n in ("c", "d"):
+                original = f"/descendant::{m}/ancestor::{n}"
+                rewritten = symmetry_rewrite(original)
+                assert (
+                    evaluate(doc, original).tolist()
+                    == evaluate(doc, rewritten).tolist()
+                )
+
+    def test_rewrite_on_xmark_q2(self, small_xmark):
+        original = "/descendant::increase/ancestor::bidder"
+        rewritten = symmetry_rewrite(original)
+        assert (
+            evaluate(small_xmark, original).tolist()
+            == evaluate(small_xmark, rewritten).tolist()
+        )
