@@ -16,7 +16,9 @@ from repro.baselines.mpmgjn import mpmgjn_step
 from repro.baselines.stacktree import stack_tree_step
 from repro.core.partition import partitioned_staircase_join
 from repro.core.staircase import SkipMode, staircase_join
-from repro.core.vectorized import staircase_join_vectorized
+from repro.core.vectorized import axis_step_vectorized, staircase_join_vectorized
+from repro.xpath.ast import AXES
+from repro.xpath.axes import AxisExecutor
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +79,27 @@ class TestAncestorKernels:
         benchmark(lambda: stack_tree_step(bench_doc, anc_context, "ancestor"))
 
 
+class TestStructuralAxisKernels:
+    """The engine's non-partitioning kernels: scalar loops vs bulk joins.
+
+    ``bidder`` contexts exercise the parent-column equi-joins on a
+    realistic fan-out (each auction holds a handful of bidders).
+    """
+
+    @pytest.fixture(scope="class")
+    def sibling_context(self, bench_doc):
+        return bench_doc.pres_with_tag("bidder")
+
+    @pytest.mark.parametrize("axis", ["child", "following-sibling", "parent"])
+    def test_scalar(self, benchmark, bench_doc, sibling_context, axis):
+        executor = AxisExecutor(bench_doc, engine="scalar")
+        benchmark(lambda: executor.step(sibling_context, axis))
+
+    @pytest.mark.parametrize("axis", ["child", "following-sibling", "parent"])
+    def test_vectorized(self, benchmark, bench_doc, sibling_context, axis):
+        benchmark(lambda: axis_step_vectorized(bench_doc, sibling_context, axis))
+
+
 def test_kernels_agree(bench_doc, desc_context, anc_context, benchmark):
     def check():
         for axis, context in (
@@ -86,6 +109,10 @@ def test_kernels_agree(bench_doc, desc_context, anc_context, benchmark):
             scalar = staircase_join(bench_doc, context, axis, SkipMode.ESTIMATE)
             bulk = staircase_join_vectorized(bench_doc, context, axis)
             assert scalar.tolist() == bulk.tolist()
+        for axis in AXES:
+            scalar = AxisExecutor(bench_doc, engine="scalar").step(anc_context, axis)
+            bulk = axis_step_vectorized(bench_doc, anc_context, axis)
+            assert scalar.tolist() == bulk.tolist(), axis
         return True
 
     assert benchmark.pedantic(check, rounds=1, iterations=1)

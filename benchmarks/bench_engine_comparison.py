@@ -1,0 +1,100 @@
+"""Engine comparison: scalar loops vs the vectorised bulk engine.
+
+End-to-end wall-clock of ``Evaluator(engine="scalar")`` against
+``Evaluator(engine="vectorized")`` on XMark documents — the headline
+number for the bulk execution engine.  Two views:
+
+* per-query pytest-benchmark entries over the full workload suite, one
+  line per (query, engine), so regressions in either engine show up as a
+  line item;
+* a summary table (printed through ``emit``) with per-query speedups,
+  which also *asserts* the engine contract: ≥ 5× on the descendant-heavy
+  queries at the benchmark scale factor (≥ 0.1), and identical node
+  sequences everywhere.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_comparison.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from repro.harness.queries import QUERY_SUITE
+from repro.harness.reporting import format_table
+from repro.xpath.evaluator import Evaluator
+
+#: Queries dominated by relative descendant/ancestor steps — the
+#: staircase join's territory, where the bulk kernels replace the
+#: per-node Python loop wholesale.  The summary asserts ≥ 5× on these.
+DESCENDANT_HEAVY = (
+    "/descendant::open_auction/descendant::increase",
+    "/descendant::description/descendant::keyword",
+    "/descendant::item/descendant::text/descendant::keyword",
+    "/descendant::increase/ancestor::bidder",
+)
+
+ENGINES = ("scalar", "vectorized")
+
+
+@pytest.fixture(scope="module", params=ENGINES)
+def engine_evaluator(request, bench_doc):
+    return request.param, Evaluator(bench_doc, engine=request.param)
+
+
+@pytest.mark.parametrize("query", QUERY_SUITE, ids=[q.key for q in QUERY_SUITE])
+def test_suite_query(benchmark, engine_evaluator, query):
+    engine, evaluator = engine_evaluator
+    result = benchmark(lambda: evaluator.evaluate(query.xpath))
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["results"] = int(len(result))
+
+
+def _best_of(evaluator, xpath, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = evaluator.evaluate(xpath)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_engine_summary(bench_doc, emit, benchmark):
+    scalar = Evaluator(bench_doc, engine="scalar")
+    bulk = Evaluator(bench_doc, engine="vectorized")
+    rows = []
+    speedups = {}
+
+    def run():
+        rows.clear()
+        speedups.clear()
+        workload = [(f"H{i:02d}", xpath) for i, xpath in enumerate(DESCENDANT_HEAVY)]
+        workload += [(q.key, q.xpath) for q in QUERY_SUITE]
+        for key, xpath in workload:
+            scalar_s, scalar_result = _best_of(scalar, xpath)
+            bulk_s, bulk_result = _best_of(bulk, xpath)
+            assert scalar_result.tolist() == bulk_result.tolist(), key
+            speedups[xpath] = scalar_s / bulk_s
+            rows.append(
+                {
+                    "query": key,
+                    "results": len(scalar_result),
+                    "scalar_ms": f"{scalar_s * 1e3:.2f}",
+                    "vectorized_ms": f"{bulk_s * 1e3:.2f}",
+                    "speedup": f"{scalar_s / bulk_s:.1f}x",
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        f"engine comparison — {len(bench_doc):,} nodes "
+        f"(scalar = instrumented Algorithms 2-4, vectorized = bulk kernels)",
+        format_table(rows),
+    )
+    for xpath in DESCENDANT_HEAVY:
+        assert speedups[xpath] >= 5.0, (
+            f"vectorised engine below the 5x contract on {xpath!r}: "
+            f"{speedups[xpath]:.1f}x"
+        )

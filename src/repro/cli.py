@@ -5,6 +5,7 @@ Makes the library usable without writing Python::
     python -m repro generate --size 0.5 -o auction.xml
     python -m repro encode auction.xml -o auction.npz
     python -m repro query auction.npz "/descendant::increase/ancestor::bidder"
+    python -m repro query auction.npz "//open_auction[bidder]" --engine vectorized
     python -m repro query auction.xml "//person[profile]" --serialize --limit 2
     python -m repro info auction.npz
     python -m repro sql "/descendant::profile/descendant::education"
@@ -75,7 +76,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     doc = _load_document(args.document)
     stats = JoinStatistics()
     evaluator = Evaluator(
-        doc, strategy=args.strategy, pushdown=args.pushdown, stats=stats
+        doc,
+        strategy=args.strategy,
+        engine=args.engine,
+        pushdown=args.pushdown,
+        stats=stats,
     )
     started = time.perf_counter()
     result = evaluator.evaluate(args.xpath)
@@ -166,7 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("xpath")
     cmd.add_argument("--pushdown", action="store_true", help="push name tests below joins")
     cmd.add_argument(
-        "--strategy", choices=("staircase", "vectorized"), default="staircase"
+        "--engine", choices=("scalar", "vectorized"), default=None,
+        help="execution engine: per-node scalar loops (default) or numpy "
+        "bulk kernels for every axis step; overrides --strategy",
+    )
+    cmd.add_argument(
+        "--strategy", choices=("staircase", "vectorized"), default=None,
+        help="deprecated alias for --engine (staircase = scalar)",
     )
     cmd.add_argument("--serialize", action="store_true", help="print result subtrees as XML")
     cmd.add_argument("--limit", type=int, default=None, help="show at most N results")

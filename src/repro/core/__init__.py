@@ -12,6 +12,9 @@ Public surface:
 * :func:`~repro.core.vectorized.staircase_join_vectorized` — a numpy bulk
   formulation exploiting the same tree knowledge (used where Python loop
   overhead would drown the measurement).
+* :func:`~repro.core.vectorized.axis_step_vectorized` — the bulk kernels
+  extended to every XPath axis: the vectorised execution engine behind
+  ``Evaluator(engine="vectorized")``.
 * :func:`~repro.core.partition.partitioned_staircase_join` — the
   partition-parallel execution strategy sketched in Section 3.2.
 * :mod:`repro.core.fragments` — tag-name fragmentation (the future-work
@@ -20,6 +23,7 @@ Public surface:
 
 from repro.core.pruning import (
     prune,
+    prune_vectorized,
     prune_ancestor,
     prune_descendant,
     prune_following,
@@ -34,12 +38,13 @@ from repro.core.staircase import (
     staircase_join_following,
     staircase_join_preceding,
 )
-from repro.core.vectorized import staircase_join_vectorized
+from repro.core.vectorized import axis_step_vectorized, staircase_join_vectorized
 from repro.core.partition import partitioned_staircase_join, plan_partitions
 from repro.core.fragments import FragmentedDocument
 
 __all__ = [
     "prune",
+    "prune_vectorized",
     "prune_ancestor",
     "prune_descendant",
     "prune_following",
@@ -52,6 +57,7 @@ __all__ = [
     "staircase_join_following",
     "staircase_join_preceding",
     "staircase_join_vectorized",
+    "axis_step_vectorized",
     "partitioned_staircase_join",
     "plan_partitions",
     "FragmentedDocument",

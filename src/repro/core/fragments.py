@@ -23,7 +23,17 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.counters import JoinStatistics
-from repro.core.pruning import normalize_context, prune
+from repro.core.pruning import (
+    normalize_context,
+    prune,
+    prune_vectorized,
+    validate_context,
+)
+from repro.core.vectorized import (
+    concat_ranges,
+    staircase_join_vectorized,
+    subtree_sizes,
+)
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
 from repro.xmltree.model import NodeKind
@@ -105,6 +115,73 @@ class FragmentedDocument:
                 else:
                     break  # skip — rest of fragment is outside c's subtree
         return np.asarray(result, dtype=np.int64)
+
+    def descendant_step_vectorized(
+        self,
+        context: np.ndarray,
+        tag: str,
+        stats: Optional[JoinStatistics] = None,
+    ) -> np.ndarray:
+        """Bulk ``context/descendant::tag`` over the fragment.
+
+        Descendants of a pruned context node ``c`` occupy the contiguous
+        preorder interval ``pre(c)+1 .. pre(c)+|desc(c)|``, and the
+        fragment is pre-sorted — so the per-``c`` hits are a contiguous
+        *fragment* slice found by two binary searches, and the whole step
+        is a batched ``searchsorted`` plus one gather (the vectorised
+        engine's counterpart of :meth:`descendant_step`).
+        """
+        stats = stats if stats is not None else JoinStatistics()
+        context = prune_vectorized(
+            self.doc,
+            validate_context(self.doc, normalize_context(context)),
+            "descendant",
+            stats,
+        )
+        pres, _ = self.fragment(tag)
+        if len(context) == 0 or len(pres) == 0:
+            return np.empty(0, dtype=np.int64)
+        sizes = subtree_sizes(self.doc, context)
+        lo = np.searchsorted(pres, context + 1, side="left")
+        hi = np.searchsorted(pres, context + sizes + 1, side="left")
+        counts = hi - lo
+        populated = counts > 0
+        indices = concat_ranges(lo[populated], counts[populated])
+        result = pres[indices]
+        stats.partitions += int(len(context))
+        stats.index_probes += int(len(context))
+        stats.result_size += int(len(result))
+        return result
+
+    def ancestor_step_vectorized(
+        self,
+        context: np.ndarray,
+        tag: str,
+        stats: Optional[JoinStatistics] = None,
+    ) -> np.ndarray:
+        """Bulk ``context/ancestor::tag`` over the fragment.
+
+        Climbs the whole pruned context level-synchronously (the batched
+        parent hops of :func:`repro.core.vectorized.axis_step_vectorized`)
+        and intersects the ancestor set with the fragment — both inputs
+        are sorted, so the intersection is a merge.
+        """
+        stats = stats if stats is not None else JoinStatistics()
+        context = prune_vectorized(
+            self.doc,
+            validate_context(self.doc, normalize_context(context)),
+            "ancestor",
+            stats,
+        )
+        pres, _ = self.fragment(tag)
+        if len(context) == 0 or len(pres) == 0:
+            return np.empty(0, dtype=np.int64)
+        ancestors = staircase_join_vectorized(self.doc, context, "ancestor")
+        result = np.intersect1d(ancestors, pres, assume_unique=True)
+        stats.partitions += int(len(context))
+        stats.index_probes += int(len(context))
+        stats.result_size += int(len(result))
+        return result
 
     def ancestor_step(
         self,

@@ -33,6 +33,7 @@ from repro.errors import XPathEvaluationError
 
 __all__ = [
     "prune",
+    "prune_vectorized",
     "prune_descendant",
     "prune_ancestor",
     "prune_following",
@@ -48,8 +49,13 @@ def normalize_context(context: np.ndarray) -> np.ndarray:
 
     XPath step semantics demand duplicate-free, document-ordered sequences
     [2]; accepting arbitrary arrays here keeps the public API forgiving.
+    Chained axis steps always hand over already-normalised arrays, so an
+    O(n) sortedness check guards the O(n log n) sort.
     """
-    return np.unique(np.asarray(context, dtype=np.int64))
+    context = np.asarray(context, dtype=np.int64)
+    if len(context) > 1 and not np.all(np.diff(context) > 0):
+        context = np.unique(context)
+    return context
 
 
 def prune_descendant(
@@ -178,6 +184,56 @@ def prune(
         ) from None
     validate_context(doc, normalize_context(context))
     return pruner(doc, context, stats)
+
+
+def prune_vectorized(
+    doc: DocTable,
+    context: np.ndarray,
+    axis: str,
+    stats: Optional[JoinStatistics] = None,
+) -> np.ndarray:
+    """Branch-free pruning for the vectorised engine (same result as
+    :func:`prune`, no per-node Python loop).
+
+    ``context`` must already be sorted and duplicate-free (the engine's
+    step invariant).  The scalar passes become closed forms:
+
+    * ``descendant`` — a survivor's postorder rank exceeds every earlier
+      one, i.e. its post equals the running maximum *and* strictly exceeds
+      the previous running maximum (Algorithm 1 as a ``cummax``).
+    * ``ancestor`` — a survivor is no later node's ancestor, i.e. its post
+      equals the suffix minimum of the postorder ranks.
+    * ``following``/``preceding`` — the min-post / max-pre singleton.
+    """
+    if len(context) <= 1:
+        if axis not in _PRUNERS:
+            raise XPathEvaluationError(
+                f"pruning is defined for the partitioning axes "
+                f"{sorted(_PRUNERS)}, not {axis!r}"
+            )
+        return context
+    posts = doc.post[context]
+    if axis == "descendant":
+        running = np.maximum.accumulate(posts)
+        keep = np.empty(len(context), dtype=bool)
+        keep[0] = True
+        keep[1:] = posts[1:] > running[:-1]
+        result = context[keep]
+    elif axis == "ancestor":
+        suffix_min = np.minimum.accumulate(posts[::-1])[::-1]
+        result = context[posts == suffix_min]
+    elif axis == "following":
+        result = context[[int(np.argmin(posts))]]
+    elif axis == "preceding":
+        result = context[[-1]]  # sorted: maximum pre is last
+    else:
+        raise XPathEvaluationError(
+            f"pruning is defined for the partitioning axes "
+            f"{sorted(_PRUNERS)}, not {axis!r}"
+        )
+    if stats is not None:
+        stats.context_pruned += len(context) - len(result)
+    return result
 
 
 def is_proper_staircase(doc: DocTable, context: np.ndarray, axis: str) -> bool:

@@ -1,28 +1,43 @@
-"""Vectorised (bulk) staircase join kernels.
+"""Vectorised (bulk) execution kernels for every XPath axis.
 
 The scalar loops in :mod:`repro.core.staircase` transcribe the paper's
 algorithms one comparison at a time, which is what the node-access counters
 need — but a Python interpreter pays ~100 ns per iteration where the
-paper's C loop paid 5–17 cycles.  For the wall-clock experiments we
-therefore also provide bulk kernels that exploit *exactly the same tree
-knowledge*, expressed as numpy array operations:
+paper's C loop paid 5–17 cycles.  This module provides bulk kernels that
+exploit *exactly the same tree knowledge*, expressed as numpy array
+operations, for **all** axes the evaluator implements — the four
+partitioning axes the staircase join owns *and* the structural axes the
+scalar :class:`~repro.xpath.axes.AxisExecutor` serves with Python loops:
 
 * ``descendant`` — after pruning, each surviving context node's subtree is
   a *contiguous* preorder interval ``pre(c)+1 .. pre(c)+|desc(c)|``
   (Equation (1) with the level term makes the interval exact), and the
   intervals of a proper staircase are pairwise disjoint.  The join is a
-  concatenation of ``arange`` spans — the moral equivalent of the paper's
+  single ``arange`` plus a ``repeat``-broadcast of per-span offsets — no
+  Python-level per-context loop, the moral equivalent of the paper's
   comparison-free copy phase.
-* ``ancestor`` — climb the ``parent`` column from each pruned context
-  node, stopping at the first already-visited ancestor (paths that meet
-  share their remaining prefix, so each document node is visited at most
-  once across the whole context: the same "no node touched twice"
-  guarantee as the scalar join).
-* ``following``/``preceding`` — single ``arange`` / boolean-mask region
-  query for the degenerate context.
+* ``ancestor`` — level-synchronised batched parent hops: the whole context
+  frontier climbs the ``parent`` column at once, a boolean visited mask
+  merges paths that meet, and the loop runs at most ``height`` iterations
+  (each a bulk gather).  Every document node is marked at most once: the
+  same "no node touched twice" guarantee as the scalar join.
+* ``following``/``preceding`` — one region query against the plane.  The
+  kernels accept arbitrary (multi-node) contexts: the union of following
+  regions is the region of the context node with minimum postorder rank,
+  the union of preceding regions that of the node with maximum preorder
+  rank (the same degeneration :func:`~repro.core.pruning.prune` applies).
+* ``child``/``attribute`` — an equi-join of the ``parent`` column against
+  the context, restricted to the window of preorder ranks that can contain
+  children of the context (``min(c)+1 .. max(c + |subtree(c)|)``).
+* ``following-sibling``/``preceding-sibling`` — the same windowed
+  parent-column join, then a per-parent rank comparison against the
+  extreme context child of that parent (gathered via ``searchsorted``).
+* ``parent``/``self``/``*-or-self`` — single gathers and sorted unions.
 
 Results are identical to the scalar kernels (asserted property-based in
-the test suite).
+the test suite); :func:`axis_step_vectorized` is the engine entry point
+the :class:`~repro.xpath.axes.AxisExecutor` dispatches to when
+constructed with ``engine="vectorized"``.
 """
 
 from __future__ import annotations
@@ -32,14 +47,18 @@ from typing import Optional
 import numpy as np
 
 from repro.counters import JoinStatistics
-from repro.core.pruning import normalize_context, prune
+from repro.core.pruning import normalize_context, prune_vectorized, validate_context
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
 from repro.xmltree.model import NodeKind
 
-__all__ = ["staircase_join_vectorized"]
+__all__ = ["staircase_join_vectorized", "axis_step_vectorized"]
 
 _ATTR = int(NodeKind.ATTRIBUTE)
+
+
+def _empty() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
 
 
 def _strip_attributes(doc: DocTable, pres: np.ndarray) -> np.ndarray:
@@ -48,47 +67,210 @@ def _strip_attributes(doc: DocTable, pres: np.ndarray) -> np.ndarray:
     return pres[doc.kind[pres] != _ATTR]
 
 
+def subtree_sizes(doc: DocTable, pres: np.ndarray) -> np.ndarray:
+    """Exact ``|v/descendant|`` per node — Equation (1) with the level term."""
+    return np.maximum(doc.post[pres] - pres + doc.level[pres], 0)
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate the ranges ``[starts_i, starts_i + counts_i)`` bulk-wise.
+
+    The concatenation is ``arange(total)`` shifted per range: each range's
+    shift is its start minus the number of output slots that precede it.
+    Ranges with ``counts == 0`` must be filtered out by the caller.
+    """
+    if len(counts) == 0:
+        return _empty()
+    ends = np.cumsum(counts)
+    shifts = np.repeat(starts - (ends - counts), counts)
+    return np.arange(int(ends[-1]), dtype=np.int64) + shifts
+
+
+def _require_context(context: np.ndarray, axis: str) -> None:
+    """The region kernels need at least one context node to anchor on.
+
+    ``staircase_join_vectorized`` short-circuits empty contexts before
+    dispatching, so an empty array here means a caller bypassed the public
+    entry point with malformed input — raise instead of crashing on an
+    out-of-bounds index.
+    """
+    if len(context) == 0:
+        raise XPathEvaluationError(
+            f"vectorised {axis!r} kernel requires a non-empty context"
+        )
+
+
+# ----------------------------------------------------------------------
+# Partitioning axes
+# ----------------------------------------------------------------------
 def _desc_vectorized(doc: DocTable, context: np.ndarray) -> np.ndarray:
     """Concatenate the (disjoint) subtree intervals of the staircase."""
     if len(context) == 0:
-        return np.empty(0, dtype=np.int64)
-    sizes = doc.post[context] - context + doc.level[context]  # Equation (1)
-    spans = [
-        np.arange(int(c) + 1, int(c) + 1 + int(size), dtype=np.int64)
-        for c, size in zip(context, sizes)
-        if size > 0
-    ]
-    if not spans:
-        return np.empty(0, dtype=np.int64)
-    return np.concatenate(spans)
+        return _empty()
+    sizes = subtree_sizes(doc, context)
+    populated = sizes > 0
+    return concat_ranges(context[populated] + 1, sizes[populated])
 
 
 def _anc_vectorized(doc: DocTable, context: np.ndarray) -> np.ndarray:
-    """Union of ancestor paths via the parent column, each node once."""
+    """Union of ancestor paths via batched, level-synchronised parent hops.
+
+    The whole frontier hops one level per iteration; paths that meet are
+    merged by the visited mask, so the loop body runs at most ``height``
+    times and each document node is marked at most once.
+    """
     parent = doc.parent
-    seen = set()
-    for c in context:
-        node = int(parent[c])
-        while node >= 0 and node not in seen:
-            seen.add(node)
-            node = int(parent[node])
-    if not seen:
-        return np.empty(0, dtype=np.int64)
-    return np.asarray(sorted(seen), dtype=np.int64)
+    visited = np.zeros(len(doc), dtype=bool)
+    frontier = parent[context]
+    frontier = np.unique(frontier[frontier >= 0])
+    while len(frontier):
+        fresh = frontier[~visited[frontier]]
+        if len(fresh) == 0:
+            break
+        visited[fresh] = True
+        frontier = parent[fresh]
+        frontier = np.unique(frontier[frontier >= 0])
+    return np.nonzero(visited)[0].astype(np.int64)
 
 
 def _following_vectorized(doc: DocTable, context: np.ndarray) -> np.ndarray:
-    c = int(context[0])
-    end_of_subtree = c + int(doc.post[c]) - c + int(doc.level[c])  # Equation (1)
+    """Everything after the anchor's subtree, as one ``arange``.
+
+    For a multi-node context the union of following regions is the region
+    of the node with *minimum postorder* rank (the invariant
+    :func:`~repro.core.pruning.prune_following` establishes); the kernel
+    computes that anchor itself, so it is correct for arbitrary contexts,
+    pruned or not.
+    """
+    _require_context(context, "following")
+    anchor = int(context[np.argmin(doc.post[context])])
+    end_of_subtree = anchor + doc.subtree_size_exact(anchor)
     return np.arange(end_of_subtree + 1, len(doc), dtype=np.int64)
 
 
 def _preceding_vectorized(doc: DocTable, context: np.ndarray) -> np.ndarray:
-    c = int(context[0])
-    candidates = np.arange(0, c, dtype=np.int64)
-    return candidates[doc.post[candidates] < int(doc.post[c])]
+    """Everything before the anchor that is not one of its ancestors.
+
+    The union of preceding regions is the region of the context node with
+    *maximum preorder* rank (:func:`~repro.core.pruning.prune_preceding`'s
+    invariant); ancestors of the anchor sit before it in preorder but have
+    larger postorder ranks, hence the boolean mask.
+    """
+    _require_context(context, "preceding")
+    anchor = int(context.max())
+    candidates = np.arange(0, anchor, dtype=np.int64)
+    return candidates[doc.post[candidates] < int(doc.post[anchor])]
 
 
+# ----------------------------------------------------------------------
+# Structural axes (parent-column equi-joins, windowed)
+# ----------------------------------------------------------------------
+def _nodes_with_parent_in(
+    doc: DocTable, parents: np.ndarray, want_attributes: bool
+) -> np.ndarray:
+    """All nodes whose parent is in ``parents``, filtered by kind.
+
+    Children of ``c`` live inside ``c``'s subtree span, so the union of
+    spans bounds the scan — a predicate evaluating a child step per small
+    subtree touches a few dozen slots instead of the whole column.  The
+    single-parent case (every predicate sub-evaluation) avoids all array
+    temporaries beyond the window itself; the general case replaces
+    ``np.isin`` with a ``searchsorted`` probe against the sorted parent
+    set, which has far lower constant overhead.
+    """
+    if len(parents) == 0:
+        return _empty()
+    if len(parents) == 1:
+        anchor = int(parents[0])
+        lo = anchor + 1
+        hi = min(anchor + doc.subtree_size_exact(anchor) + 1, len(doc))
+        if lo >= hi:
+            return _empty()
+        window = slice(lo, hi)
+        mask = doc.parent[window] == anchor
+    else:
+        lo = int(parents[0]) + 1  # parents arrive sorted
+        hi = min(int((parents + subtree_sizes(doc, parents)).max()) + 1, len(doc))
+        if lo >= hi:
+            return _empty()
+        window = slice(lo, hi)
+        segment = doc.parent[window]
+        if len(parents) * 16 > hi - lo:
+            # Dense context: one boolean lookup table beats a log-factor
+            # searchsorted probe per window slot.  Parents all lie in
+            # [lo-1, hi), so a window-sized table suffices; window nodes
+            # whose parent sits before the window (outer ancestors, or
+            # the root's -1) can never match.
+            base = lo - 1
+            table = np.zeros(hi - base, dtype=bool)
+            table[parents - base] = True
+            shifted = segment - base
+            mask = (shifted >= 0) & table[np.maximum(shifted, 0)]
+        else:
+            slots = np.searchsorted(parents, segment)
+            slots[slots == len(parents)] = 0
+            mask = parents[slots] == segment
+    if want_attributes:
+        mask &= doc.kind[window] == _ATTR
+    else:
+        mask &= doc.kind[window] != _ATTR
+    return np.nonzero(mask)[0].astype(np.int64) + lo
+
+
+def _child_vectorized(doc: DocTable, context: np.ndarray) -> np.ndarray:
+    return _nodes_with_parent_in(doc, context, want_attributes=False)
+
+
+def _attribute_vectorized(doc: DocTable, context: np.ndarray) -> np.ndarray:
+    return _nodes_with_parent_in(doc, context, want_attributes=True)
+
+
+def _parent_vectorized(doc: DocTable, context: np.ndarray) -> np.ndarray:
+    parents = doc.parent[context]
+    return np.unique(parents[parents >= 0])
+
+
+def _siblings_vectorized(
+    doc: DocTable, context: np.ndarray, following: bool
+) -> np.ndarray:
+    """Siblings on one side of any context node, set-at-a-time.
+
+    A node ``v`` is a following sibling of *some* context node iff
+    ``parent(v)`` holds a context child smaller than ``v`` — so per parent
+    only the extreme (min for following, max for preceding) context child
+    matters.  Context order is ascending, so a stable sort by parent keeps
+    each group ascending and the group edges are the extremes.  Attribute
+    context nodes have no siblings in the XPath sense (attributes are not
+    children), and attribute nodes are never produced.
+    """
+    kinds = doc.kind[context]
+    parents = doc.parent[context]
+    eligible = (parents >= 0) & (kinds != _ATTR)
+    ctx = context[eligible]
+    parent_of_ctx = parents[eligible]
+    if len(ctx) == 0:
+        return _empty()
+    order = np.argsort(parent_of_ctx, kind="stable")
+    parent_sorted = parent_of_ctx[order]
+    ctx_sorted = ctx[order]
+    group_ends = np.nonzero(np.diff(parent_sorted))[0]
+    if following:
+        edges = np.concatenate(([0], group_ends + 1))  # min child per parent
+    else:
+        edges = np.append(group_ends, len(parent_sorted) - 1)  # max child
+    unique_parents = parent_sorted[edges]
+    extreme_child = ctx_sorted[edges]
+    candidates = _nodes_with_parent_in(doc, unique_parents, want_attributes=False)
+    if len(candidates) == 0:
+        return candidates
+    slot = np.searchsorted(unique_parents, doc.parent[candidates])
+    bound = extreme_child[slot]
+    return candidates[candidates > bound] if following else candidates[candidates < bound]
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
 def staircase_join_vectorized(
     doc: DocTable,
     context: np.ndarray,
@@ -99,14 +281,18 @@ def staircase_join_vectorized(
     """Bulk staircase join along any partitioning axis.
 
     Same contract as :func:`repro.core.staircase.staircase_join`: context
-    is normalised and pruned, the result is duplicate-free and in document
-    order.  ``stats`` receives pruning and result counters only (bulk
-    kernels have no per-node scan counts by construction).
+    is normalised and pruned (via the branch-free
+    :func:`~repro.core.pruning.prune_vectorized`), the result is
+    duplicate-free and in document order.  ``stats`` receives pruning and
+    result counters only (bulk kernels have no per-node scan counts by
+    construction).
     """
     stats = stats if stats is not None else JoinStatistics()
-    context = prune(doc, normalize_context(context), axis, stats)
+    context = prune_vectorized(
+        doc, validate_context(doc, normalize_context(context)), axis, stats
+    )
     if len(context) == 0:
-        return np.empty(0, dtype=np.int64)
+        return _empty()
     if axis == "descendant":
         result = _desc_vectorized(doc, context)
     elif axis == "ancestor":
@@ -123,3 +309,62 @@ def staircase_join_vectorized(
         result = _strip_attributes(doc, result)
     stats.result_size += int(len(result))
     return result
+
+
+_PARTITIONING = frozenset(("descendant", "ancestor", "following", "preceding"))
+
+
+def axis_step_vectorized(
+    doc: DocTable,
+    context: np.ndarray,
+    axis: str,
+    stats: Optional[JoinStatistics] = None,
+    keep_attributes: bool = False,
+) -> np.ndarray:
+    """One bulk axis step — the vectorised engine's counterpart of
+    :meth:`repro.xpath.axes.AxisExecutor.step`.
+
+    Accepts any of the implemented axes (:data:`repro.xpath.ast.AXES`),
+    normalises the context, and returns a sorted, duplicate-free ``int64``
+    array of preorder ranks identical to the scalar executor's output.
+    Partitioning axes route through :func:`staircase_join_vectorized`
+    (pruning + counters included); the remaining axes are pure numpy
+    gathers and windowed parent-column joins.
+
+    ``keep_attributes`` (raw region semantics) applies to the region
+    axes — the four partitioning axes and their ``*-or-self`` variants.
+    The structural axes have fixed kind semantics by the XPath data
+    model (``child``/siblings never yield attributes, ``attribute``
+    yields nothing else), so the flag does not affect them.
+    """
+    if axis in _PARTITIONING:
+        # Delegates normalisation/validation to the join entry point.
+        return staircase_join_vectorized(
+            doc, context, axis, stats, keep_attributes=keep_attributes
+        )
+    context = validate_context(doc, normalize_context(context))
+    if len(context) == 0:
+        return _empty()
+    if axis == "descendant-or-self":
+        descendants = staircase_join_vectorized(
+            doc, context, "descendant", stats, keep_attributes=keep_attributes
+        )
+        return np.union1d(context, descendants)
+    if axis == "ancestor-or-self":
+        ancestors = staircase_join_vectorized(
+            doc, context, "ancestor", stats, keep_attributes=keep_attributes
+        )
+        return np.union1d(context, ancestors)
+    if axis == "child":
+        return _child_vectorized(doc, context)
+    if axis == "attribute":
+        return _attribute_vectorized(doc, context)
+    if axis == "parent":
+        return _parent_vectorized(doc, context)
+    if axis == "self":
+        return context
+    if axis == "following-sibling":
+        return _siblings_vectorized(doc, context, following=True)
+    if axis == "preceding-sibling":
+        return _siblings_vectorized(doc, context, following=False)
+    raise XPathEvaluationError(f"unsupported axis {axis!r}")

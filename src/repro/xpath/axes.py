@@ -15,10 +15,13 @@ accordingly:
 Each function takes and returns sorted, duplicate-free ``int64`` arrays of
 preorder ranks, so chained steps compose without re-normalisation.
 
-A *strategy* selects the executor for the partitioning axes:
-``"staircase"`` (the scalar Algorithms 2–4 with a chosen
-:class:`~repro.core.staircase.SkipMode`) or ``"vectorized"`` (the numpy
-bulk kernels).  Both produce identical node sets.
+An *engine* selects the executor for every axis: ``"scalar"`` (the
+per-node Python transcriptions — Algorithms 2–4 with a chosen
+:class:`~repro.core.staircase.SkipMode` for the partitioning axes, loop
+joins for the rest) or ``"vectorized"`` (the numpy bulk kernels of
+:mod:`repro.core.vectorized` for *all* axes).  Both produce identical
+node sets; ``strategy="staircase"`` is accepted as a backward-compatible
+alias for the scalar engine.
 """
 
 from __future__ import annotations
@@ -29,12 +32,12 @@ import numpy as np
 
 from repro.counters import JoinStatistics
 from repro.core.staircase import SkipMode, staircase_join
-from repro.core.vectorized import staircase_join_vectorized
+from repro.core.vectorized import axis_step_vectorized, staircase_join_vectorized
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
 from repro.xmltree.model import NodeKind
 
-__all__ = ["AxisExecutor", "DOCUMENT_CONTEXT", "apply_node_test"]
+__all__ = ["AxisExecutor", "DOCUMENT_CONTEXT", "apply_node_test", "resolve_engine"]
 
 _ATTR = int(NodeKind.ATTRIBUTE)
 
@@ -47,33 +50,54 @@ def _empty() -> np.ndarray:
     return np.empty(0, dtype=np.int64)
 
 
+def resolve_engine(engine: Optional[str], strategy: Optional[str] = None) -> str:
+    """Normalise engine/strategy spellings to ``"scalar"`` or ``"vectorized"``.
+
+    ``engine`` wins when both are given; ``strategy="staircase"`` is the
+    historical name for the scalar engine and stays accepted everywhere a
+    caller could previously pass it.
+    """
+    chosen = engine if engine is not None else strategy
+    if chosen is None:
+        return "scalar"
+    if chosen == "staircase":
+        return "scalar"
+    if chosen in ("scalar", "vectorized"):
+        return chosen
+    raise XPathEvaluationError(f"unknown engine {chosen!r}")
+
+
 class AxisExecutor:
-    """Evaluates single axis steps for a fixed document and strategy.
+    """Evaluates single axis steps for a fixed document and engine.
 
     Parameters
     ----------
     doc:
         The encoded document.
     strategy:
-        ``"staircase"`` or ``"vectorized"`` — the executor for the four
-        partitioning axes.
+        Backward-compatible alias for ``engine`` (``"staircase"`` names
+        the scalar engine).
     mode:
         Skip mode for the scalar staircase join.
     stats:
         Shared counters; every staircase join invocation accumulates here.
+    engine:
+        ``"scalar"`` (per-node Python loops, instrumented) or
+        ``"vectorized"`` (numpy bulk kernels for every axis).  Overrides
+        ``strategy`` when both are given.
     """
 
     def __init__(
         self,
         doc: DocTable,
-        strategy: str = "staircase",
+        strategy: Optional[str] = None,
         mode: SkipMode = SkipMode.ESTIMATE,
         stats: Optional[JoinStatistics] = None,
+        engine: Optional[str] = None,
     ):
-        if strategy not in ("staircase", "vectorized"):
-            raise XPathEvaluationError(f"unknown strategy {strategy!r}")
+        self.engine = resolve_engine(engine, strategy)
         self.doc = doc
-        self.strategy = strategy
+        self.strategy = "staircase" if self.engine == "scalar" else "vectorized"
         self.mode = mode
         self.stats = stats if stats is not None else JoinStatistics()
         self._axes: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
@@ -99,6 +123,10 @@ class AxisExecutor:
         context = np.asarray(context, dtype=np.int64)
         if len(context) == 0:
             return _empty()
+        if self.engine == "vectorized":
+            if axis not in self._axes:
+                raise XPathEvaluationError(f"unsupported axis {axis!r}")
+            return axis_step_vectorized(self.doc, context, axis, self.stats)
         try:
             executor = self._axes[axis]
         except KeyError:
@@ -109,7 +137,7 @@ class AxisExecutor:
     # Partitioning axes → staircase join
     # ------------------------------------------------------------------
     def _partitioning(self, axis: str, context: np.ndarray) -> np.ndarray:
-        if self.strategy == "vectorized":
+        if self.engine == "vectorized":
             return staircase_join_vectorized(self.doc, context, axis, self.stats)
         return staircase_join(self.doc, context, axis, self.mode, self.stats)
 

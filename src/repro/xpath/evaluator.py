@@ -30,6 +30,7 @@ from repro.core.fragments import FragmentedDocument
 from repro.core.staircase import SkipMode
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
+from repro.xmltree.model import NodeKind
 from repro.xpath.ast import (
     BinaryExpr,
     Expr,
@@ -39,7 +40,12 @@ from repro.xpath.ast import (
     Step,
     StringLiteral,
 )
-from repro.xpath.axes import DOCUMENT_CONTEXT, AxisExecutor, apply_node_test
+from repro.xpath.axes import (
+    DOCUMENT_CONTEXT,
+    AxisExecutor,
+    apply_node_test,
+    resolve_engine,
+)
 from repro.xpath.parser import parse_xpath
 
 __all__ = ["Evaluator", "evaluate"]
@@ -48,11 +54,27 @@ _REVERSE_AXES = frozenset(
     ("ancestor", "ancestor-or-self", "preceding", "preceding-sibling", "parent")
 )
 
+#: Axis inverses used by the vectorised engine's bulk predicate filter:
+#: ``n ∈ axis(c)  ⇔  c ∈ _REVERSE_OF[axis](n)`` for non-attribute nodes
+#: (``attribute`` reverses onto ``parent``: an attribute's owner element).
+_REVERSE_OF = {
+    "child": "parent",
+    "parent": "child",
+    "descendant": "ancestor",
+    "ancestor": "descendant",
+    "descendant-or-self": "ancestor-or-self",
+    "ancestor-or-self": "descendant-or-self",
+    "following": "preceding",
+    "preceding": "following",
+    "following-sibling": "preceding-sibling",
+    "preceding-sibling": "following-sibling",
+    "self": "self",
+    "attribute": "parent",
+}
+
 
 def _uses_position(expr: Expr) -> bool:
-    """Does ``expr`` depend on the context position/size?"""
-    if isinstance(expr, NumberLiteral):
-        return True  # a top-level number predicate is positional shorthand
+    """Does ``expr`` call ``position()``/``last()`` anywhere?"""
     if isinstance(expr, FunctionCall):
         if expr.name in ("position", "last"):
             return True
@@ -62,19 +84,35 @@ def _uses_position(expr: Expr) -> bool:
     return False
 
 
-def _is_positional_predicate(expr: Expr) -> bool:
-    """Positional predicates compare against the context position.
+#: Core functions whose return type is number (XPath 1.0 §4.4).
+_NUMBER_FUNCTIONS = frozenset(
+    ("position", "last", "count", "string-length", "sum", "number",
+     "floor", "ceiling", "round")
+)
 
-    Besides explicit ``position()``/``last()`` uses, any predicate whose
-    top-level value is numeric (a literal or a number-returning function
-    like ``count``) is shorthand for ``position() = <number>`` per the
-    XPath 1.0 rules, and therefore positional.
+
+def _returns_number(expr: Expr) -> bool:
+    """Can ``expr``'s top-level value be a number?
+
+    Per the XPath 1.0 predicate rule, a numeric predicate value is
+    shorthand for ``position() = <number>`` — so any expression that can
+    yield a number must be evaluated per context position.  Comparisons
+    and ``and``/``or`` always yield booleans, unions yield node-sets, so a
+    predicate like ``[initial + 20 < current]`` is *not* positional and
+    can be filtered set-at-a-time.
     """
-    if _uses_position(expr):
+    if isinstance(expr, NumberLiteral):
         return True
     if isinstance(expr, FunctionCall):
-        return expr.name in ("count", "string-length")
+        return expr.name in _NUMBER_FUNCTIONS
+    if isinstance(expr, BinaryExpr):
+        return expr.op in ("+", "-", "*", "div", "mod")
     return False
+
+
+def _is_positional_predicate(expr: Expr) -> bool:
+    """Positional predicates compare against the context position."""
+    return _uses_position(expr) or _returns_number(expr)
 
 
 class Evaluator:
@@ -85,8 +123,8 @@ class Evaluator:
     doc:
         The encoded document.
     strategy:
-        ``"staircase"`` (scalar Algorithms 2–4) or ``"vectorized"``
-        (numpy bulk kernels) for the partitioning axes.
+        Backward-compatible alias for ``engine`` (``"staircase"`` names
+        the scalar engine).
     mode:
         :class:`SkipMode` for the scalar staircase join.
     pushdown:
@@ -95,19 +133,27 @@ class Evaluator:
         first use and cached for the evaluator's lifetime.
     stats:
         Shared :class:`JoinStatistics`; accumulates across queries.
+    engine:
+        ``"scalar"`` (the paper's per-node Algorithms 2–4, instrumented
+        with node-access counters) or ``"vectorized"`` (numpy bulk
+        kernels for every axis step, fragment reads, and non-positional
+        path predicates).  Both produce identical node sequences;
+        overrides ``strategy`` when both are given.
     """
 
     def __init__(
         self,
         doc: DocTable,
-        strategy: str = "staircase",
+        strategy: Optional[str] = None,
         mode: SkipMode = SkipMode.ESTIMATE,
         pushdown: bool = False,
         stats: Optional[JoinStatistics] = None,
+        engine: Optional[str] = None,
     ):
         self.doc = doc
+        self.engine = resolve_engine(engine, strategy)
         self.stats = stats if stats is not None else JoinStatistics()
-        self.axes = AxisExecutor(doc, strategy=strategy, mode=mode, stats=self.stats)
+        self.axes = AxisExecutor(doc, engine=self.engine, mode=mode, stats=self.stats)
         self.pushdown = pushdown
         self._fragments: Optional[FragmentedDocument] = None
 
@@ -159,6 +205,10 @@ class Evaluator:
     def _evaluate_step(self, context, step: Step) -> np.ndarray:
         positional = any(_is_positional_predicate(p) for p in step.predicates)
         if positional and context is not DOCUMENT_CONTEXT:
+            if self.engine == "vectorized":
+                bulk = self._bulk_positional_step(context, step)
+                if bulk is not None:
+                    return bulk
             # Positional semantics are per context node: evaluate the axis
             # for each node separately so position()/last() see the right
             # node list.
@@ -197,7 +247,15 @@ class Evaluator:
         ):
             context_array = np.asarray(context, dtype=np.int64)
             if step.axis == "descendant":
+                if self.engine == "vectorized":
+                    return self.fragments.descendant_step_vectorized(
+                        context_array, step.test.name or "", self.stats
+                    )
                 return self.fragments.descendant_step(
+                    context_array, step.test.name or "", self.stats
+                )
+            if self.engine == "vectorized":
+                return self.fragments.ancestor_step_vectorized(
                     context_array, step.test.name or "", self.stats
                 )
             return self.fragments.ancestor_step(
@@ -216,6 +274,10 @@ class Evaluator:
     ) -> np.ndarray:
         if len(candidates) == 0:
             return candidates
+        if self.engine == "vectorized":
+            mask = self._bulk_predicate_mask(candidates, predicate)
+            if mask is not None:
+                return candidates[mask]
         ordered = candidates[::-1] if axis in _REVERSE_AXES else candidates
         size = len(ordered)
         kept = []
@@ -231,6 +293,129 @@ class Evaluator:
                 kept.append(int(pre))
         kept.sort()
         return np.asarray(kept, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Bulk positional selection — vectorised engine only
+    # ------------------------------------------------------------------
+    def _bulk_positional_step(self, context, step: Step) -> Optional[np.ndarray]:
+        """Set-at-a-time ``child::t[k]`` / ``child::t[last()]``, or ``None``.
+
+        On the ``child`` and ``attribute`` axes the context node that
+        produced a candidate *is* its parent, so per-context positions are
+        ranks within parent groups — one stable sort by the parent column
+        replaces the per-context-node loop.  Only a single plain-number or
+        bare ``last()`` predicate qualifies; everything else keeps the
+        per-node path (successive predicates re-index positions).
+        """
+        if len(step.predicates) != 1 or step.axis not in ("child", "attribute"):
+            return None
+        predicate = step.predicates[0]
+        wants_last = (
+            isinstance(predicate, FunctionCall)
+            and predicate.name == "last"
+            and not predicate.args
+        )
+        if not wants_last:
+            if not isinstance(predicate, NumberLiteral):
+                return None
+            value = predicate.value
+            if value != int(value) or int(value) < 1:
+                return np.empty(0, dtype=np.int64)
+            wanted_rank = int(value) - 1
+        candidates = self._axis_with_test(context, step)
+        if len(candidates) == 0:
+            return candidates
+        parents = self.doc.parent[candidates]
+        order = np.argsort(parents, kind="stable")  # groups keep doc order
+        grouped = candidates[order]
+        boundaries = np.nonzero(np.diff(parents[order]))[0]
+        if wants_last:
+            picks = np.append(boundaries, len(grouped) - 1)
+        else:
+            starts = np.concatenate(([0], boundaries + 1))
+            ends = np.append(boundaries, len(grouped) - 1)
+            picks = starts + wanted_rank
+            picks = picks[picks <= ends]
+        return np.sort(grouped[picks])
+
+    # ------------------------------------------------------------------
+    # Bulk (boolean-mask) predicate filtering — vectorised engine only
+    # ------------------------------------------------------------------
+    def _bulk_predicate_mask(
+        self, candidates: np.ndarray, predicate: Expr
+    ) -> Optional[np.ndarray]:
+        """Keep-mask over ``candidates`` for a set-at-a-time filterable
+        predicate, or ``None`` when the expression needs the per-candidate
+        evaluator.
+
+        Existence predicates (relative location paths), their negations,
+        and ``and``/``or`` combinations thereof are evaluated as one
+        reverse-path semi-join per path instead of one sub-evaluation per
+        candidate.  Anything positional, value-comparing, or carrying
+        inner predicates falls back.
+        """
+        if isinstance(predicate, LocationPath):
+            return self._bulk_path_mask(candidates, predicate)
+        if (
+            isinstance(predicate, FunctionCall)
+            and predicate.name == "not"
+            and len(predicate.args) == 1
+        ):
+            inner = self._bulk_predicate_mask(candidates, predicate.args[0])
+            return None if inner is None else ~inner
+        if isinstance(predicate, BinaryExpr) and predicate.op in ("and", "or"):
+            left = self._bulk_predicate_mask(candidates, predicate.left)
+            if left is None:
+                return None
+            right = self._bulk_predicate_mask(candidates, predicate.right)
+            if right is None:
+                return None
+            return (left & right) if predicate.op == "and" else (left | right)
+        return None
+
+    def _bulk_path_mask(
+        self, candidates: np.ndarray, path: LocationPath
+    ) -> Optional[np.ndarray]:
+        """Existence of ``candidate/path`` for every candidate at once.
+
+        A candidate satisfies ``[a₁::t₁/…/aₘ::tₘ]`` iff it lies in
+        ``reverse(a₁)(t₁ ∩ reverse(a₂)(… tₘ))`` — so the whole filter is
+        ``m`` bulk axis steps seeded from the nodes passing ``tₘ``,
+        followed by one sorted membership test.  The axis inversions are
+        exact on non-attribute nodes only, so attribute candidates and
+        non-final ``attribute`` steps fall back to the scalar evaluator;
+        steps with inner predicates do too.
+        """
+        doc = self.doc
+        if path.absolute:
+            # Same truth value for every candidate.
+            hits = self.evaluate(path)
+            return np.full(len(candidates), len(hits) > 0, dtype=bool)
+        steps = path.steps
+        if not steps or any(s.predicates for s in steps):
+            return None
+        if any(s.axis not in _REVERSE_OF for s in steps):
+            return None
+        if any(s.axis == "attribute" for s in steps[:-1]):
+            return None
+        if np.any(doc.kind[candidates] == int(NodeKind.ATTRIBUTE)):
+            return None
+        last = steps[-1]
+        if last.axis == "attribute":
+            universe = doc.pres_with_kind(NodeKind.ATTRIBUTE)
+        else:
+            universe = doc.non_attribute_pres()
+        frontier = apply_node_test(doc, universe, last.axis, last.test.kind, last.test.name)
+        for index in range(len(steps) - 1, -1, -1):
+            if len(frontier) == 0:
+                return np.zeros(len(candidates), dtype=bool)
+            frontier = self.axes.step(frontier, _REVERSE_OF[steps[index].axis])
+            if index > 0:
+                previous = steps[index - 1]
+                frontier = apply_node_test(
+                    doc, frontier, previous.axis, previous.test.kind, previous.test.name
+                )
+        return np.isin(candidates, frontier)
 
     # ------------------------------------------------------------------
     # Expression evaluation (XPath 1.0 core semantics)
@@ -497,13 +682,15 @@ def evaluate(
     doc: DocTable,
     path: Union[str, LocationPath],
     context: Union[None, int, np.ndarray] = None,
-    strategy: str = "staircase",
+    strategy: Optional[str] = None,
     mode: SkipMode = SkipMode.ESTIMATE,
     pushdown: bool = False,
     stats: Optional[JoinStatistics] = None,
+    engine: Optional[str] = None,
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`Evaluator`."""
     evaluator = Evaluator(
-        doc, strategy=strategy, mode=mode, pushdown=pushdown, stats=stats
+        doc, strategy=strategy, mode=mode, pushdown=pushdown, stats=stats,
+        engine=engine,
     )
     return evaluator.evaluate(path, context=context)

@@ -16,18 +16,27 @@ def doc():
 
 
 class TestSuiteRuns:
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
     @pytest.mark.parametrize("query", QUERY_SUITE, ids=[q.key for q in QUERY_SUITE])
-    def test_query_evaluates_in_document_order(self, doc, query):
-        result = evaluate(doc, query.xpath)
+    def test_query_evaluates_in_document_order(self, doc, query, engine):
+        result = evaluate(doc, query.xpath, engine=engine)
         if len(result) > 1:
             assert np.all(np.diff(result) > 0)
 
     @pytest.mark.parametrize("query", QUERY_SUITE, ids=[q.key for q in QUERY_SUITE])
-    def test_strategies_agree(self, doc, query):
+    def test_engines_agree(self, doc, query):
+        scalar = evaluate(doc, query.xpath, engine="scalar")
+        bulk = evaluate(doc, query.xpath, engine="vectorized")
+        pushed = evaluate(doc, query.xpath, pushdown=True)
+        bulk_pushed = evaluate(doc, query.xpath, engine="vectorized", pushdown=True)
+        assert scalar.tolist() == bulk.tolist() == pushed.tolist()
+        assert scalar.tolist() == bulk_pushed.tolist()
+
+    @pytest.mark.parametrize("query", QUERY_SUITE, ids=[q.key for q in QUERY_SUITE])
+    def test_legacy_strategy_spelling_still_works(self, doc, query):
         scalar = evaluate(doc, query.xpath, strategy="staircase")
         bulk = evaluate(doc, query.xpath, strategy="vectorized")
-        pushed = evaluate(doc, query.xpath, pushdown=True)
-        assert scalar.tolist() == bulk.tolist() == pushed.tolist()
+        assert scalar.tolist() == bulk.tolist()
 
     def test_metadata_complete(self):
         keys = [q.key for q in QUERY_SUITE]
