@@ -9,7 +9,6 @@ overhead (CPython threads cannot speed the loops up — the bench
 documents that honestly rather than claiming a parallel win).
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines.mpmgjn import mpmgjn_step

@@ -5,7 +5,6 @@ adopters can see the cost of document lifecycle operations relative to
 query time.
 """
 
-import numpy as np
 import pytest
 
 from repro.encoding.persist import load, save

@@ -7,7 +7,6 @@ subsequent removal of the about 75 % duplicates".
 """
 
 import numpy as np
-import pytest
 
 from conftest import SWEEP_SIZES
 from repro.baselines.naive import naive_step_with_duplicates

@@ -8,9 +8,8 @@ beats plain by roughly the paper's factor 3, and both staircase variants
 beat the tree-unaware plan.
 """
 
-import pytest
 
-from conftest import BENCH_SIZE, SWEEP_SIZES
+from conftest import SWEEP_SIZES
 from repro.engine.db2 import DocIndex, db2_path
 from repro.harness.experiments import experiment3_comparison
 from repro.harness.reporting import format_series

@@ -8,9 +8,8 @@ that raw plan once on the smallest document to show the gap the rewrite
 papers over.
 """
 
-import pytest
 
-from conftest import BENCH_SIZE, SWEEP_SIZES
+from conftest import SWEEP_SIZES
 from repro.counters import JoinStatistics
 from repro.engine.db2 import DocIndex, db2_path
 from repro.harness.experiments import experiment3_comparison

@@ -7,7 +7,6 @@ the scaled document; the win direction must reproduce, the factor is
 reported against the paper's.
 """
 
-import pytest
 
 from conftest import BENCH_SIZE
 from repro.core.fragments import FragmentedDocument

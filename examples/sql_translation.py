@@ -11,7 +11,6 @@ Reproduces the Section 2.1 story end to end:
 Run:  python examples/sql_translation.py
 """
 
-import numpy as np
 
 from repro.counters import JoinStatistics
 from repro.core.staircase import SkipMode, staircase_join

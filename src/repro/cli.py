@@ -9,6 +9,8 @@ Makes the library usable without writing Python::
     python -m repro query auction.xml "//person[profile]" --serialize --limit 2
     python -m repro info auction.npz
     python -m repro sql "/descendant::profile/descendant::education"
+    python -m repro shard -o store --generate 8 --size 0.2 --shards 4
+    python -m repro serve-batch store "//open_auction[bidder]/seller" --workers 4
 
 Documents may be given as ``.xml`` (parsed + encoded on the fly) or as
 ``.npz`` archives produced by ``encode`` (instant load).
@@ -17,6 +19,7 @@ Documents may be given as ``.xml`` (parsed + encoded on the fly) or as
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -111,7 +114,6 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"height          {doc.height}")
     print(f"distinct tags   {len(doc.tag.dictionary):,}")
     print(f"column storage  {doc.memory_footprint():,} bytes")
-    kinds = {kind.name.lower(): 0 for kind in NodeKind}
     for kind in NodeKind:
         count = int((doc.kind == int(kind)).sum())
         if count:
@@ -127,6 +129,84 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("top tags:")
     for tag, count in counts[: args.top]:
         print(f"  {tag:24s} {count:,}")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.service import ShardedStore
+
+    if args.info:
+        store = ShardedStore.open(args.info)
+        summary = store.describe()
+        print(f"store       {summary['directory']}")
+        print(f"epoch       {summary['epoch']}")
+        print(f"documents   {summary['documents']}")
+        for entry in summary["shards"]:
+            print(
+                f"  shard {entry['id']:<4d} {entry['nodes']:>10,} nodes  "
+                f"{entry['file']}  [{', '.join(entry['documents'])}]"
+            )
+        return 0
+    if not args.output:
+        print("error: -o/--output is required to build a store", file=sys.stderr)
+        return 1
+    documents = []
+    for path in args.documents:
+        documents.append((os.path.basename(path), parse_file(path)))
+    if args.generate:
+        for i in range(args.generate):
+            config = XMarkConfig(seed=args.seed + i)
+            documents.append((f"xmark-{i:02d}", generate(args.size, config)))
+    if not documents:
+        print("error: no documents (pass .xml files or --generate N)", file=sys.stderr)
+        return 1
+    started = time.perf_counter()
+    store = ShardedStore.build(args.output, documents, shards=args.shards)
+    summary = store.describe()
+    nodes = sum(entry["nodes"] for entry in summary["shards"])
+    print(
+        f"built {args.output}: {len(documents)} documents, "
+        f"{store.shard_count} shards, {nodes:,} nodes, "
+        f"{time.perf_counter() - started:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.service import QueryService, ShardedStore
+
+    queries = list(args.queries)
+    if args.queries_file:
+        with open(args.queries_file) as f:
+            for line in f:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    queries.append(line)
+    if not queries:
+        print("error: no queries (pass them or --queries-file)", file=sys.stderr)
+        return 1
+    store = ShardedStore.open(args.store)
+    service = QueryService(store, engine=args.engine, workers=args.workers)
+    with service:
+        for round_number in range(1, args.repeat + 1):
+            started = time.perf_counter()
+            results = service.execute_batch(queries, use_cache=not args.no_cache)
+            elapsed = time.perf_counter() - started
+            for result in results:
+                flag = "warm" if result.from_cache else "cold"
+                print(f"{result.total:>8,}  {flag}  {result.query}")
+                if args.per_document:
+                    for name, count in result.counts().items():
+                        print(f"          {name:24s} {count:,}")
+            rate = len(queries) / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"round {round_number}: {len(queries)} queries in "
+                f"{elapsed * 1000:.2f} ms ({rate:,.0f} q/s)",
+                file=sys.stderr,
+            )
+        if args.stats:
+            print(f"service statistics: {service.cache_info()}", file=sys.stderr)
     return 0
 
 
@@ -188,6 +268,55 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("document")
     cmd.add_argument("--top", type=int, default=10, help="tags to list")
     cmd.set_defaults(handler=_cmd_info)
+
+    cmd = commands.add_parser(
+        "shard", help="build (or inspect) a sharded document store"
+    )
+    cmd.add_argument("documents", nargs="*", help=".xml files to load")
+    cmd.add_argument("-o", "--output", help="store directory to create")
+    cmd.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count (clamped to the number of documents; default 4)",
+    )
+    cmd.add_argument(
+        "--generate", type=int, default=0, metavar="N",
+        help="also generate N XMark documents (seeds seed..seed+N-1)",
+    )
+    cmd.add_argument("--size", type=float, default=0.2, help="nominal MB per generated document")
+    cmd.add_argument("--seed", type=int, default=2003)
+    cmd.add_argument(
+        "--info", metavar="DIR", default=None,
+        help="describe an existing store instead of building one",
+    )
+    cmd.set_defaults(handler=_cmd_shard)
+
+    cmd = commands.add_parser(
+        "serve-batch", help="run a query batch against a sharded store"
+    )
+    cmd.add_argument("store", help="store directory built by `shard`")
+    cmd.add_argument("queries", nargs="*", help="XPath expressions")
+    cmd.add_argument(
+        "--queries-file", default=None,
+        help="file with one query per line (# comments allowed)",
+    )
+    cmd.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default="vectorized",
+        help="execution engine (default: vectorized)",
+    )
+    cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (0 = serial; default: one per shard)",
+    )
+    cmd.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the batch N times (later rounds hit the result cache)",
+    )
+    cmd.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    cmd.add_argument(
+        "--per-document", action="store_true", help="print per-document result counts"
+    )
+    cmd.add_argument("--stats", action="store_true", help="print cache statistics")
+    cmd.set_defaults(handler=_cmd_serve_batch)
 
     cmd = commands.add_parser("sql", help="translate XPath to Figure-3 style SQL")
     cmd.add_argument("xpath")

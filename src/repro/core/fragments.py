@@ -35,7 +35,6 @@ from repro.core.vectorized import (
     subtree_sizes,
 )
 from repro.encoding.doctable import DocTable
-from repro.errors import XPathEvaluationError
 from repro.xmltree.model import NodeKind
 
 __all__ = ["FragmentedDocument"]

@@ -15,7 +15,7 @@ queries can be scoped to one document without re-encoding.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,13 +65,44 @@ class DocumentCollection:
                 raise EncodingError(f"document {name!r} is not element-rooted")
         self.virtual_root_tag = virtual_root_tag
         self.doc: DocTable = encode(gathered)
-        # Member spans: the children of the virtual root, in order.
+        self._index_members(names)
+
+    def _index_members(self, names: Sequence[str]) -> None:
+        """Record each member's preorder span (children of the virtual root)."""
         self._spans: Dict[str, Tuple[int, int]] = {}
         self._names: List[str] = []
-        for name, child in zip(names, self.doc.children_of(self.doc.root)):
+        roots = self.doc.children_of(self.doc.root)
+        if len(roots) != len(names):
+            raise EncodingError(
+                f"{len(names)} document names for {len(roots)} member roots"
+            )
+        for name, child in zip(names, roots):
             end = child + self.doc.subtree_size_exact(child)
             self._spans[name] = (child, end)
             self._names.append(name)
+
+    @classmethod
+    def from_table(
+        cls,
+        doc: DocTable,
+        names: Sequence[str],
+        virtual_root_tag: str = "collection",
+    ) -> "DocumentCollection":
+        """Rehydrate a collection around an already-encoded gathered plane.
+
+        ``doc`` must be the table of a collection previously built by the
+        constructor (e.g. persisted via :mod:`repro.encoding.persist` and
+        loaded back, possibly memory-mapped); ``names`` are the member
+        names in document order.  No re-encoding happens — the virtual
+        root's children are re-matched to ``names`` positionally.
+        """
+        if len(set(names)) != len(names):
+            raise EncodingError("document names must be unique")
+        self = cls.__new__(cls)
+        self.virtual_root_tag = virtual_root_tag
+        self.doc = doc
+        self._index_members(names)
+        return self
 
     # ------------------------------------------------------------------
     @property
@@ -101,8 +132,9 @@ class DocumentCollection:
     # ------------------------------------------------------------------
     def evaluate(
         self,
-        path: str,
+        path,
         document: Optional[str] = None,
+        evaluator=None,
         **evaluator_options,
     ) -> np.ndarray:
         """Evaluate an XPath expression over the collection.
@@ -111,18 +143,38 @@ class DocumentCollection:
         member's root (the per-document view); otherwise they run over
         the whole gathered plane and results from the virtual root
         itself are filtered out.
+
+        ``path`` may be a string or an already-parsed expression (the
+        service layer caches parsed plans).  ``evaluator`` reuses a
+        caller-held :class:`~repro.xpath.evaluator.Evaluator` bound to
+        ``self.doc`` instead of constructing one per query.
         """
         from repro.xpath.ast import LocationPath, Step
-        from repro.xpath.evaluator import Evaluator
-        from repro.xpath.parser import parse_xpath
+        from repro.xpath.evaluator import Evaluator, parse_with_cache
 
-        evaluator = Evaluator(self.doc, **evaluator_options)
-        parsed = parse_xpath(path)
+        if evaluator is None:
+            evaluator = Evaluator(self.doc, **evaluator_options)
+        elif evaluator_options:
+            raise EncodingError(
+                "pass evaluator options either as keywords or baked into "
+                "the caller-held evaluator, not both"
+            )
+        elif evaluator.doc is not self.doc:
+            raise EncodingError("evaluator is bound to a different table")
+        parsed = (
+            parse_with_cache(path, evaluator.plan_cache)
+            if isinstance(path, str)
+            else path
+        )
         if document is None:
             result = evaluator.evaluate(parsed)
             return result[result != self.doc.root]
 
         start, end = self.span(document)
+        if not isinstance(parsed, LocationPath):
+            raise EncodingError(
+                "document-scoped evaluation requires a plain location path"
+            )
         if parsed.absolute:
             if not parsed.steps:
                 return np.empty(0, dtype=np.int64)
@@ -153,6 +205,20 @@ class DocumentCollection:
         for name in self._names:
             start, end = self._spans[name]
             out[name] = pres[(pres >= start) & (pres <= end)]
+        return out
+
+    def partition_relative(self, pres: np.ndarray) -> Dict[str, np.ndarray]:
+        """Split a result array by member, shifted to document-relative ranks.
+
+        Rank 0 is each member's root element, so results from differently
+        sharded stores (where global preorder ranks differ) compare
+        byte-for-byte — the canonical result shape of the service layer.
+        """
+        out: Dict[str, np.ndarray] = {}
+        for name in self._names:
+            start, end = self._spans[name]
+            selected = pres[(pres >= start) & (pres <= end)]
+            out[name] = (selected - start).astype(np.int64, copy=False)
         return out
 
     def __len__(self) -> int:

@@ -14,7 +14,7 @@ pre and post rank orders.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -38,6 +38,12 @@ class DocTable:
     values:
         Optional per-node string content (``None`` for elements); kept as a
         plain Python list since it is never touched on the query hot path.
+    validate:
+        Check that ``post`` is a permutation of ``0..n-1`` (an O(n log n)
+        sort).  Pass ``False`` only for columns known to round-trip from a
+        validated table — e.g. the memory-mapped persistence load path,
+        where the check would fault in every page of an otherwise lazily
+        opened archive.
     """
 
     __slots__ = (
@@ -60,6 +66,7 @@ class DocTable:
         kind: np.ndarray,
         tag: StringColumn,
         values: Optional[List[Optional[str]]] = None,
+        validate: bool = True,
     ):
         n = post.shape[0]
         for name, column in (("level", level), ("parent", parent), ("kind", kind)):
@@ -69,9 +76,10 @@ class DocTable:
             raise EncodingError(f"tag column length {len(tag)} != {n}")
         if n == 0:
             raise EncodingError("cannot build an empty DocTable")
-        sorted_post = np.sort(post)
-        if not np.array_equal(sorted_post, np.arange(n, dtype=np.int64)):
-            raise EncodingError("post column must be a permutation of 0..n-1")
+        if validate:
+            sorted_post = np.sort(post)
+            if not np.array_equal(sorted_post, np.arange(n, dtype=np.int64)):
+                raise EncodingError("post column must be a permutation of 0..n-1")
         self.post = post
         self.level = level
         self.parent = parent

@@ -7,9 +7,28 @@ directly.  The format is a single ``.npz`` container: the four dense
 ``int64`` columns, the tag code vector, and the tag dictionary plus node
 values as UTF-8 string arrays — everything needed to reconstruct the
 table bit-for-bit.
+
+Two format versions are understood:
+
+* **v1** — ``np.savez_compressed``; every member is deflated, so loading
+  always decompresses into fresh arrays.
+* **v2** (current) — ``np.savez``: the same members *stored* rather than
+  deflated.  A stored ``.npy`` zip member is byte-identical to a
+  standalone ``.npy`` file (what ``np.load(member, mmap_mode="r")``
+  maps), so :func:`load` with ``mmap=True`` memory-maps the numeric
+  columns in place at their archive offsets — worker processes that open
+  the same shard share the OS page cache instead of each materialising
+  its own copy.
+
+:func:`load` reads both versions; ``mmap=True`` silently degrades to an
+eager load for v1 archives (deflated members cannot be mapped).
 """
 
 from __future__ import annotations
+
+import struct
+import zipfile
+from typing import Tuple
 
 import numpy as np
 
@@ -17,71 +36,155 @@ from repro.encoding.doctable import DocTable
 from repro.errors import EncodingError
 from repro.storage.column import StringColumn
 
-__all__ = ["save", "load", "FORMAT_VERSION"]
+__all__ = ["save", "load", "FORMAT_VERSION", "SUPPORTED_VERSIONS"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`load` accepts (v1 = compressed legacy archives).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Sentinel distinguishing "no value" (elements) from an empty string in
 #: the persisted value column.
 _NONE_SENTINEL = "\x00<none>"
 
+#: Members whose arrays are plain numeric vectors (memory-mappable).
+_NUMERIC_MEMBERS = ("post", "level", "parent", "kind", "tag_codes")
+
+_REQUIRED_MEMBERS = frozenset(
+    ("format_version", "tag_dictionary", "values") + _NUMERIC_MEMBERS
+)
+
 
 def save(doc: DocTable, path: str) -> None:
-    """Write ``doc`` to ``path`` as a compressed ``.npz`` archive."""
+    """Write ``doc`` to ``path`` as a v2 (mmap-friendly) ``.npz`` archive."""
     values = np.asarray(
         [_NONE_SENTINEL if v is None else v for v in doc.values], dtype=object
     )
-    np.savez_compressed(
+    np.savez(
         path,
         format_version=np.asarray([FORMAT_VERSION]),
-        post=doc.post,
-        level=doc.level,
-        parent=doc.parent,
-        kind=doc.kind,
-        tag_codes=doc.tag.codes,
+        post=np.ascontiguousarray(doc.post, dtype=np.int64),
+        level=np.ascontiguousarray(doc.level, dtype=np.int64),
+        parent=np.ascontiguousarray(doc.parent, dtype=np.int64),
+        kind=np.ascontiguousarray(doc.kind, dtype=np.int64),
+        tag_codes=np.ascontiguousarray(doc.tag.codes, dtype=np.int32),
         tag_dictionary=np.asarray(doc.tag.dictionary, dtype=object),
         values=values,
     )
 
 
-def load(path: str) -> DocTable:
+def _member_data_offset(path: str, info: zipfile.ZipInfo) -> int:
+    """Byte offset of a stored member's data inside the archive file.
+
+    The central directory's name/extra lengths can differ from the local
+    file header's, so the local header must be re-read.
+    """
+    with open(path, "rb") as raw:
+        raw.seek(info.header_offset)
+        header = raw.read(30)
+        if len(header) != 30 or header[:4] != b"PK\x03\x04":
+            raise EncodingError(f"{path}: corrupt local header for {info.filename!r}")
+        name_len, extra_len = struct.unpack("<HH", header[26:30])
+        return info.header_offset + 30 + name_len + extra_len
+
+
+def _mmap_member(path: str, info: zipfile.ZipInfo) -> np.ndarray:
+    """Memory-map one stored ``.npy`` member (read-only, zero-copy)."""
+    data_offset = _member_data_offset(path, info)
+    with open(path, "rb") as raw:
+        raw.seek(data_offset)
+        version = np.lib.format.read_magic(raw)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+        else:
+            raise EncodingError(
+                f"{path}: unsupported .npy version {version} in {info.filename!r}"
+            )
+        array_offset = raw.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=array_offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def _mmap_columns(path: str) -> Tuple[np.ndarray, ...]:
+    """Map the numeric columns of a v2 archive in place."""
+    with zipfile.ZipFile(path) as archive:
+        columns = []
+        for member in _NUMERIC_MEMBERS:
+            info = archive.getinfo(member + ".npy")
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise EncodingError(
+                    f"{path}: member {member!r} is compressed; "
+                    "v2 archives store members uncompressed"
+                )
+            columns.append(_mmap_member(path, info))
+    return tuple(columns)
+
+
+def load(path: str, mmap: bool = False) -> DocTable:
     """Read a table previously written by :func:`save`.
+
+    With ``mmap=True`` the numeric columns of a v2 archive are opened as
+    read-only memory maps (``np.load(..., mmap_mode="r")`` semantics per
+    member) instead of being materialised; the string members are always
+    read eagerly.  The archive must then stay in place for the table's
+    lifetime.  v1 archives are compressed and fall back to an eager load.
 
     Raises :class:`~repro.errors.EncodingError` on version or schema
     mismatch (a truncated or foreign ``.npz`` must not half-load).
     """
     with np.load(path, allow_pickle=True) as archive:
         names = set(archive.files)
-        required = {
-            "format_version",
-            "post",
-            "level",
-            "parent",
-            "kind",
-            "tag_codes",
-            "tag_dictionary",
-            "values",
-        }
-        if not required <= names:
+        if not _REQUIRED_MEMBERS <= names:
             raise EncodingError(
-                f"{path}: not a DocTable archive (missing {sorted(required - names)})"
+                f"{path}: not a DocTable archive "
+                f"(missing {sorted(_REQUIRED_MEMBERS - names)})"
             )
         version = int(archive["format_version"][0])
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise EncodingError(
-                f"{path}: format version {version} != supported {FORMAT_VERSION}"
+                f"{path}: format version {version} not in "
+                f"supported {SUPPORTED_VERSIONS}"
             )
-        tag = StringColumn(
-            archive["tag_codes"], [str(s) for s in archive["tag_dictionary"]]
-        )
+        dictionary = [str(s) for s in archive["tag_dictionary"]]
         values = [
             None if v == _NONE_SENTINEL else str(v) for v in archive["values"]
         ]
+        if mmap and version >= 2:
+            post = level = parent = kind = tag_codes = None
+        else:
+            post = archive["post"].astype(np.int64)
+            level = archive["level"].astype(np.int64)
+            parent = archive["parent"].astype(np.int64)
+            kind = archive["kind"].astype(np.int64)
+            tag_codes = archive["tag_codes"]
+    if mmap and version >= 2:
+        post, level, parent, kind, tag_codes = _mmap_columns(path)
+        # The archive was written from an already-validated table; skip
+        # the permutation/range re-checks so opening touches as few
+        # pages as possible.
+        tag = StringColumn(tag_codes, dictionary, validate=False)
         return DocTable(
-            post=archive["post"].astype(np.int64),
-            level=archive["level"].astype(np.int64),
-            parent=archive["parent"].astype(np.int64),
-            kind=archive["kind"].astype(np.int64),
+            post=post,
+            level=level,
+            parent=parent,
+            kind=kind,
             tag=tag,
             values=values,
+            validate=False,
         )
+    return DocTable(
+        post=post,
+        level=level,
+        parent=parent,
+        kind=kind,
+        tag=StringColumn(tag_codes, dictionary),
+        values=values,
+    )

@@ -34,7 +34,7 @@ from repro.encoding.doctable import DocTable
 from repro.errors import PlanError
 from repro.storage.btree import BPlusTree
 from repro.xmltree.model import NodeKind
-from repro.xpath.ast import LocationPath, Step
+from repro.xpath.ast import LocationPath
 from repro.xpath.parser import parse_xpath
 from repro.xpath.rewrite import symmetry_rewrite
 

@@ -24,7 +24,6 @@ from typing import Optional
 
 from repro.encoding.doctable import DocTable
 from repro.xmltree.model import NodeKind
-from repro.xpath.ast import LocationPath, Step
 from repro.xpath.parser import parse_xpath
 
 __all__ = ["CostModel", "PushdownDecision", "choose_pushdown"]

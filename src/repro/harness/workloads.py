@@ -7,7 +7,7 @@ instance per measurement.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.encoding.doctable import DocTable
 from repro.encoding.prepost import encode
@@ -22,6 +22,7 @@ __all__ = [
     "figure1_document",
     "figure1_table",
     "get_document",
+    "get_forest",
 ]
 
 #: Q1: ``/descendant::profile/descendant::education`` (Table 1).
@@ -73,3 +74,26 @@ def get_document(size_mb: float, seed: int = 2003) -> DocTable:
         config = XMarkConfig(seed=seed)
         _document_cache[key] = encode(generate(size_mb, config))
     return _document_cache[key]
+
+
+_forest_cache: Dict[Tuple[int, float, int], List[Tuple[str, Node]]] = {}
+
+
+def get_forest(
+    count: int, size_mb: float, seed: int = 2003
+) -> List[Tuple[str, Node]]:
+    """``count`` distinct XMark trees for collection / sharded-store tests.
+
+    Each member gets its own generator seed (``seed + i``), so the trees
+    differ in content while staying fully deterministic.  Returned as
+    ``(name, tree)`` pairs ready for :class:`DocumentCollection` or
+    :meth:`repro.service.ShardedStore.build`; cached process-wide like
+    :func:`get_document`.
+    """
+    key = (count, size_mb, seed)
+    if key not in _forest_cache:
+        _forest_cache[key] = [
+            (f"xmark-{i:02d}", generate(size_mb, XMarkConfig(seed=seed + i)))
+            for i in range(count)
+        ]
+    return _forest_cache[key]

@@ -1,0 +1,33 @@
+"""Query serving over sharded, persisted document collections.
+
+The paper encodes one document and answers one query at a time; this
+package turns that into a servable system:
+
+* :class:`~repro.service.store.ShardedStore` — documents partitioned
+  into persisted collection shards (memory-mapped, epoch-versioned);
+* :class:`~repro.service.cache.LRUCache` — bounded caches for parsed
+  plans and finished results;
+* :class:`~repro.service.executor.ShardExecutor` — serial or
+  multiprocessing fan-out of (query, shard) tasks with pre-ordered
+  merge;
+* :class:`~repro.service.service.QueryService` — the front door:
+  ``execute`` / ``execute_batch`` with plan + result caching.
+
+CLI: ``python -m repro shard`` builds a store, ``python -m repro
+serve-batch`` runs query batches against one.
+"""
+
+from repro.service.cache import LRUCache
+from repro.service.executor import ShardExecutor, ShardWorkerState, default_workers
+from repro.service.service import QueryService, ServiceResult
+from repro.service.store import ShardedStore
+
+__all__ = [
+    "LRUCache",
+    "ShardExecutor",
+    "ShardWorkerState",
+    "default_workers",
+    "QueryService",
+    "ServiceResult",
+    "ShardedStore",
+]

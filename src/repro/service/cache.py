@@ -1,0 +1,89 @@
+"""Bounded LRU caching for the query service.
+
+Two caches keep the service's hot path away from the parser and the
+engines entirely:
+
+* the **plan cache** maps query text to its parsed AST, so each distinct
+  query is lexed/parsed once per service lifetime;
+* the **result cache** maps ``(shard_epoch, query, engine, scope)`` to a
+  finished :class:`~repro.service.service.ServiceResult` payload.  The
+  epoch component is the staleness guard: replacing a shard bumps the
+  store epoch, so every key minted before the replacement can never be
+  looked up again — stale entries simply age out of the LRU order.
+
+The cache is a plain ``OrderedDict`` under a lock: the service fans work
+out to *processes* (which never share this memory), so the lock only has
+to cover concurrent use of one service object from multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable
+
+from repro.errors import ReproError
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A thread-safe, bounded, least-recently-used mapping.
+
+    ``get`` refreshes recency and counts hits/misses; ``put`` evicts the
+    coldest entry once ``capacity`` is exceeded.  A capacity of zero
+    disables the cache (every ``get`` misses, ``put`` is a no-op), which
+    gives callers a uniform "caching off" spelling.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ReproError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> Dict[str, int]:
+        """Occupancy and hit statistics (for ``serve-batch --stats``)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache(size={len(self)}, capacity={self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

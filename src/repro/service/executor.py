@@ -1,0 +1,226 @@
+"""Fan a query (or a batch) across shards, serially or over processes.
+
+Each unit of work is a :class:`ShardTask`: evaluate one parsed plan
+against one shard, return per-document *relative* preorder ranks.  The
+same :class:`ShardWorkerState` object executes tasks in both modes:
+
+* ``workers=0`` — in-process, task by task (the serial reference path;
+  also what the tests cover line-by-line);
+* ``workers>0`` — a ``multiprocessing`` pool whose initializer opens the
+  store read-only in every worker.  Shard columns arrive memory-mapped
+  (``persist.load(mmap=True)``), so all workers share one page-cache
+  copy of each shard file; only the task tuples and the result rank
+  arrays cross the process boundary.
+
+Plans are parsed once in the service process and shipped to workers as
+pickled ASTs — workers never touch the XPath parser.  Worker-side
+collections and evaluators are cached per shard *file*, so a replaced
+shard (new file name) is picked up on the next task without restarting
+the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.service.cache import LRUCache
+from repro.service.store import ShardedStore
+from repro.xpath.evaluator import Evaluator
+
+__all__ = ["ShardExecutor", "ShardTask", "ShardWorkerState", "default_workers"]
+
+
+class ShardTask(NamedTuple):
+    """One (query, shard) evaluation unit."""
+
+    index: int  #: position of the query in the batch
+    shard_id: int
+    shard_file: str  #: file name relative to the store directory
+    names: Tuple[str, ...]  #: member documents, in shard order
+    plan: object  #: parsed XPath AST (or raw query string)
+    engine: str
+    document: Optional[str]  #: scope to one member, or None for the shard
+
+
+def default_workers(store: ShardedStore) -> int:
+    """Auto worker count: one per shard, capped by the machine."""
+    return max(1, min(store.shard_count, os.cpu_count() or 1))
+
+
+class ShardWorkerState:
+    """Per-process execution state: open collections and evaluators.
+
+    Lives once per worker process (module global set by the pool
+    initializer) and once inside the executor for serial mode.
+    """
+
+    def __init__(self, directory: str, mmap: bool = True, plan_cache_size: int = 128):
+        self.directory = directory
+        self.mmap = mmap
+        # Shared by this worker's evaluators: tasks normally carry parsed
+        # ASTs, but raw query strings are accepted and then parsed once.
+        self.plan_cache = LRUCache(plan_cache_size)
+        self._collections: Dict[int, tuple] = {}
+        self._evaluators: Dict[Tuple[int, str], Evaluator] = {}
+
+    def _collection(self, task: ShardTask):
+        from repro.encoding.collection import DocumentCollection
+        from repro.encoding.persist import load
+
+        cached = self._collections.get(task.shard_id)
+        if cached is not None and cached[0] == task.shard_file:
+            return cached[1]
+        table = load(os.path.join(self.directory, task.shard_file), mmap=self.mmap)
+        collection = DocumentCollection.from_table(table, list(task.names))
+        self._collections[task.shard_id] = (task.shard_file, collection)
+        # Evaluators bound to the replaced shard's old table are dead.
+        for key in [k for k in self._evaluators if k[0] == task.shard_id]:
+            del self._evaluators[key]
+        return collection
+
+    def run(self, task: ShardTask) -> Tuple[int, int, Dict[str, np.ndarray]]:
+        """Execute one task; returns ``(index, shard_id, per-doc ranks)``."""
+        collection = self._collection(task)
+        key = (task.shard_id, task.engine)
+        evaluator = self._evaluators.get(key)
+        if evaluator is None:
+            evaluator = Evaluator(
+                collection.doc, engine=task.engine, plan_cache=self.plan_cache
+            )
+            self._evaluators[key] = evaluator
+        pres = collection.evaluate(
+            task.plan, document=task.document, evaluator=evaluator
+        )
+        if task.document is not None:
+            start, _ = collection.span(task.document)
+            relative = {task.document: (pres - start).astype(np.int64, copy=False)}
+        else:
+            relative = collection.partition_relative(pres)
+        return task.index, task.shard_id, relative
+
+
+_POOL_STATE: Optional[ShardWorkerState] = None
+
+
+def _pool_init(directory: str, mmap: bool) -> None:
+    global _POOL_STATE
+    _POOL_STATE = ShardWorkerState(directory, mmap=mmap)
+
+
+def _pool_run(task: ShardTask):
+    return _POOL_STATE.run(task)
+
+
+class ShardExecutor:
+    """Dispatches shard tasks and merges per-shard results.
+
+    Parameters
+    ----------
+    store:
+        The sharded store to execute against.
+    workers:
+        ``0`` — serial, in this process.  ``n > 0`` — a lazily created
+        pool of ``n`` processes.  ``None`` — :func:`default_workers`.
+    """
+
+    def __init__(self, store: ShardedStore, workers: Optional[int] = None):
+        if workers is not None and workers < 0:
+            raise ReproError("workers must be >= 0")
+        self.store = store
+        self.workers = default_workers(store) if workers is None else int(workers)
+        self._pool = None
+        self._serial_state: Optional[ShardWorkerState] = None
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        items: Sequence[Tuple[object, str, Optional[str]]],
+    ) -> List[Dict[str, np.ndarray]]:
+        """Evaluate a batch of ``(plan, engine, document)`` items.
+
+        Returns, per item, the merged mapping of document name →
+        document-relative preorder ranks, in global document order
+        (scoped items report their single document only).
+        """
+        tasks = self._expand(items)
+        if self.workers == 0:
+            if self._serial_state is None:
+                self._serial_state = ShardWorkerState(
+                    self.store.directory, mmap=self.store.mmap
+                )
+            outcomes = [self._serial_state.run(task) for task in tasks]
+        else:
+            outcomes = self._ensure_pool().map(_pool_run, tasks)
+        return self._merge(items, outcomes)
+
+    # ------------------------------------------------------------------
+    def _expand(
+        self, items: Sequence[Tuple[object, str, Optional[str]]]
+    ) -> List[ShardTask]:
+        tasks = []
+        for index, (plan, engine, document) in enumerate(items):
+            if document is not None:
+                shard_ids = [self.store.shard_of(document)]
+            else:
+                shard_ids = self.store.shard_ids()
+            for shard_id in shard_ids:
+                entry = self.store.shard_entry(shard_id)
+                tasks.append(
+                    ShardTask(
+                        index=index,
+                        shard_id=shard_id,
+                        shard_file=entry["file"],
+                        names=tuple(entry["documents"]),
+                        plan=plan,
+                        engine=engine,
+                        document=document,
+                    )
+                )
+        return tasks
+
+    def _merge(
+        self,
+        items: Sequence[Tuple[object, str, Optional[str]]],
+        outcomes: Sequence[Tuple[int, int, Dict[str, np.ndarray]]],
+    ) -> List[Dict[str, np.ndarray]]:
+        per_item: List[Dict[str, np.ndarray]] = [{} for _ in items]
+        for index, _, relative in outcomes:
+            per_item[index].update(relative)
+        merged = []
+        for (plan, engine, document), collected in zip(items, per_item):
+            if document is not None:
+                merged.append({document: collected[document]})
+                continue
+            # Global document order, independent of shard layout.
+            merged.append(
+                {name: collected[name] for name in self.store.document_names()}
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(
+                processes=self.workers,
+                initializer=_pool_init,
+                initargs=(self.store.directory, self.store.mmap),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

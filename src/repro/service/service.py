@@ -1,0 +1,196 @@
+"""The query service: plan cache → result cache → sharded execution.
+
+A :class:`QueryService` answers XPath queries over a
+:class:`~repro.service.store.ShardedStore`:
+
+1. the query string is parsed once (LRU **plan cache**) and validated
+   before any work is dispatched;
+2. the **result cache** is consulted under the key
+   ``(store epoch, query, engine, scope)`` — a warm repeat never touches
+   an engine, and a shard replacement bumps the epoch so no stale entry
+   is ever reachable;
+3. misses fan out through the
+   :class:`~repro.service.executor.ShardExecutor` (vectorized engine by
+   default) and the pre-ordered per-shard results are merged in global
+   document order.
+
+Results are :class:`ServiceResult` values: per-document *relative*
+preorder ranks (rank 0 = the document's root element), so the payload is
+independent of how documents were sharded — the property the
+equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.service.cache import LRUCache
+from repro.service.executor import ShardExecutor
+from repro.service.store import ShardedStore
+from repro.xpath.axes import resolve_engine
+from repro.xpath.evaluator import parse_with_cache
+
+__all__ = ["QueryService", "ServiceResult"]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One answered query.
+
+    ``per_document`` maps member name → document-relative preorder ranks
+    (read-only arrays, document order).  ``elapsed_s`` is the wall time
+    of the executor call that produced the result (shared by every
+    result of one batch; ~0 for cache hits).
+    """
+
+    query: str
+    engine: str
+    per_document: Dict[str, np.ndarray]
+    total: int
+    from_cache: bool
+    elapsed_s: float
+
+    @property
+    def documents(self) -> List[str]:
+        return list(self.per_document)
+
+    def counts(self) -> Dict[str, int]:
+        """Result cardinality per member document."""
+        return {name: int(len(a)) for name, a in self.per_document.items()}
+
+
+class QueryService:
+    """Serve single queries and query batches over a sharded store.
+
+    Parameters
+    ----------
+    store:
+        The (already built or opened) :class:`ShardedStore`.
+    engine:
+        Default execution engine; the vectorized bulk engine unless the
+        caller opts into the instrumented scalar one.
+    workers:
+        ``0`` = serial in-process execution, ``n`` = process pool of
+        ``n``, ``None`` = one worker per shard (capped by CPU count).
+    plan_cache_size / result_cache_size:
+        LRU capacities; ``0`` disables the respective cache.
+    """
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        engine: str = "vectorized",
+        workers: Optional[int] = None,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+    ):
+        self.store = store
+        self.engine = resolve_engine(engine)
+        self.plan_cache = LRUCache(plan_cache_size)
+        self.result_cache = LRUCache(result_cache_size)
+        self.executor = ShardExecutor(store, workers=workers)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: str,
+        engine: Optional[str] = None,
+        document: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> ServiceResult:
+        """Answer one query (optionally scoped to a single document)."""
+        return self._run_batch([query], engine, document, use_cache)[0]
+
+    def execute_batch(
+        self,
+        queries: Sequence[str],
+        engine: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> List[ServiceResult]:
+        """Answer a batch; cache misses share one fan-out over the pool."""
+        return self._run_batch(list(queries), engine, None, use_cache)
+
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self,
+        queries: List[str],
+        engine: Optional[str],
+        document: Optional[str],
+        use_cache: bool,
+    ) -> List[ServiceResult]:
+        chosen = resolve_engine(engine) if engine is not None else self.engine
+        results: List[Optional[ServiceResult]] = [None] * len(queries)
+        # The epoch is snapshotted once per batch: if a shard replacement
+        # races the execution, the fresh results are cached under this
+        # (now unreachable) epoch rather than poisoning the new one.
+        epoch = self.store.epoch
+        # Distinct missing queries → the positions asking for them, so a
+        # batch with repeats fans each distinct query out exactly once.
+        missing: Dict[str, List[int]] = {}
+        for i, query in enumerate(queries):
+            key = (epoch, query, chosen, document)
+            hit = self.result_cache.get(key) if use_cache else None
+            if hit is not None:
+                results[i] = self._share(hit, from_cache=True, elapsed_s=0.0)
+            else:
+                missing.setdefault(query, []).append(i)
+        if missing:
+            plans = [self._plan(query) for query in missing]
+            started = time.perf_counter()
+            merged = self.executor.run_batch(
+                [(plan, chosen, document) for plan in plans]
+            )
+            elapsed = time.perf_counter() - started
+            for (query, positions), per_document in zip(missing.items(), merged):
+                for array in per_document.values():
+                    array.flags.writeable = False
+                result = ServiceResult(
+                    query=query,
+                    engine=chosen,
+                    per_document=per_document,
+                    total=sum(len(a) for a in per_document.values()),
+                    from_cache=False,
+                    elapsed_s=elapsed,
+                )
+                if use_cache:
+                    self.result_cache.put((epoch, query, chosen, document), result)
+                for position in positions:
+                    results[position] = self._share(result)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _share(result: ServiceResult, **overrides) -> ServiceResult:
+        """A caller-facing copy: the per-document *dict* is fresh (so a
+        caller mutating it cannot poison the cached entry); the frozen
+        rank arrays themselves stay shared."""
+        return replace(result, per_document=dict(result.per_document), **overrides)
+
+    def _plan(self, query: str):
+        return parse_with_cache(query, self.plan_cache)
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict:
+        """Cache occupancy/hit statistics plus the current store epoch."""
+        return {
+            "epoch": self.store.epoch,
+            "plan": self.plan_cache.info(),
+            "result": self.result_cache.info(),
+        }
+
+    def clear_caches(self) -> None:
+        self.plan_cache.clear()
+        self.result_cache.clear()
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,273 @@
+"""Sharded, persistent document storage for the query service.
+
+Footnote 1 of the paper gathers several documents under one virtual
+root; a :class:`ShardedStore` keeps *several such planes* — shards —
+each persisted as one v2 ``.npz`` archive
+(:mod:`repro.encoding.persist`), plus a small JSON manifest recording
+the epoch, the shard files, and which member documents live where.
+
+The layout on disk::
+
+    store/
+      manifest.json            epoch, shard → file/documents mapping
+      shard-0000.e0001.npz     one gathered pre/post plane per shard
+      shard-0001.e0001.npz
+
+Why it is shaped this way:
+
+* shards load **memory-mapped** by default — worker processes that open
+  the same shard file share the OS page cache instead of materialising
+  private copies (the zero-copy open of ``persist.load(mmap=True)``);
+* shard files are **immutable**: :meth:`replace_shard` writes a *new*
+  file (the epoch is part of the filename), flips the manifest, then
+  removes the old file.  Workers holding the old mapping stay valid
+  (POSIX unlink semantics) and converge on the new file at their next
+  task, and every result-cache key minted against the old epoch is dead
+  on arrival — the cache can never serve stale results;
+* the manifest keeps global document order, so merged results are
+  reported in the order documents were loaded, independent of sharding.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.encoding.collection import DocumentCollection
+from repro.encoding.persist import FORMAT_VERSION, load, save
+from repro.errors import ReproError
+from repro.xmltree.model import Node
+
+__all__ = ["ShardedStore", "STORE_FORMAT"]
+
+#: Version of the manifest schema (independent of the archive format).
+STORE_FORMAT = 1
+
+MANIFEST = "manifest.json"
+
+
+class ShardedStore:
+    """A directory of persisted document-collection shards.
+
+    Build one with :meth:`build`, reopen it with :meth:`open`.  The
+    constructor is internal — it trusts a parsed manifest.
+    """
+
+    def __init__(self, directory: str, manifest: dict, mmap: bool = True):
+        self.directory = directory
+        self.mmap = mmap
+        self._manifest = manifest
+        self._collections: Dict[int, Tuple[str, DocumentCollection]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        directory: str,
+        documents: Sequence[Tuple[str, Node]],
+        shards: int = 1,
+        virtual_root_tag: str = "collection",
+        mmap: bool = True,
+    ) -> "ShardedStore":
+        """Partition ``documents`` into ``shards`` collections and persist.
+
+        Documents are split contiguously in the given order (shard 0
+        gets the first ``ceil(n/k)`` documents, and so on), which keeps
+        the global document order reconstructible from the manifest.
+        """
+        if not documents:
+            raise ReproError("a sharded store needs at least one document")
+        names = [name for name, _ in documents]
+        if len(set(names)) != len(names):
+            raise ReproError("document names must be unique across the store")
+        shards = max(1, min(int(shards), len(documents)))
+        os.makedirs(directory, exist_ok=True)
+        epoch = 1
+        entries = []
+        for shard_id, chunk in enumerate(_split(list(documents), shards)):
+            collection = DocumentCollection(chunk, virtual_root_tag)
+            file_name = _shard_file_name(shard_id, epoch)
+            save(collection.doc, os.path.join(directory, file_name))
+            entries.append(
+                {
+                    "id": shard_id,
+                    "file": file_name,
+                    "documents": [name for name, _ in chunk],
+                    "nodes": len(collection.doc),
+                }
+            )
+        manifest = {
+            "store_format": STORE_FORMAT,
+            "persist_format": FORMAT_VERSION,
+            "epoch": epoch,
+            "virtual_root_tag": virtual_root_tag,
+            "shards": entries,
+        }
+        _write_manifest(directory, manifest)
+        return cls(directory, manifest, mmap=mmap)
+
+    @classmethod
+    def open(cls, directory: str, mmap: bool = True) -> "ShardedStore":
+        """Open an existing store directory."""
+        path = os.path.join(directory, MANIFEST)
+        try:
+            with open(path) as f:
+                manifest = json.load(f)
+        except FileNotFoundError:
+            raise ReproError(f"{directory}: not a sharded store (no {MANIFEST})")
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{path}: corrupt manifest ({error})") from None
+        if manifest.get("store_format") != STORE_FORMAT:
+            raise ReproError(
+                f"{path}: store format {manifest.get('store_format')!r} != "
+                f"supported {STORE_FORMAT}"
+            )
+        return cls(directory, manifest, mmap=mmap)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic store version; bumped by every shard replacement."""
+        return int(self._manifest["epoch"])
+
+    @property
+    def virtual_root_tag(self) -> str:
+        return self._manifest["virtual_root_tag"]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._manifest["shards"])
+
+    def shard_ids(self) -> List[int]:
+        return [entry["id"] for entry in self._manifest["shards"]]
+
+    def shard_entry(self, shard_id: int) -> dict:
+        """The manifest record of one shard (id, file, documents, nodes)."""
+        for entry in self._manifest["shards"]:
+            if entry["id"] == shard_id:
+                return entry
+        raise ReproError(f"no shard {shard_id} in store {self.directory}")
+
+    def document_names(self) -> List[str]:
+        """All member document names, in global (load) order."""
+        names: List[str] = []
+        for entry in self._manifest["shards"]:
+            names.extend(entry["documents"])
+        return names
+
+    def shard_of(self, document: str) -> int:
+        """Which shard holds ``document``."""
+        for entry in self._manifest["shards"]:
+            if document in entry["documents"]:
+                return entry["id"]
+        raise ReproError(f"no document named {document!r} in store")
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary (used by ``python -m repro shard``)."""
+        return {
+            "directory": self.directory,
+            "epoch": self.epoch,
+            "shards": [
+                {
+                    "id": entry["id"],
+                    "file": entry["file"],
+                    "documents": list(entry["documents"]),
+                    "nodes": entry["nodes"],
+                }
+                for entry in self._manifest["shards"]
+            ],
+            "documents": len(self.document_names()),
+        }
+
+    # ------------------------------------------------------------------
+    # Shard access
+    # ------------------------------------------------------------------
+    def collection(self, shard_id: int) -> DocumentCollection:
+        """The shard's gathered plane, loaded lazily (mmap by default).
+
+        Cached per shard file: after :meth:`replace_shard` the next call
+        observes the new file name and reloads.
+        """
+        entry = self.shard_entry(shard_id)
+        cached = self._collections.get(shard_id)
+        if cached is not None and cached[0] == entry["file"]:
+            return cached[1]
+        table = load(os.path.join(self.directory, entry["file"]), mmap=self.mmap)
+        collection = DocumentCollection.from_table(
+            table, entry["documents"], self.virtual_root_tag
+        )
+        self._collections[shard_id] = (entry["file"], collection)
+        return collection
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def replace_shard(
+        self, shard_id: int, documents: Sequence[Tuple[str, Node]]
+    ) -> None:
+        """Swap one shard's documents wholesale and bump the store epoch.
+
+        The new collection is written to a fresh file before the
+        manifest flips, so a crash mid-replace leaves the old manifest
+        (and old file) fully intact.
+        """
+        entry = self.shard_entry(shard_id)
+        if not documents:
+            raise ReproError("a shard needs at least one document")
+        new_names = [name for name, _ in documents]
+        other_names = set(self.document_names()) - set(entry["documents"])
+        collisions = other_names & set(new_names)
+        if len(set(new_names)) != len(new_names) or collisions:
+            raise ReproError("document names must be unique across the store")
+        collection = DocumentCollection(documents, self.virtual_root_tag)
+        epoch = self.epoch + 1
+        file_name = _shard_file_name(shard_id, epoch)
+        save(collection.doc, os.path.join(self.directory, file_name))
+        old_file = entry["file"]
+        entry["file"] = file_name
+        entry["documents"] = list(new_names)
+        entry["nodes"] = len(collection.doc)
+        self._manifest["epoch"] = epoch
+        _write_manifest(self.directory, self._manifest)
+        self._collections.pop(shard_id, None)
+        try:
+            os.remove(os.path.join(self.directory, old_file))
+        except OSError:  # pragma: no cover - another process may race the unlink
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedStore({self.directory!r}, shards={self.shard_count}, "
+            f"epoch={self.epoch})"
+        )
+
+
+# ----------------------------------------------------------------------
+def _split(items: list, parts: int) -> List[list]:
+    """Contiguous split of ``items`` into ``parts`` non-empty chunks."""
+    quotient, remainder = divmod(len(items), parts)
+    chunks = []
+    start = 0
+    for index in range(parts):
+        size = quotient + (1 if index < remainder else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def _shard_file_name(shard_id: int, epoch: int) -> str:
+    return f"shard-{shard_id:04d}.e{epoch:04d}.npz"
+
+
+def _write_manifest(directory: str, manifest: dict) -> None:
+    """Atomically (write + rename) persist the manifest."""
+    path = os.path.join(directory, MANIFEST)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(manifest, f, indent=1)
+    os.replace(tmp, path)

@@ -131,12 +131,17 @@ class StringColumn(Column):
 
     __slots__ = ("codes", "dictionary", "_index")
 
-    def __init__(self, codes: Union[Sequence[int], np.ndarray], dictionary: List[str]):
+    def __init__(
+        self,
+        codes: Union[Sequence[int], np.ndarray],
+        dictionary: List[str],
+        validate: bool = True,
+    ):
         self.codes = np.asarray(codes, dtype=np.int32)
         if self.codes.ndim != 1:
             raise StorageError("StringColumn requires a one-dimensional code vector")
         self.dictionary = list(dictionary)
-        if len(self.codes) and (
+        if validate and len(self.codes) and (
             self.codes.min() < 0 or self.codes.max() >= len(self.dictionary)
         ):
             raise StorageError("StringColumn code out of dictionary range")

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from repro.encoding.doctable import DocTable
 from repro.encoding.prepost import encode
 from repro.errors import WorkloadError
-from repro.xmark import text as words
 from repro.xmltree.model import Node, document, element, text
 from repro.xmark.text import name as person_name, sentence, word
 

@@ -48,7 +48,24 @@ from repro.xpath.axes import (
 )
 from repro.xpath.parser import parse_xpath
 
-__all__ = ["Evaluator", "evaluate"]
+__all__ = ["Evaluator", "evaluate", "parse_with_cache"]
+
+
+def parse_with_cache(query: str, cache) -> Expr:
+    """Parse ``query``, consulting a mapping-like plan cache if given.
+
+    ``cache`` needs ``get(key)``/``put(key, value)`` (e.g.
+    :class:`repro.service.LRUCache`); ``None`` parses unconditionally.
+    The single parsing gateway shared by :class:`Evaluator` and the
+    service layer, so the caching rule lives in one place.
+    """
+    if cache is None:
+        return parse_xpath(query)
+    plan = cache.get(query)
+    if plan is None:
+        plan = parse_xpath(query)
+        cache.put(query, plan)
+    return plan
 
 _REVERSE_AXES = frozenset(
     ("ancestor", "ancestor-or-self", "preceding", "preceding-sibling", "parent")
@@ -139,6 +156,11 @@ class Evaluator:
         kernels for every axis step, fragment reads, and non-positional
         path predicates).  Both produce identical node sequences;
         overrides ``strategy`` when both are given.
+    plan_cache:
+        Optional mapping-like object with ``get(key)``/``put(key, value)``
+        (e.g. :class:`repro.service.LRUCache`).  String queries are then
+        parsed at most once per cache lifetime — the service layer shares
+        one cache across every evaluator it owns.
     """
 
     def __init__(
@@ -149,12 +171,14 @@ class Evaluator:
         pushdown: bool = False,
         stats: Optional[JoinStatistics] = None,
         engine: Optional[str] = None,
+        plan_cache=None,
     ):
         self.doc = doc
         self.engine = resolve_engine(engine, strategy)
         self.stats = stats if stats is not None else JoinStatistics()
         self.axes = AxisExecutor(doc, engine=self.engine, mode=mode, stats=self.stats)
         self.pushdown = pushdown
+        self.plan_cache = plan_cache
         self._fragments: Optional[FragmentedDocument] = None
 
     # ------------------------------------------------------------------
@@ -177,7 +201,7 @@ class Evaluator:
         node.
         """
         if isinstance(path, str):
-            path = parse_xpath(path)
+            path = self._parse(path)
         if isinstance(path, BinaryExpr):
             if path.op != "|":
                 raise XPathEvaluationError(
@@ -200,6 +224,10 @@ class Evaluator:
             # A bare "/" — the document node itself is not encoded.
             return np.empty(0, dtype=np.int64)
         return current
+
+    def _parse(self, query: str) -> Expr:
+        """Parse ``query``, going through the shared plan cache if set."""
+        return parse_with_cache(query, self.plan_cache)
 
     # ------------------------------------------------------------------
     def _evaluate_step(self, context, step: Step) -> np.ndarray:

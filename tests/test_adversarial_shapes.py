@@ -13,7 +13,7 @@ import pytest
 from repro.core.staircase import SkipMode, staircase_join
 from repro.counters import JoinStatistics
 from repro.encoding.prepost import encode
-from repro.xmltree.model import Node, NodeKind, element
+from repro.xmltree.model import element
 
 from _reference import axis_pres
 

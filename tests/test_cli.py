@@ -97,3 +97,83 @@ class TestInfoSql:
     def test_sql_with_eq1(self, capsys):
         assert main(["sql", "/descendant::a/descendant::b", "--eq1"]) == 0
         assert "v2.pre <= v1.post + h" in capsys.readouterr().out
+
+
+class TestShardServeBatch:
+    @pytest.fixture
+    def store_dir(self, xml_file, tmp_path):
+        out = str(tmp_path / "store")
+        assert (
+            main(
+                ["shard", xml_file, "-o", out, "--generate", "2",
+                 "--size", "0.05", "--shards", "2"]
+            )
+            == 0
+        )
+        return out
+
+    def test_shard_builds_store(self, xml_file, tmp_path, capsys):
+        out = str(tmp_path / "fresh-store")
+        assert (
+            main(
+                ["shard", xml_file, "-o", out, "--generate", "2",
+                 "--size", "0.05", "--shards", "2"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "2 shards" in captured.err
+        assert "3 documents" in captured.err
+
+    def test_shard_info(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["shard", "--info", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "epoch       1" in out
+        assert "shard 0" in out and "shard 1" in out
+
+    def test_shard_without_output_is_a_clean_error(self, xml_file, capsys):
+        assert main(["shard", xml_file]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_shard_without_documents_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["shard", "-o", str(tmp_path / "s")]) == 1
+        assert "no documents" in capsys.readouterr().err
+
+    def test_serve_batch_repeat_hits_cache(self, store_dir, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                ["serve-batch", store_dir, "//person", "--workers", "0",
+                 "--repeat", "2", "--stats", "--per-document"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "cold  //person" in captured.out
+        assert "warm  //person" in captured.out
+        assert "round 2" in captured.err
+        assert "service statistics" in captured.err
+
+    def test_serve_batch_queries_file(self, store_dir, tmp_path, capsys):
+        capsys.readouterr()
+        queries = tmp_path / "queries.txt"
+        queries.write_text("# a comment\n//person\n\n//name\n")
+        assert (
+            main(
+                ["serve-batch", store_dir, "--queries-file", str(queries),
+                 "--workers", "0", "--engine", "scalar", "--no-cache"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "//person" in out and "//name" in out
+
+    def test_serve_batch_without_queries_is_a_clean_error(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["serve-batch", store_dir]) == 1
+        assert "no queries" in capsys.readouterr().err
+
+    def test_serve_batch_on_non_store_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["serve-batch", str(tmp_path), "//a"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -4,12 +4,9 @@ import numpy as np
 import pytest
 
 from repro.encoding.collection import DocumentCollection
-from repro.encoding.prepost import encode
 from repro.errors import EncodingError
 from repro.xmltree.model import document, element, text
-from repro.xpath.evaluator import evaluate
 
-from _reference import random_tree
 
 
 @pytest.fixture

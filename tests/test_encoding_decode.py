@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.encoding.decode import decode, subtree
 from repro.encoding.prepost import encode
 from repro.errors import EncodingError
-from repro.xmltree.model import Node, NodeKind, document, element, text
+from repro.xmltree.model import Node, NodeKind, element, text
 from repro.xmltree.serializer import serialize
 
 from _reference import random_tree

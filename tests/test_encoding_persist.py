@@ -1,10 +1,18 @@
 """Persistence tests: save/load round-trip and format hygiene."""
 
+import mmap
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.encoding.persist import FORMAT_VERSION, load, save
+from repro.encoding.persist import (
+    _NONE_SENTINEL,
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    load,
+    save,
+)
 from repro.encoding.prepost import encode
 from repro.errors import EncodingError
 from repro.xpath.evaluator import evaluate
@@ -20,6 +28,24 @@ def tables_equal(a, b) -> bool:
         and np.array_equal(a.kind, b.kind)
         and list(a.tag) == list(b.tag)
         and a.values == b.values
+    )
+
+
+def save_v1(doc, path):
+    """Write a legacy (compressed, version-1) archive as PR 0's save() did."""
+    values = np.asarray(
+        [_NONE_SENTINEL if v is None else v for v in doc.values], dtype=object
+    )
+    np.savez_compressed(
+        path,
+        format_version=np.asarray([1]),
+        post=doc.post,
+        level=doc.level,
+        parent=doc.parent,
+        kind=doc.kind,
+        tag_codes=doc.tag.codes,
+        tag_dictionary=np.asarray(doc.tag.dictionary, dtype=object),
+        values=values,
     )
 
 
@@ -56,6 +82,56 @@ class TestRoundTrip:
         loaded = load(path)
         assert loaded.values[0] is None
         assert loaded.values[1] == ""
+
+
+class TestFormatVersions:
+    def test_current_format_version_is_2(self):
+        assert FORMAT_VERSION == 2
+        assert set(SUPPORTED_VERSIONS) == {1, 2}
+
+    @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
+    def test_round_trip_both_versions(self, small_xmark, tmp_path, version):
+        path = str(tmp_path / f"v{version}.npz")
+        if version == 1:
+            save_v1(small_xmark, path)
+        else:
+            save(small_xmark, path)
+        assert tables_equal(small_xmark, load(path))
+
+    @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
+    def test_mmap_load_both_versions(self, small_xmark, tmp_path, version):
+        """mmap=True zero-copies v2 columns; v1 degrades to an eager load."""
+        path = str(tmp_path / f"v{version}.npz")
+        if version == 1:
+            save_v1(small_xmark, path)
+        else:
+            save(small_xmark, path)
+        loaded = load(path, mmap=True)
+        assert tables_equal(small_xmark, loaded)
+        assert isinstance(loaded.post, np.memmap) == (version == 2)
+
+    def test_mmap_columns_are_file_backed_views(self, fig1_doc, tmp_path):
+        path = str(tmp_path / "doc.npz")
+        save(fig1_doc, path)
+        loaded = load(path, mmap=True)
+        for column in (loaded.post, loaded.level, loaded.parent, loaded.kind):
+            assert isinstance(column, np.memmap)
+            assert not column.flags.writeable
+        # tag codes go through np.asarray (a base-class view); walk the
+        # base chain down to the underlying OS-level memory map.
+        base = loaded.tag.codes
+        while isinstance(base, np.ndarray) and base.base is not None:
+            base = base.base
+        assert isinstance(base, mmap.mmap)
+
+    def test_mmap_table_answers_queries(self, small_xmark, tmp_path):
+        path = str(tmp_path / "xmark.npz")
+        save(small_xmark, path)
+        loaded = load(path, mmap=True)
+        query = "/descendant::increase/ancestor::bidder"
+        expected = evaluate(small_xmark, query).tolist()
+        for engine in ("scalar", "vectorized"):
+            assert evaluate(loaded, query, engine=engine).tolist() == expected
 
 
 class TestFormatHygiene:

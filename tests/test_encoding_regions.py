@@ -133,7 +133,6 @@ class TestFigure7EmptyRegions:
         """Figure 7 (a): if b descends from a, no ancestor of b precedes
         or follows a."""
         doc = encode(random_tree(size, seed))
-        posts = doc.post
         for b in range(min(size, 40)):
             for a in doc.ancestors_of(b):
                 for x in doc.ancestors_of(b):

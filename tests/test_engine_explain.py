@@ -1,6 +1,5 @@
 """EXPLAIN output tests."""
 
-import pytest
 
 from repro.engine.explain import explain
 from repro.core.staircase import SkipMode

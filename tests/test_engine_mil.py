@@ -1,6 +1,5 @@
 """MIL plan-language tests."""
 
-import numpy as np
 import pytest
 
 from repro.engine.mil import run_mil

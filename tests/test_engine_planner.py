@@ -1,6 +1,5 @@
 """Cost-model tests for the pushdown decision."""
 
-import pytest
 
 from repro.engine.planner import CostModel, choose_pushdown
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.staircase import SkipMode, staircase_join
+from repro.core.staircase import staircase_join
 from repro.core.vectorized import staircase_join_vectorized
 from repro.encoding.doctable import DocTable
 from repro.errors import EncodingError, XPathEvaluationError

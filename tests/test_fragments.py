@@ -1,7 +1,6 @@
 """Tag-name fragmentation tests (the future-work experiment)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.fragments import FragmentedDocument

@@ -1,6 +1,5 @@
 """Experiment-harness tests: the figures' headline claims must hold."""
 
-import numpy as np
 import pytest
 
 from repro.harness.experiments import (

@@ -1,6 +1,5 @@
 """ASCII chart renderer tests."""
 
-import pytest
 
 from repro.harness.figures import ascii_chart
 
@@ -24,7 +23,7 @@ class TestAsciiChart:
 
     def test_linear_series_renders_a_diagonal(self):
         out = ascii_chart(ROWS, "x", ["a"], width=30, height=9)
-        lines = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        lines = [ln.split("|", 1)[1] for ln in out.splitlines() if "|" in ln]
         columns = [line.index("A") for line in lines if "A" in line]
         # Three samples; the top grid row holds the largest value, so the
         # marker walks right-to-left going down — a rising straight line.
@@ -34,7 +33,7 @@ class TestAsciiChart:
     def test_flat_series_stays_on_one_row(self):
         out = ascii_chart(ROWS, "x", ["b"], width=30, height=9)
         # 'b' is the only series here, so its marker is 'A'.
-        lines = [l for l in out.splitlines() if "|" in l and "A" in l]
+        lines = [ln for ln in out.splitlines() if "|" in ln and "A" in ln]
         assert len(lines) == 1  # all three samples on the same grid row
 
     def test_x_axis_footer(self):

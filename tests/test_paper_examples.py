@@ -6,10 +6,9 @@ index.  Section references are in the test docstrings.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.naive import naive_step_with_duplicates
-from repro.core.pruning import prune_ancestor, prune_descendant
+from repro.core.pruning import prune_ancestor
 from repro.core.staircase import SkipMode, staircase_join
 from repro.counters import JoinStatistics
 from repro.engine.sqlgen import path_to_sql

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.harness.queries import QUERY_SUITE
-from repro.xpath.evaluator import Evaluator, evaluate
+from repro.xpath.evaluator import evaluate
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,497 @@
+"""Service-layer tests: store, caches, executor, QueryService.
+
+The headline properties:
+
+* **batched == serial** — executing a query batch through the service
+  (plan cache, result cache, multiprocessing fan-out, merge) returns
+  byte-identical per-document rank arrays to evaluating each shard's
+  collection serially with a plain :class:`Evaluator`, across all
+  thirteen axes and both engines;
+* **no stale results** — after a shard is replaced the result cache can
+  never serve a result computed against the old shard contents, in both
+  serial and pooled modes.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.collection import DocumentCollection
+from repro.errors import ReproError
+from repro.harness.workloads import get_forest
+from repro.service import (
+    LRUCache,
+    QueryService,
+    ShardedStore,
+    ShardWorkerState,
+    default_workers,
+)
+from repro.service.store import _split
+from repro.xmltree.model import element, text
+from repro.xpath.evaluator import Evaluator
+
+from _reference import random_tree
+
+#: Queries touching every axis (and the predicate/positional machinery).
+#: ``following``/``preceding`` and root-level siblings deliberately appear
+#: only *below* the document root via nested steps, so their semantics
+#: stay per-shard-reproducible (the service evaluates shard planes
+#: independently; cross-shard leakage is not a defined result).
+AXIS_QUERIES = (
+    "/descendant::bidder",                                    # descendant
+    "//open_auction//increase",                               # descendant-or-self
+    "/site/open_auctions/open_auction/bidder",                # child
+    "/descendant::increase/ancestor::bidder",                 # ancestor
+    "//increase/ancestor-or-self::open_auction",              # ancestor-or-self
+    "//bidder/parent::open_auction",                          # parent
+    "//person/self::person",                                  # self
+    "//person/attribute::id",                                 # attribute
+    "//bidder[1]/following-sibling::bidder",                  # following-sibling
+    "//bidder[last()]/preceding-sibling::bidder",             # preceding-sibling
+    "//open_auction[bidder]/seller",                          # predicate path
+    "//open_auction[not(bidder)]",                            # negation
+    "//open_auction[count(bidder) >= 2]",                     # count()
+    "//seller | //buyer",                                     # union
+    "//profile/education/text()",                             # text()
+)
+
+#: Axes whose unscoped semantics span the whole shard plane; exercised in
+#: the shard-level equivalence test (reference = the same shard).
+PLANE_QUERIES = (
+    "//open_auction[1]/following::item",
+    "//item[1]/preceding::open_auction",
+)
+
+ENGINES = ("scalar", "vectorized")
+
+
+def serial_reference(store, trees_by_name, query, engine):
+    """Evaluate ``query`` shard by shard with a plain serial Evaluator."""
+    merged = {}
+    for shard_id in store.shard_ids():
+        names = store.shard_entry(shard_id)["documents"]
+        collection = DocumentCollection([(n, trees_by_name[n]) for n in names])
+        evaluator = Evaluator(collection.doc, engine=engine)
+        pres = collection.evaluate(query, evaluator=evaluator)
+        merged.update(collection.partition_relative(pres))
+    return {name: merged[name] for name in store.document_names()}
+
+
+def assert_identical(actual, expected):
+    assert list(actual) == list(expected)
+    for name in expected:
+        a, e = actual[name], expected[name]
+        assert a.dtype == e.dtype == np.int64, name
+        assert a.tobytes() == e.tobytes(), name
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def forest():
+    return get_forest(5, 0.05)
+
+
+@pytest.fixture(scope="module")
+def store(forest, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("service") / "store")
+    return ShardedStore.build(directory, forest, shards=3)
+
+
+@pytest.fixture(scope="module")
+def pooled_service(store):
+    with QueryService(store, workers=2) as service:
+        yield service
+
+
+# ----------------------------------------------------------------------
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b is now coldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            LRUCache(-1)
+
+    def test_clear_and_info(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        info = cache.info()
+        assert info["size"] == 1 and info["hits"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+class TestShardedStore:
+    def test_build_layout_and_reopen(self, store, forest):
+        assert store.shard_count == 3
+        assert store.epoch == 1
+        assert store.document_names() == [name for name, _ in forest]
+        reopened = ShardedStore.open(store.directory)
+        assert reopened.epoch == 1
+        assert reopened.document_names() == store.document_names()
+        assert os.path.exists(
+            os.path.join(store.directory, store.shard_entry(0)["file"])
+        )
+
+    def test_contiguous_split(self):
+        assert _split([1, 2, 3, 4, 5], 3) == [[1, 2], [3, 4], [5]]
+        assert _split([1, 2], 2) == [[1], [2]]
+
+    def test_shard_count_clamped_to_documents(self, forest, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "s"), forest[:2], shards=8)
+        assert store.shard_count == 2
+
+    def test_collection_round_trips_members(self, store, forest):
+        names = store.shard_entry(1)["documents"]
+        collection = store.collection(1)
+        assert collection.names == names
+        # Memory-mapped by default: the table's columns are file-backed.
+        assert isinstance(collection.doc.post, np.memmap)
+
+    def test_shard_of(self, store):
+        assert store.shard_of("xmark-00") == 0
+        with pytest.raises(ReproError, match="no document"):
+            store.shard_of("nope")
+
+    def test_unknown_shard_rejected(self, store):
+        with pytest.raises(ReproError, match="no shard"):
+            store.shard_entry(99)
+
+    def test_duplicate_names_rejected(self, forest, tmp_path):
+        name, tree = forest[0]
+        with pytest.raises(ReproError, match="unique"):
+            ShardedStore.build(str(tmp_path / "s"), [(name, tree), (name, tree)])
+
+    def test_empty_store_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="at least one document"):
+            ShardedStore.build(str(tmp_path / "s"), [])
+
+    def test_open_non_store_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="not a sharded store"):
+            ShardedStore.open(str(tmp_path))
+
+    def test_open_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{nope")
+        with pytest.raises(ReproError, match="corrupt manifest"):
+            ShardedStore.open(str(tmp_path))
+
+    def test_open_wrong_store_format_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"store_format": 99}))
+        with pytest.raises(ReproError, match="store format"):
+            ShardedStore.open(str(tmp_path))
+
+    def test_replace_shard_bumps_epoch_and_swaps_file(self, forest, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "s"), forest[:4], shards=2)
+        old_file = store.shard_entry(1)["file"]
+        replacement = [("fresh", element("site", element("regions")))]
+        store.replace_shard(1, replacement)
+        assert store.epoch == 2
+        assert store.shard_entry(1)["documents"] == ["fresh"]
+        assert store.shard_entry(1)["file"] != old_file
+        assert not os.path.exists(os.path.join(store.directory, old_file))
+        # the change is durable
+        assert ShardedStore.open(store.directory).epoch == 2
+        assert store.collection(1).names == ["fresh"]
+
+    def test_replace_shard_name_collision_rejected(self, forest, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "s"), forest[:4], shards=2)
+        name, tree = forest[0]           # lives in shard 0
+        with pytest.raises(ReproError, match="unique"):
+            store.replace_shard(1, [(name, tree)])
+
+    def test_replace_shard_empty_rejected(self, store):
+        with pytest.raises(ReproError, match="at least one document"):
+            store.replace_shard(0, [])
+
+
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    """Batched sharded execution == serial collection evaluation."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_axis_queries_pooled(self, pooled_service, store, forest, engine):
+        trees = dict(forest)
+        results = pooled_service.execute_batch(
+            AXIS_QUERIES + PLANE_QUERIES, engine=engine, use_cache=False
+        )
+        for query, result in zip(AXIS_QUERIES + PLANE_QUERIES, results):
+            expected = serial_reference(store, trees, query, engine)
+            assert_identical(result.per_document, expected)
+            assert result.total == sum(len(a) for a in expected.values())
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_axis_queries_serial_mode(self, store, forest, engine):
+        trees = dict(forest)
+        with QueryService(store, workers=0) as service:
+            results = service.execute_batch(
+                AXIS_QUERIES, engine=engine, use_cache=False
+            )
+        for query, result in zip(AXIS_QUERIES, results):
+            assert_identical(
+                result.per_document, serial_reference(store, trees, query, engine)
+            )
+
+    def test_document_scoped_execution(self, pooled_service, store, forest):
+        trees = dict(forest)
+        query = "/descendant::increase/ancestor::bidder"
+        for name in store.document_names():
+            scoped = pooled_service.execute(query, document=name, use_cache=False)
+            assert scoped.documents == [name]
+            single = DocumentCollection([(name, trees[name])])
+            expected = single.partition_relative(single.evaluate(query))
+            assert_identical(scoped.per_document, expected)
+
+    def test_sharding_invariance(self, forest, tmp_path):
+        """Per-document results do not depend on the shard layout."""
+        query = "//open_auction[bidder]/seller"
+        payloads = []
+        for shards in (1, 2, 5):
+            store = ShardedStore.build(
+                str(tmp_path / f"s{shards}"), forest, shards=shards
+            )
+            with QueryService(store, workers=0) as service:
+                result = service.execute(query)
+            payloads.append({n: a.tobytes() for n, a in result.per_document.items()})
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    @given(
+        seeds=st.lists(st.integers(0, 500), min_size=2, max_size=4),
+        size=st.integers(10, 60),
+        shards=st.integers(1, 3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_documents_property(
+        self, seeds, size, shards, tmp_path_factory
+    ):
+        """Random forests: pooled batched execution == serial reference."""
+        forest = [
+            (f"doc-{i}", random_tree(size, seed)) for i, seed in enumerate(seeds)
+        ]
+        directory = str(tmp_path_factory.mktemp("prop") / "store")
+        store = ShardedStore.build(directory, forest, shards=shards)
+        queries = ("//*", "/descendant::node()", "//*[*]/..")
+        trees = dict(forest)
+        with QueryService(store, workers=2) as service:
+            for engine in ENGINES:
+                results = service.execute_batch(queries, engine=engine)
+                for query, result in zip(queries, results):
+                    expected = serial_reference(store, trees, query, engine)
+                    assert_identical(result.per_document, expected)
+
+
+# ----------------------------------------------------------------------
+class TestCaching:
+    def test_result_cache_round_trip(self, store):
+        with QueryService(store, workers=0) as service:
+            cold = service.execute("//people")
+            warm = service.execute("//people")
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert_identical(warm.per_document, cold.per_document)
+
+    def test_cache_key_includes_engine_and_scope(self, store):
+        with QueryService(store, workers=0) as service:
+            service.execute("//people", engine="scalar")
+            other_engine = service.execute("//people", engine="vectorized")
+            scoped = service.execute("//people", document="xmark-00")
+        assert not other_engine.from_cache
+        assert not scoped.from_cache
+
+    def test_use_cache_false_bypasses(self, store):
+        with QueryService(store, workers=0) as service:
+            service.execute("//people")
+            again = service.execute("//people", use_cache=False)
+        assert not again.from_cache
+
+    def test_plan_cache_parses_once(self, store):
+        with QueryService(store, workers=0) as service:
+            service.execute("//people", use_cache=False)
+            service.execute("//people", use_cache=False)
+            info = service.cache_info()
+        assert info["plan"]["misses"] == 1
+        assert info["plan"]["hits"] == 1
+
+    def test_cached_arrays_are_frozen(self, store):
+        with QueryService(store, workers=0) as service:
+            result = service.execute("//people")
+        array = next(iter(result.per_document.values()))
+        with pytest.raises(ValueError):
+            array[...] = 0
+
+    def test_caller_mutation_cannot_poison_the_cache(self, store):
+        with QueryService(store, workers=0) as service:
+            first = service.execute("//people")
+            first.per_document.clear()          # hostile caller
+            second = service.execute("//people")
+        assert second.from_cache
+        assert second.total == first.total
+        assert list(second.per_document) == store.document_names()
+
+    def test_duplicate_queries_in_cold_batch_run_once(self, store):
+        with QueryService(store, workers=0) as service:
+            a, b = service.execute_batch(["//people", "//people"], use_cache=False)
+            info = service.cache_info()
+        assert not a.from_cache and not b.from_cache
+        # one fan-out: the rank arrays are the same frozen objects
+        for name in store.document_names():
+            assert a.per_document[name] is b.per_document[name]
+        assert info["plan"]["misses"] == 1
+
+    def test_replace_racing_a_batch_cannot_poison_the_new_epoch(
+        self, forest, tmp_path
+    ):
+        """A result computed while a shard swap races the batch must land
+        under the pre-swap epoch key, never the new one."""
+        store = ShardedStore.build(str(tmp_path / "race"), forest[:4], shards=2)
+        query = "//people/person"
+        with QueryService(store, workers=0) as service:
+            original = service.executor.run_batch
+
+            def replace_mid_flight(items):
+                out = original(items)
+                store.replace_shard(
+                    1,
+                    [
+                        (name, element("site", element("people")))
+                        for name in store.shard_entry(1)["documents"]
+                    ],
+                )
+                return out
+
+            service.executor.run_batch = replace_mid_flight
+            raced = service.execute(query)
+            service.executor.run_batch = original
+            after = service.execute(query)
+            assert not raced.from_cache
+            # the raced (pre-swap) payload must not be served at epoch 2
+            assert not after.from_cache
+            assert after.total < raced.total
+
+    def test_collection_rejects_evaluator_plus_options(self, store):
+        from repro.xpath.evaluator import Evaluator
+
+        collection = store.collection(0)
+        evaluator = Evaluator(collection.doc)
+        with pytest.raises(ReproError, match="not both"):
+            collection.evaluate("//people", evaluator=evaluator, pushdown=True)
+
+    def test_evaluator_plan_cache_parses_once(self, store):
+        from repro.xpath.evaluator import Evaluator
+
+        collection = store.collection(0)
+        cache = LRUCache(8)
+        evaluator = Evaluator(collection.doc, plan_cache=cache)
+        first = evaluator.evaluate("//people")
+        second = evaluator.evaluate("//people")
+        assert first.tolist() == second.tolist()
+        assert cache.info() == {"size": 1, "capacity": 8, "hits": 1, "misses": 1}
+        # collection.evaluate with a caller-held evaluator shares the cache
+        collection.evaluate("//people", evaluator=evaluator)
+        assert cache.hits == 2
+
+    @pytest.mark.parametrize("workers", (0, 2))
+    def test_replace_shard_never_serves_stale_results(self, forest, tmp_path, workers):
+        """The epoch in the cache key fences every pre-replacement entry."""
+        directory = str(tmp_path / f"stale-{workers}")
+        store = ShardedStore.build(directory, forest[:4], shards=2)
+        query = "//people/person"
+        with QueryService(store, workers=workers) as service:
+            before = service.execute(query)
+            assert service.execute(query).from_cache
+            shard_id = store.shard_of("xmark-03")
+            names = store.shard_entry(shard_id)["documents"]
+            replacement = [
+                (
+                    name,
+                    element(
+                        "site",
+                        element(
+                            "people",
+                            *[
+                                element("person", text(f"p{i}"))
+                                for i in range(7)
+                            ],
+                        ),
+                    ),
+                )
+                for name in names
+            ]
+            store.replace_shard(shard_id, replacement)
+            after = service.execute(query)
+            assert not after.from_cache
+            for name in names:
+                assert len(after.per_document[name]) == 7
+                assert (
+                    after.per_document[name].tobytes()
+                    != before.per_document[name].tobytes()
+                )
+            # untouched documents are unchanged
+            untouched = [n for n in store.document_names() if n not in names]
+            for name in untouched:
+                assert (
+                    after.per_document[name].tobytes()
+                    == before.per_document[name].tobytes()
+                )
+            # and the new epoch's entry caches normally
+            assert service.execute(query).from_cache
+
+
+# ----------------------------------------------------------------------
+class TestExecutor:
+    def test_default_workers_capped(self, store):
+        assert 1 <= default_workers(store) <= store.shard_count
+
+    def test_negative_workers_rejected(self, store):
+        with pytest.raises(ReproError):
+            QueryService(store, workers=-1)
+
+    def test_worker_state_reuses_collections(self, store):
+        state = ShardWorkerState(store.directory)
+        entry = store.shard_entry(0)
+        from repro.service.executor import ShardTask
+
+        task = ShardTask(
+            index=0,
+            shard_id=0,
+            shard_file=entry["file"],
+            names=tuple(entry["documents"]),
+            plan="//people",
+            engine="vectorized",
+            document=None,
+        )
+        index, shard_id, first = state.run(task)
+        assert (index, shard_id) == (0, 0)
+        assert list(first) == list(entry["documents"])
+        collection = state._collections[0][1]
+        state.run(task)
+        assert state._collections[0][1] is collection
+
+    def test_close_is_idempotent(self, store):
+        service = QueryService(store, workers=1)
+        service.execute("//people")
+        service.close()
+        service.close()

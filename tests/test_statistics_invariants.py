@@ -5,10 +5,9 @@ exact conservation laws — not just look plausible.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.baselines.naive import naive_step, naive_step_with_duplicates
+from repro.baselines.naive import naive_step
 from repro.core.pruning import prune
 from repro.core.staircase import SkipMode, staircase_join
 from repro.counters import JoinStatistics

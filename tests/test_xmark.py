@@ -1,6 +1,5 @@
 """XMark generator tests: determinism, shape and paper-like selectivities."""
 
-import numpy as np
 import pytest
 
 from repro.encoding.prepost import encode
@@ -8,11 +7,9 @@ from repro.errors import WorkloadError
 from repro.xmark.generator import (
     NODES_PER_MB,
     XMarkConfig,
-    XMarkGenerator,
     generate,
     generate_table,
 )
-from repro.xmltree.model import NodeKind
 from repro.xmltree.serializer import serialize
 
 

@@ -1,9 +1,7 @@
 """Unit tests for the XML node model."""
 
-import pytest
 
 from repro.xmltree.model import (
-    Node,
     NodeKind,
     attribute,
     comment,
@@ -111,7 +109,7 @@ class TestTraversal:
     def test_ancestors_nearest_first(self):
         c = element("c")
         b = element("b", c)
-        a = element("a", b)
+        element("a", b)
         assert [n.name for n in c.ancestors()] == ["b", "a"]
 
     def test_level_and_height(self):

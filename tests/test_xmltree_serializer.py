@@ -4,7 +4,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.xmltree.model import (
     Node,
-    NodeKind,
     comment,
     document,
     element,

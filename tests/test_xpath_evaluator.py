@@ -6,10 +6,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.staircase import SkipMode
 from repro.encoding.prepost import encode
-from repro.errors import XPathEvaluationError
-from repro.xmltree.model import element, text
 from repro.xmltree.parser import parse
-from repro.xpath.evaluator import Evaluator, evaluate
+from repro.xpath.evaluator import evaluate
 
 from _reference import random_tree
 

@@ -1,6 +1,5 @@
 """Tests for the extended XPath surface: unions, arithmetic, functions."""
 
-import math
 
 import numpy as np
 import pytest

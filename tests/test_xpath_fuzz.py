@@ -2,7 +2,6 @@
 and random expressions must evaluate without crashing."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.encoding.prepost import encode

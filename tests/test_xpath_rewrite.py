@@ -1,6 +1,5 @@
 """Rewrite-law tests: pushdown opportunities and the symmetry rewrite."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.encoding.prepost import encode
