@@ -11,6 +11,7 @@ Makes the library usable without writing Python::
     python -m repro sql "/descendant::profile/descendant::education"
     python -m repro shard -o store --generate 8 --size 0.2 --shards 4
     python -m repro serve-batch store "//open_auction[bidder]/seller" --workers 4
+    python -m repro update store ops.json --verify "//person"
 
 Documents may be given as ``.xml`` (parsed + encoded on the fly) or as
 ``.npz`` archives produced by ``encode`` (instant load).
@@ -210,6 +211,36 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import QueryService, ShardedStore, parse_ops
+
+    try:
+        with open(args.ops) as f:
+            raw = json.load(f)
+    except json.JSONDecodeError as error:
+        print(f"error: {args.ops}: not valid JSON ({error})", file=sys.stderr)
+        return 1
+    ops = parse_ops(raw)
+    store = ShardedStore.open(args.store)
+    before = store.epoch
+    started = time.perf_counter()
+    with QueryService(store, workers=0) as service:
+        summary = service.apply_updates(ops)
+        if args.verify:
+            result = service.execute(args.verify)
+            print(f"{result.total:>8,}  {args.verify}")
+    elapsed = time.perf_counter() - started
+    shards = ", ".join(str(s) for s in summary["shards"]) or "none"
+    print(
+        f"applied {summary['applied']} op(s) to shard(s) {shards}: "
+        f"epoch {before} -> {summary['epoch']}, {elapsed * 1000:.2f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_sql(args: argparse.Namespace) -> int:
     print(path_to_sql(args.xpath, eq1_delimiter=args.eq1))
     return 0
@@ -317,6 +348,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmd.add_argument("--stats", action="store_true", help="print cache statistics")
     cmd.set_defaults(handler=_cmd_serve_batch)
+
+    cmd = commands.add_parser(
+        "update", help="apply a JSON ops file to a sharded store"
+    )
+    cmd.add_argument("store", help="store directory built by `shard`")
+    cmd.add_argument(
+        "ops",
+        help='JSON ops file: a list of {"op": add|remove|update|insert|'
+        'delete|replace, "document": name, ...} objects; subtree '
+        'payloads via "xml", "file", "text" or "attribute"',
+    )
+    cmd.add_argument(
+        "--verify", metavar="XPATH", default=None,
+        help="run one query after the update and print its result count",
+    )
+    cmd.set_defaults(handler=_cmd_update)
 
     cmd = commands.add_parser("sql", help="translate XPath to Figure-3 style SQL")
     cmd.add_argument("xpath")

@@ -52,17 +52,7 @@ class DocumentCollection:
             raise EncodingError("document names must be unique")
         gathered = element(virtual_root_tag)
         for name, tree in documents:
-            if tree.kind == NodeKind.DOCUMENT:
-                roots = [c for c in tree.children if c.kind == NodeKind.ELEMENT]
-                if len(roots) != 1:
-                    raise EncodingError(
-                        f"document {name!r} must have exactly one root element"
-                    )
-                gathered.append(roots[0])
-            elif tree.kind == NodeKind.ELEMENT:
-                gathered.append(tree)
-            else:
-                raise EncodingError(f"document {name!r} is not element-rooted")
+            gathered.append(_member_root(name, tree))
         self.virtual_root_tag = virtual_root_tag
         self.doc: DocTable = encode(gathered)
         self._index_members(names)
@@ -199,6 +189,120 @@ class DocumentCollection:
             result = evaluator.evaluate(parsed, context=start)
         return result[(result >= start) & (result <= end)]
 
+    # ------------------------------------------------------------------
+    # Updates (rank splicing on the gathered plane)
+    # ------------------------------------------------------------------
+    def apply_update(
+        self, table: DocTable, names: Sequence[str]
+    ) -> "DocumentCollection":
+        """Rebind the collection around an updated gathered plane.
+
+        ``table`` is a spliced successor of ``self.doc`` (same virtual
+        root, member roots matching ``names`` positionally).  Partition
+        boundaries are re-derived by walking the virtual root's children
+        with Equation (1) subtree skips — O(#documents), no re-encoding
+        of untouched documents.  Every mutation below funnels through
+        here; the original collection stays valid (tables are immutable).
+        """
+        return DocumentCollection.from_table(table, names, self.virtual_root_tag)
+
+    def insert_document(
+        self, name: str, tree: Node, before: Optional[str] = None
+    ) -> "DocumentCollection":
+        """Add a member document (appended, or ahead of member ``before``)."""
+        from repro.encoding.updates import insert_subtree
+
+        if name in self._spans:
+            raise EncodingError(f"document {name!r} already in the collection")
+        root = _member_root(name, tree)
+        if before is None:
+            before_pre: Optional[int] = None
+            position = len(self._names)
+        else:
+            before_pre = self.root_of(before)
+            position = self._names.index(before)
+        table = insert_subtree(self.doc, self.doc.root, root, before_pre=before_pre)
+        names = list(self._names)
+        names.insert(position, name)
+        return self.apply_update(table, names)
+
+    def remove_document(self, name: str) -> "DocumentCollection":
+        """Drop a member document (a collection keeps at least one)."""
+        from repro.encoding.updates import delete_subtree
+
+        start, _ = self.span(name)
+        if len(self._names) == 1:
+            raise EncodingError(
+                "cannot remove the last document of a collection"
+            )
+        table = delete_subtree(self.doc, start)
+        return self.apply_update(table, [n for n in self._names if n != name])
+
+    def update_document(self, name: str, tree: Node) -> "DocumentCollection":
+        """Replace a member document's entire tree in place."""
+        from repro.encoding.updates import replace_subtree
+
+        start, _ = self.span(name)
+        table = replace_subtree(self.doc, start, _member_root(name, tree))
+        return self.apply_update(table, self._names)
+
+    def splice(
+        self,
+        name: str,
+        op: str,
+        pre: int,
+        tree: Optional[Node] = None,
+        before: Optional[int] = None,
+    ) -> "DocumentCollection":
+        """Subtree-granular edit inside member ``name``.
+
+        ``pre`` (and ``before``) are *document-relative* preorder ranks —
+        rank 0 is the member's root element, the same shape the service
+        layer reports results in.  ``op`` is ``"insert"`` (``pre`` names
+        the parent, ``before`` the optional child to insert ahead of),
+        ``"delete"`` or ``"replace"`` (``pre`` names the subtree root).
+        """
+        from repro.encoding.updates import (
+            delete_subtree,
+            insert_subtree,
+            replace_subtree,
+        )
+
+        start, end = self.span(name)
+        span_size = end - start
+        if not 0 <= pre <= span_size:
+            raise EncodingError(
+                f"rank {pre} out of range [0, {span_size}] for document {name!r}"
+            )
+        if op == "insert":
+            if tree is None:
+                raise EncodingError("insert needs a subtree payload")
+            before_pre: Optional[int] = None
+            if before is not None:
+                if not 0 < before <= span_size:
+                    raise EncodingError(
+                        f"before-rank {before} out of range (0, {span_size}] "
+                        f"for document {name!r}"
+                    )
+                before_pre = start + before
+            table = insert_subtree(self.doc, start + pre, tree, before_pre=before_pre)
+        elif op == "delete":
+            if pre == 0:
+                raise EncodingError(
+                    "cannot delete a member's root subtree; remove the "
+                    "document instead"
+                )
+            table = delete_subtree(self.doc, start + pre)
+        elif op == "replace":
+            if tree is None:
+                raise EncodingError("replace needs a subtree payload")
+            table = replace_subtree(self.doc, start + pre, tree)
+        else:
+            raise EncodingError(
+                f"unknown splice op {op!r} (expected insert/delete/replace)"
+            )
+        return self.apply_update(table, self._names)
+
     def partition_by_document(self, pres: np.ndarray) -> Dict[str, np.ndarray]:
         """Split a result array by owning member document."""
         out: Dict[str, np.ndarray] = {}
@@ -224,8 +328,25 @@ class DocumentCollection:
     def __len__(self) -> int:
         return len(self._names)
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._spans
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"DocumentCollection(documents={len(self)}, "
             f"nodes={len(self.doc)})"
         )
+
+
+def _member_root(name: str, tree: Node) -> Node:
+    """The root element a member contributes to the gathered plane."""
+    if tree.kind == NodeKind.DOCUMENT:
+        roots = [c for c in tree.children if c.kind == NodeKind.ELEMENT]
+        if len(roots) != 1:
+            raise EncodingError(
+                f"document {name!r} must have exactly one root element"
+            )
+        return roots[0]
+    if tree.kind == NodeKind.ELEMENT:
+        return tree
+    raise EncodingError(f"document {name!r} is not element-rooted")

@@ -200,6 +200,34 @@ class DocTable:
                 child += 1
         return result
 
+    def attribute_count_of(self, pre: int) -> int:
+        """Number of attribute children of ``pre``.
+
+        The encoding keeps an element's attributes *first*, each occupying
+        exactly one preorder rank, so they sit contiguously at
+        ``pre+1 .. pre+count`` — a short scan, not a subtree walk.
+        """
+        end = pre + self.subtree_size_exact(pre)
+        attribute_kind = int(NodeKind.ATTRIBUTE)
+        count = 0
+        i = pre + 1
+        while i <= end and int(self.kind[i]) == attribute_kind:
+            count += 1
+            i += 1
+        return count
+
+    def first_non_attribute_child_of(self, pre: int) -> Optional[int]:
+        """Preorder rank of the first non-attribute child, or ``None``.
+
+        This is the boundary an inserted attribute must stay ahead of to
+        preserve the attributes-first convention the attribute axis
+        relies on.
+        """
+        first = pre + 1 + self.attribute_count_of(pre)
+        if first <= pre + self.subtree_size_exact(pre):
+            return first
+        return None
+
     def ancestors_of(self, pre: int) -> List[int]:
         """Preorder ranks of all proper ancestors, nearest first."""
         result = []

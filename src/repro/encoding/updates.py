@@ -17,6 +17,7 @@ Property tests verify splice-equals-reencode on random documents.
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import List, Optional
 
 import numpy as np
@@ -30,8 +31,31 @@ from repro.xmltree.model import Node, NodeKind
 __all__ = ["delete_subtree", "insert_subtree", "replace_subtree"]
 
 
-def _rebuild_tags(doc_tags: List[str]) -> StringColumn:
-    return StringColumn.from_strings(doc_tags)
+def _encode_tags(tag: StringColumn, fragment_tags: List[str]):
+    """Fragment tag codes under ``tag``'s dictionary (extended as needed).
+
+    Returns ``(codes, dictionary)``.  The splice never materialises the
+    surviving rows as strings — the existing code vector is reused
+    verbatim and only the (small) fragment pays a per-string lookup; the
+    dictionary is copied only when the fragment introduces new tags.
+    Codes orphaned by a deletion stay in the dictionary; they are
+    harmless (name tests go through ``code_of``) and keep the splice
+    O(fragment), not O(document).
+    """
+    codes = np.empty(len(fragment_tags), dtype=np.int32)
+    dictionary = tag.dictionary
+    fresh: dict = {}
+    for i, name in enumerate(fragment_tags):
+        code = tag.code_of(name)
+        if code < 0:
+            code = fresh.get(name)
+            if code is None:
+                code = len(dictionary) + len(fresh)
+                fresh[name] = code
+        codes[i] = code
+    if fresh:
+        dictionary = dictionary + list(fresh)
+    return codes, dictionary
 
 
 def delete_subtree(doc: DocTable, pre: int) -> DocTable:
@@ -61,16 +85,15 @@ def delete_subtree(doc: DocTable, pre: int) -> DocTable:
     # a surviving node whose parent was in the subtree would itself be in
     # the subtree (contiguity), so no further fixup is needed.
 
-    values = [v for v, k in zip(doc.values, keep) if k]
-    tags = [t for t, k in zip(doc.tag, keep) if k]
-
     return DocTable(
         post=post,
         level=doc.level[keep].copy(),
         parent=parent,
         kind=doc.kind[keep].copy(),
-        tag=_rebuild_tags(tags),
-        values=values,
+        # Surviving codes are sliced, never re-encoded (the dictionary
+        # may keep entries the deletion orphaned — see _encode_tags).
+        tag=StringColumn(doc.tag.codes[keep], doc.tag.dictionary),
+        values=list(compress(doc.values, keep)),
     )
 
 
@@ -84,9 +107,12 @@ def insert_subtree(
 
     ``before_pre`` positions the new subtree immediately before an
     existing child (given by its preorder rank); ``None`` appends as the
-    last child.  Attribute ordering is the caller's responsibility: the
-    paper's convention keeps attributes first, so inserting an element
-    before an attribute is rejected.
+    last child.  The paper's convention keeps attributes first, and the
+    attribute axis relies on it, so the splice enforces it from both
+    sides: a non-attribute cannot land before an attribute, and an
+    appended attribute is auto-positioned ahead of the first
+    non-attribute child (an explicit ``before_pre`` that would strand an
+    attribute after element/text children is rejected).
     """
     if not 0 <= parent_pre < len(doc):
         raise EncodingError(
@@ -96,6 +122,10 @@ def insert_subtree(
         raise EncodingError("can only insert under an element node")
     if tree.kind == NodeKind.DOCUMENT:
         raise EncodingError("insert an element/leaf subtree, not a document")
+    if tree.kind == NodeKind.ATTRIBUTE and before_pre is None:
+        # Appending would strand the attribute after element/text
+        # children; slot it at the end of the attribute block instead.
+        before_pre = doc.first_non_attribute_child_of(parent_pre)
 
     # Encode the incoming subtree standalone to obtain its local ranks.
     if tree.kind == NodeKind.ELEMENT:
@@ -138,6 +168,15 @@ def insert_subtree(
             raise EncodingError(
                 "cannot insert a non-attribute before an attribute child"
             )
+        if (
+            tree.kind == NodeKind.ATTRIBUTE
+            and doc.kind_of(before_pre) != NodeKind.ATTRIBUTE
+            and before_pre != doc.first_non_attribute_child_of(parent_pre)
+        ):
+            raise EncodingError(
+                "an attribute must stay ahead of element/text children "
+                f"(rank {before_pre} is past the attribute block)"
+            )
         insert_at = before_pre
         # New subtree's posts sit just below the sibling subtree's posts.
         post_base = int(doc.post[before_pre]) - doc.subtree_size_exact(before_pre)
@@ -174,9 +213,13 @@ def insert_subtree(
     kind[insert_at : insert_at + frag_size] = frag_kind
     kind[insert_at + frag_size :] = doc.kind[insert_at:]
 
-    tags = list(doc.tag)
+    frag_codes, dictionary = _encode_tags(doc.tag, frag_tags)
+    codes = np.empty(n + frag_size, dtype=np.int32)
+    codes[:insert_at] = doc.tag.codes[:insert_at]
+    codes[insert_at : insert_at + frag_size] = frag_codes
+    codes[insert_at + frag_size :] = doc.tag.codes[insert_at:]
+
     values = list(doc.values)
-    tags[insert_at:insert_at] = frag_tags
     values[insert_at:insert_at] = frag_values
 
     return DocTable(
@@ -184,7 +227,7 @@ def insert_subtree(
         level=level,
         parent=parent,
         kind=kind,
-        tag=_rebuild_tags(tags),
+        tag=StringColumn(codes, dictionary),
         values=values,
     )
 

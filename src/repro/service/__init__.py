@@ -11,16 +11,23 @@ package turns that into a servable system:
   multiprocessing fan-out of (query, shard) tasks with pre-ordered
   merge;
 * :class:`~repro.service.service.QueryService` — the front door:
-  ``execute`` / ``execute_batch`` with plan + result caching.
+  ``execute`` / ``execute_batch`` with plan + result caching, and
+  ``apply_updates`` for the live write path;
+* :class:`~repro.service.updates.UpdateOp` — the write-path vocabulary
+  (document add/remove/update plus subtree insert/delete/replace),
+  with :func:`~repro.service.updates.parse_ops` for the JSON ops-file
+  format.
 
 CLI: ``python -m repro shard`` builds a store, ``python -m repro
-serve-batch`` runs query batches against one.
+serve-batch`` runs query batches against one, ``python -m repro
+update`` applies an ops file to one.
 """
 
 from repro.service.cache import LRUCache
 from repro.service.executor import ShardExecutor, ShardWorkerState, default_workers
 from repro.service.service import QueryService, ServiceResult
 from repro.service.store import ShardedStore
+from repro.service.updates import UpdateOp, parse_ops
 
 __all__ = [
     "LRUCache",
@@ -30,4 +37,6 @@ __all__ = [
     "QueryService",
     "ServiceResult",
     "ShardedStore",
+    "UpdateOp",
+    "parse_ops",
 ]

@@ -64,23 +64,30 @@ class LRUCache:
                 self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # Reading the OrderedDict while ``put`` evicts from another
+        # thread is a data race; even "just a read" takes the lock.
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
+        """Drop every entry (epoch-bump invalidation frees memory now
+        rather than waiting for dead keys to age out of the LRU)."""
         with self._lock:
             self._entries.clear()
 
     def info(self) -> Dict[str, int]:
         """Occupancy and hit statistics (for ``serve-batch --stats``)."""
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

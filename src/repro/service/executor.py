@@ -52,6 +52,16 @@ def default_workers(store: ShardedStore) -> int:
     return max(1, min(store.shard_count, os.cpu_count() or 1))
 
 
+#: How often a worker will chase a shard file that commits keep
+#: replacing under it before giving up (each retry reads a strictly
+#: newer manifest, so this only trips on a pathological commit storm).
+_FALL_FORWARD_ATTEMPTS = 10
+
+
+class _ShardVanished(Exception):
+    """The task's shard was dropped from the store mid-flight."""
+
+
 class ShardWorkerState:
     """Per-process execution state: open collections and evaluators.
 
@@ -75,17 +85,60 @@ class ShardWorkerState:
         cached = self._collections.get(task.shard_id)
         if cached is not None and cached[0] == task.shard_file:
             return cached[1]
-        table = load(os.path.join(self.directory, task.shard_file), mmap=self.mmap)
-        collection = DocumentCollection.from_table(table, list(task.names))
-        self._collections[task.shard_id] = (task.shard_file, collection)
+        shard_file, names = task.shard_file, list(task.names)
+        for _ in range(_FALL_FORWARD_ATTEMPTS):
+            try:
+                table = load(
+                    os.path.join(self.directory, shard_file), mmap=self.mmap
+                )
+                break
+            except FileNotFoundError:
+                # The shard was mutated between task creation and
+                # execution (commits unlink the superseded file).  Fall
+                # forward to the manifest's current file — and retry,
+                # because a further commit can unlink *that* file before
+                # the load opens it.  Answering from newer data is safe:
+                # the service caches this batch under the pre-update
+                # epoch, which the commit just made unreachable.
+                shard_file, names = self._current_entry(task.shard_id)
+        else:  # pragma: no cover - needs a commit per retry to trip
+            raise ReproError(
+                f"shard {task.shard_id}: file replaced "
+                f"{_FALL_FORWARD_ATTEMPTS} times while opening it"
+            )
+        collection = DocumentCollection.from_table(table, names)
+        self._collections[task.shard_id] = (shard_file, collection)
         # Evaluators bound to the replaced shard's old table are dead.
         for key in [k for k in self._evaluators if k[0] == task.shard_id]:
             del self._evaluators[key]
         return collection
 
+    def _current_entry(self, shard_id: int):
+        """Re-read the manifest for a shard's live file and member names."""
+        import json
+
+        from repro.service.store import MANIFEST
+
+        with open(os.path.join(self.directory, MANIFEST)) as f:
+            manifest = json.load(f)
+        for entry in manifest["shards"]:
+            if entry["id"] == shard_id:
+                return entry["file"], list(entry["documents"])
+        raise _ShardVanished(shard_id)
+
     def run(self, task: ShardTask) -> Tuple[int, int, Dict[str, np.ndarray]]:
-        """Execute one task; returns ``(index, shard_id, per-doc ranks)``."""
-        collection = self._collection(task)
+        """Execute one task; returns ``(index, shard_id, per-doc ranks)``.
+
+        A shard (or scoped document) a racing update removed mid-flight
+        contributes an empty result instead of failing the batch — the
+        result lands under the pre-update epoch, already unreachable.
+        """
+        try:
+            collection = self._collection(task)
+        except _ShardVanished:
+            return task.index, task.shard_id, self._gone(task)
+        if task.document is not None and task.document not in collection:
+            return task.index, task.shard_id, self._gone(task)
         key = (task.shard_id, task.engine)
         evaluator = self._evaluators.get(key)
         if evaluator is None:
@@ -102,6 +155,13 @@ class ShardWorkerState:
         else:
             relative = collection.partition_relative(pres)
         return task.index, task.shard_id, relative
+
+    @staticmethod
+    def _gone(task: ShardTask) -> Dict[str, np.ndarray]:
+        """The empty payload of a shard/document removed mid-flight."""
+        if task.document is not None:
+            return {task.document: np.empty(0, dtype=np.int64)}
+        return {}
 
 
 _POOL_STATE: Optional[ShardWorkerState] = None
@@ -147,6 +207,7 @@ class ShardExecutor:
         document-relative preorder ranks, in global document order
         (scoped items report their single document only).
         """
+        order = self.store.document_names()
         tasks = self._expand(items)
         if self.workers == 0:
             if self._serial_state is None:
@@ -156,7 +217,7 @@ class ShardExecutor:
             outcomes = [self._serial_state.run(task) for task in tasks]
         else:
             outcomes = self._ensure_pool().map(_pool_run, tasks)
-        return self._merge(items, outcomes)
+        return self._merge(items, outcomes, order)
 
     # ------------------------------------------------------------------
     def _expand(
@@ -187,6 +248,7 @@ class ShardExecutor:
         self,
         items: Sequence[Tuple[object, str, Optional[str]]],
         outcomes: Sequence[Tuple[int, int, Dict[str, np.ndarray]]],
+        order: Sequence[str],
     ) -> List[Dict[str, np.ndarray]]:
         per_item: List[Dict[str, np.ndarray]] = [{} for _ in items]
         for index, _, relative in outcomes:
@@ -196,9 +258,11 @@ class ShardExecutor:
             if document is not None:
                 merged.append({document: collected[document]})
                 continue
-            # Global document order, independent of shard layout.
+            # Global document order (snapshotted at batch start — a
+            # racing update may add/drop members mid-flight; only names
+            # present in both the snapshot and the results are reported).
             merged.append(
-                {name: collected[name] for name in self.store.document_names()}
+                {name: collected[name] for name in order if name in collected}
             )
         return merged
 

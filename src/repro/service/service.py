@@ -173,6 +173,26 @@ class QueryService:
         return parse_with_cache(query, self.plan_cache)
 
     # ------------------------------------------------------------------
+    def apply_updates(self, ops) -> dict:
+        """Apply a batch of :class:`~repro.service.updates.UpdateOp`.
+
+        The store commits the batch atomically (one epoch bump), which
+        already fences every result-cache key minted before the commit;
+        the explicit ``clear()`` merely releases their memory now
+        instead of letting dead entries age out of the LRU.  Safe to
+        interleave with ``execute``/``execute_batch`` from another
+        thread: an in-flight batch either answers from the pre-update
+        files (still mapped) or falls forward to the post-update ones,
+        and caches its results under the pre-update epoch either way.
+
+        Returns the store's summary: ``{"epoch", "applied", "shards"}``.
+        """
+        summary = self.store.apply_updates(ops)
+        if summary["applied"]:
+            self.result_cache.clear()
+        return summary
+
+    # ------------------------------------------------------------------
     def cache_info(self) -> dict:
         """Cache occupancy/hit statistics plus the current store epoch."""
         return {

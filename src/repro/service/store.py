@@ -18,25 +18,41 @@ Why it is shaped this way:
 * shards load **memory-mapped** by default — worker processes that open
   the same shard file share the OS page cache instead of materialising
   private copies (the zero-copy open of ``persist.load(mmap=True)``);
-* shard files are **immutable**: :meth:`replace_shard` writes a *new*
-  file (the epoch is part of the filename), flips the manifest, then
-  removes the old file.  Workers holding the old mapping stay valid
-  (POSIX unlink semantics) and converge on the new file at their next
-  task, and every result-cache key minted against the old epoch is dead
-  on arrival — the cache can never serve stale results;
+* shard files are **immutable**: every mutation writes *new* files (the
+  epoch is part of the filename), flips the manifest once, then removes
+  the old files.  Workers holding an old mapping stay valid (POSIX
+  unlink semantics) and converge on the new files at their next task,
+  and every result-cache key minted against the old epoch is dead on
+  arrival — the cache can never serve stale results;
+* a crash between writing new shard files and the manifest flip leaves
+  the old manifest fully intact and merely strands the new files;
+  :meth:`open` sweeps unreferenced shard files, so orphans never
+  accumulate;
 * the manifest keeps global document order, so merged results are
   reported in the order documents were loaded, independent of sharding.
+
+**Write path.**  Wholesale :meth:`replace_shard` re-encodes a shard from
+trees; the subtree-granular path (:meth:`apply_updates`, plus the
+:meth:`add_document` / :meth:`remove_document` / :meth:`update_document`
+/ :meth:`splice` conveniences) instead splices ranks on the existing
+plane via :mod:`repro.encoding.updates` — O(n) array surgery per shard,
+no re-encoding of untouched documents.  A batch stages every touched
+shard in memory, writes all new files, then flips the manifest *once*:
+the batch is atomic on disk and bumps the epoch exactly once.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Sequence, Tuple
+import re
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.encoding.collection import DocumentCollection
 from repro.encoding.persist import FORMAT_VERSION, load, save
 from repro.errors import ReproError
+from repro.service.updates import UpdateOp
 from repro.xmltree.model import Node
 
 __all__ = ["ShardedStore", "STORE_FORMAT"]
@@ -46,12 +62,21 @@ STORE_FORMAT = 1
 
 MANIFEST = "manifest.json"
 
+#: Shard archive naming scheme; anything matching it that the manifest
+#: does not reference is a crash leftover :meth:`ShardedStore.open` sweeps.
+_SHARD_FILE = re.compile(r"shard-\d{4,}\.e\d{4,}\.npz")
+
 
 class ShardedStore:
     """A directory of persisted document-collection shards.
 
     Build one with :meth:`build`, reopen it with :meth:`open`.  The
     constructor is internal — it trusts a parsed manifest.
+
+    One store object may be shared by a query thread and an updating
+    thread: mutation and manifest reads are serialised by an internal
+    lock, and the epoch in every result-cache key keeps the caches
+    coherent.
     """
 
     def __init__(self, directory: str, manifest: dict, mmap: bool = True):
@@ -59,6 +84,21 @@ class ShardedStore:
         self.mmap = mmap
         self._manifest = manifest
         self._collections: Dict[int, Tuple[str, DocumentCollection]] = {}
+        self._lock = threading.RLock()
+        self._reindex()
+
+    def _reindex(self) -> None:
+        """Rebuild the name → shard index and the global name order.
+
+        Called at open and after every mutation, so document-scoped
+        lookups are O(1) instead of a scan over shards × documents.
+        """
+        self._doc_shard: Dict[str, int] = {}
+        self._names: List[str] = []
+        for entry in self._manifest["shards"]:
+            for name in entry["documents"]:
+                self._doc_shard[name] = entry["id"]
+                self._names.append(name)
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,7 +151,13 @@ class ShardedStore:
 
     @classmethod
     def open(cls, directory: str, mmap: bool = True) -> "ShardedStore":
-        """Open an existing store directory."""
+        """Open an existing store directory.
+
+        Sweeps shard files the manifest does not reference — leftovers
+        of a crash between writing new shard files and the manifest
+        flip (the flip is the commit point, so unreferenced files are
+        garbage by construction).
+        """
         path = os.path.join(directory, MANIFEST)
         try:
             with open(path) as f:
@@ -125,15 +171,32 @@ class ShardedStore:
                 f"{path}: store format {manifest.get('store_format')!r} != "
                 f"supported {STORE_FORMAT}"
             )
-        return cls(directory, manifest, mmap=mmap)
+        store = cls(directory, manifest, mmap=mmap)
+        store._sweep_orphans()
+        return store
+
+    def _sweep_orphans(self) -> List[str]:
+        """Remove shard-pattern files the manifest does not reference."""
+        referenced = {entry["file"] for entry in self._manifest["shards"]}
+        swept = []
+        for file_name in os.listdir(self.directory):
+            if file_name in referenced or not _SHARD_FILE.fullmatch(file_name):
+                continue
+            try:
+                os.remove(os.path.join(self.directory, file_name))
+                swept.append(file_name)
+            except OSError:  # pragma: no cover - another opener may race
+                pass
+        return swept
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def epoch(self) -> int:
-        """Monotonic store version; bumped by every shard replacement."""
-        return int(self._manifest["epoch"])
+        """Monotonic store version; bumped by every committed mutation."""
+        with self._lock:
+            return int(self._manifest["epoch"])
 
     @property
     def virtual_root_tag(self) -> str:
@@ -141,48 +204,53 @@ class ShardedStore:
 
     @property
     def shard_count(self) -> int:
-        return len(self._manifest["shards"])
+        with self._lock:
+            return len(self._manifest["shards"])
 
     def shard_ids(self) -> List[int]:
-        return [entry["id"] for entry in self._manifest["shards"]]
+        with self._lock:
+            return [entry["id"] for entry in self._manifest["shards"]]
 
     def shard_entry(self, shard_id: int) -> dict:
         """The manifest record of one shard (id, file, documents, nodes)."""
-        for entry in self._manifest["shards"]:
-            if entry["id"] == shard_id:
-                return entry
+        with self._lock:
+            for entry in self._manifest["shards"]:
+                if entry["id"] == shard_id:
+                    return entry
         raise ReproError(f"no shard {shard_id} in store {self.directory}")
 
     def document_names(self) -> List[str]:
         """All member document names, in global (load) order."""
-        names: List[str] = []
-        for entry in self._manifest["shards"]:
-            names.extend(entry["documents"])
-        return names
+        with self._lock:
+            return list(self._names)
 
     def shard_of(self, document: str) -> int:
-        """Which shard holds ``document``."""
-        for entry in self._manifest["shards"]:
-            if document in entry["documents"]:
-                return entry["id"]
-        raise ReproError(f"no document named {document!r} in store")
+        """Which shard holds ``document`` (O(1) via the name index)."""
+        with self._lock:
+            try:
+                return self._doc_shard[document]
+            except KeyError:
+                raise ReproError(
+                    f"no document named {document!r} in store"
+                ) from None
 
     def describe(self) -> dict:
         """A JSON-friendly summary (used by ``python -m repro shard``)."""
-        return {
-            "directory": self.directory,
-            "epoch": self.epoch,
-            "shards": [
-                {
-                    "id": entry["id"],
-                    "file": entry["file"],
-                    "documents": list(entry["documents"]),
-                    "nodes": entry["nodes"],
-                }
-                for entry in self._manifest["shards"]
-            ],
-            "documents": len(self.document_names()),
-        }
+        with self._lock:
+            return {
+                "directory": self.directory,
+                "epoch": self.epoch,
+                "shards": [
+                    {
+                        "id": entry["id"],
+                        "file": entry["file"],
+                        "documents": list(entry["documents"]),
+                        "nodes": entry["nodes"],
+                    }
+                    for entry in self._manifest["shards"]
+                ],
+                "documents": len(self._names),
+            }
 
     # ------------------------------------------------------------------
     # Shard access
@@ -190,19 +258,20 @@ class ShardedStore:
     def collection(self, shard_id: int) -> DocumentCollection:
         """The shard's gathered plane, loaded lazily (mmap by default).
 
-        Cached per shard file: after :meth:`replace_shard` the next call
-        observes the new file name and reloads.
+        Cached per shard file: after a mutation the next call observes
+        the new file name and reloads.
         """
-        entry = self.shard_entry(shard_id)
-        cached = self._collections.get(shard_id)
-        if cached is not None and cached[0] == entry["file"]:
-            return cached[1]
-        table = load(os.path.join(self.directory, entry["file"]), mmap=self.mmap)
-        collection = DocumentCollection.from_table(
-            table, entry["documents"], self.virtual_root_tag
-        )
-        self._collections[shard_id] = (entry["file"], collection)
-        return collection
+        with self._lock:
+            entry = self.shard_entry(shard_id)
+            cached = self._collections.get(shard_id)
+            if cached is not None and cached[0] == entry["file"]:
+                return cached[1]
+            table = load(os.path.join(self.directory, entry["file"]), mmap=self.mmap)
+            collection = DocumentCollection.from_table(
+                table, entry["documents"], self.virtual_root_tag
+            )
+            self._collections[shard_id] = (entry["file"], collection)
+            return collection
 
     # ------------------------------------------------------------------
     # Mutation
@@ -212,33 +281,190 @@ class ShardedStore:
     ) -> None:
         """Swap one shard's documents wholesale and bump the store epoch.
 
-        The new collection is written to a fresh file before the
-        manifest flips, so a crash mid-replace leaves the old manifest
-        (and old file) fully intact.
+        Re-encodes every given tree.  For edits touching a few subtrees
+        prefer :meth:`apply_updates`, which splices the existing plane.
         """
-        entry = self.shard_entry(shard_id)
-        if not documents:
-            raise ReproError("a shard needs at least one document")
-        new_names = [name for name, _ in documents]
-        other_names = set(self.document_names()) - set(entry["documents"])
-        collisions = other_names & set(new_names)
-        if len(set(new_names)) != len(new_names) or collisions:
-            raise ReproError("document names must be unique across the store")
-        collection = DocumentCollection(documents, self.virtual_root_tag)
+        with self._lock:
+            self.shard_entry(shard_id)  # validates the id
+            if not documents:
+                raise ReproError("a shard needs at least one document")
+            new_names = [name for name, _ in documents]
+            others = {
+                name for name, sid in self._doc_shard.items() if sid != shard_id
+            }
+            if len(set(new_names)) != len(new_names) or others & set(new_names):
+                raise ReproError("document names must be unique across the store")
+            collection = DocumentCollection(documents, self.virtual_root_tag)
+            self._commit({shard_id: collection})
+
+    def add_document(
+        self, name: str, tree: Node, shard_id: Optional[int] = None
+    ) -> int:
+        """Add one document (to the smallest shard unless one is given).
+
+        Returns the new store epoch.
+        """
+        return self.apply_updates(
+            [UpdateOp("add", name, tree=tree, shard=shard_id)]
+        )["epoch"]
+
+    def remove_document(self, name: str) -> int:
+        """Remove one document; an emptied shard leaves the manifest."""
+        return self.apply_updates([UpdateOp("remove", name)])["epoch"]
+
+    def update_document(self, name: str, tree: Node) -> int:
+        """Replace one document's tree in place (rank splice, no shard
+        re-encode)."""
+        return self.apply_updates([UpdateOp("update", name, tree=tree)])["epoch"]
+
+    def splice(
+        self,
+        name: str,
+        op: str,
+        pre: int,
+        tree: Optional[Node] = None,
+        before: Optional[int] = None,
+    ) -> int:
+        """Subtree-granular edit inside one document (document-relative
+        ranks; see :meth:`DocumentCollection.splice`)."""
+        return self.apply_updates(
+            [UpdateOp(op, name, tree=tree, pre=pre, before=before)]
+        )["epoch"]
+
+    def apply_updates(self, ops: Sequence[UpdateOp]) -> dict:
+        """Apply a batch of :class:`UpdateOp` and commit it atomically.
+
+        Every op splices in memory first — a validation error anywhere
+        in the batch leaves the store untouched.  All staged shard
+        planes are then written as new epoch files and the manifest
+        flips once (one epoch bump per batch; a crash before the flip
+        strands files that :meth:`open` sweeps).
+        """
+        with self._lock:
+            if not ops:
+                return {"epoch": self.epoch, "applied": 0, "shards": []}
+            # shard id → staged plane (None = shard emptied by removals)
+            staged: Dict[int, Optional[DocumentCollection]] = {}
+            placement = dict(self._doc_shard)
+
+            def shard_state(shard_id: int) -> Optional[DocumentCollection]:
+                if shard_id not in staged:
+                    staged[shard_id] = self.collection(shard_id)
+                return staged[shard_id]
+
+            def nodes_in(shard_id: int) -> int:
+                if shard_id in staged:
+                    plane = staged[shard_id]
+                    return len(plane.doc) if plane is not None else 0
+                return int(self.shard_entry(shard_id)["nodes"])
+
+            for op in ops:
+                if op.op == "add":
+                    if op.document in placement:
+                        raise ReproError(
+                            f"document {op.document!r} already in the store"
+                        )
+                    shard_id = op.shard
+                    if shard_id is None:
+                        shard_id = min(self.shard_ids(), key=nodes_in)
+                    plane = shard_state(shard_id)
+                    if plane is None:  # emptied earlier in this batch
+                        staged[shard_id] = DocumentCollection(
+                            [(op.document, op.tree)], self.virtual_root_tag
+                        )
+                    else:
+                        staged[shard_id] = plane.insert_document(
+                            op.document, op.tree
+                        )
+                    placement[op.document] = shard_id
+                    continue
+                try:
+                    shard_id = placement[op.document]
+                except KeyError:
+                    raise ReproError(
+                        f"no document named {op.document!r} in store"
+                    ) from None
+                plane = shard_state(shard_id)
+                if plane is None:  # pragma: no cover - placement forbids it
+                    raise ReproError(f"shard {shard_id} already emptied")
+                if op.op == "remove":
+                    if len(placement) == 1:
+                        raise ReproError(
+                            "a sharded store needs at least one document"
+                        )
+                    staged[shard_id] = (
+                        None
+                        if len(plane) == 1
+                        else plane.remove_document(op.document)
+                    )
+                    del placement[op.document]
+                elif op.op == "update":
+                    staged[shard_id] = plane.update_document(op.document, op.tree)
+                else:  # insert / delete / replace — validated by UpdateOp
+                    staged[shard_id] = plane.splice(
+                        op.document, op.op, op.pre, tree=op.tree, before=op.before
+                    )
+            epoch = self._commit(staged)
+            return {"epoch": epoch, "applied": len(ops), "shards": sorted(staged)}
+
+    def _commit(self, staged: Dict[int, Optional[DocumentCollection]]) -> int:
+        """Persist staged shard planes under the next epoch, atomically.
+
+        Writes every new shard file first (a crash here leaves only
+        sweepable orphans), then flips the manifest once — the commit
+        point — then drops cached planes and unlinks the old files.
+        """
         epoch = self.epoch + 1
-        file_name = _shard_file_name(shard_id, epoch)
-        save(collection.doc, os.path.join(self.directory, file_name))
-        old_file = entry["file"]
-        entry["file"] = file_name
-        entry["documents"] = list(new_names)
-        entry["nodes"] = len(collection.doc)
-        self._manifest["epoch"] = epoch
-        _write_manifest(self.directory, self._manifest)
-        self._collections.pop(shard_id, None)
-        try:
-            os.remove(os.path.join(self.directory, old_file))
-        except OSError:  # pragma: no cover - another process may race the unlink
-            pass
+        old_files = []
+        for shard_id, collection in staged.items():
+            old_files.append(self.shard_entry(shard_id)["file"])
+            if collection is None:
+                continue
+            save(
+                collection.doc,
+                os.path.join(self.directory, _shard_file_name(shard_id, epoch)),
+            )
+        # The manifest is rebuilt as a copy and only swapped in after the
+        # on-disk flip: a failed write leaves memory and disk agreeing on
+        # the old epoch (and the new files as sweepable orphans).
+        entries = []
+        for entry in self._manifest["shards"]:
+            shard_id = entry["id"]
+            if shard_id not in staged:
+                entries.append(entry)
+                continue
+            collection = staged[shard_id]
+            if collection is None:  # emptied by removals: drop the shard
+                continue
+            entries.append(
+                {
+                    "id": shard_id,
+                    "file": _shard_file_name(shard_id, epoch),
+                    "documents": collection.names,
+                    "nodes": len(collection.doc),
+                }
+            )
+        manifest = dict(self._manifest, shards=entries, epoch=epoch)
+        _write_manifest(self.directory, manifest)
+        self._manifest = manifest
+        for shard_id, collection in staged.items():
+            if collection is None:
+                self._collections.pop(shard_id, None)
+            else:
+                # The staged plane IS the new file's content — seed the
+                # cache with it so the next read (or splice) skips the
+                # reload; a later file flip still reloads as usual.
+                self._collections[shard_id] = (
+                    _shard_file_name(shard_id, epoch),
+                    collection,
+                )
+        self._reindex()
+        for old_file in old_files:
+            try:
+                os.remove(os.path.join(self.directory, old_file))
+            except OSError:  # pragma: no cover - another process may race
+                pass
+        return epoch
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

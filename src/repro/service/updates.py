@@ -1,0 +1,140 @@
+"""The write-path vocabulary: update operations and their JSON wire form.
+
+An :class:`UpdateOp` names one mutation of a sharded store.  Three act at
+document granularity (``add``, ``remove``, ``update``) and three splice a
+subtree inside one member (``insert``, ``delete``, ``replace``) — the
+O(n) rank-splicing path of :mod:`repro.encoding.updates` instead of a
+full shard re-encode.  Ranks are *document-relative* (rank 0 = the
+member's root element), matching the shape query results are reported
+in, so a rank read off a :class:`~repro.service.service.ServiceResult`
+can be fed straight back into a splice.
+
+:func:`parse_ops` turns the JSON ops-file format of ``python -m repro
+update`` into validated ops.  Subtree payloads may be inline XML
+(``"xml"``), a file path (``"file"``), a bare text node (``"text"``) or
+an attribute (``"attribute": {"name": ..., "value": ...}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.xmltree.model import Node, NodeKind, attribute, text
+
+__all__ = ["UpdateOp", "parse_ops", "DOCUMENT_OPS", "SPLICE_OPS"]
+
+#: Ops acting on a whole member document.
+DOCUMENT_OPS = ("add", "remove", "update")
+
+#: Ops splicing a subtree inside one member.
+SPLICE_OPS = ("insert", "delete", "replace")
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One mutation of a sharded store.
+
+    Parameters
+    ----------
+    op:
+        One of :data:`DOCUMENT_OPS` or :data:`SPLICE_OPS`.
+    document:
+        Member name the op targets (for ``add``: the new member's name).
+    tree:
+        Subtree payload (``add``/``update``/``insert``/``replace``).
+    pre:
+        Document-relative preorder rank: the parent for ``insert``, the
+        subtree root for ``delete``/``replace``.
+    before:
+        ``insert`` only — document-relative rank of the existing child
+        the new subtree lands ahead of (``None`` appends).
+    shard:
+        ``add`` only — explicit target shard (``None`` picks the
+        smallest shard by node count).
+    """
+
+    op: str
+    document: str
+    tree: Optional[Node] = None
+    pre: Optional[int] = None
+    before: Optional[int] = None
+    shard: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in DOCUMENT_OPS + SPLICE_OPS:
+            raise ReproError(
+                f"unknown update op {self.op!r} (expected one of "
+                f"{', '.join(DOCUMENT_OPS + SPLICE_OPS)})"
+            )
+        if not self.document:
+            raise ReproError(f"op {self.op!r} needs a target document name")
+        if self.op in ("add", "update", "insert", "replace") and self.tree is None:
+            raise ReproError(f"op {self.op!r} needs a subtree payload")
+        if self.op in SPLICE_OPS and self.pre is None:
+            raise ReproError(f"op {self.op!r} needs a document-relative rank")
+
+
+def _payload(raw: dict, position: int) -> Optional[Node]:
+    """Decode the subtree payload of one JSON op (or ``None``)."""
+    given = [k for k in ("xml", "file", "text", "attribute") if k in raw]
+    if len(given) > 1:
+        raise ReproError(
+            f"ops[{position}]: give at most one of xml/file/text/attribute"
+        )
+    if not given:
+        return None
+    kind = given[0]
+    if kind == "text":
+        return text(str(raw["text"]))
+    if kind == "attribute":
+        spec = raw["attribute"]
+        if not isinstance(spec, dict) or "name" not in spec:
+            raise ReproError(
+                f'ops[{position}]: "attribute" must be '
+                '{"name": ..., "value": ...}'
+            )
+        return attribute(str(spec["name"]), str(spec.get("value", "")))
+    from repro.xmltree.parser import parse, parse_file
+
+    parsed = parse(raw["xml"]) if kind == "xml" else parse_file(raw["file"])
+    # The parser wraps everything in a DOCUMENT node; subtree ops want
+    # the element itself (document-level ops accept either).
+    roots = [c for c in parsed.children if c.kind == NodeKind.ELEMENT]
+    if len(roots) != 1:
+        raise ReproError(
+            f"ops[{position}]: payload must have exactly one root element"
+        )
+    return roots[0]
+
+
+def parse_ops(raw_ops: Sequence[dict]) -> list:
+    """Validate a JSON ops list (``python -m repro update``) into ops."""
+    if isinstance(raw_ops, dict):
+        raw_ops = raw_ops.get("ops", raw_ops)
+    if not isinstance(raw_ops, (list, tuple)):
+        raise ReproError('an ops file holds a JSON list (or {"ops": [...]})')
+    ops = []
+    for position, raw in enumerate(raw_ops):
+        if not isinstance(raw, dict):
+            raise ReproError(f"ops[{position}]: not a JSON object")
+        unknown = set(raw) - {
+            "op", "document", "pre", "before", "shard",
+            "xml", "file", "text", "attribute",
+        }
+        if unknown:
+            raise ReproError(
+                f"ops[{position}]: unknown keys {sorted(unknown)}"
+            )
+        ops.append(
+            UpdateOp(
+                op=str(raw.get("op", "")),
+                document=str(raw.get("document", "")),
+                tree=_payload(raw, position),
+                pre=None if raw.get("pre") is None else int(raw["pre"]),
+                before=None if raw.get("before") is None else int(raw["before"]),
+                shard=None if raw.get("shard") is None else int(raw["shard"]),
+            )
+        )
+    return ops

@@ -177,3 +177,52 @@ class TestShardServeBatch:
     def test_serve_batch_on_non_store_is_a_clean_error(self, tmp_path, capsys):
         assert main(["serve-batch", str(tmp_path), "//a"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestUpdate:
+    @pytest.fixture
+    def store_dir(self, xml_file, tmp_path):
+        out = str(tmp_path / "store")
+        assert main(["shard", xml_file, "-o", out, "--shards", "1"]) == 0
+        return out
+
+    def write_ops(self, tmp_path, ops):
+        import json
+
+        path = tmp_path / "ops.json"
+        path.write_text(json.dumps(ops))
+        return str(path)
+
+    def test_update_applies_ops_and_verifies(self, store_dir, tmp_path, capsys):
+        capsys.readouterr()
+        ops = self.write_ops(
+            tmp_path,
+            [
+                {"op": "insert", "document": "doc.xml", "pre": 1,
+                 "xml": '<person id="p2"><name>Grace</name></person>'},
+                {"op": "add", "document": "extra",
+                 "xml": "<site><people><person/></people></site>"},
+            ],
+        )
+        assert main(["update", store_dir, ops, "--verify", "//person"]) == 0
+        captured = capsys.readouterr()
+        assert "applied 2 op(s)" in captured.err
+        assert "epoch 1 -> 2" in captured.err
+        assert captured.out.strip().endswith("//person")
+        assert captured.out.strip().startswith("4")
+
+    def test_update_bad_json_is_a_clean_error(self, store_dir, tmp_path, capsys):
+        path = tmp_path / "ops.json"
+        path.write_text("{nope")
+        assert main(["update", store_dir, str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_update_invalid_op_is_a_clean_error(self, store_dir, tmp_path, capsys):
+        ops = self.write_ops(tmp_path, [{"op": "frobnicate", "document": "x"}])
+        assert main(["update", store_dir, ops]) == 1
+        assert "unknown update op" in capsys.readouterr().err
+
+    def test_update_on_non_store_is_a_clean_error(self, tmp_path, capsys):
+        ops = self.write_ops(tmp_path, [])
+        assert main(["update", str(tmp_path), ops]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -105,6 +105,52 @@ class TestInsert:
         with pytest.raises(EncodingError, match="attribute"):
             insert_subtree(doc, 0, element("x"), before_pre=1)
 
+    def test_append_attribute_auto_positions_before_children(self):
+        # <a id="1"><b/>t</a> + attribute "x": appending naively would
+        # strand it after <b/> and the text node, breaking the
+        # attributes-first convention; the splice slots it after "id".
+        doc = encode(element("a", element("b"), text("t"), id="1"))
+        from repro.xmltree.model import attribute
+
+        bigger = insert_subtree(doc, 0, attribute("x", "2"))
+        assert bigger.kind_of(1) == NodeKind.ATTRIBUTE  # id
+        assert bigger.kind_of(2) == NodeKind.ATTRIBUTE  # x
+        assert bigger.tag_of(2) == "x"
+        assert bigger.tag_of(3) == "b"
+        # equals re-encode of the model-level equivalent
+        tree = element("a", element("b"), text("t"), id="1")
+        tree.set_attribute("x", "2")
+        assert tables_equal(bigger, encode(tree))
+
+    def test_append_attribute_to_childless_element(self):
+        doc = encode(element("a", id="1"))
+        from repro.xmltree.model import attribute
+
+        bigger = insert_subtree(doc, 0, attribute("x", "2"))
+        assert [bigger.tag_of(i) for i in range(len(bigger))] == ["a", "id", "x"]
+
+    def test_attribute_before_first_non_attribute_child_allowed(self):
+        doc = encode(element("a", element("b"), id="1"))
+        from repro.xmltree.model import attribute
+
+        bigger = insert_subtree(doc, 0, attribute("x", "2"), before_pre=2)
+        assert [bigger.tag_of(i) for i in range(len(bigger))] == ["a", "id", "x", "b"]
+
+    def test_attribute_past_the_attribute_block_rejected(self):
+        doc = encode(element("a", element("b"), element("c"), id="1"))
+        from repro.xmltree.model import attribute
+
+        # before <c/> (pre 3) would strand the attribute after <b/>
+        with pytest.raises(EncodingError, match="ahead of element/text"):
+            insert_subtree(doc, 0, attribute("x", "2"), before_pre=3)
+
+    def test_attribute_before_attribute_still_allowed(self):
+        doc = encode(element("a", id="1", cls="k"))
+        from repro.xmltree.model import attribute
+
+        bigger = insert_subtree(doc, 0, attribute("x", "2"), before_pre=2)
+        assert [bigger.tag_of(i) for i in range(len(bigger))] == ["a", "id", "x", "cls"]
+
     @given(seed=st.integers(0, 3000), size=st.integers(1, 100), fragment_size=st.integers(1, 20))
     @settings(max_examples=60, deadline=None)
     def test_append_splice_equals_reencode(self, seed, size, fragment_size):

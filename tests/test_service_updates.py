@@ -1,0 +1,700 @@
+"""Write-path tests: collection splices, store mutations, service updates.
+
+The headline property mirrors the one for reads (batched == serial):
+**splice == re-encode** — driving document and subtree updates through
+``QueryService.apply_updates`` yields query results byte-identical to a
+store freshly built from equivalently edited trees, on both engines.
+Around it: the crash-safe commit protocol (epoch bump, orphan sweep),
+the name → shard index, and mutate-while-querying interleaving.
+"""
+
+import copy
+import os
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.collection import DocumentCollection
+from repro.encoding.persist import save
+from repro.errors import EncodingError, ReproError
+from repro.service import QueryService, ShardedStore, UpdateOp, parse_ops
+from repro.xmltree.model import NodeKind, attribute, element, text
+
+from _reference import preorder_nodes, random_tree
+
+ENGINES = ("scalar", "vectorized")
+
+#: Queries the splice-equals-reencode property is checked under.
+PROPERTY_QUERIES = (
+    "//*",
+    "/descendant::node()",
+    "//*[*]/..",
+    "//*/attribute::*",
+)
+
+
+def people_site(*names):
+    return element(
+        "site", element("people", *[element("person", text(n)) for n in names])
+    )
+
+
+def small_forest():
+    return [
+        ("d0", people_site("a")),
+        ("d1", people_site("b", "c")),
+        ("d2", people_site("d", "e", "f")),
+        ("d3", people_site("g", "h", "i", "j")),
+    ]
+
+
+def store_bytes(service, queries, engine):
+    """Per-document payloads for a query batch, as comparable bytes."""
+    results = service.execute_batch(queries, engine=engine, use_cache=False)
+    return [
+        {name: a.tobytes() for name, a in r.per_document.items()} for r in results
+    ]
+
+
+# ----------------------------------------------------------------------
+class TestCollectionUpdates:
+    @pytest.fixture
+    def collection(self):
+        return DocumentCollection(small_forest())
+
+    def test_insert_document_appends(self, collection):
+        bigger = collection.insert_document("d4", people_site("k"))
+        assert bigger.names == ["d0", "d1", "d2", "d3", "d4"]
+        assert len(bigger.doc) == len(collection.doc) + 4
+        # untouched members keep their spans
+        assert bigger.span("d0") == collection.span("d0")
+
+    def test_insert_document_before(self, collection):
+        bigger = collection.insert_document("dx", people_site("x"), before="d1")
+        assert bigger.names == ["d0", "dx", "d1", "d2", "d3"]
+        # d1's span shifted by the inserted member's size
+        start, end = collection.span("d1")
+        shifted = bigger.span("d1")
+        assert shifted == (start + 4, end + 4)
+
+    def test_insert_duplicate_rejected(self, collection):
+        with pytest.raises(EncodingError, match="already"):
+            collection.insert_document("d0", people_site("x"))
+
+    def test_remove_document(self, collection):
+        smaller = collection.remove_document("d1")
+        assert smaller.names == ["d0", "d2", "d3"]
+        # spans re-derived: d2 moved left by d1's size (6 nodes)
+        start, _ = collection.span("d2")
+        assert smaller.span("d2")[0] == start - 6
+
+    def test_remove_last_member_rejected(self):
+        single = DocumentCollection([("only", people_site("a"))])
+        with pytest.raises(EncodingError, match="last document"):
+            single.remove_document("only")
+
+    def test_update_document(self, collection):
+        updated = collection.update_document("d1", people_site("z"))
+        assert updated.names == collection.names
+        start, end = updated.span("d1")
+        assert end - start == 3
+        assert updated.doc.tag_of(start) == "site"
+
+    def test_splice_insert_relative_ranks(self, collection):
+        # rank 1 inside d2 is its <people> element
+        edited = collection.splice(
+            "d2", "insert", 1, tree=element("person", text("new"))
+        )
+        start, end = edited.span("d2")
+        assert end - start == collection.span("d2")[1] - collection.span("d2")[0] + 2
+        # other members untouched (byte-compare their column slices)
+        for name in ("d0", "d1"):
+            s0, e0 = collection.span(name)
+            s1, e1 = edited.span(name)
+            assert (s0, e0) == (s1, e1)
+
+    def test_splice_delete(self, collection):
+        # delete d3's first person (rank 2 = person, under people at 1)
+        edited = collection.splice("d3", "delete", 2)
+        s, e = edited.span("d3")
+        assert e - s == collection.span("d3")[1] - collection.span("d3")[0] - 2
+
+    def test_splice_replace(self, collection):
+        edited = collection.splice("d0", "replace", 1, tree=element("empty"))
+        s, _ = edited.span("d0")
+        assert edited.doc.tag_of(s + 1) == "empty"
+
+    def test_splice_delete_root_rejected(self, collection):
+        with pytest.raises(EncodingError, match="remove the\n?\\s*document"):
+            collection.splice("d0", "delete", 0)
+
+    def test_splice_rank_out_of_range(self, collection):
+        with pytest.raises(EncodingError, match="out of range"):
+            collection.splice("d0", "delete", 99)
+
+    def test_splice_unknown_op(self, collection):
+        with pytest.raises(EncodingError, match="unknown splice op"):
+            collection.splice("d0", "mangle", 1)
+
+    def test_splice_missing_payload(self, collection):
+        with pytest.raises(EncodingError, match="payload"):
+            collection.splice("d0", "insert", 0)
+
+    def test_original_collection_stays_valid(self, collection):
+        before = collection.evaluate("//person")
+        collection.splice("d1", "insert", 1, tree=element("person"))
+        assert list(collection.evaluate("//person")) == list(before)
+
+
+# ----------------------------------------------------------------------
+class TestStoreWritePath:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+
+    def test_add_document_targets_smallest_shard(self, store):
+        epoch = store.add_document("d4", people_site("k"))
+        assert epoch == 2
+        # shard 0 (d0+d1: 11 nodes) is smaller than shard 1 (d2+d3: 19)
+        assert store.shard_of("d4") == 0
+        assert store.document_names() == ["d0", "d1", "d4", "d2", "d3"]
+
+    def test_add_document_explicit_shard(self, store):
+        store.add_document("d4", people_site("k"), shard_id=1)
+        assert store.shard_of("d4") == 1
+
+    def test_add_duplicate_rejected(self, store):
+        with pytest.raises(ReproError, match="already"):
+            store.add_document("d0", people_site("x"))
+
+    def test_add_to_unknown_shard_rejected(self, store):
+        with pytest.raises(ReproError, match="no shard"):
+            store.add_document("d9", people_site("x"), shard_id=7)
+
+    def test_remove_document_updates_index(self, store):
+        store.remove_document("d1")
+        assert store.document_names() == ["d0", "d2", "d3"]
+        with pytest.raises(ReproError, match="no document"):
+            store.shard_of("d1")
+
+    def test_remove_emptying_a_shard_drops_it(self, store):
+        store.remove_document("d0")
+        store.remove_document("d1")
+        assert store.shard_ids() == [1]
+        assert store.document_names() == ["d2", "d3"]
+        # durable: a reopen sees the same single-shard layout
+        assert ShardedStore.open(store.directory).shard_ids() == [1]
+
+    def test_remove_last_document_rejected(self, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "one"), small_forest()[:1])
+        with pytest.raises(ReproError, match="at least one document"):
+            store.remove_document("d0")
+
+    def test_update_document_splices_in_place(self, store):
+        old_nodes = store.shard_entry(store.shard_of("d2"))["nodes"]
+        store.update_document("d2", people_site("z"))  # 8 nodes -> 4
+        entry = store.shard_entry(store.shard_of("d2"))
+        assert entry["nodes"] == old_nodes - 4
+        collection = store.collection(entry["id"])
+        start, _ = collection.span("d2")
+        assert collection.doc.string_value(start) == "z"
+
+    def test_unknown_document_rejected(self, store):
+        for op in ("remove", "update"):
+            with pytest.raises(ReproError, match="no document"):
+                store.apply_updates(
+                    [UpdateOp(op, "nope", tree=people_site("x"))]
+                )
+
+    def test_batch_bumps_epoch_once(self, store):
+        summary = store.apply_updates(
+            [
+                UpdateOp("insert", "d0", tree=element("person"), pre=1),
+                UpdateOp("insert", "d2", tree=element("person"), pre=1),
+                UpdateOp("remove", "d1"),
+            ]
+        )
+        assert summary == {"epoch": 2, "applied": 3, "shards": [0, 1]}
+        assert store.epoch == 2
+
+    def test_empty_batch_is_a_no_op(self, store):
+        assert store.apply_updates([]) == {
+            "epoch": 1,
+            "applied": 0,
+            "shards": [],
+        }
+        assert store.epoch == 1
+
+    def test_batch_validation_is_all_or_nothing(self, store):
+        names = store.document_names()
+        with pytest.raises(EncodingError, match="out of range"):
+            store.apply_updates(
+                [
+                    UpdateOp("insert", "d0", tree=element("x"), pre=1),
+                    UpdateOp("delete", "d0", pre=99),  # invalid: batch dies
+                ]
+            )
+        assert store.epoch == 1
+        assert store.document_names() == names
+
+    def test_add_after_emptying_a_shard_revives_it(self, store):
+        summary = store.apply_updates(
+            [
+                UpdateOp("remove", "d0"),
+                UpdateOp("remove", "d1"),
+                UpdateOp("add", "dx", tree=people_site("x"), shard=0),
+            ]
+        )
+        assert summary["epoch"] == 2
+        assert store.shard_of("dx") == 0
+        assert store.shard_entry(0)["documents"] == ["dx"]
+
+    def test_updates_are_durable(self, store):
+        store.apply_updates(
+            [
+                UpdateOp("insert", "d3", tree=element("person", text("k")), pre=1),
+                UpdateOp("add", "d4", tree=people_site("q")),
+            ]
+        )
+        reopened = ShardedStore.open(store.directory)
+        assert reopened.epoch == store.epoch
+        assert reopened.document_names() == store.document_names()
+        with QueryService(reopened, workers=0) as service:
+            counts = service.execute("//person").counts()
+        assert counts["d3"] == 5 and counts["d4"] == 1
+
+    def test_old_files_removed_after_commit(self, store):
+        touched_shard = store.shard_of("d0")
+        old_file = store.shard_entry(touched_shard)["file"]
+        untouched = store.shard_entry(1 - touched_shard)["file"]
+        store.update_document("d0", people_site("w"))
+        files = set(os.listdir(store.directory))
+        assert old_file not in files
+        assert untouched in files
+        assert store.shard_entry(touched_shard)["file"] in files
+
+    def test_shard_of_index_matches_manifest_scan(self, store):
+        store.add_document("d4", people_site("k"))
+        store.remove_document("d2")
+        for entry in store.describe()["shards"]:
+            for name in entry["documents"]:
+                assert store.shard_of(name) == entry["id"]
+
+
+# ----------------------------------------------------------------------
+class TestOrphanSweep:
+    def test_open_sweeps_unreferenced_shard_files(self, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+        # Simulate a crash after the new epoch file was written but
+        # before the manifest flip: a valid shard archive with no
+        # manifest entry pointing at it.
+        orphan = os.path.join(store.directory, "shard-0000.e0099.npz")
+        save(store.collection(0).doc, orphan)
+        # Foreign files must survive the sweep untouched.
+        foreign = os.path.join(store.directory, "notes.txt")
+        with open(foreign, "w") as f:
+            f.write("keep me")
+        reopened = ShardedStore.open(store.directory)
+        assert not os.path.exists(orphan)
+        assert os.path.exists(foreign)
+        for entry in reopened.describe()["shards"]:
+            assert os.path.exists(os.path.join(store.directory, entry["file"]))
+        with QueryService(reopened, workers=0) as service:
+            assert service.execute("//person").total == 10
+
+    def test_crashed_commit_leaves_old_state_servable(self, tmp_path, monkeypatch):
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+        import repro.service.store as store_module
+
+        def crash(directory, manifest):
+            raise OSError("simulated crash before the manifest flip")
+
+        monkeypatch.setattr(store_module, "_write_manifest", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.update_document("d0", people_site("w"))
+        monkeypatch.undo()
+        # disk: old manifest + old files + one stranded new file
+        reopened = ShardedStore.open(store.directory)
+        assert reopened.epoch == 1
+        with QueryService(reopened, workers=0) as service:
+            assert service.execute("//person").counts()["d0"] == 1
+        # the stranded epoch-2 file was swept at open
+        assert not any(".e0002." in f for f in os.listdir(store.directory))
+
+
+# ----------------------------------------------------------------------
+class TestServiceUpdates:
+    @pytest.fixture
+    def service(self, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+        with QueryService(store, workers=0) as service:
+            yield service
+
+    def test_updates_invalidate_cached_results(self, service):
+        before = service.execute("//person")
+        assert service.execute("//person").from_cache
+        service.apply_updates(
+            [UpdateOp("insert", "d0", tree=element("person", text("n")), pre=1)]
+        )
+        after = service.execute("//person")
+        assert not after.from_cache
+        assert after.total == before.total + 1
+        assert after.counts()["d0"] == before.counts()["d0"] + 1
+        # result cache memory was released eagerly, not just fenced
+        assert service.cache_info()["result"]["size"] == 1
+
+    def test_mutate_while_querying_interleaved(self, service):
+        """Queries and updates interleave; every read is epoch-consistent."""
+        totals = [service.execute("//person").total]
+        for i in range(4):
+            service.apply_updates(
+                [
+                    UpdateOp(
+                        "insert", "d1", tree=element("person", text(f"n{i}")), pre=1
+                    )
+                ]
+            )
+            totals.append(service.execute("//person").total)
+        assert totals == [10, 11, 12, 13, 14]
+
+    def test_mutate_while_querying_threaded(self, service):
+        """A querying thread racing an updating thread only ever sees a
+        committed epoch's answer (no torn or stale reads)."""
+        rounds = 12
+        observed, errors = [], []
+        started = threading.Event()
+
+        def query_loop():
+            try:
+                started.set()
+                while not done.is_set():
+                    observed.append(
+                        service.execute("//person", use_cache=False).total
+                    )
+                observed.append(service.execute("//person", use_cache=False).total)
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        done = threading.Event()
+        thread = threading.Thread(target=query_loop)
+        thread.start()
+        started.wait()
+        for i in range(rounds):
+            service.apply_updates(
+                [
+                    UpdateOp(
+                        "insert", "d2", tree=element("person", text(f"t{i}")), pre=1
+                    )
+                ]
+            )
+            time.sleep(0.001)
+        done.set()
+        thread.join(timeout=30)
+        assert not errors
+        # documents only ever gain persons: totals are non-decreasing,
+        # within the commit range, and converge on the final state.
+        assert all(10 <= t <= 10 + rounds for t in observed)
+        assert observed == sorted(observed)
+        assert observed[-1] == 10 + rounds
+
+    def test_scoped_query_after_update(self, service):
+        service.apply_updates(
+            [UpdateOp("update", "d3", tree=people_site("only"))]
+        )
+        scoped = service.execute("//person", document="d3")
+        assert scoped.counts() == {"d3": 1}
+
+    def test_op_validation(self):
+        with pytest.raises(ReproError, match="unknown update op"):
+            UpdateOp("explode", "d0")
+        with pytest.raises(ReproError, match="payload"):
+            UpdateOp("add", "d0")
+        with pytest.raises(ReproError, match="rank"):
+            UpdateOp("delete", "d0")
+        with pytest.raises(ReproError, match="target document"):
+            UpdateOp("remove", "")
+
+    def test_parse_ops_round_trip(self, tmp_path):
+        raw = [
+            {"op": "insert", "document": "d0", "pre": 1, "xml": "<person/>"},
+            {"op": "delete", "document": "d1", "pre": 2},
+            {"op": "insert", "document": "d2", "pre": 0,
+             "attribute": {"name": "id", "value": "7"}},
+            {"op": "insert", "document": "d3", "pre": 2, "text": "hi"},
+            {"op": "remove", "document": "d3"},
+        ]
+        ops = parse_ops(raw)
+        assert [op.op for op in ops] == [
+            "insert", "delete", "insert", "insert", "remove",
+        ]
+        assert ops[0].tree.name == "person"
+        assert ops[2].tree.kind == NodeKind.ATTRIBUTE
+        assert ops[3].tree.value == "hi"
+        assert parse_ops({"ops": raw})[1].pre == 2
+
+    def test_parse_ops_rejects_garbage(self):
+        with pytest.raises(ReproError, match="JSON list"):
+            parse_ops("nope")
+        with pytest.raises(ReproError, match="not a JSON object"):
+            parse_ops([42])
+        with pytest.raises(ReproError, match="unknown keys"):
+            parse_ops([{"op": "delete", "document": "d", "pre": 1, "frob": 1}])
+        with pytest.raises(ReproError, match="at most one"):
+            parse_ops(
+                [{"op": "insert", "document": "d", "pre": 0,
+                  "xml": "<a/>", "text": "x"}]
+            )
+        with pytest.raises(ReproError, match="root element"):
+            parse_ops(
+                [{"op": "insert", "document": "d", "pre": 0, "xml": "<!-- -->"}]
+            )
+
+
+# ----------------------------------------------------------------------
+class TestExecutorFallForward:
+    def test_stale_task_falls_forward_to_current_manifest(self, tmp_path):
+        """A task naming an unlinked shard file re-reads the manifest and
+        answers from the live file (the pre-update epoch key makes the
+        newer answer safe to return)."""
+        from repro.service import ShardWorkerState
+        from repro.service.executor import ShardTask
+
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=1)
+        stale = store.shard_entry(0)
+        task = ShardTask(
+            index=0,
+            shard_id=0,
+            shard_file=stale["file"],
+            names=tuple(stale["documents"]),
+            plan="//person",
+            engine="vectorized",
+            document=None,
+        )
+        store.update_document("d0", people_site("x", "y"))  # unlinks stale file
+        assert not os.path.exists(os.path.join(store.directory, stale["file"]))
+        state = ShardWorkerState(store.directory)
+        _, _, relative = state.run(task)
+        assert len(relative["d0"]) == 2  # the post-update answer
+
+    def test_dropped_shard_contributes_empty_result(self, tmp_path):
+        """A shard removed mid-flight must not fail the batch — it just
+        contributes nothing (the result keys to a dead epoch anyway)."""
+        from repro.service import ShardWorkerState
+        from repro.service.executor import ShardTask
+
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+        stale = store.shard_entry(0)
+        task = ShardTask(
+            index=0,
+            shard_id=0,
+            shard_file=stale["file"],
+            names=tuple(stale["documents"]),
+            plan="//person",
+            engine="vectorized",
+            document=None,
+        )
+        store.remove_document("d0")
+        store.remove_document("d1")  # shard 0 is gone entirely
+        state = ShardWorkerState(store.directory)
+        assert state.run(task) == (0, 0, {})
+
+    def test_removed_scoped_document_contributes_empty_result(self, tmp_path):
+        from repro.service import ShardWorkerState
+        from repro.service.executor import ShardTask
+
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+        stale = store.shard_entry(0)
+        task = ShardTask(
+            index=0,
+            shard_id=0,
+            shard_file=stale["file"],
+            names=tuple(stale["documents"]),
+            plan="//person",
+            engine="vectorized",
+            document="d0",
+        )
+        store.remove_document("d0")
+        state = ShardWorkerState(store.directory)
+        index, shard_id, relative = state.run(task)
+        assert list(relative) == ["d0"]
+        assert len(relative["d0"]) == 0
+
+    def test_fall_forward_survives_back_to_back_commits(self, tmp_path):
+        """The retry loop chases files that successive commits keep
+        unlinking (the race the single-attempt version lost)."""
+        from repro.service import ShardWorkerState
+        from repro.service.executor import ShardTask
+
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=1)
+        stale = store.shard_entry(0)
+        task = ShardTask(
+            index=0,
+            shard_id=0,
+            shard_file=stale["file"],
+            names=tuple(stale["documents"]),
+            plan="//person",
+            engine="vectorized",
+            document=None,
+        )
+        state = ShardWorkerState(store.directory)
+        original = state._current_entry
+        chased = []
+
+        def commit_then_answer(shard_id):
+            # each manifest read is immediately invalidated by another
+            # commit, twice, before the store finally holds still
+            entry = original(shard_id)
+            if len(chased) < 2:
+                chased.append(entry)
+                store.update_document(
+                    "d0", people_site(*[f"p{len(chased)}{i}" for i in range(3)])
+                )
+            return entry
+
+        state._current_entry = commit_then_answer
+        store.update_document("d0", people_site("p0"))  # unlinks task's file
+        _, _, relative = state.run(task)
+        assert len(chased) == 2
+        assert len(relative["d0"]) == 3  # the last committed state
+
+
+# ----------------------------------------------------------------------
+def mirror_insert(nodes, parent_index, fragment, before_index=None):
+    """Tree-level equivalent of a splice insert (for the reference build)."""
+    parent = nodes[parent_index]
+    fragment.parent = parent
+    if before_index is not None:
+        parent.children.insert(
+            parent.children.index(nodes[before_index]), fragment
+        )
+    elif fragment.kind == NodeKind.ATTRIBUTE:
+        # auto-positioning: the splice keeps attributes ahead of
+        # element/text children, like Node.set_attribute does
+        count = sum(
+            1 for c in parent.children if c.kind == NodeKind.ATTRIBUTE
+        )
+        parent.children.insert(count, fragment)
+    else:
+        parent.children.append(fragment)
+
+
+class TestSpliceEqualsReencode:
+    """Random op sequences through ``QueryService.apply_updates`` give
+    results byte-identical to a store rebuilt from scratch — the update
+    analogue of batched == serial, on both engines."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        doc_sizes=st.lists(st.integers(4, 40), min_size=2, max_size=4),
+        op_count=st.integers(1, 6),
+        shards=st.integers(1, 3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_ops_property(
+        self, seed, doc_sizes, op_count, shards, tmp_path_factory
+    ):
+        import random
+
+        rng = random.Random(seed)
+        forest = [
+            (f"doc-{i}", random_tree(size, seed + i))
+            for i, size in enumerate(doc_sizes)
+        ]
+        mirror = {name: copy.deepcopy(tree) for name, tree in forest}
+        directory = str(tmp_path_factory.mktemp("splice-prop") / "store")
+        store = ShardedStore.build(directory, forest, shards=shards)
+
+        ops = []
+        fresh_serial = 0
+        for _ in range(op_count):
+            name = rng.choice(list(mirror))
+            nodes = preorder_nodes(mirror[name])
+            kind = rng.choice(
+                ["insert", "insert", "delete", "replace", "update", "add", "remove"]
+            )
+            if kind == "insert":
+                elements = [
+                    i for i, n in enumerate(nodes) if n.kind == NodeKind.ELEMENT
+                ]
+                parent_index = rng.choice(elements)
+                if rng.random() < 0.3:
+                    fragment = attribute(f"a{fresh_serial}", "v")
+                else:
+                    fragment = random_tree(rng.randrange(1, 6), seed + fresh_serial)
+                fresh_serial += 1
+                # optionally insert before an existing non-attribute child
+                children = [
+                    i
+                    for i, n in enumerate(nodes)
+                    if n.parent is nodes[parent_index]
+                    and n.kind != NodeKind.ATTRIBUTE
+                ]
+                before = (
+                    rng.choice(children)
+                    if children and rng.random() < 0.5 and
+                    fragment.kind != NodeKind.ATTRIBUTE
+                    else None
+                )
+                ops.append(
+                    UpdateOp(
+                        "insert", name,
+                        tree=copy.deepcopy(fragment),
+                        pre=parent_index, before=before,
+                    )
+                )
+                mirror_insert(nodes, parent_index, fragment, before)
+            elif kind == "delete" and len(nodes) > 1:
+                victim = rng.randrange(1, len(nodes))
+                ops.append(UpdateOp("delete", name, pre=victim))
+                nodes[victim].parent.children.remove(nodes[victim])
+            elif kind == "replace":
+                # replacing an attribute with an element would violate
+                # attributes-first (the splice rejects it); pick
+                # non-attribute victims, as a real caller would
+                victims = [
+                    i
+                    for i in range(1, len(nodes))
+                    if nodes[i].kind != NodeKind.ATTRIBUTE
+                ]
+                if not victims:
+                    continue
+                victim = rng.choice(victims)
+                fragment = random_tree(rng.randrange(1, 6), seed + fresh_serial)
+                fresh_serial += 1
+                ops.append(
+                    UpdateOp("replace", name, tree=copy.deepcopy(fragment), pre=victim)
+                )
+                parent = nodes[victim].parent
+                fragment.parent = parent
+                parent.children[parent.children.index(nodes[victim])] = fragment
+            elif kind == "update":
+                fragment = random_tree(rng.randrange(2, 20), seed + fresh_serial)
+                fresh_serial += 1
+                ops.append(UpdateOp("update", name, tree=copy.deepcopy(fragment)))
+                mirror[name] = fragment
+            elif kind == "add":
+                new_name = f"added-{fresh_serial}"
+                fragment = random_tree(rng.randrange(2, 20), seed + fresh_serial)
+                fresh_serial += 1
+                ops.append(UpdateOp("add", new_name, tree=copy.deepcopy(fragment)))
+                mirror[new_name] = fragment
+            elif kind == "remove" and len(mirror) > 1:
+                ops.append(UpdateOp("remove", name))
+                del mirror[name]
+
+        with QueryService(store, workers=0) as service:
+            service.apply_updates(ops)
+            fresh_directory = str(
+                tmp_path_factory.mktemp("splice-prop") / "fresh"
+            )
+            fresh_store = ShardedStore.build(
+                fresh_directory, list(mirror.items()), shards=shards
+            )
+            with QueryService(fresh_store, workers=0) as fresh_service:
+                for engine in ENGINES:
+                    updated = store_bytes(service, PROPERTY_QUERIES, engine)
+                    rebuilt = store_bytes(fresh_service, PROPERTY_QUERIES, engine)
+                    for got, expected in zip(updated, rebuilt):
+                        assert got == expected
