@@ -93,6 +93,9 @@ def test_engine_summary(bench_doc, emit, benchmark):
         f"(scalar = instrumented Algorithms 2-4, vectorized = bulk kernels)",
         format_table(rows),
     )
+    benchmark.extra_info["contract_min_engine_speedup"] = round(
+        min(speedups[xpath] for xpath in DESCENDANT_HEAVY), 2
+    )
     for xpath in DESCENDANT_HEAVY:
         assert speedups[xpath] >= 5.0, (
             f"vectorised engine below the 5x contract on {xpath!r}: "

@@ -7,8 +7,8 @@ subsequent removal of the about 75 % duplicates".
 """
 
 import numpy as np
-
 from conftest import SWEEP_SIZES
+
 from repro.baselines.naive import naive_step_with_duplicates
 from repro.core.staircase import SkipMode, staircase_join
 from repro.harness.experiments import experiment1_duplicates

@@ -9,8 +9,8 @@ clearly below quadratic.
 import math
 
 import pytest
-
 from conftest import SWEEP_SIZES
+
 from repro.core.staircase import SkipMode, staircase_join
 from repro.harness.experiments import experiment1_duplicates
 from repro.harness.reporting import format_series

@@ -11,8 +11,8 @@ second axis step.  Paper findings the regeneration must reproduce:
 """
 
 import pytest
-
 from conftest import SWEEP_SIZES
+
 from repro.harness.experiments import experiment2_skipping
 from repro.harness.figures import ascii_chart
 from repro.harness.reporting import format_series

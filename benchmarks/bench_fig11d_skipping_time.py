@@ -9,8 +9,8 @@ beats no-skipping decisively, estimation does not regress.
 """
 
 import pytest
-
 from conftest import BENCH_SIZE
+
 from repro.core.staircase import SkipMode, staircase_join
 from repro.harness.experiments import experiment2_skipping
 from repro.harness.reporting import format_series

@@ -10,6 +10,7 @@ beat the tree-unaware plan.
 
 
 from conftest import SWEEP_SIZES
+
 from repro.engine.db2 import DocIndex, db2_path
 from repro.harness.experiments import experiment3_comparison
 from repro.harness.reporting import format_series

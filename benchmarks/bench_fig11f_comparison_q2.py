@@ -10,6 +10,7 @@ papers over.
 
 
 from conftest import SWEEP_SIZES
+
 from repro.counters import JoinStatistics
 from repro.engine.db2 import DocIndex, db2_path
 from repro.harness.experiments import experiment3_comparison

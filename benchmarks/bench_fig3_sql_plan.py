@@ -9,8 +9,8 @@ nodes while generating duplicates the staircase join never creates.
 import numpy as np
 import pytest
 
-from repro.counters import JoinStatistics
 from repro.core.staircase import staircase_join
+from repro.counters import JoinStatistics
 from repro.engine.operators import (
     IndexRangeScan,
     NestedLoopRegionJoin,

@@ -9,6 +9,7 @@ reported against the paper's.
 
 
 from conftest import BENCH_SIZE
+
 from repro.core.fragments import FragmentedDocument
 from repro.harness.experiments import fragmentation_experiment
 from repro.harness.reporting import format_table

@@ -128,6 +128,17 @@ def test_throughput_summary(service_store, emit, benchmark):
         format_table(rows),
     )
     contract = qps_by_label["w4-warm-vectorized"] / qps_by_label["serial-cold-scalar"]
+    # The drift metric CI compares against the committed baseline must
+    # be machine-portable: the warm-cache ratio above swings orders of
+    # magnitude with CPU speed (a cache hit is ~constant; the cold
+    # denominator isn't), so the recorded ratio is the *cold* engine
+    # speedup, whose numerator and denominator scale together.
+    cold_speedup = (
+        qps_by_label["serial-cold-vectorized"] / qps_by_label["serial-cold-scalar"]
+    )
+    benchmark.extra_info["contract_min_cold_engine_speedup"] = round(
+        cold_speedup, 2
+    )
     assert contract >= 3.0, (
         "4 workers + warm caches below the 3x contract over serial "
         f"cold-cache scalar execution: {contract:.1f}x"

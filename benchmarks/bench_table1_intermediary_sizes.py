@@ -14,8 +14,8 @@ other documents are 'proportionally smaller').
 """
 
 import pytest
-
 from conftest import BENCH_SIZE, SWEEP_SIZES
+
 from repro.harness.experiments import table1_intermediary_sizes
 from repro.harness.reporting import format_table
 from repro.xpath.evaluator import evaluate

@@ -125,6 +125,7 @@ def test_splice_vs_rebuild_contract(tmp_path_factory, emit, benchmark):
     benchmark.extra_info["splice_ms"] = timings["splice"] * 1e3
     benchmark.extra_info["rebuild_ms"] = timings["rebuild"] * 1e3
     benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["contract_min_splice_speedup"] = round(speedup, 2)
     assert speedup >= 5.0, (
         "subtree splice below the 5x contract over a full-shard rebuild: "
         f"{speedup:.1f}x"

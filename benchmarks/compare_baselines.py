@@ -1,0 +1,96 @@
+"""Compare a fresh benchmark run against a committed baseline.
+
+The benchmark suites record their *contract metrics* — machine-portable
+speedup ratios, not absolute times — in each summary benchmark's
+``extra_info`` under two key families:
+
+* ``contract_min_*`` — higher is better (e.g. prefix-sharing speedup);
+  a fresh value may not fall below ``slack × baseline``;
+* ``contract_max_*`` — lower is better (e.g. worst single-query
+  planner overhead); a fresh value may not rise above
+  ``baseline ÷ slack``.
+
+Ratios survive machine changes far better than milliseconds, so CI can
+hold every PR against the committed ``BENCH_*.json`` trajectory instead
+of merely uploading artifacts.  The hard floors (≥2×, ≥3×, ≥5×, ≤1.1×)
+are asserted inside the benchmarks themselves; this script guards
+against *relative drift* from the committed numbers.
+
+Usage::
+
+    python benchmarks/compare_baselines.py \
+        --baseline BENCH_planner.json --fresh fresh/BENCH_planner.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def contract_metrics(path: str) -> Dict[str, float]:
+    """``{benchmark-name.key: value}`` for every contract_* extra_info."""
+    with open(path) as f:
+        report = json.load(f)
+    metrics = {}
+    for bench in report.get("benchmarks", []):
+        for key, value in bench.get("extra_info", {}).items():
+            if key.startswith("contract_"):
+                metrics[f"{bench['name']}.{key}"] = float(value)
+    return metrics
+
+
+def compare(baseline: Dict[str, float], fresh: Dict[str, float], slack: float):
+    """Yield ``(name, base, new, ok)`` for every baseline metric."""
+    for name, base in sorted(baseline.items()):
+        if name not in fresh:
+            # A missing lower-is-better metric means no measurement
+            # qualified on this machine (e.g. every query ran under the
+            # bench's duration floor) — nothing to hold against the
+            # baseline.  A missing higher-is-better metric is a failure.
+            yield name, base, None, ".contract_max_" in name
+            continue
+        new = fresh[name]
+        if ".contract_min_" in name:
+            ok = new >= slack * base
+        else:  # contract_max_: lower is better
+            ok = new <= base / slack
+        yield name, base, new, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True, help="freshly produced JSON")
+    parser.add_argument(
+        "--slack", type=float, default=0.6,
+        help="tolerated fraction of the baseline ratio (default 0.6 — "
+        "CI runners are noisy; the hard floors live in the benchmarks)",
+    )
+    args = parser.parse_args(argv)
+    baseline = contract_metrics(args.baseline)
+    if not baseline:
+        print(f"error: no contract metrics in {args.baseline}", file=sys.stderr)
+        return 1
+    fresh = contract_metrics(args.fresh)
+    failed = False
+    for name, base, new, ok in compare(baseline, fresh, args.slack):
+        rendered = "missing" if new is None else f"{new:g}"
+        verdict = "ok" if ok else "DRIFT"
+        print(f"  {verdict:>5}  {name}: baseline {base:g} -> fresh {rendered}")
+        failed = failed or not ok
+    if failed:
+        print(
+            f"\nbenchmark contracts drifted beyond slack={args.slack} of "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall contracts within slack={args.slack} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,6 @@ Run:  python examples/partitioned_execution.py [size_mb]
 import sys
 import time
 
-
 from repro.core.fragments import FragmentedDocument
 from repro.core.partition import partitioned_staircase_join, plan_partitions
 from repro.core.pruning import prune

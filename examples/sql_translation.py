@@ -12,8 +12,8 @@ Run:  python examples/sql_translation.py
 """
 
 
-from repro.counters import JoinStatistics
 from repro.core.staircase import SkipMode, staircase_join
+from repro.counters import JoinStatistics
 from repro.engine.db2 import DocIndex, db2_path
 from repro.engine.sqlgen import path_to_sql
 from repro.harness.workloads import Q1, Q2, get_document

@@ -25,15 +25,15 @@ Quickstart
 ['bidder']
 """
 
-from repro.counters import JoinStatistics
-from repro.encoding import DocTable, encode
 from repro.core import (
+    FragmentedDocument,
     SkipMode,
+    prune,
     staircase_join,
     staircase_join_vectorized,
-    prune,
-    FragmentedDocument,
 )
+from repro.counters import JoinStatistics
+from repro.encoding import DocTable, encode
 from repro.xmltree import parse, serialize
 from repro.xpath import Evaluator, evaluate, parse_xpath
 

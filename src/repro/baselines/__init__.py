@@ -17,8 +17,8 @@ is how many nodes they touch and how many duplicates they generate on the
 way — the quantities Figures 11(a) and (c) report.
 """
 
-from repro.baselines.naive import naive_step
 from repro.baselines.mpmgjn import mpmgjn_step
+from repro.baselines.naive import naive_step
 from repro.baselines.stacktree import stack_tree_step
 
 __all__ = ["naive_step", "mpmgjn_step", "stack_tree_step"]

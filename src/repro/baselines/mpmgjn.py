@@ -25,8 +25,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.counters import JoinStatistics
 from repro.core.pruning import normalize_context
+from repro.counters import JoinStatistics
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
 from repro.xmltree.model import NodeKind

@@ -12,6 +12,7 @@ Makes the library usable without writing Python::
     python -m repro shard -o store --generate 8 --size 0.2 --shards 4
     python -m repro serve-batch store "//open_auction[bidder]/seller" --workers 4
     python -m repro update store ops.json --verify "//person"
+    python -m repro explain store "/descendant::increase/ancestor::bidder"
 
 Documents may be given as ``.xml`` (parsed + encoded on the fly) or as
 ``.npz`` archives produced by ``encode`` (instant load).
@@ -188,7 +189,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         print("error: no queries (pass them or --queries-file)", file=sys.stderr)
         return 1
     store = ShardedStore.open(args.store)
-    service = QueryService(store, engine=args.engine, workers=args.workers)
+    service = QueryService(
+        store,
+        engine=args.engine,
+        workers=args.workers,
+        planner=not args.no_planner,
+    )
     with service:
         for round_number in range(1, args.repeat + 1):
             started = time.perf_counter()
@@ -247,11 +253,40 @@ def _cmd_sql(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from repro.engine.explain import explain
+    from repro.xpath.planner import Planner, TagStatistics
 
-    doc = _load_document(args.document)
     pushdown = {"auto": "auto", "on": True, "off": False}[args.pushdown]
-    print(explain(doc, args.xpath, pushdown=pushdown))
+    if os.path.isdir(args.document):
+        from repro.service import ShardedStore
+
+        store = ShardedStore.open(args.document)
+        statistics = TagStatistics.from_store(store)
+        source = (
+            f"{args.document} (store, epoch {store.epoch}, "
+            f"{store.shard_count} shards)"
+        )
+    else:
+        doc = _load_document(args.document)
+        statistics = TagStatistics.from_doc(doc)
+        source = args.document
+    planner = Planner(statistics, engine=args.engine, pushdown=pushdown)
+    plan = planner.plan(args.xpath)
+    print(
+        f"statistics: {source} — {statistics.total_nodes:,} nodes, "
+        f"{len(statistics.counts)} tags, height {statistics.height}"
+    )
+    print(plan.describe())
+    if args.operators:
+        from repro.engine.explain import explain
+
+        if os.path.isdir(args.document):
+            print(
+                "(--operators needs a single document, not a store)",
+                file=sys.stderr,
+            )
+        else:
+            print()
+            print(explain(doc, args.xpath, pushdown=pushdown))
     return 0
 
 
@@ -344,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmd.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     cmd.add_argument(
+        "--no-planner", action="store_true",
+        help="skip cost-based planning and step-prefix sharing",
+    )
+    cmd.add_argument(
         "--per-document", action="store_true", help="print per-document result counts"
     )
     cmd.add_argument("--stats", action="store_true", help="print cache statistics")
@@ -370,12 +409,27 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--eq1", action="store_true", help="add the Equation (1) delimiter")
     cmd.set_defaults(handler=_cmd_sql)
 
-    cmd = commands.add_parser("explain", help="show the execution plan for a query")
-    cmd.add_argument("document", help=".xml or .npz file (for catalogue statistics)")
+    cmd = commands.add_parser(
+        "explain",
+        help="show the costed plan for a query (rewrites, pushdown, estimates)",
+    )
+    cmd.add_argument(
+        "document",
+        help=".xml / .npz file, or a store directory built by `shard` "
+        "(catalogue statistics come from its manifest)",
+    )
     cmd.add_argument("xpath")
     cmd.add_argument(
         "--pushdown", choices=("auto", "on", "off"), default="auto",
         help="name-test placement (default: cost model decides)",
+    )
+    cmd.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default="vectorized",
+        help="engine the costs are modelled for (default: vectorized)",
+    )
+    cmd.add_argument(
+        "--operators", action="store_true",
+        help="also print the operator-level rendering (single documents)",
     )
     cmd.set_defaults(handler=_cmd_explain)
 

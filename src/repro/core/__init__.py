@@ -21,14 +21,16 @@ Public surface:
   experiment: Q1 345 ms → 39 ms).
 """
 
+from repro.core.fragments import FragmentedDocument
+from repro.core.partition import partitioned_staircase_join, plan_partitions
 from repro.core.pruning import (
+    is_proper_staircase,
     prune,
-    prune_vectorized,
     prune_ancestor,
     prune_descendant,
     prune_following,
     prune_preceding,
-    is_proper_staircase,
+    prune_vectorized,
 )
 from repro.core.staircase import (
     SkipMode,
@@ -38,9 +40,10 @@ from repro.core.staircase import (
     staircase_join_following,
     staircase_join_preceding,
 )
-from repro.core.vectorized import axis_step_vectorized, staircase_join_vectorized
-from repro.core.partition import partitioned_staircase_join, plan_partitions
-from repro.core.fragments import FragmentedDocument
+from repro.core.vectorized import (
+    axis_step_vectorized,
+    staircase_join_vectorized,
+)
 
 __all__ = [
     "prune",

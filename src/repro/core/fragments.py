@@ -22,7 +22,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.counters import JoinStatistics
 from repro.core.pruning import (
     normalize_context,
     prune,
@@ -34,6 +33,7 @@ from repro.core.vectorized import (
     staircase_join_vectorized,
     subtree_sizes,
 )
+from repro.counters import JoinStatistics
 from repro.encoding.doctable import DocTable
 from repro.xmltree.model import NodeKind
 

@@ -24,13 +24,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.counters import JoinStatistics
 from repro.core.pruning import normalize_context, prune
 from repro.core.staircase import (
     SkipMode,
     _scanpartition_anc,
     _scanpartition_desc,
 )
+from repro.counters import JoinStatistics
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
 

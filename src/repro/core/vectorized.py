@@ -46,8 +46,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.pruning import (
+    normalize_context,
+    prune_vectorized,
+    validate_context,
+)
 from repro.counters import JoinStatistics
-from repro.core.pruning import normalize_context, prune_vectorized, validate_context
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
 from repro.xmltree.model import NodeKind

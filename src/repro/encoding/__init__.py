@@ -16,7 +16,6 @@ from repro.encoding.decode import decode, subtree
 from repro.encoding.doctable import DocTable
 from repro.encoding.persist import load, save
 from repro.encoding.prepost import encode
-from repro.encoding.updates import delete_subtree, insert_subtree, replace_subtree
 from repro.encoding.regions import (
     Region,
     axis_region,
@@ -24,9 +23,14 @@ from repro.encoding.regions import (
     is_descendant,
     is_following,
     is_preceding,
+    partitioning_axes,
     subtree_size_estimate,
     subtree_size_exact,
-    partitioning_axes,
+)
+from repro.encoding.updates import (
+    delete_subtree,
+    insert_subtree,
+    replace_subtree,
 )
 
 __all__ = [

@@ -56,6 +56,7 @@ class DocTable:
         "height",
         "_pre_of_post",
         "_first_child_cache",
+        "_tag_histogram",
     )
 
     def __init__(
@@ -90,6 +91,7 @@ class DocTable:
         self.height = int(level.max())
         self._pre_of_post: Optional[np.ndarray] = None
         self._first_child_cache: Optional[np.ndarray] = None
+        self._tag_histogram: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Size / iteration
@@ -300,6 +302,38 @@ class DocTable:
     def non_attribute_pres(self) -> np.ndarray:
         """All nodes the non-attribute axes may ever return."""
         return np.nonzero(self.kind != int(NodeKind.ATTRIBUTE))[0].astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Catalogue statistics (planner input)
+    # ------------------------------------------------------------------
+    def tag_histogram(self) -> np.ndarray:
+        """Element count per tag *code* — ``histogram[code]`` elements.
+
+        One ``np.bincount`` over the dictionary-encoded tag column,
+        restricted to element nodes (the principal node kind of every
+        non-attribute axis, i.e. what a name test can select).  Computed
+        once per table and cached; O(n) on first use.
+        """
+        if self._tag_histogram is None:
+            element_codes = self.tag.codes[self.kind == int(NodeKind.ELEMENT)]
+            self._tag_histogram = np.bincount(
+                element_codes, minlength=len(self.tag.dictionary)
+            ).astype(np.int64)
+        return self._tag_histogram
+
+    def tag_statistics(self) -> dict:
+        """Per-tag element cardinalities as a ``{tag: count}`` mapping.
+
+        The JSON-friendly face of :meth:`tag_histogram` (zero-count tags
+        omitted) — what the sharded store persists in its manifest and
+        the planner's cost model consumes.
+        """
+        histogram = self.tag_histogram()
+        dictionary = self.tag.dictionary
+        return {
+            dictionary[code]: int(histogram[code])
+            for code in np.nonzero(histogram)[0]
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -19,8 +19,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import EncodingError
 from repro.encoding.doctable import DocTable
+from repro.errors import EncodingError
 from repro.storage.column import StringColumn
 from repro.xmltree.model import Node, NodeKind
 

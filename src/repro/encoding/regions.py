@@ -29,8 +29,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.errors import EncodingError
 from repro.encoding.doctable import DocTable
+from repro.errors import EncodingError
 
 __all__ = [
     "Region",

@@ -20,11 +20,11 @@ This package rebuilds that stack in miniature:
   pushdown-or-not decision the paper leaves to future research.
 """
 
-from repro.engine.db2 import DocIndex, db2_step, db2_path
+from repro.engine.db2 import DocIndex, db2_path, db2_step
 from repro.engine.explain import explain
 from repro.engine.mil import run_mil
-from repro.engine.sqlgen import path_to_sql
 from repro.engine.planner import CostModel, choose_pushdown
+from repro.engine.sqlgen import path_to_sql
 
 __all__ = [
     "DocIndex",

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.encoding.doctable import DocTable
-from repro.xmltree.model import NodeKind
 from repro.xpath.parser import parse_xpath
 
 __all__ = ["CostModel", "PushdownDecision", "choose_pushdown"]
@@ -54,14 +53,9 @@ class CostModel:
     def __init__(self, doc: DocTable):
         self.doc = doc
         self.n = len(doc)
-        element_kind = int(NodeKind.ELEMENT)
-        self.tag_counts = {}
-        for code, tag in enumerate(doc.tag.dictionary):
-            count = int(
-                ((doc.tag.codes == code) & (doc.kind == element_kind)).sum()
-            )
-            if count:
-                self.tag_counts[tag] = count
+        # One O(n) bincount (cached on the table) instead of one masked
+        # scan per dictionary entry.
+        self.tag_counts = doc.tag_statistics()
 
     # ------------------------------------------------------------------
     def tag_cardinality(self, tag: str) -> int:

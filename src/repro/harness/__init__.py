@@ -6,24 +6,24 @@ One function per paper artefact (see DESIGN.md's experiment index); the
 the paper plots.
 """
 
-from repro.harness.workloads import (
-    Q1,
-    Q2,
-    DEFAULT_SIZES,
-    figure1_document,
-    figure1_table,
-    get_document,
-)
 from repro.harness.experiments import (
-    table1_intermediary_sizes,
+    cache_model_report,
     experiment1_duplicates,
     experiment2_skipping,
     experiment3_comparison,
     fragmentation_experiment,
-    cache_model_report,
+    table1_intermediary_sizes,
 )
 from repro.harness.figures import ascii_chart
-from repro.harness.reporting import format_table, format_series
+from repro.harness.reporting import format_series, format_table
+from repro.harness.workloads import (
+    DEFAULT_SIZES,
+    Q1,
+    Q2,
+    figure1_document,
+    figure1_table,
+    get_document,
+)
 
 __all__ = [
     "Q1",

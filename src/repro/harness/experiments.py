@@ -15,8 +15,8 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.baselines.naive import naive_step_with_duplicates
-from repro.counters import JoinStatistics
 from repro.core.staircase import SkipMode, staircase_join
+from repro.counters import JoinStatistics
 from repro.encoding.doctable import DocTable
 from repro.engine.db2 import DocIndex, db2_path
 from repro.harness.workloads import Q1, Q2, get_document

@@ -1,26 +1,39 @@
 """Fan a query (or a batch) across shards, serially or over processes.
 
-Each unit of work is a :class:`ShardTask`: evaluate one parsed plan
-against one shard, return per-document *relative* preorder ranks.  The
-same :class:`ShardWorkerState` object executes tasks in both modes:
+Each unit of work is a :class:`ShardTask`: evaluate one plan against
+one shard, return per-document *relative* preorder ranks.  The same
+:class:`ShardWorkerState` object executes tasks in both modes:
 
-* ``workers=0`` — in-process, task by task (the serial reference path;
-  also what the tests cover line-by-line);
+* ``workers=0`` — in-process (the serial reference path; also what the
+  tests cover line-by-line);
 * ``workers>0`` — a ``multiprocessing`` pool whose initializer opens the
   store read-only in every worker.  Shard columns arrive memory-mapped
   (``persist.load(mmap=True)``), so all workers share one page-cache
   copy of each shard file; only the task tuples and the result rank
   arrays cross the process boundary.
 
-Plans are parsed once in the service process and shipped to workers as
-pickled ASTs — workers never touch the XPath parser.  Worker-side
-collections and evaluators are cached per shard *file*, so a replaced
-shard (new file name) is picked up on the next task without restarting
-the pool.
+Tasks are dispatched *grouped by shard* (one pool item per shard, not
+per query × shard): a worker holding a whole batch's plans for one
+shard factors them into a **step-prefix trie** and evaluates each
+distinct prefix once — eight queries opening with
+``/site/open_auctions/open_auction`` pay for that chain once, not eight
+times (:meth:`ShardWorkerState.run_group`).  Intermediate context
+arrays are kept in a per-worker, byte-budgeted LRU keyed by
+``(shard file, engine, prefix)``; the shard file name carries the store
+epoch (``shard-0000.e0005.npz``), so the same epoch fencing that
+protects the result cache makes stale prefix entries unreachable after
+any commit.
+
+Plans are parsed (and planned — :class:`~repro.xpath.planner.QueryPlan`
+ships whole) once in the service process and sent to workers pickled —
+workers never touch the XPath parser.  Worker-side collections and
+evaluators are cached per shard *file*, so a replaced shard (new file
+name) is picked up on the next task without restarting the pool.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
@@ -30,9 +43,18 @@ import numpy as np
 from repro.errors import ReproError
 from repro.service.cache import LRUCache
 from repro.service.store import ShardedStore
+from repro.xpath.ast import LocationPath
+from repro.xpath.axes import DOCUMENT_CONTEXT
 from repro.xpath.evaluator import Evaluator
+from repro.xpath.planner import QueryPlan
 
-__all__ = ["ShardExecutor", "ShardTask", "ShardWorkerState", "default_workers"]
+__all__ = [
+    "PrefixContextCache",
+    "ShardExecutor",
+    "ShardTask",
+    "ShardWorkerState",
+    "default_workers",
+]
 
 
 class ShardTask(NamedTuple):
@@ -62,6 +84,68 @@ class _ShardVanished(Exception):
     """The task's shard was dropped from the store mid-flight."""
 
 
+class PrefixContextCache(LRUCache):
+    """An LRU of intermediate context arrays, bounded by total *bytes*.
+
+    Entries are O(plane-size) ``int64`` arrays — a count-bounded LRU
+    could pin hundreds of MB per worker on large shards (and stale
+    epochs' entries only age out, they are never swept).  Bounding by
+    bytes keeps every worker's footprint fixed; an array bigger than
+    the whole budget is simply not cached (the trie still shares it
+    within the batch — the cache only accelerates *cross*-batch reuse).
+    """
+
+    #: Charged per entry on top of the array payload: keys are
+    #: (shard-file string, engine, tuple-of-Steps) plus OrderedDict
+    #: slots — without this, thousands of empty-array entries (absent
+    #: tags, selective prefixes) would never trigger eviction.
+    ENTRY_OVERHEAD = 512
+
+    def __init__(self, budget_bytes: int = 32 << 20, capacity: int = 4096):
+        # Both bounds apply: bytes for the array payloads, entry count
+        # as a backstop for key/bookkeeping overhead.
+        super().__init__(capacity=capacity)
+        self.budget_bytes = int(budget_bytes)
+        self._bytes = 0
+
+    def _cost(self, value) -> int:
+        return int(value.nbytes) + self.ENTRY_OVERHEAD
+
+    def put(self, key, value) -> None:
+        if self._cost(value) > self.budget_bytes:
+            return
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= self._cost(previous)
+            self._entries[key] = value
+            self._bytes += self._cost(value)
+            while self._entries and (
+                self._bytes > self.budget_bytes
+                or len(self._entries) > self.capacity
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= self._cost(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+    def info(self):
+        with self._lock:  # one consistent snapshot of size + bytes
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+            }
+
+
 class ShardWorkerState:
     """Per-process execution state: open collections and evaluators.
 
@@ -69,12 +153,22 @@ class ShardWorkerState:
     initializer) and once inside the executor for serial mode.
     """
 
-    def __init__(self, directory: str, mmap: bool = True, plan_cache_size: int = 128):
+    def __init__(
+        self,
+        directory: str,
+        mmap: bool = True,
+        plan_cache_size: int = 128,
+        prefix_cache_bytes: int = 32 << 20,
+    ):
         self.directory = directory
         self.mmap = mmap
         # Shared by this worker's evaluators: tasks normally carry parsed
         # ASTs, but raw query strings are accepted and then parsed once.
         self.plan_cache = LRUCache(plan_cache_size)
+        # Intermediate step-prefix contexts, keyed
+        # (shard file, engine, prefix) — the file name carries the epoch,
+        # so every committed mutation orphans the keys minted before it.
+        self.prefix_cache = PrefixContextCache(prefix_cache_bytes)
         self._collections: Dict[int, tuple] = {}
         self._evaluators: Dict[Tuple[int, str], Evaluator] = {}
 
@@ -126,6 +220,34 @@ class ShardWorkerState:
                 return entry["file"], list(entry["documents"])
         raise _ShardVanished(shard_id)
 
+    def _evaluator(self, shard_id: int, engine: str, collection) -> Evaluator:
+        key = (shard_id, engine)
+        evaluator = self._evaluators.get(key)
+        if evaluator is None:
+            evaluator = Evaluator(
+                collection.doc, engine=engine, plan_cache=self.plan_cache
+            )
+            self._evaluators[key] = evaluator
+        return evaluator
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _applied(evaluator: Evaluator, plan: object):
+        """Apply a :class:`QueryPlan`'s evaluator-level decisions
+        (per-step pushdown set, scalar skip mode) for one evaluation,
+        restoring the worker-cached evaluator afterwards."""
+        if not isinstance(plan, QueryPlan):
+            yield
+            return
+        saved = (evaluator.pushdown, evaluator._pushdown_steps, evaluator.axes.mode)
+        evaluator._set_pushdown(plan.pushdown_steps)
+        evaluator.axes.mode = plan.skip_mode
+        try:
+            yield
+        finally:
+            evaluator.pushdown, evaluator._pushdown_steps = saved[0], saved[1]
+            evaluator.axes.mode = saved[2]
+
     def run(self, task: ShardTask) -> Tuple[int, int, Dict[str, np.ndarray]]:
         """Execute one task; returns ``(index, shard_id, per-doc ranks)``.
 
@@ -139,22 +261,111 @@ class ShardWorkerState:
             return task.index, task.shard_id, self._gone(task)
         if task.document is not None and task.document not in collection:
             return task.index, task.shard_id, self._gone(task)
-        key = (task.shard_id, task.engine)
-        evaluator = self._evaluators.get(key)
-        if evaluator is None:
-            evaluator = Evaluator(
-                collection.doc, engine=task.engine, plan_cache=self.plan_cache
+        evaluator = self._evaluator(task.shard_id, task.engine, collection)
+        plan = task.plan
+        expression = plan.path if isinstance(plan, QueryPlan) else plan
+        with self._applied(evaluator, plan):
+            pres = collection.evaluate(
+                expression, document=task.document, evaluator=evaluator
             )
-            self._evaluators[key] = evaluator
-        pres = collection.evaluate(
-            task.plan, document=task.document, evaluator=evaluator
-        )
         if task.document is not None:
             start, _ = collection.span(task.document)
             relative = {task.document: (pres - start).astype(np.int64, copy=False)}
         else:
             relative = collection.partition_relative(pres)
         return task.index, task.shard_id, relative
+
+    # ------------------------------------------------------------------
+    # Shared-prefix batch execution
+    # ------------------------------------------------------------------
+    def run_group(
+        self, tasks: Sequence[ShardTask]
+    ) -> List[Tuple[int, int, Dict[str, np.ndarray]]]:
+        """Execute one shard's slice of a whole batch.
+
+        Planned, shard-wide location-path tasks are factored into a
+        step-prefix trie and evaluated one distinct prefix at a time
+        (consulting the prefix cache); everything else — scoped tasks,
+        unions, unplanned plans — falls back to :meth:`run` per task.
+        """
+        shared: Dict[str, List[ShardTask]] = {}
+        outcomes: List[Tuple[int, int, Dict[str, np.ndarray]]] = []
+        for task in tasks:
+            plan = task.plan
+            if (
+                task.document is None
+                and isinstance(plan, QueryPlan)
+                and isinstance(plan.path, LocationPath)
+            ):
+                shared.setdefault(task.engine, []).append(task)
+            else:
+                outcomes.append(self.run(task))
+        for engine, group in shared.items():
+            if len(group) == 1:
+                # Nothing to share: the trie's bookkeeping (grouping,
+                # freezing, cache writes) would be pure overhead.  Exact
+                # repeats are the result cache's job, not this one's.
+                outcomes.append(self.run(group[0]))
+            else:
+                outcomes.extend(self._run_trie(engine, group))
+        return outcomes
+
+    def _run_trie(
+        self, engine: str, tasks: List[ShardTask]
+    ) -> List[Tuple[int, int, Dict[str, np.ndarray]]]:
+        """Evaluate same-shard planned paths, sharing step prefixes."""
+        try:
+            collection = self._collection(tasks[0])
+        except _ShardVanished:
+            return [(t.index, t.shard_id, self._gone(t)) for t in tasks]
+        # The *loaded* file (fall-forward may differ from the task's
+        # snapshot) keys the prefix cache, so cached contexts always
+        # describe the plane they were computed on.
+        shard_file = self._collections[tasks[0].shard_id][0]
+        evaluator = self._evaluator(tasks[0].shard_id, engine, collection)
+        outcomes: List[Tuple[int, int, Dict[str, np.ndarray]]] = []
+        root = collection.doc.root
+
+        def finish(task: ShardTask, final) -> None:
+            if final is DOCUMENT_CONTEXT:  # a bare "/" — nothing encoded
+                final = np.empty(0, dtype=np.int64)
+            final = final[final != root]
+            outcomes.append(
+                (task.index, task.shard_id, collection.partition_relative(final))
+            )
+
+        def descend(members: List[ShardTask], depth: int, prefix, context) -> None:
+            groups: Dict[object, List[ShardTask]] = {}
+            for task in members:
+                steps = task.plan.path.steps
+                if len(steps) == depth:
+                    finish(task, context)
+                else:
+                    groups.setdefault(steps[depth], []).append(task)
+            for step, sub in groups.items():
+                child = prefix + (step,)
+                key = (shard_file, engine, child)
+                out = self.prefix_cache.get(key)
+                if out is None:
+                    plan = sub[0].plan
+                    with self._applied(evaluator, plan):
+                        out = evaluator.evaluate_step(context, step, depth)
+                    # Cached contexts are shared across queries and
+                    # batches: freeze a view so no later consumer can
+                    # mutate what another query will read.
+                    out = out.view()
+                    out.flags.writeable = False
+                    self.prefix_cache.put(key, out)
+                descend(sub, depth + 1, child, out)
+
+        absolute = [t for t in tasks if t.plan.path.absolute]
+        relative = [t for t in tasks if not t.plan.path.absolute]
+        if absolute:
+            descend(absolute, 0, ("/",), DOCUMENT_CONTEXT)
+        if relative:
+            seed = np.asarray([root], dtype=np.int64)
+            descend(relative, 0, (".",), seed)
+        return outcomes
 
     @staticmethod
     def _gone(task: ShardTask) -> Dict[str, np.ndarray]:
@@ -174,6 +385,32 @@ def _pool_init(directory: str, mmap: bool) -> None:
 
 def _pool_run(task: ShardTask):
     return _POOL_STATE.run(task)
+
+
+def _pool_run_group(tasks: Sequence[ShardTask]):
+    return _POOL_STATE.run_group(tasks)
+
+
+def _split_for_pool(
+    grouped: List[List[ShardTask]], workers: int
+) -> List[List[ShardTask]]:
+    """Split per-shard task groups into enough units to feed the pool.
+
+    Each shard's group is cut into at most ``ceil(workers / shards)``
+    contiguous chunks — query-level parallelism is restored when shards
+    are scarce, while tasks that stay chunked together can still share
+    step prefixes (and every worker's prefix cache still serves repeat
+    prefixes across batches).
+    """
+    if not grouped or len(grouped) >= workers:
+        return grouped
+    per_group = -(-workers // len(grouped))  # ceil
+    units: List[List[ShardTask]] = []
+    for group in grouped:
+        chunks = min(per_group, len(group))
+        size = -(-len(group) // chunks)
+        units.extend(group[i : i + size] for i in range(0, len(group), size))
+    return units
 
 
 class ShardExecutor:
@@ -209,14 +446,27 @@ class ShardExecutor:
         """
         order = self.store.document_names()
         tasks = self._expand(items)
+        # One dispatch unit per shard: the worker holding a shard sees
+        # the whole batch's plans for it and shares their step prefixes.
+        groups: Dict[int, List[ShardTask]] = {}
+        for task in tasks:
+            groups.setdefault(task.shard_id, []).append(task)
+        grouped = list(groups.values())
         if self.workers == 0:
             if self._serial_state is None:
                 self._serial_state = ShardWorkerState(
                     self.store.directory, mmap=self.store.mmap
                 )
-            outcomes = [self._serial_state.run(task) for task in tasks]
+            batches = [self._serial_state.run_group(group) for group in grouped]
         else:
-            outcomes = self._ensure_pool().map(_pool_run, tasks)
+            # Fewer shards than workers would leave workers idle and
+            # serialise whole query batches behind one process; split
+            # the groups (contiguously — adjacent batch queries are the
+            # likeliest prefix-sharers) until the pool is fed.
+            batches = self._ensure_pool().map(
+                _pool_run_group, _split_for_pool(grouped, self.workers)
+            )
+        outcomes = [outcome for batch in batches for outcome in batch]
         return self._merge(items, outcomes, order)
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.service.executor import ShardExecutor
 from repro.service.store import ShardedStore
 from repro.xpath.axes import resolve_engine
 from repro.xpath.evaluator import parse_with_cache
+from repro.xpath.planner import Planner, QueryPlan, TagStatistics
 
 __all__ = ["QueryService", "ServiceResult"]
 
@@ -78,6 +79,14 @@ class QueryService:
         ``n``, ``None`` = one worker per shard (capped by CPU count).
     plan_cache_size / result_cache_size:
         LRU capacities; ``0`` disables the respective cache.
+    planner:
+        Plan queries through the cost-based
+        :class:`~repro.xpath.planner.Planner` (statistics come from the
+        store's manifest) before dispatch.  Planned batches also share
+        step-prefix work per shard; ``False`` restores the unplanned
+        per-query execution path.  Either way the results are
+        byte-identical — planning is a cost decision, not a semantic
+        one.
     """
 
     def __init__(
@@ -87,12 +96,16 @@ class QueryService:
         workers: Optional[int] = None,
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
+        planner: bool = True,
     ):
         self.store = store
         self.engine = resolve_engine(engine)
         self.plan_cache = LRUCache(plan_cache_size)
         self.result_cache = LRUCache(result_cache_size)
         self.executor = ShardExecutor(store, workers=workers)
+        self.planner_enabled = planner
+        #: (epoch, engine) → Planner — statistics change only at commits.
+        self._planners: Dict[tuple, Planner] = {}
 
     # ------------------------------------------------------------------
     def execute(
@@ -101,18 +114,20 @@ class QueryService:
         engine: Optional[str] = None,
         document: Optional[str] = None,
         use_cache: bool = True,
+        use_planner: Optional[bool] = None,
     ) -> ServiceResult:
         """Answer one query (optionally scoped to a single document)."""
-        return self._run_batch([query], engine, document, use_cache)[0]
+        return self._run_batch([query], engine, document, use_cache, use_planner)[0]
 
     def execute_batch(
         self,
         queries: Sequence[str],
         engine: Optional[str] = None,
         use_cache: bool = True,
+        use_planner: Optional[bool] = None,
     ) -> List[ServiceResult]:
         """Answer a batch; cache misses share one fan-out over the pool."""
-        return self._run_batch(list(queries), engine, None, use_cache)
+        return self._run_batch(list(queries), engine, None, use_cache, use_planner)
 
     # ------------------------------------------------------------------
     def _run_batch(
@@ -121,8 +136,10 @@ class QueryService:
         engine: Optional[str],
         document: Optional[str],
         use_cache: bool,
+        use_planner: Optional[bool] = None,
     ) -> List[ServiceResult]:
         chosen = resolve_engine(engine) if engine is not None else self.engine
+        planned = self.planner_enabled if use_planner is None else use_planner
         results: List[Optional[ServiceResult]] = [None] * len(queries)
         # The epoch is snapshotted once per batch: if a shard replacement
         # races the execution, the fresh results are cached under this
@@ -139,7 +156,10 @@ class QueryService:
             else:
                 missing.setdefault(query, []).append(i)
         if missing:
-            plans = [self._plan(query) for query in missing]
+            plans = [
+                self._plan(query, chosen, epoch, planned, scoped=document is not None)
+                for query in missing
+            ]
             started = time.perf_counter()
             merged = self.executor.run_batch(
                 [(plan, chosen, document) for plan in plans]
@@ -169,8 +189,62 @@ class QueryService:
         rank arrays themselves stay shared."""
         return replace(result, per_document=dict(result.per_document), **overrides)
 
-    def _plan(self, query: str):
-        return parse_with_cache(query, self.plan_cache)
+    def _plan(
+        self,
+        query: str,
+        engine: str,
+        epoch: int,
+        use_planner: bool,
+        scoped: bool = False,
+    ):
+        """Parse (always cached) and, when planning is on, cost the query.
+
+        Costed plans are cached under ``(epoch, engine, scoped, query)``
+        in the same LRU as parsed ASTs (plain string keys) — planner
+        decisions depend on the statistics of the epoch they were made
+        against.  Document-*scoped* execution re-anchors a plan's first
+        step at the member root, where the rewrite laws' root guards
+        (stated against the plane's virtual root) no longer hold — e.g.
+        ``//site`` collapsed to ``/descendant::site`` would suddenly
+        include the member root the engine's ``//site`` excludes.
+        Scoped plans therefore keep pushdown, predicate ordering, and
+        skip-mode choice but disable the rewrites.
+        """
+        parsed = parse_with_cache(query, self.plan_cache)
+        if not use_planner:
+            return parsed
+        key = (epoch, engine, scoped, query)
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            plan = self._planner(epoch, engine, scoped).plan(parsed)
+            self.plan_cache.put(key, plan)
+        return plan
+
+    def _planner(self, epoch: int, engine: str, scoped: bool = False) -> Planner:
+        """The planner for one (epoch, engine, scoped) — statistics are
+        read from the manifest once per epoch, not per query."""
+        key = (epoch, engine, scoped)
+        planner = self._planners.get(key)
+        if planner is None:
+            # Statistics changed at the epoch bump: planners of dead
+            # epochs are dropped rather than kept alive forever.  pop()
+            # because two query threads may race the same sweep.
+            for stale in [k for k in self._planners if k[0] != epoch]:
+                self._planners.pop(stale, None)
+            planner = Planner(
+                TagStatistics.from_store(self.store),
+                engine=engine,
+                rewrite=not scoped,
+            )
+            self._planners[key] = planner
+        return planner
+
+    def explain(self, query: str, engine: Optional[str] = None) -> QueryPlan:
+        """The costed :class:`~repro.xpath.planner.QueryPlan` for
+        ``query`` against the store's current statistics (what the
+        ``explain`` CLI verb prints for a store)."""
+        chosen = resolve_engine(engine) if engine is not None else self.engine
+        return self._plan(query, chosen, self.store.epoch, True)
 
     # ------------------------------------------------------------------
     def apply_updates(self, ops) -> dict:

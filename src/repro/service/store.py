@@ -137,6 +137,8 @@ class ShardedStore:
                     "file": file_name,
                     "documents": [name for name, _ in chunk],
                     "nodes": len(collection.doc),
+                    "height": collection.doc.height,
+                    "tags": collection.tag_statistics(),
                 }
             )
         manifest = {
@@ -233,6 +235,47 @@ class ShardedStore:
                 raise ReproError(
                     f"no document named {document!r} in store"
                 ) from None
+
+    # ------------------------------------------------------------------
+    # Catalogue statistics (planner input)
+    # ------------------------------------------------------------------
+    def shard_tag_statistics(self, shard_id: int) -> Dict[str, int]:
+        """Per-tag element counts of one shard, from the manifest.
+
+        Persisted at build/commit time, so reads are O(#tags) with no
+        shard I/O.  Stores written before statistics existed fall back
+        to computing from the (lazily loaded) shard plane.
+        """
+        with self._lock:
+            entry = self.shard_entry(shard_id)
+            if "tags" not in entry or "height" not in entry:
+                # pre-statistics manifest: compute once and keep
+                collection = self.collection(shard_id)
+                entry["tags"] = collection.tag_statistics()
+                entry["height"] = collection.doc.height
+            return dict(entry["tags"])
+
+    def tag_statistics(self) -> Dict[str, int]:
+        """Store-wide per-tag element counts (sum over shards)."""
+        with self._lock:
+            total: Dict[str, int] = {}
+            for shard_id in self.shard_ids():
+                for tag, count in self.shard_tag_statistics(shard_id).items():
+                    total[tag] = total.get(tag, 0) + count
+            return total
+
+    def total_nodes(self) -> int:
+        """Encoded nodes across all shards (from the manifest)."""
+        with self._lock:
+            return sum(entry["nodes"] for entry in self._manifest["shards"])
+
+    def height(self) -> int:
+        """Tallest shard plane's height (document height upper bound)."""
+        with self._lock:
+            if any("height" not in e for e in self._manifest["shards"]):
+                for shard_id in self.shard_ids():  # pre-statistics manifest
+                    self.shard_tag_statistics(shard_id)
+            return max(e["height"] for e in self._manifest["shards"])
 
     def describe(self) -> dict:
         """A JSON-friendly summary (used by ``python -m repro shard``)."""
@@ -442,6 +485,8 @@ class ShardedStore:
                     "file": _shard_file_name(shard_id, epoch),
                     "documents": collection.names,
                     "nodes": len(collection.doc),
+                    "height": collection.doc.height,
+                    "tags": collection.tag_statistics(),
                 }
             )
         manifest = dict(self._manifest, shards=entries, epoch=epoch)

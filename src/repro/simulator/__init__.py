@@ -21,19 +21,19 @@ that arithmetic with the machine as a parameter:
 """
 
 from repro.simulator.cache import (
-    CacheLevel,
-    Machine,
-    CacheSimulator,
     PAPER_MACHINE,
+    CacheLevel,
+    CacheSimulator,
+    Machine,
 )
 from repro.simulator.cost import (
-    sequential_bandwidth_mb_s,
-    cycles_per_cache_line,
-    phase_bound,
-    join_time_estimate,
-    effective_bandwidth_mb_s,
-    SCAN_CYCLES_PER_NODE,
     COPY_CYCLES_PER_NODE,
+    SCAN_CYCLES_PER_NODE,
+    cycles_per_cache_line,
+    effective_bandwidth_mb_s,
+    join_time_estimate,
+    phase_bound,
+    sequential_bandwidth_mb_s,
 )
 
 __all__ = [

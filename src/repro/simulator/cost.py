@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.simulator.cache import Machine, PAPER_MACHINE
+from repro.simulator.cache import PAPER_MACHINE, Machine
 
 __all__ = [
     "SCAN_CYCLES_PER_NODE",

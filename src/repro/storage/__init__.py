@@ -20,9 +20,9 @@ the :class:`~repro.storage.bat.BAT` itself, and a from-scratch B+-tree
 to index concatenated ``(pre, post, tag)`` keys.
 """
 
-from repro.storage.column import Column, VoidColumn, IntColumn, StringColumn
 from repro.storage.bat import BAT
 from repro.storage.btree import BPlusTree
+from repro.storage.column import Column, IntColumn, StringColumn, VoidColumn
 
 __all__ = [
     "Column",

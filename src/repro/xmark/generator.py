@@ -23,8 +23,8 @@ from dataclasses import dataclass
 from repro.encoding.doctable import DocTable
 from repro.encoding.prepost import encode
 from repro.errors import WorkloadError
-from repro.xmltree.model import Node, document, element, text
 from repro.xmark.text import name as person_name, sentence, word
+from repro.xmltree.model import Node, document, element, text
 
 __all__ = ["XMarkConfig", "XMarkGenerator", "generate", "generate_table", "NODES_PER_MB"]
 

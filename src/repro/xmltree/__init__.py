@@ -11,11 +11,11 @@ caption enumerates them).
 from repro.xmltree.model import (
     Node,
     NodeKind,
+    comment,
     document,
     element,
-    text,
-    comment,
     processing_instruction,
+    text,
 )
 from repro.xmltree.parser import parse, parse_file
 from repro.xmltree.serializer import serialize, write_file

@@ -17,14 +17,10 @@ and predicates with positions, comparisons, paths and the core functions
 >>> education = xpath.evaluate(doc, "/descendant::profile/descendant::education")
 """
 
-from repro.xpath.ast import (
-    LocationPath,
-    Step,
-    NodeTest,
-    AXES,
-)
-from repro.xpath.parser import parse_xpath
+from repro.xpath.ast import AXES, LocationPath, NodeTest, Step
 from repro.xpath.evaluator import Evaluator, evaluate
+from repro.xpath.parser import parse_xpath
+from repro.xpath.planner import Planner, QueryPlan, TagStatistics
 from repro.xpath.rewrite import push_name_test, symmetry_rewrite
 
 __all__ = [
@@ -35,6 +31,9 @@ __all__ = [
     "parse_xpath",
     "Evaluator",
     "evaluate",
+    "Planner",
+    "QueryPlan",
+    "TagStatistics",
     "push_name_test",
     "symmetry_rewrite",
 ]

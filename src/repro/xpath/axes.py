@@ -30,9 +30,12 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.counters import JoinStatistics
 from repro.core.staircase import SkipMode, staircase_join
-from repro.core.vectorized import axis_step_vectorized, staircase_join_vectorized
+from repro.core.vectorized import (
+    axis_step_vectorized,
+    staircase_join_vectorized,
+)
+from repro.counters import JoinStatistics
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
 from repro.xmltree.model import NodeKind

@@ -25,9 +25,9 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.counters import JoinStatistics
 from repro.core.fragments import FragmentedDocument
 from repro.core.staircase import SkipMode
+from repro.counters import JoinStatistics
 from repro.encoding.doctable import DocTable
 from repro.errors import XPathEvaluationError
 from repro.xmltree.model import NodeKind
@@ -146,8 +146,12 @@ class Evaluator:
         :class:`SkipMode` for the scalar staircase join.
     pushdown:
         Push name tests below descendant/ancestor staircase joins
-        (Experiment 3's ~3× rewrite).  Fragments are built lazily on
-        first use and cached for the evaluator's lifetime.
+        (Experiment 3's ~3× rewrite).  ``True``/``False`` applies to
+        every eligible step; an iterable of step indices (the planner's
+        per-step verdicts) pushes only at those positions of the
+        *top-level* path — steps inside predicates never push in this
+        mode.  Fragments are built lazily on first use and cached for
+        the evaluator's lifetime.
     stats:
         Shared :class:`JoinStatistics`; accumulates across queries.
     engine:
@@ -177,9 +181,30 @@ class Evaluator:
         self.engine = resolve_engine(engine, strategy)
         self.stats = stats if stats is not None else JoinStatistics()
         self.axes = AxisExecutor(doc, engine=self.engine, mode=mode, stats=self.stats)
-        self.pushdown = pushdown
+        self._set_pushdown(pushdown)
         self.plan_cache = plan_cache
         self._fragments: Optional[FragmentedDocument] = None
+
+    def _set_pushdown(self, pushdown) -> None:
+        """Normalise the ``pushdown`` spelling (bool or step-index set)."""
+        if isinstance(pushdown, bool):
+            self.pushdown = pushdown
+            self._pushdown_steps: Optional[frozenset] = None
+        else:
+            steps = frozenset(int(i) for i in pushdown)
+            self.pushdown = bool(steps)
+            self._pushdown_steps = steps
+
+    def _push_at(self, step_index: Optional[int]) -> bool:
+        """Is pushdown enabled for the top-level step at ``step_index``?
+
+        ``None`` marks steps without a top-level position (predicate
+        sub-paths, bulk-filter internals) — only blanket ``pushdown=True``
+        reaches those.
+        """
+        if self._pushdown_steps is None:
+            return self.pushdown
+        return step_index is not None and step_index in self._pushdown_steps
 
     # ------------------------------------------------------------------
     @property
@@ -218,8 +243,8 @@ class Evaluator:
             current = np.asarray([int(context)], dtype=np.int64)
         else:
             current = np.unique(np.asarray(context, dtype=np.int64))
-        for step in path.steps:
-            current = self._evaluate_step(current, step)
+        for index, step in enumerate(path.steps):
+            current = self._evaluate_step(current, step, index)
         if current is DOCUMENT_CONTEXT:
             # A bare "/" — the document node itself is not encoded.
             return np.empty(0, dtype=np.int64)
@@ -230,11 +255,27 @@ class Evaluator:
         return parse_with_cache(query, self.plan_cache)
 
     # ------------------------------------------------------------------
-    def _evaluate_step(self, context, step: Step) -> np.ndarray:
+    def evaluate_step(
+        self, context, step: Step, step_index: Optional[int] = None
+    ) -> np.ndarray:
+        """Evaluate one location step against an explicit context.
+
+        The single-step face of :meth:`evaluate` — same semantics,
+        including positional predicates and per-step pushdown (keyed by
+        ``step_index``).  ``context`` is an array of preorder ranks or
+        the :data:`~repro.xpath.axes.DOCUMENT_CONTEXT` sentinel.  The
+        batch executor drives this directly to share step-prefix work
+        across the queries of a batch.
+        """
+        return self._evaluate_step(context, step, step_index)
+
+    def _evaluate_step(
+        self, context, step: Step, step_index: Optional[int] = None
+    ) -> np.ndarray:
         positional = any(_is_positional_predicate(p) for p in step.predicates)
         if positional and context is not DOCUMENT_CONTEXT:
             if self.engine == "vectorized":
-                bulk = self._bulk_positional_step(context, step)
+                bulk = self._bulk_positional_step(context, step, step_index)
                 if bulk is not None:
                     return bulk
             # Positional semantics are per context node: evaluate the axis
@@ -243,22 +284,26 @@ class Evaluator:
             pieces = []
             for c in np.asarray(context, dtype=np.int64):
                 single = np.asarray([int(c)], dtype=np.int64)
-                pieces.append(self._single_context_step(single, step))
+                pieces.append(self._single_context_step(single, step, step_index))
             if not pieces:
                 return np.empty(0, dtype=np.int64)
             merged = np.concatenate(pieces)
             return np.unique(merged)
-        return self._single_context_step(context, step)
+        return self._single_context_step(context, step, step_index)
 
-    def _single_context_step(self, context, step: Step) -> np.ndarray:
-        candidates = self._axis_with_test(context, step)
+    def _single_context_step(
+        self, context, step: Step, step_index: Optional[int] = None
+    ) -> np.ndarray:
+        candidates = self._axis_with_test(context, step, step_index)
         for predicate in step.predicates:
             candidates = self._filter_predicate(candidates, step.axis, predicate)
         return candidates
 
-    def _axis_with_test(self, context, step: Step) -> np.ndarray:
+    def _axis_with_test(
+        self, context, step: Step, step_index: Optional[int] = None
+    ) -> np.ndarray:
         if (
-            self.pushdown
+            self._push_at(step_index)
             and context is DOCUMENT_CONTEXT
             and step.test.kind == "name"
             and step.axis in ("descendant", "descendant-or-self")
@@ -268,7 +313,7 @@ class Evaluator:
             pres, _ = self.fragments.fragment(step.test.name or "")
             return pres
         if (
-            self.pushdown
+            self._push_at(step_index)
             and context is not DOCUMENT_CONTEXT
             and step.test.kind == "name"
             and step.axis in ("descendant", "ancestor")
@@ -325,7 +370,9 @@ class Evaluator:
     # ------------------------------------------------------------------
     # Bulk positional selection — vectorised engine only
     # ------------------------------------------------------------------
-    def _bulk_positional_step(self, context, step: Step) -> Optional[np.ndarray]:
+    def _bulk_positional_step(
+        self, context, step: Step, step_index: Optional[int] = None
+    ) -> Optional[np.ndarray]:
         """Set-at-a-time ``child::t[k]`` / ``child::t[last()]``, or ``None``.
 
         On the ``child`` and ``attribute`` axes the context node that
@@ -350,7 +397,7 @@ class Evaluator:
             if value != int(value) or int(value) < 1:
                 return np.empty(0, dtype=np.int64)
             wanted_rank = int(value) - 1
-        candidates = self._axis_with_test(context, step)
+        candidates = self._axis_with_test(context, step, step_index)
         if len(candidates) == 0:
             return candidates
         parents = self.doc.parent[candidates]

@@ -22,12 +22,17 @@ Two rewrites appear in Section 4.4:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.xpath.ast import LocationPath, NodeTest, Step
 from repro.xpath.parser import parse_xpath
 
-__all__ = ["push_name_test", "pushdown_opportunities", "symmetry_rewrite"]
+__all__ = [
+    "collapse_descendant_or_self",
+    "push_name_test",
+    "pushdown_opportunities",
+    "symmetry_rewrite",
+]
 
 
 def pushdown_opportunities(path: LocationPath) -> List[int]:
@@ -57,6 +62,68 @@ def push_name_test(path: LocationPath) -> Tuple[LocationPath, List[int]]:
     flag would change nothing.
     """
     return path, pushdown_opportunities(path)
+
+
+def collapse_descendant_or_self(
+    path, root_tags: Optional[FrozenSet[str]] = None
+) -> LocationPath:
+    """Collapse ``descendant-or-self::node()/child::t`` pairs into
+    ``descendant::t`` (the expansion of the ``//`` abbreviation).
+
+    ``c/descendant-or-self::node()/child::t`` selects the children of
+    ``c``'s inclusive descendants — exactly ``c``'s proper descendants
+    passing the test — so the pair is one descendant step.  The single
+    step skips an O(n) intermediate *and* has the shape name-test
+    pushdown accepts, which is why the planner applies this before
+    costing steps.
+
+    Two guards keep the law exact:
+
+    * a ``child`` step carrying a positional predicate keeps its pair —
+      ``//t[2]`` counts positions within each parent's child list,
+      ``descendant::t[2]`` within a descendant list;
+    * the *leading* pair of an absolute path is collapsed only when the
+      tested name provably cannot match a plane root: this engine's
+      ``descendant-or-self`` from the (un-encoded) document node yields
+      encoded nodes only, so ``//t`` never returns the root element,
+      while ``/descendant::t`` would.  ``root_tags`` names the tags a
+      root may carry (e.g. a collection's virtual root tag); ``None``
+      means unknown, which disables the leading collapse entirely.
+    """
+    from repro.xpath.evaluator import _is_positional_predicate
+
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    if not isinstance(path, LocationPath):
+        return path
+    steps = list(path.steps)
+    index = 0
+    changed = False
+    while index < len(steps) - 1:
+        first, second = steps[index], steps[index + 1]
+        collapsible = (
+            first.axis == "descendant-or-self"
+            and first.test.kind == "node"
+            and not first.predicates
+            and second.axis == "child"
+            and not any(_is_positional_predicate(p) for p in second.predicates)
+        )
+        if collapsible and index == 0 and path.absolute:
+            collapsible = (
+                root_tags is not None
+                and second.test.kind == "name"
+                and second.test.name not in root_tags
+            )
+        if collapsible:
+            steps[index : index + 2] = [
+                Step("descendant", second.test, second.predicates)
+            ]
+            changed = True
+        else:
+            index += 1
+    if not changed:
+        return path
+    return LocationPath(path.absolute, tuple(steps))
 
 
 def symmetry_rewrite(path) -> LocationPath:

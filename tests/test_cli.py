@@ -155,6 +155,33 @@ class TestShardServeBatch:
         assert "round 2" in captured.err
         assert "service statistics" in captured.err
 
+    def test_serve_batch_no_planner(self, store_dir, capsys):
+        capsys.readouterr()
+        assert (
+            main(["serve-batch", store_dir, "//person/name",
+                  "--workers", "0", "--no-planner"])
+            == 0
+        )
+        assert "cold  //person/name" in capsys.readouterr().out
+
+    def test_explain_on_a_store(self, store_dir, capsys):
+        capsys.readouterr()
+        assert (
+            main(["explain", store_dir,
+                  "/descendant::name/ancestor::person"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "statistics:" in out and "(store, epoch" in out
+        assert "cardinality" in out
+
+    def test_explain_collapses_abbreviations(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["explain", store_dir, "//person/name"]) == 0
+        out = capsys.readouterr().out
+        assert "//-collapse" in out
+        assert "PUSHDOWN" in out
+
     def test_serve_batch_queries_file(self, store_dir, tmp_path, capsys):
         capsys.readouterr()
         queries = tmp_path / "queries.txt"

@@ -13,10 +13,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.pruning import prune, prune_vectorized, normalize_context
-from repro.core.staircase import SkipMode, staircase_join
-from repro.core.vectorized import axis_step_vectorized, staircase_join_vectorized
 from repro.core.fragments import FragmentedDocument
+from repro.core.pruning import normalize_context, prune, prune_vectorized
+from repro.core.staircase import SkipMode, staircase_join
+from repro.core.vectorized import (
+    axis_step_vectorized,
+    staircase_join_vectorized,
+)
 from repro.encoding.prepost import encode
 from repro.errors import XPathEvaluationError
 from repro.xpath.ast import AXES

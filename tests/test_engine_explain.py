@@ -1,8 +1,8 @@
 """EXPLAIN output tests."""
 
 
-from repro.engine.explain import explain
 from repro.core.staircase import SkipMode
+from repro.engine.explain import explain
 
 
 class TestExplain:

@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.counters import JoinStatistics
 from repro.engine.mil import run_mil
 from repro.errors import PlanError
-from repro.counters import JoinStatistics
 from repro.xpath.evaluator import evaluate
 
 Q2_SCRIPT = """

@@ -143,6 +143,28 @@ class TestLRUCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_clear_resets_hit_statistics(self):
+        # clear() marks an epoch boundary: `--stats` reports per-epoch
+        # hit rates, not numbers polluted across update batches.
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.clear()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.info() == {
+            "size": 0, "capacity": 4, "hits": 0, "misses": 0,
+        }
+
+    def test_reset_stats_keeps_entries(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.reset_stats()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.get("a") == 1  # entry survived; counted afresh
+        assert (cache.hits, cache.misses) == (1, 0)
+
 
 # ----------------------------------------------------------------------
 class TestShardedStore:
@@ -327,8 +349,19 @@ class TestCaching:
             again = service.execute("//people", use_cache=False)
         assert not again.from_cache
 
-    def test_plan_cache_parses_once(self, store):
+    def test_plan_cache_parses_and_plans_once(self, store):
+        # Two cache levels share the LRU: the parsed AST (string key)
+        # and the costed QueryPlan ((epoch, engine, query) key) — one
+        # miss each on the first execution, one hit each afterwards.
         with QueryService(store, workers=0) as service:
+            service.execute("//people", use_cache=False)
+            service.execute("//people", use_cache=False)
+            info = service.cache_info()
+        assert info["plan"]["misses"] == 2
+        assert info["plan"]["hits"] == 2
+
+    def test_plan_cache_parses_once_without_planner(self, store):
+        with QueryService(store, workers=0, planner=False) as service:
             service.execute("//people", use_cache=False)
             service.execute("//people", use_cache=False)
             info = service.cache_info()
@@ -359,7 +392,8 @@ class TestCaching:
         # one fan-out: the rank arrays are the same frozen objects
         for name in store.document_names():
             assert a.per_document[name] is b.per_document[name]
-        assert info["plan"]["misses"] == 1
+        # one AST parse + one costed plan, not two of each
+        assert info["plan"]["misses"] == 2
 
     def test_replace_racing_a_batch_cannot_poison_the_new_epoch(
         self, forest, tmp_path
@@ -458,6 +492,157 @@ class TestCaching:
                 )
             # and the new epoch's entry caches normally
             assert service.execute(query).from_cache
+
+
+# ----------------------------------------------------------------------
+class TestPlannerIntegration:
+    """The cost-based planner riding the service: identical results,
+    shared prefixes, epoch-fenced prefix contexts."""
+
+    PREFIX_BATCH = (
+        "//open_auction/bidder/increase",
+        "//open_auction/bidder/personref",
+        "//open_auction/seller",
+        "//open_auction/initial",
+        "//person/profile/education",
+        "//person/name",
+    )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("workers", (0, 2))
+    def test_planned_equals_unplanned(self, store, engine, workers):
+        queries = AXIS_QUERIES + PLANE_QUERIES + self.PREFIX_BATCH
+        with QueryService(store, workers=workers) as service:
+            planned = service.execute_batch(
+                queries, engine=engine, use_cache=False, use_planner=True
+            )
+            plain = service.execute_batch(
+                queries, engine=engine, use_cache=False, use_planner=False
+            )
+        for query, a, b in zip(queries, planned, plain):
+            assert_identical(a.per_document, b.per_document)
+            assert a.query == b.query == query
+
+    def test_prefix_cache_fills_and_hits(self, store):
+        with QueryService(store, workers=0) as service:
+            service.execute_batch(self.PREFIX_BATCH, use_cache=False)
+            prefix_cache = service.executor._serial_state.prefix_cache
+            assert len(prefix_cache) > 0
+            filled = prefix_cache.hits
+            service.execute_batch(self.PREFIX_BATCH, use_cache=False)
+            # The second batch re-reads every shared prefix context.
+            assert prefix_cache.hits > filled
+
+    def test_prefix_contexts_fence_on_epoch(self, forest, tmp_path):
+        directory = str(tmp_path / "prefix-fence")
+        store = ShardedStore.build(directory, forest[:4], shards=2)
+        trees = {name: tree for name, tree in forest[:4]}
+        query = "//person/name"
+        with QueryService(store, workers=0) as service:
+            before = service.execute(query, use_cache=False)
+            victim = store.document_names()[0]
+            replacement = element("site")
+            replacement.append(element("people"))
+            store.replace_shard(
+                store.shard_of(victim),
+                [(victim, replacement)],
+            )
+            trees[victim] = replacement
+            after = service.execute(query, use_cache=False)
+            expected = serial_reference(store, trees, query, "vectorized")
+        assert_identical(after.per_document, expected)
+        assert before.per_document[victim].size > 0
+        assert after.per_document[victim].size == 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_scoped_queries_planned_equals_unplanned(self, store, engine):
+        """Document-scoped execution re-anchors paths at the member
+        root, where the //-collapse's root guard (stated against the
+        plane's virtual root) would be wrong — `//site` must keep
+        excluding the member root, planned or not."""
+        name = store.document_names()[0]
+        with QueryService(store, workers=0) as service:
+            for query in ("//site", "//site/regions", "//person/name"):
+                planned = service.execute(
+                    query, engine=engine, document=name,
+                    use_cache=False, use_planner=True,
+                )
+                plain = service.execute(
+                    query, engine=engine, document=name,
+                    use_cache=False, use_planner=False,
+                )
+                assert_identical(planned.per_document, plain.per_document)
+
+    def test_pool_splits_shard_groups_when_workers_exceed_shards(
+        self, forest, tmp_path
+    ):
+        from repro.service.executor import _split_for_pool
+
+        directory = str(tmp_path / "narrow")
+        narrow = ShardedStore.build(directory, forest[:2], shards=1)
+        with QueryService(narrow, workers=4) as service:
+            results = service.execute_batch(
+                self.PREFIX_BATCH, use_cache=False
+            )
+        assert all(r.total >= 0 for r in results)
+        # The splitter itself: 1 shard × 6 tasks, 4 workers → several
+        # contiguous units (not one), preserving task order.
+        tasks = list(range(6))  # shape only; contents are opaque to it
+        units = _split_for_pool([tasks], 4)
+        assert 2 <= len(units) <= 4
+        assert [t for unit in units for t in unit] == tasks
+        # Enough shards already: groups pass through untouched.
+        assert _split_for_pool([[1], [2], [3], [4]], 4) == [[1], [2], [3], [4]]
+
+    def test_prefix_cache_is_byte_budgeted(self):
+        from repro.service.executor import PrefixContextCache
+
+        overhead = PrefixContextCache.ENTRY_OVERHEAD
+        small = np.arange(4, dtype=np.int64)     # 32-byte payload
+        cost = small.nbytes + overhead
+        cache = PrefixContextCache(budget_bytes=2 * cost + 1)
+        cache.put("a", small)
+        cache.put("b", small)
+        assert len(cache) == 2
+        cache.put("c", small)                    # over budget: evicts "a"
+        assert "a" not in cache and "b" in cache and "c" in cache
+        huge = np.arange(cost, dtype=np.int64)   # costlier than the budget
+        cache.put("d", huge)
+        assert "d" not in cache                  # never cached, no eviction
+        assert "b" in cache and "c" in cache
+        info = cache.info()
+        assert info["bytes"] == 2 * cost
+        assert info["budget_bytes"] == 2 * cost + 1
+        cache.clear()
+        assert len(cache) == 0 and cache.info()["bytes"] == 0
+
+    def test_prefix_cache_empty_entries_cannot_grow_unbounded(self):
+        from repro.service.executor import PrefixContextCache
+
+        cache = PrefixContextCache(budget_bytes=32 << 10)
+        empty = np.empty(0, dtype=np.int64)
+        for i in range(10_000):                  # zero-byte payloads
+            cache.put(("key", i), empty)
+        # The per-entry overhead charge keeps the count bounded too.
+        assert len(cache) <= (32 << 10) // PrefixContextCache.ENTRY_OVERHEAD
+
+    def test_empty_batch_is_a_noop(self, store):
+        with QueryService(store, workers=2) as service:
+            assert service.execute_batch([]) == []
+            assert service.executor.run_batch([]) == []
+
+    def test_service_explain_returns_a_costed_plan(self, store):
+        with QueryService(store, workers=0) as service:
+            plan = service.explain("//open_auction/bidder/increase")
+        assert plan.pushdown_steps  # the collapsed descendant step pushed
+        text = plan.describe()
+        assert "//-collapse" in text and "cardinality" in text
+
+    def test_planner_off_service_never_plans(self, store):
+        with QueryService(store, workers=0, planner=False) as service:
+            service.execute("//people", use_cache=False)
+            # Only the parsed AST is cached — no (epoch, engine, query) key.
+            assert len(service.plan_cache) == 1
 
 
 # ----------------------------------------------------------------------

@@ -6,9 +6,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.encoding.prepost import encode
 from repro.errors import XPathEvaluationError
+from repro.xmltree.model import NodeKind, element, text
 from repro.xpath.ast import AXES
 from repro.xpath.axes import DOCUMENT_CONTEXT, AxisExecutor, apply_node_test
-from repro.xmltree.model import NodeKind, element, text
 
 from _reference import axis_pres, random_tree
 

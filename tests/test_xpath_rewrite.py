@@ -1,4 +1,5 @@
-"""Rewrite-law tests: pushdown opportunities and the symmetry rewrite."""
+"""Rewrite-law tests: pushdown opportunities, the symmetry rewrite, and
+the ``//``-collapse law."""
 
 from hypothesis import given, settings, strategies as st
 
@@ -6,6 +7,7 @@ from repro.encoding.prepost import encode
 from repro.xpath.evaluator import evaluate
 from repro.xpath.parser import parse_xpath
 from repro.xpath.rewrite import (
+    collapse_descendant_or_self,
     push_name_test,
     pushdown_opportunities,
     symmetry_rewrite,
@@ -57,6 +59,37 @@ class TestSymmetryRewrite:
             path = parse_xpath(expr)
             assert symmetry_rewrite(path) == path
 
+    def test_longer_prefixes_untouched(self):
+        # The trailing pair matches, but the ancestor step may climb
+        # above the prefix context — the rewrite must refuse.
+        for expr in (
+            "/site/descendant::a/ancestor::b",
+            "/descendant::x/descendant::a/ancestor::b",
+            "/a/b/descendant::a/ancestor::b",
+        ):
+            path = parse_xpath(expr)
+            assert symmetry_rewrite(path) == path
+
+    def test_predicated_steps_untouched(self):
+        # Either step carrying a predicate breaks the law's shape.
+        for expr in (
+            "/descendant::a[b]/ancestor::c",
+            "/descendant::a/ancestor::c[b]",
+            "/descendant::a[1]/ancestor::c",
+            "/descendant::a/ancestor::c[last()]",
+        ):
+            path = parse_xpath(expr)
+            assert symmetry_rewrite(path) == path
+
+    def test_kind_tested_steps_untouched(self):
+        for expr in (
+            "/descendant::node()/ancestor::b",
+            "/descendant::a/ancestor::node()",
+            "/descendant::*/ancestor::b",
+        ):
+            path = parse_xpath(expr)
+            assert symmetry_rewrite(path) == path
+
     def test_accepts_string_input(self):
         assert symmetry_rewrite("/descendant::a") == parse_xpath("/descendant::a")
 
@@ -81,3 +114,48 @@ class TestSymmetryRewrite:
             evaluate(small_xmark, original).tolist()
             == evaluate(small_xmark, rewritten).tolist()
         )
+
+
+class TestCollapseDescendantOrSelf:
+    def test_mid_path_pair_collapses(self):
+        collapsed = collapse_descendant_or_self("/site//person")
+        assert str(collapsed) == "/child::site/descendant::person"
+
+    def test_leading_pair_needs_root_knowledge(self):
+        path = parse_xpath("//person")
+        assert collapse_descendant_or_self(path) == path  # unknown roots
+        assert collapse_descendant_or_self(path, frozenset(("person",))) == path
+        collapsed = collapse_descendant_or_self(path, frozenset(("site",)))
+        assert str(collapsed) == "/descendant::person"
+
+    def test_relative_leading_pair_always_collapses(self):
+        collapsed = collapse_descendant_or_self(".//a//b")
+        assert str(collapsed) == "self::node()/descendant::a/descendant::b"
+
+    def test_positional_predicates_block_the_pair(self):
+        for expr in ("//a[1]", "//a[last()]", "/x//a[position() > 1]"):
+            path = parse_xpath(expr)
+            assert collapse_descendant_or_self(path, frozenset()) == path
+
+    def test_non_positional_predicates_ride_along(self):
+        collapsed = collapse_descendant_or_self("/x//a[b]", frozenset())
+        assert str(collapsed) == "/child::x/descendant::a[child::b]"
+
+    def test_non_path_expressions_pass_through(self):
+        union = parse_xpath("//a | //b")
+        assert collapse_descendant_or_self(union) == union
+
+    @given(seed=st.integers(0, 4000), size=st.integers(1, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_collapse_preserves_semantics(self, seed, size):
+        """The law on random documents, every engine, incl. predicates."""
+        doc = encode(random_tree(size, seed))
+        root_tags = frozenset((doc.tag_of(doc.root),))
+        for expr in ("//a", "//b//c", "//a[b]", "/a//b", ".//c", "//*"):
+            original = parse_xpath(expr)
+            collapsed = collapse_descendant_or_self(original, root_tags)
+            for engine in ("scalar", "vectorized"):
+                assert (
+                    evaluate(doc, original, engine=engine).tolist()
+                    == evaluate(doc, collapsed, engine=engine).tolist()
+                ), (expr, engine)
