@@ -6,11 +6,13 @@ Makes the library usable without writing Python::
     python -m repro encode auction.xml -o auction.npz
     python -m repro query auction.npz "/descendant::increase/ancestor::bidder"
     python -m repro query auction.npz "//open_auction[bidder]" --engine vectorized
+    python -m repro query auction.npz "//open_auction[bidder]" --mode count
     python -m repro query auction.xml "//person[profile]" --serialize --limit 2
     python -m repro info auction.npz
     python -m repro sql "/descendant::profile/descendant::education"
     python -m repro shard -o store --generate 8 --size 0.2 --shards 4
     python -m repro serve-batch store "//open_auction[bidder]/seller" --workers 4
+    python -m repro serve-batch store "//person" --mode exists
     python -m repro update store ops.json --verify "//person"
     python -m repro explain store "/descendant::increase/ancestor::bidder"
 
@@ -32,7 +34,7 @@ from repro.encoding.doctable import DocTable
 from repro.encoding.persist import load, save
 from repro.encoding.prepost import encode
 from repro.engine.sqlgen import path_to_sql
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreNotFoundError, XPathSyntaxError
 from repro.xmark.generator import XMarkConfig, generate
 from repro.xmltree.model import NodeKind
 from repro.xmltree.parser import parse_file
@@ -87,6 +89,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
         pushdown=args.pushdown,
         stats=stats,
     )
+    if args.mode != "materialize":
+        if args.serialize or args.limit is not None:
+            print(
+                f"error: --serialize/--limit have no effect with "
+                f"--mode {args.mode}",
+                file=sys.stderr,
+            )
+            return 2
+        started = time.perf_counter()
+        value = evaluator.evaluate(args.xpath, mode=args.mode)
+        elapsed = time.perf_counter() - started
+        print(str(value).lower() if args.mode == "exists" else value)
+        print(f"{args.mode} in {elapsed * 1000:.2f} ms", file=sys.stderr)
+        if args.stats:
+            print(f"join statistics: {stats.as_dict()}", file=sys.stderr)
+        return 0
     started = time.perf_counter()
     result = evaluator.evaluate(args.xpath)
     elapsed = time.perf_counter() - started
@@ -188,6 +206,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     if not queries:
         print("error: no queries (pass them or --queries-file)", file=sys.stderr)
         return 1
+    if args.mode == "exists" and args.per_document:
+        print(
+            "error: --per-document has no effect with --mode exists",
+            file=sys.stderr,
+        )
+        return 2
     store = ShardedStore.open(args.store)
     service = QueryService(
         store,
@@ -198,12 +222,18 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     with service:
         for round_number in range(1, args.repeat + 1):
             started = time.perf_counter()
-            results = service.execute_batch(queries, use_cache=not args.no_cache)
+            results = service.execute_batch(
+                queries, use_cache=not args.no_cache, mode=args.mode
+            )
             elapsed = time.perf_counter() - started
             for result in results:
                 flag = "warm" if result.from_cache else "cold"
-                print(f"{result.total:>8,}  {flag}  {result.query}")
-                if args.per_document:
+                if result.mode == "exists":
+                    shown = "true" if result.exists else "false"
+                    print(f"{shown:>8}  {flag}  {result.query}")
+                else:
+                    print(f"{result.total:>8,}  {flag}  {result.query}")
+                if args.per_document and result.mode != "exists":
                     for name, count in result.counts().items():
                         print(f"          {name:24s} {count:,}")
             rate = len(queries) / elapsed if elapsed > 0 else float("inf")
@@ -229,6 +259,13 @@ def _cmd_update(args: argparse.Namespace) -> int:
         print(f"error: {args.ops}: not valid JSON ({error})", file=sys.stderr)
         return 1
     ops = parse_ops(raw)
+    if args.verify is not None:
+        from repro.xpath.parser import parse_xpath
+
+        # Validate *before* the batch commits: a malformed verify
+        # expression must be a pure usage error, not one that leaves
+        # the store mutated behind an exit code 2.
+        parse_xpath(args.verify)
     store = ShardedStore.open(args.store)
     before = store.epoch
     started = time.perf_counter()
@@ -253,6 +290,7 @@ def _cmd_sql(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.xpath.pipeline import compile_plan
     from repro.xpath.planner import Planner, TagStatistics
 
     pushdown = {"auto": "auto", "on": True, "off": False}[args.pushdown]
@@ -276,6 +314,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         f"{len(statistics.counts)} tags, height {statistics.height}"
     )
     print(plan.describe())
+    print()
+    print(compile_plan(plan, mode=args.mode).describe())
     if args.operators:
         from repro.engine.explain import explain
 
@@ -328,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--serialize", action="store_true", help="print result subtrees as XML")
     cmd.add_argument("--limit", type=int, default=None, help="show at most N results")
     cmd.add_argument("--stats", action="store_true", help="print join statistics")
+    cmd.add_argument(
+        "--mode", choices=("materialize", "count", "exists"), default="materialize",
+        help="result mode: node rows (default), the result cardinality, "
+        "or an early-terminating existence check",
+    )
     cmd.set_defaults(handler=_cmd_query)
 
     cmd = commands.add_parser("info", help="document statistics")
@@ -380,7 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     cmd.add_argument(
         "--no-planner", action="store_true",
-        help="skip cost-based planning and step-prefix sharing",
+        help="skip cost-based planning and prefix sharing",
+    )
+    cmd.add_argument(
+        "--mode", choices=("materialize", "count", "exists"),
+        default="materialize",
+        help="result mode for every query of the batch: per-document "
+        "ranks (default), per-document counts, or one boolean",
     )
     cmd.add_argument(
         "--per-document", action="store_true", help="print per-document result counts"
@@ -431,23 +482,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--operators", action="store_true",
         help="also print the operator-level rendering (single documents)",
     )
+    cmd.add_argument(
+        "--mode", choices=("materialize", "count", "exists"),
+        default="materialize",
+        help="terminal of the printed physical pipeline (default: materialize)",
+    )
     cmd.set_defaults(handler=_cmd_explain)
 
     return parser
 
 
+def _one_line(error: BaseException) -> str:
+    """First line of an error message (XPath syntax errors carry a
+    multi-line caret rendering; the CLI contract is one ``error:`` line)."""
+    text = str(error).strip()
+    return text.splitlines()[0] if text else type(error).__name__
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: ``0`` success, ``1`` runtime failure, ``2`` usage error
+    (malformed XPath, missing input file, a path that is not a sharded
+    store) — every verb reports usage errors as a one-line ``error:``
+    message, never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except XPathSyntaxError as error:
+        print(f"error: {_one_line(error)}", file=sys.stderr)
+        return 2
+    except StoreNotFoundError as error:
+        print(f"error: {_one_line(error)}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        print(f"error: {_one_line(error)}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # The downstream consumer (head, grep -q, …) closed the pipe
+        # early — that is its prerogative, not a failure.  Detach
+        # stdout so the interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -331,6 +331,23 @@ class DocumentCollection:
             out[name] = (selected - start).astype(np.int64, copy=False)
         return out
 
+    def partition_counts(self, pres: np.ndarray) -> Dict[str, int]:
+        """Per-member result cardinalities, without materializing the
+        document-relative rank arrays.
+
+        The ``mode="count"`` service path: ``pres`` is sorted (every
+        operator pipeline's output is), so one ``searchsorted`` per
+        member span replaces :meth:`partition_relative`'s per-member
+        select-shift-copy.
+        """
+        out: Dict[str, int] = {}
+        for name in self._names:
+            start, end = self._spans[name]
+            low = int(np.searchsorted(pres, start, side="left"))
+            high = int(np.searchsorted(pres, end, side="right"))
+            out[name] = high - low
+        return out
+
     def __len__(self) -> int:
         return len(self._names)
 

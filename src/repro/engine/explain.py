@@ -2,12 +2,15 @@
 
 Renders, per location step, what the execution layer will do — which
 operator runs the axis (staircase join with its skip mode, parent-column
-join, region degeneration), whether the cost model pushes the name test
-below the join, and what the catalogue says about the involved
+join, region degeneration — the axis vocabulary is shared with
+:mod:`repro.xpath.pipeline`), whether the cost model pushes the name
+test below the join, and what the catalogue says about the involved
 cardinalities.  This is the observable face of the paper's future-work
 cost model ("to let the system intelligently decide for or against name
 test pushdown"), and it makes the repository's planner auditable: the
-tests assert the decisions, the CLI prints them.
+tests assert the decisions, the CLI prints them (the authoritative
+*compiled* pipeline rendering is the CLI ``explain`` verb's, from the
+planner's :class:`~repro.xpath.planner.QueryPlan`).
 """
 
 from __future__ import annotations
@@ -19,29 +22,16 @@ from repro.encoding.doctable import DocTable
 from repro.engine.planner import CostModel
 from repro.xpath.ast import BinaryExpr, LocationPath
 from repro.xpath.parser import parse_xpath
+from repro.xpath.pipeline import operator_name
 
 __all__ = ["explain"]
 
-_PARTITIONING = ("descendant", "ancestor", "following", "preceding")
-_STRUCTURAL = {
-    "child": "parent-column equi-join (kind ≠ attribute)",
-    "parent": "parent-column projection (unique)",
-    "attribute": "parent-column equi-join (kind = attribute)",
-    "self": "identity",
-    "following-sibling": "parent-column sibling scan (pre > context)",
-    "preceding-sibling": "parent-column sibling scan (pre < context)",
-}
-
-
 def _operator_for(axis: str, mode: SkipMode) -> str:
+    # Only the plain partitioning axes carry the skip-mode detail; every
+    # other axis renders exactly as the pipeline's shared vocabulary.
     if axis in ("descendant", "ancestor"):
         return f"staircase_join_{'desc' if axis == 'descendant' else 'anc'} (skip={mode.value})"
-    if axis in ("following", "preceding"):
-        return f"staircase_join_{axis} (context degenerates to a singleton)"
-    if axis in ("descendant-or-self", "ancestor-or-self"):
-        base = axis.split("-")[0]
-        return f"staircase_join_{'desc' if base == 'descendant' else 'anc'} ∪ context"
-    return _STRUCTURAL.get(axis, axis)
+    return operator_name(axis)
 
 
 def explain(

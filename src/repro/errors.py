@@ -13,6 +13,7 @@ __all__ = [
     "XMLSyntaxError",
     "EncodingError",
     "StorageError",
+    "StoreNotFoundError",
     "BTreeError",
     "XPathSyntaxError",
     "XPathEvaluationError",
@@ -47,6 +48,13 @@ class EncodingError(ReproError):
 
 class StorageError(ReproError):
     """Raised on misuse of the column-store substrate (BATs, columns)."""
+
+
+class StoreNotFoundError(ReproError, FileNotFoundError):
+    """Raised when a path given as a sharded store is not one (no
+    manifest).  Also a :class:`FileNotFoundError`, so callers that treat
+    missing inputs uniformly (e.g. the CLI's usage-error exit code)
+    need only one ``except`` clause."""
 
 
 class BTreeError(StorageError):

@@ -24,13 +24,19 @@ update`` applies an ops file to one.
 """
 
 from repro.service.cache import LRUCache
-from repro.service.executor import ShardExecutor, ShardWorkerState, default_workers
+from repro.service.executor import (
+    ShardExecutor,
+    ShardWorkerState,
+    available_cpus,
+    default_workers,
+)
 from repro.service.service import QueryService, ServiceResult
 from repro.service.store import ShardedStore
 from repro.service.updates import UpdateOp, parse_ops
 
 __all__ = [
     "LRUCache",
+    "available_cpus",
     "ShardExecutor",
     "ShardWorkerState",
     "default_workers",

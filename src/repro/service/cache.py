@@ -5,11 +5,13 @@ engines entirely:
 
 * the **plan cache** maps query text to its parsed AST, so each distinct
   query is lexed/parsed once per service lifetime;
-* the **result cache** maps ``(shard_epoch, query, engine, scope)`` to a
-  finished :class:`~repro.service.service.ServiceResult` payload.  The
-  epoch component is the staleness guard: replacing a shard bumps the
-  store epoch, so every key minted before the replacement can never be
-  looked up again — stale entries simply age out of the LRU order.
+* the **result cache** maps ``(shard_epoch, query, engine, scope,
+  mode)`` to a finished :class:`~repro.service.service.ServiceResult`
+  payload — the result mode is part of the key, so a ``count`` answer
+  can never satisfy a ``materialize`` lookup.  The epoch component is
+  the staleness guard: replacing a shard bumps the store epoch, so
+  every key minted before the replacement can never be looked up again
+  — stale entries simply age out of the LRU order.
 
 The cache is a plain ``OrderedDict`` under a lock: the service fans work
 out to *processes* (which never share this memory), so the lock only has

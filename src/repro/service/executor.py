@@ -1,7 +1,10 @@
 """Fan a query (or a batch) across shards, serially or over processes.
 
-Each unit of work is a :class:`ShardTask`: evaluate one plan against
-one shard, return per-document *relative* preorder ranks.  The same
+Each unit of work is a :class:`ShardTask`: run one compiled
+:class:`~repro.xpath.pipeline.PhysicalPlan` against one shard and
+return the payload of the task's **result mode** — per-document
+*relative* preorder ranks (``materialize``), per-document cardinalities
+(``count``), or a single shard-level boolean (``exists``).  The same
 :class:`ShardWorkerState` object executes tasks in both modes:
 
 * ``workers=0`` — in-process (the serial reference path; also what the
@@ -9,26 +12,33 @@ one shard, return per-document *relative* preorder ranks.  The same
 * ``workers>0`` — a ``multiprocessing`` pool whose initializer opens the
   store read-only in every worker.  Shard columns arrive memory-mapped
   (``persist.load(mmap=True)``), so all workers share one page-cache
-  copy of each shard file; only the task tuples and the result rank
-  arrays cross the process boundary.
+  copy of each shard file; only the task tuples and the result payloads
+  cross the process boundary — for ``count``/``exists`` that payload is
+  a handful of integers instead of rank arrays.
 
 Tasks are dispatched *grouped by shard* (one pool item per shard, not
 per query × shard): a worker holding a whole batch's plans for one
-shard factors them into a **step-prefix trie** and evaluates each
-distinct prefix once — eight queries opening with
+shard factors them into an **operator-prefix trie** and evaluates each
+distinct pipeline prefix once — eight queries opening with
 ``/site/open_auctions/open_auction`` pay for that chain once, not eight
-times (:meth:`ShardWorkerState.run_group`).  Intermediate context
+times (:meth:`ShardWorkerState.run_group`), and a ``count`` or
+``exists`` query shares every prefix with a materializing one because
+the terminal is not part of the prefix.  ``exists`` tasks additionally
+leave the trie at their final producing operator, which is then driven
+over geometrically growing context chunks and stops at the first hit
+(:func:`~repro.xpath.pipeline.exists_tail`).  Intermediate context
 arrays are kept in a per-worker, byte-budgeted LRU keyed by
-``(shard file, engine, prefix)``; the shard file name carries the store
-epoch (``shard-0000.e0005.npz``), so the same epoch fencing that
-protects the result cache makes stale prefix entries unreachable after
-any commit.
+``(shard file, engine, operator prefix)``; the shard file name carries
+the store epoch (``shard-0000.e0005.npz``), so the same epoch fencing
+that protects the result cache makes stale prefix entries unreachable
+after any commit.
 
-Plans are parsed (and planned — :class:`~repro.xpath.planner.QueryPlan`
-ships whole) once in the service process and sent to workers pickled —
-workers never touch the XPath parser.  Worker-side collections and
-evaluators are cached per shard *file*, so a replaced shard (new file
-name) is picked up on the next task without restarting the pool.
+Plans are parsed, planned, and compiled once in the service process and
+sent to workers pickled — workers never touch the XPath parser (raw
+query strings and uncompiled plans are still accepted and compiled on
+arrival, for direct callers).  Worker-side collections and evaluators
+are cached per shard *file*, so a replaced shard (new file name) is
+picked up on the next task without restarting the pool.
 """
 
 from __future__ import annotations
@@ -43,16 +53,24 @@ import numpy as np
 from repro.errors import ReproError
 from repro.service.cache import LRUCache
 from repro.service.store import ShardedStore
-from repro.xpath.ast import LocationPath
 from repro.xpath.axes import DOCUMENT_CONTEXT
-from repro.xpath.evaluator import Evaluator
-from repro.xpath.planner import QueryPlan
+from repro.xpath.evaluator import Evaluator, parse_with_cache
+from repro.xpath.pipeline import (
+    MODES,
+    PhysicalPlan,
+    compile_plan,
+    dispatch,
+    drive,
+    exists_ready,
+    exists_tail,
+)
 
 __all__ = [
     "PrefixContextCache",
     "ShardExecutor",
     "ShardTask",
     "ShardWorkerState",
+    "available_cpus",
     "default_workers",
 ]
 
@@ -64,14 +82,31 @@ class ShardTask(NamedTuple):
     shard_id: int
     shard_file: str  #: file name relative to the store directory
     names: Tuple[str, ...]  #: member documents, in shard order
-    plan: object  #: parsed XPath AST (or raw query string)
+    plan: object  #: compiled PhysicalPlan (or QueryPlan / AST / string)
     engine: str
     document: Optional[str]  #: scope to one member, or None for the shard
+    mode: str = "materialize"  #: result mode: materialize | count | exists
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.sched_getaffinity`` respects container/cgroup CPU masks (the
+    common CI case), where ``os.cpu_count`` reports the whole machine
+    and would oversubscribe the pool; platforms without affinity fall
+    back to the plain count.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 
 def default_workers(store: ShardedStore) -> int:
-    """Auto worker count: one per shard, capped by the machine."""
-    return max(1, min(store.shard_count, os.cpu_count() or 1))
+    """Auto worker count: one per shard, capped by the usable CPUs."""
+    return max(1, min(store.shard_count, available_cpus()))
 
 
 #: How often a worker will chase a shard file that commits keep
@@ -96,7 +131,7 @@ class PrefixContextCache(LRUCache):
     """
 
     #: Charged per entry on top of the array payload: keys are
-    #: (shard-file string, engine, tuple-of-Steps) plus OrderedDict
+    #: (shard-file string, engine, tuple-of-operators) plus OrderedDict
     #: slots — without this, thousands of empty-array entries (absent
     #: tags, selective prefixes) would never trigger eviction.
     ENTRY_OVERHEAD = 512
@@ -162,10 +197,11 @@ class ShardWorkerState:
     ):
         self.directory = directory
         self.mmap = mmap
-        # Shared by this worker's evaluators: tasks normally carry parsed
-        # ASTs, but raw query strings are accepted and then parsed once.
+        # Shared by this worker's evaluators: tasks normally carry
+        # compiled pipelines, but raw query strings are accepted and
+        # then parsed once.
         self.plan_cache = LRUCache(plan_cache_size)
-        # Intermediate step-prefix contexts, keyed
+        # Intermediate operator-prefix contexts, keyed
         # (shard file, engine, prefix) — the file name carries the epoch,
         # so every committed mutation orphans the keys minted before it.
         self.prefix_cache = PrefixContextCache(prefix_cache_bytes)
@@ -230,26 +266,44 @@ class ShardWorkerState:
             self._evaluators[key] = evaluator
         return evaluator
 
+    def _pipeline(self, task: ShardTask) -> PhysicalPlan:
+        """The task's compiled pipeline, in the task's result mode.
+
+        Service-dispatched tasks already carry a :class:`PhysicalPlan`;
+        direct callers may still hand a query string, a parsed AST, or a
+        :class:`~repro.xpath.planner.QueryPlan` — compiled here.
+        """
+        plan = task.plan
+        if isinstance(plan, str):
+            plan = parse_with_cache(plan, self.plan_cache)
+        return compile_plan(plan, mode=task.mode)
+
     @staticmethod
     @contextlib.contextmanager
-    def _applied(evaluator: Evaluator, plan: object):
-        """Apply a :class:`QueryPlan`'s evaluator-level decisions
-        (per-step pushdown set, scalar skip mode) for one evaluation,
-        restoring the worker-cached evaluator afterwards."""
-        if not isinstance(plan, QueryPlan):
-            yield
-            return
+    def _applied(evaluator: Evaluator, plan: PhysicalPlan):
+        """Apply a compiled plan's evaluator-level decisions (per-step
+        pushdown set for scoped re-anchoring, scalar skip mode) for one
+        evaluation, restoring the worker-cached evaluator afterwards."""
         saved = (evaluator.pushdown, evaluator._pushdown_steps, evaluator.axes.mode)
         evaluator._set_pushdown(plan.pushdown_steps)
-        evaluator.axes.mode = plan.skip_mode
+        if plan.skip_mode is not None:
+            evaluator.axes.mode = plan.skip_mode
         try:
             yield
         finally:
             evaluator.pushdown, evaluator._pushdown_steps = saved[0], saved[1]
             evaluator.axes.mode = saved[2]
 
-    def run(self, task: ShardTask) -> Tuple[int, int, Dict[str, np.ndarray]]:
-        """Execute one task; returns ``(index, shard_id, per-doc ranks)``.
+    def _finish(self, task: ShardTask, collection, pres: np.ndarray):
+        """Convert a shard-plane frontier into the task's mode payload."""
+        if task.mode == "exists":
+            return bool(len(pres))
+        if task.mode == "count":
+            return collection.partition_counts(pres)
+        return collection.partition_relative(pres)
+
+    def run(self, task: ShardTask, pipeline: Optional[PhysicalPlan] = None):
+        """Execute one task; returns ``(index, shard_id, payload)``.
 
         A shard (or scoped document) a racing update removed mid-flight
         contributes an empty result instead of failing the batch — the
@@ -262,115 +316,152 @@ class ShardWorkerState:
         if task.document is not None and task.document not in collection:
             return task.index, task.shard_id, self._gone(task)
         evaluator = self._evaluator(task.shard_id, task.engine, collection)
-        plan = task.plan
-        expression = plan.path if isinstance(plan, QueryPlan) else plan
-        with self._applied(evaluator, plan):
-            pres = collection.evaluate(
-                expression, document=task.document, evaluator=evaluator
-            )
-        if task.document is not None:
-            start, _ = collection.span(task.document)
-            relative = {task.document: (pres - start).astype(np.int64, copy=False)}
-        else:
-            relative = collection.partition_relative(pres)
-        return task.index, task.shard_id, relative
+        if pipeline is None:
+            pipeline = self._pipeline(task)
+        with self._applied(evaluator, pipeline):
+            if task.document is not None:
+                # Scoped evaluation re-anchors the path at the member
+                # root (an AST transformation), so it materializes and
+                # derives count/exists from the single document's ranks.
+                pres = collection.evaluate(
+                    pipeline.source, document=task.document, evaluator=evaluator
+                )
+                if task.mode == "exists":
+                    payload = bool(len(pres))
+                elif task.mode == "count":
+                    payload = {task.document: int(len(pres))}
+                else:
+                    start, _ = collection.span(task.document)
+                    payload = {
+                        task.document: (pres - start).astype(np.int64, copy=False)
+                    }
+                return task.index, task.shard_id, payload
+            root = collection.doc.root
+            if task.mode == "exists":
+                payload = drive(pipeline, evaluator, exclude_pre=root)
+            else:
+                pres = drive(
+                    pipeline.with_mode("materialize"), evaluator, exclude_pre=root
+                )
+                payload = self._finish(task, collection, pres)
+        return task.index, task.shard_id, payload
 
     # ------------------------------------------------------------------
     # Shared-prefix batch execution
     # ------------------------------------------------------------------
-    def run_group(
-        self, tasks: Sequence[ShardTask]
-    ) -> List[Tuple[int, int, Dict[str, np.ndarray]]]:
+    def run_group(self, tasks: Sequence[ShardTask]):
         """Execute one shard's slice of a whole batch.
 
-        Planned, shard-wide location-path tasks are factored into a
-        step-prefix trie and evaluated one distinct prefix at a time
-        (consulting the prefix cache); everything else — scoped tasks,
-        unions, unplanned plans — falls back to :meth:`run` per task.
+        Planned single-branch pipelines over the whole shard are
+        factored into an operator-prefix trie and evaluated one
+        distinct prefix at a time (consulting the prefix cache) —
+        result modes mix freely, since the terminal is not part of any
+        prefix; everything else — scoped tasks, unions, unplanned
+        plans — falls back to :meth:`run` per task.
         """
-        shared: Dict[str, List[ShardTask]] = {}
-        outcomes: List[Tuple[int, int, Dict[str, np.ndarray]]] = []
+        shared: Dict[str, List[Tuple[ShardTask, PhysicalPlan]]] = {}
+        outcomes: List[tuple] = []
         for task in tasks:
-            plan = task.plan
-            if (
-                task.document is None
-                and isinstance(plan, QueryPlan)
-                and isinstance(plan.path, LocationPath)
-            ):
-                shared.setdefault(task.engine, []).append(task)
+            pipeline = (
+                self._pipeline(task) if task.document is None else None
+            )
+            if pipeline is not None and pipeline.planned and pipeline.single_path:
+                shared.setdefault(task.engine, []).append((task, pipeline))
             else:
-                outcomes.append(self.run(task))
+                outcomes.append(self.run(task, pipeline))
         for engine, group in shared.items():
             if len(group) == 1:
                 # Nothing to share: the trie's bookkeeping (grouping,
                 # freezing, cache writes) would be pure overhead.  Exact
                 # repeats are the result cache's job, not this one's.
-                outcomes.append(self.run(group[0]))
+                outcomes.append(self.run(*group[0]))
             else:
                 outcomes.extend(self._run_trie(engine, group))
         return outcomes
 
     def _run_trie(
-        self, engine: str, tasks: List[ShardTask]
-    ) -> List[Tuple[int, int, Dict[str, np.ndarray]]]:
-        """Evaluate same-shard planned paths, sharing step prefixes."""
+        self, engine: str, members: List[Tuple[ShardTask, PhysicalPlan]]
+    ) -> List[tuple]:
+        """Evaluate same-shard pipelines, sharing operator prefixes."""
         try:
-            collection = self._collection(tasks[0])
+            collection = self._collection(members[0][0])
         except _ShardVanished:
-            return [(t.index, t.shard_id, self._gone(t)) for t in tasks]
+            return [
+                (t.index, t.shard_id, self._gone(t)) for t, _ in members
+            ]
         # The *loaded* file (fall-forward may differ from the task's
         # snapshot) keys the prefix cache, so cached contexts always
         # describe the plane they were computed on.
-        shard_file = self._collections[tasks[0].shard_id][0]
-        evaluator = self._evaluator(tasks[0].shard_id, engine, collection)
-        outcomes: List[Tuple[int, int, Dict[str, np.ndarray]]] = []
+        shard_file = self._collections[members[0][0].shard_id][0]
+        evaluator = self._evaluator(members[0][0].shard_id, engine, collection)
+        outcomes: List[tuple] = []
         root = collection.doc.root
 
-        def finish(task: ShardTask, final) -> None:
+        def finish(task: ShardTask, collection, final) -> None:
             if final is DOCUMENT_CONTEXT:  # a bare "/" — nothing encoded
                 final = np.empty(0, dtype=np.int64)
             final = final[final != root]
             outcomes.append(
-                (task.index, task.shard_id, collection.partition_relative(final))
+                (task.index, task.shard_id, self._finish(task, collection, final))
             )
 
-        def descend(members: List[ShardTask], depth: int, prefix, context) -> None:
-            groups: Dict[object, List[ShardTask]] = {}
-            for task in members:
-                steps = task.plan.path.steps
-                if len(steps) == depth:
-                    finish(task, context)
+        def finish_exists(
+            task: ShardTask, pipeline: PhysicalPlan, prefix, tail, context
+        ) -> None:
+            # A materializing sibling may already have cached the full
+            # chain — answering from it beats re-running the tail.
+            chain = prefix + tail
+            cached = self.prefix_cache.get((shard_file, task.engine, chain))
+            if cached is not None:
+                finish(task, collection, cached)
+                return
+            with self._applied(evaluator, pipeline):
+                hit = exists_tail(tail, evaluator, context, exclude_pre=root)
+            outcomes.append((task.index, task.shard_id, bool(hit)))
+
+        def descend(members, depth: int, prefix, context) -> None:
+            groups: Dict[object, list] = {}
+            for task, pipeline in members:
+                ops = pipeline.branches[0]
+                if len(ops) == depth:
+                    finish(task, collection, context)
+                elif task.mode == "exists" and exists_ready(ops, depth, context):
+                    # A chunkable frontier: leave the trie and drive the
+                    # remaining tail over growing context chunks,
+                    # stopping at the first hit.  Partial frontiers are
+                    # deliberately not cached.  Document-anchored and
+                    # single-node contexts have nothing to chunk — they
+                    # stay in the trie and share its cache instead.
+                    finish_exists(task, pipeline, prefix, ops[depth:], context)
                 else:
-                    groups.setdefault(steps[depth], []).append(task)
-            for step, sub in groups.items():
-                child = prefix + (step,)
+                    groups.setdefault(ops[depth], []).append((task, pipeline))
+            for op, sub in groups.items():
+                child = prefix + (op,)
                 key = (shard_file, engine, child)
                 out = self.prefix_cache.get(key)
                 if out is None:
-                    plan = sub[0].plan
-                    with self._applied(evaluator, plan):
-                        out = evaluator.evaluate_step(context, step, depth)
-                    # Cached contexts are shared across queries and
-                    # batches: freeze a view so no later consumer can
-                    # mutate what another query will read.
-                    out = out.view()
-                    out.flags.writeable = False
-                    self.prefix_cache.put(key, out)
+                    with self._applied(evaluator, sub[0][1]):
+                        out = dispatch(op, evaluator, context)
+                    if isinstance(out, np.ndarray):
+                        # Cached contexts are shared across queries and
+                        # batches: freeze a view so no later consumer can
+                        # mutate what another query will read.
+                        out = out.view()
+                        out.flags.writeable = False
+                        self.prefix_cache.put(key, out)
                 descend(sub, depth + 1, child, out)
 
-        absolute = [t for t in tasks if t.plan.path.absolute]
-        relative = [t for t in tasks if not t.plan.path.absolute]
-        if absolute:
-            descend(absolute, 0, ("/",), DOCUMENT_CONTEXT)
-        if relative:
-            seed = np.asarray([root], dtype=np.int64)
-            descend(relative, 0, (".",), seed)
+        descend(members, 0, (), None)
         return outcomes
 
     @staticmethod
-    def _gone(task: ShardTask) -> Dict[str, np.ndarray]:
+    def _gone(task: ShardTask):
         """The empty payload of a shard/document removed mid-flight."""
+        if task.mode == "exists":
+            return False
         if task.document is not None:
+            if task.mode == "count":
+                return {task.document: 0}
             return {task.document: np.empty(0, dtype=np.int64)}
         return {}
 
@@ -399,8 +490,8 @@ def _split_for_pool(
     Each shard's group is cut into at most ``ceil(workers / shards)``
     contiguous chunks — query-level parallelism is restored when shards
     are scarce, while tasks that stay chunked together can still share
-    step prefixes (and every worker's prefix cache still serves repeat
-    prefixes across batches).
+    operator prefixes (and every worker's prefix cache still serves
+    repeat prefixes across batches).
     """
     if not grouped or len(grouped) >= workers:
         return grouped
@@ -411,6 +502,11 @@ def _split_for_pool(
         size = -(-len(group) // chunks)
         units.extend(group[i : i + size] for i in range(0, len(group), size))
     return units
+
+
+def _item_mode(item: Sequence) -> str:
+    """Result mode of a ``run_batch`` item (3-tuples materialize)."""
+    return item[3] if len(item) > 3 else "materialize"
 
 
 class ShardExecutor:
@@ -434,20 +530,20 @@ class ShardExecutor:
         self._serial_state: Optional[ShardWorkerState] = None
 
     # ------------------------------------------------------------------
-    def run_batch(
-        self,
-        items: Sequence[Tuple[object, str, Optional[str]]],
-    ) -> List[Dict[str, np.ndarray]]:
-        """Evaluate a batch of ``(plan, engine, document)`` items.
+    def run_batch(self, items: Sequence[Sequence]) -> List:
+        """Evaluate a batch of ``(plan, engine, document[, mode])`` items.
 
-        Returns, per item, the merged mapping of document name →
-        document-relative preorder ranks, in global document order
-        (scoped items report their single document only).
+        Returns, per item, the merged payload of the item's result
+        mode: a mapping of document name → document-relative preorder
+        ranks (``materialize``) or → cardinality (``count``), in global
+        document order (scoped items report their single document
+        only); ``exists`` items merge to one boolean — shard payloads
+        are OR-ed together instead of concatenated.
         """
         order = self.store.document_names()
         tasks = self._expand(items)
         # One dispatch unit per shard: the worker holding a shard sees
-        # the whole batch's plans for it and shares their step prefixes.
+        # the whole batch's plans for it and shares their prefixes.
         groups: Dict[int, List[ShardTask]] = {}
         for task in tasks:
             groups.setdefault(task.shard_id, []).append(task)
@@ -470,11 +566,15 @@ class ShardExecutor:
         return self._merge(items, outcomes, order)
 
     # ------------------------------------------------------------------
-    def _expand(
-        self, items: Sequence[Tuple[object, str, Optional[str]]]
-    ) -> List[ShardTask]:
+    def _expand(self, items: Sequence[Sequence]) -> List[ShardTask]:
         tasks = []
-        for index, (plan, engine, document) in enumerate(items):
+        for index, item in enumerate(items):
+            plan, engine, document = item[0], item[1], item[2]
+            mode = _item_mode(item)
+            if mode not in MODES:
+                raise ReproError(
+                    f"unknown result mode {mode!r} (expected one of {MODES})"
+                )
             if document is not None:
                 shard_ids = [self.store.shard_of(document)]
             else:
@@ -490,21 +590,34 @@ class ShardExecutor:
                         plan=plan,
                         engine=engine,
                         document=document,
+                        mode=mode,
                     )
                 )
         return tasks
 
     def _merge(
         self,
-        items: Sequence[Tuple[object, str, Optional[str]]],
-        outcomes: Sequence[Tuple[int, int, Dict[str, np.ndarray]]],
+        items: Sequence[Sequence],
+        outcomes: Sequence[tuple],
         order: Sequence[str],
-    ) -> List[Dict[str, np.ndarray]]:
-        per_item: List[Dict[str, np.ndarray]] = [{} for _ in items]
-        for index, _, relative in outcomes:
-            per_item[index].update(relative)
+    ) -> List:
+        per_item: List[Optional[dict]] = [None] * len(items)
+        exists: Dict[int, bool] = {}
+        for index, _, payload in outcomes:
+            if _item_mode(items[index]) == "exists":
+                # OR the shard booleans instead of concatenating arrays.
+                exists[index] = exists.get(index, False) or bool(payload)
+            else:
+                if per_item[index] is None:
+                    per_item[index] = {}
+                per_item[index].update(payload)
         merged = []
-        for (plan, engine, document), collected in zip(items, per_item):
+        for index, (item, collected) in enumerate(zip(items, per_item)):
+            document, mode = item[2], _item_mode(item)
+            if mode == "exists":
+                merged.append(exists.get(index, False))
+                continue
+            collected = collected if collected is not None else {}
             if document is not None:
                 merged.append({document: collected[document]})
                 continue

@@ -6,33 +6,38 @@ A :class:`QueryService` answers XPath queries over a
 1. the query string is parsed once (LRU **plan cache**) and validated
    before any work is dispatched;
 2. the **result cache** is consulted under the key
-   ``(store epoch, query, engine, scope)`` — a warm repeat never touches
-   an engine, and a shard replacement bumps the epoch so no stale entry
-   is ever reachable;
-3. misses fan out through the
-   :class:`~repro.service.executor.ShardExecutor` (vectorized engine by
-   default) and the pre-ordered per-shard results are merged in global
-   document order.
+   ``(store epoch, query, engine, scope, mode)`` — a warm repeat never
+   touches an engine, and a shard replacement bumps the epoch so no
+   stale entry is ever reachable;
+3. misses are compiled into
+   :class:`~repro.xpath.pipeline.PhysicalPlan` operator pipelines and
+   fan out through the :class:`~repro.service.executor.ShardExecutor`
+   (vectorized engine by default); the pre-ordered per-shard results
+   are merged in global document order.
 
-Results are :class:`ServiceResult` values: per-document *relative*
-preorder ranks (rank 0 = the document's root element), so the payload is
-independent of how documents were sharded — the property the
-equivalence tests pin down.
+Every query runs in a **result mode**: ``materialize`` (the default),
+``count``, or ``exists``.  Results are :class:`ServiceResult` values:
+per-document *relative* preorder ranks (rank 0 = the document's root
+element) for ``materialize`` — so the payload is independent of how
+documents were sharded, the property the equivalence tests pin down —
+per-document cardinalities for ``count`` (shard workers never ship
+rank arrays), and a single boolean for ``exists`` (shard pipelines
+terminate at their first hit and the merge ORs the shard verdicts).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-import numpy as np
-
+from repro.errors import ReproError
 from repro.service.cache import LRUCache
 from repro.service.executor import ShardExecutor
 from repro.service.store import ShardedStore
 from repro.xpath.axes import resolve_engine
 from repro.xpath.evaluator import parse_with_cache
+from repro.xpath.pipeline import compile_plan
 from repro.xpath.planner import Planner, QueryPlan, TagStatistics
 
 __all__ = ["QueryService", "ServiceResult"]
@@ -42,25 +47,46 @@ __all__ = ["QueryService", "ServiceResult"]
 class ServiceResult:
     """One answered query.
 
-    ``per_document`` maps member name → document-relative preorder ranks
-    (read-only arrays, document order).  ``elapsed_s`` is the wall time
-    of the executor call that produced the result (shared by every
-    result of one batch; ~0 for cache hits).
+    For ``mode="materialize"`` (the default) ``per_document`` maps
+    member name → document-relative preorder ranks (read-only arrays,
+    document order); for ``mode="count"`` it maps member name → result
+    cardinality; for ``mode="exists"`` it is empty and ``total`` is
+    1/0.  ``elapsed_s`` is the wall time of the executor call that
+    produced the result (shared by every result of one batch; ~0 for
+    cache hits).
     """
 
     query: str
     engine: str
-    per_document: Dict[str, np.ndarray]
+    per_document: Dict[str, object]
     total: int
     from_cache: bool
     elapsed_s: float
+    mode: str = "materialize"
 
     @property
     def documents(self) -> List[str]:
         return list(self.per_document)
 
+    @property
+    def exists(self) -> bool:
+        """Did the query match anywhere in scope?"""
+        return self.total > 0
+
+    @property
+    def value(self):
+        """The mode's natural payload: rank mapping, total, or bool."""
+        if self.mode == "count":
+            return self.total
+        if self.mode == "exists":
+            return self.exists
+        return dict(self.per_document)
+
     def counts(self) -> Dict[str, int]:
-        """Result cardinality per member document."""
+        """Result cardinality per member document (empty for
+        ``exists`` results — early termination skips attribution)."""
+        if self.mode == "count":
+            return {name: int(n) for name, n in self.per_document.items()}
         return {name: int(len(a)) for name, a in self.per_document.items()}
 
 
@@ -115,9 +141,16 @@ class QueryService:
         document: Optional[str] = None,
         use_cache: bool = True,
         use_planner: Optional[bool] = None,
+        mode: str = "materialize",
     ) -> ServiceResult:
-        """Answer one query (optionally scoped to a single document)."""
-        return self._run_batch([query], engine, document, use_cache, use_planner)[0]
+        """Answer one query (optionally scoped to a single document).
+
+        ``mode="count"``/``"exists"`` skip rank materialization — the
+        shard pipelines terminate early and ship integers/booleans.
+        """
+        return self._run_batch(
+            [query], engine, document, use_cache, use_planner, [mode]
+        )[0]
 
     def execute_batch(
         self,
@@ -125,9 +158,24 @@ class QueryService:
         engine: Optional[str] = None,
         use_cache: bool = True,
         use_planner: Optional[bool] = None,
+        mode: Union[str, Sequence[str]] = "materialize",
     ) -> List[ServiceResult]:
-        """Answer a batch; cache misses share one fan-out over the pool."""
-        return self._run_batch(list(queries), engine, None, use_cache, use_planner)
+        """Answer a batch; cache misses share one fan-out over the pool.
+
+        ``mode`` is one result mode for the whole batch or one per
+        query — mixed-mode batches still share operator-pipeline
+        prefixes per shard.
+        """
+        queries = list(queries)
+        if isinstance(mode, str):
+            modes = [mode] * len(queries)
+        else:
+            modes = list(mode)
+            if len(modes) != len(queries):
+                raise ReproError(
+                    f"{len(modes)} modes for {len(queries)} queries"
+                )
+        return self._run_batch(queries, engine, None, use_cache, use_planner, modes)
 
     # ------------------------------------------------------------------
     def _run_batch(
@@ -136,51 +184,74 @@ class QueryService:
         engine: Optional[str],
         document: Optional[str],
         use_cache: bool,
-        use_planner: Optional[bool] = None,
+        use_planner: Optional[bool],
+        modes: List[str],
     ) -> List[ServiceResult]:
         chosen = resolve_engine(engine) if engine is not None else self.engine
+        # Modes are validated at the executor boundary (shared with
+        # direct callers); an unknown mode can only miss the cache here.
         planned = self.planner_enabled if use_planner is None else use_planner
         results: List[Optional[ServiceResult]] = [None] * len(queries)
         # The epoch is snapshotted once per batch: if a shard replacement
         # races the execution, the fresh results are cached under this
         # (now unreachable) epoch rather than poisoning the new one.
         epoch = self.store.epoch
-        # Distinct missing queries → the positions asking for them, so a
-        # batch with repeats fans each distinct query out exactly once.
-        missing: Dict[str, List[int]] = {}
-        for i, query in enumerate(queries):
-            key = (epoch, query, chosen, document)
+        # Distinct missing (query, mode) pairs → the positions asking for
+        # them, so a batch with repeats fans each distinct pair out
+        # exactly once.
+        missing: Dict[tuple, List[int]] = {}
+        for i, (query, mode) in enumerate(zip(queries, modes)):
+            key = (epoch, query, chosen, document, mode)
             hit = self.result_cache.get(key) if use_cache else None
             if hit is not None:
                 results[i] = self._share(hit, from_cache=True, elapsed_s=0.0)
             else:
-                missing.setdefault(query, []).append(i)
+                missing.setdefault((query, mode), []).append(i)
         if missing:
-            plans = [
-                self._plan(query, chosen, epoch, planned, scoped=document is not None)
-                for query in missing
-            ]
-            started = time.perf_counter()
-            merged = self.executor.run_batch(
-                [(plan, chosen, document) for plan in plans]
-            )
-            elapsed = time.perf_counter() - started
-            for (query, positions), per_document in zip(missing.items(), merged):
-                for array in per_document.values():
-                    array.flags.writeable = False
-                result = ServiceResult(
-                    query=query,
-                    engine=chosen,
-                    per_document=per_document,
-                    total=sum(len(a) for a in per_document.values()),
-                    from_cache=False,
-                    elapsed_s=elapsed,
+            items = []
+            for query, mode in missing:
+                plan = self._plan(
+                    query, chosen, epoch, planned, scoped=document is not None
                 )
+                items.append((compile_plan(plan), chosen, document, mode))
+            started = time.perf_counter()
+            merged = self.executor.run_batch(items)
+            elapsed = time.perf_counter() - started
+            for ((query, mode), positions), payload in zip(missing.items(), merged):
+                result = self._package(query, chosen, mode, payload, elapsed)
                 if use_cache:
-                    self.result_cache.put((epoch, query, chosen, document), result)
+                    self.result_cache.put(
+                        (epoch, query, chosen, document, mode), result
+                    )
                 for position in positions:
                     results[position] = self._share(result)
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _package(
+        query: str, engine: str, mode: str, payload, elapsed: float
+    ) -> ServiceResult:
+        """Wrap one merged executor payload as a :class:`ServiceResult`."""
+        if mode == "exists":
+            per_document: Dict[str, object] = {}
+            total = int(bool(payload))
+        elif mode == "count":
+            per_document = dict(payload)
+            total = sum(payload.values())
+        else:
+            for array in payload.values():
+                array.flags.writeable = False
+            per_document = payload
+            total = sum(len(a) for a in payload.values())
+        return ServiceResult(
+            query=query,
+            engine=engine,
+            per_document=per_document,
+            total=total,
+            from_cache=False,
+            elapsed_s=elapsed,
+            mode=mode,
+        )
 
     @staticmethod
     def _share(result: ServiceResult, **overrides) -> ServiceResult:

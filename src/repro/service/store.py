@@ -51,7 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.encoding.collection import DocumentCollection
 from repro.encoding.persist import FORMAT_VERSION, load, save
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreNotFoundError
 from repro.service.updates import UpdateOp
 from repro.xmltree.model import Node
 
@@ -165,7 +165,9 @@ class ShardedStore:
             with open(path) as f:
                 manifest = json.load(f)
         except FileNotFoundError:
-            raise ReproError(f"{directory}: not a sharded store (no {MANIFEST})")
+            raise StoreNotFoundError(
+                f"{directory}: not a sharded store (no {MANIFEST})"
+            ) from None
         except json.JSONDecodeError as error:
             raise ReproError(f"{path}: corrupt manifest ({error})") from None
         if manifest.get("store_format") != STORE_FORMAT:

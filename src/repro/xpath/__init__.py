@@ -20,6 +20,7 @@ and predicates with positions, comparisons, paths and the core functions
 from repro.xpath.ast import AXES, LocationPath, NodeTest, Step
 from repro.xpath.evaluator import Evaluator, evaluate
 from repro.xpath.parser import parse_xpath
+from repro.xpath.pipeline import MODES, PhysicalPlan, compile_plan, drive
 from repro.xpath.planner import Planner, QueryPlan, TagStatistics
 from repro.xpath.rewrite import push_name_test, symmetry_rewrite
 
@@ -28,9 +29,13 @@ __all__ = [
     "Step",
     "NodeTest",
     "AXES",
+    "MODES",
     "parse_xpath",
     "Evaluator",
     "evaluate",
+    "compile_plan",
+    "drive",
+    "PhysicalPlan",
     "Planner",
     "QueryPlan",
     "TagStatistics",

@@ -1,22 +1,31 @@
-"""XPath evaluation over the accelerator (steps → staircase joins).
+"""XPath evaluation facade: compile to a physical plan, then drive it.
 
-The evaluator walks a :class:`~repro.xpath.ast.LocationPath` step by step:
-the node sequence output by step ``s_i`` is the context sequence for
-``s_(i+1)`` (Section 2.1).  Every intermediate sequence is an ``int64``
-array of preorder ranks — duplicate-free and document-ordered, because the
-staircase join already guarantees both and the structural axes normalise.
+Since the operator-pipeline refactor the evaluator no longer interprets
+the AST step by step.  :meth:`Evaluator.evaluate` compiles the
+expression into a :class:`~repro.xpath.pipeline.PhysicalPlan` (cached
+per expression) and hands it to the pipeline driver; the evaluator
+itself survives as the *runtime* the operator kernels call back into —
+it owns the document, the axis executor, the lazily built per-tag
+fragments, and the XPath 1.0 expression machinery (predicates,
+functions, coercions, comparisons).
 
-Name-test pushdown (Experiment 3) is available per evaluator: steps of the
-shape ``descendant::tag`` / ``ancestor::tag`` without predicates are then
+Name-test pushdown (Experiment 3) is decided per compiled operator:
+steps of the shape ``descendant::tag`` / ``ancestor::tag`` are then
 executed against the per-tag fragment
-(:class:`~repro.core.fragments.FragmentedDocument`), i.e. the name test is
-applied *before* the join — ``staircasejoin(nametest(doc, n), cs)`` — which
-is valid because pre/post-derived tree properties "remain valid for a
-subset of nodes".
+(:class:`~repro.core.fragments.FragmentedDocument`), i.e. the name test
+is applied *before* the join — ``staircasejoin(nametest(doc, n), cs)``
+— which is valid because pre/post-derived tree properties "remain valid
+for a subset of nodes".
 
-Predicates follow XPath 1.0 semantics: positional predicates see the axis
-order (reverse for the reverse axes); value comparisons use existential
-node-set semantics.
+Predicates follow XPath 1.0 semantics: positional predicates see the
+axis order (reverse for the reverse axes); value comparisons use
+existential node-set semantics.
+
+Result modes: ``evaluate(..., mode="count")`` returns the result
+cardinality and ``mode="exists"`` a boolean, letting the driver
+terminate early instead of materializing ranks the caller will only
+``len()`` or truth-test (:meth:`Evaluator.count` /
+:meth:`Evaluator.exists` are the spelled-out faces).
 """
 
 from __future__ import annotations
@@ -40,15 +49,22 @@ from repro.xpath.ast import (
     Step,
     StringLiteral,
 )
-from repro.xpath.axes import (
-    DOCUMENT_CONTEXT,
-    AxisExecutor,
-    apply_node_test,
-    resolve_engine,
-)
+from repro.xpath.axes import AxisExecutor, apply_node_test, resolve_engine
 from repro.xpath.parser import parse_xpath
+from repro.xpath.pipeline import (
+    StaircaseStep,
+    compile_plan,
+    compile_step_ops,
+    dispatch,
+    drive,
+    is_positional_predicate,
+)
 
 __all__ = ["Evaluator", "evaluate", "parse_with_cache"]
+
+#: Backward-compatible alias — the classification moved to the compile
+#: layer (:mod:`repro.xpath.pipeline`) with the operator refactor.
+_is_positional_predicate = is_positional_predicate
 
 
 def parse_with_cache(query: str, cache) -> Expr:
@@ -90,48 +106,6 @@ _REVERSE_OF = {
 }
 
 
-def _uses_position(expr: Expr) -> bool:
-    """Does ``expr`` call ``position()``/``last()`` anywhere?"""
-    if isinstance(expr, FunctionCall):
-        if expr.name in ("position", "last"):
-            return True
-        return any(_uses_position(a) for a in expr.args)
-    if isinstance(expr, BinaryExpr):
-        return _uses_position(expr.left) or _uses_position(expr.right)
-    return False
-
-
-#: Core functions whose return type is number (XPath 1.0 §4.4).
-_NUMBER_FUNCTIONS = frozenset(
-    ("position", "last", "count", "string-length", "sum", "number",
-     "floor", "ceiling", "round")
-)
-
-
-def _returns_number(expr: Expr) -> bool:
-    """Can ``expr``'s top-level value be a number?
-
-    Per the XPath 1.0 predicate rule, a numeric predicate value is
-    shorthand for ``position() = <number>`` — so any expression that can
-    yield a number must be evaluated per context position.  Comparisons
-    and ``and``/``or`` always yield booleans, unions yield node-sets, so a
-    predicate like ``[initial + 20 < current]`` is *not* positional and
-    can be filtered set-at-a-time.
-    """
-    if isinstance(expr, NumberLiteral):
-        return True
-    if isinstance(expr, FunctionCall):
-        return expr.name in _NUMBER_FUNCTIONS
-    if isinstance(expr, BinaryExpr):
-        return expr.op in ("+", "-", "*", "div", "mod")
-    return False
-
-
-def _is_positional_predicate(expr: Expr) -> bool:
-    """Positional predicates compare against the context position."""
-    return _uses_position(expr) or _returns_number(expr)
-
-
 class Evaluator:
     """Evaluate XPath expressions against one encoded document.
 
@@ -149,9 +123,10 @@ class Evaluator:
         (Experiment 3's ~3× rewrite).  ``True``/``False`` applies to
         every eligible step; an iterable of step indices (the planner's
         per-step verdicts) pushes only at those positions of the
-        *top-level* path — steps inside predicates never push in this
-        mode.  Fragments are built lazily on first use and cached for
-        the evaluator's lifetime.
+        *top-level* path.  The verdicts are fused into the compiled
+        :class:`~repro.xpath.pipeline.StaircaseStep` operators.
+        Fragments are built lazily on first use and cached for the
+        evaluator's lifetime.
     stats:
         Shared :class:`JoinStatistics`; accumulates across queries.
     engine:
@@ -166,6 +141,11 @@ class Evaluator:
         parsed at most once per cache lifetime — the service layer shares
         one cache across every evaluator it owns.
     """
+
+    #: Compiled-pipeline cache bound (per evaluator); the cache is
+    #: cleared wholesale when it fills — compilation is cheap, the cap
+    #: only guards against unbounded growth under query churn.
+    COMPILE_CACHE_LIMIT = 256
 
     def __init__(
         self,
@@ -184,6 +164,7 @@ class Evaluator:
         self._set_pushdown(pushdown)
         self.plan_cache = plan_cache
         self._fragments: Optional[FragmentedDocument] = None
+        self._compiled: dict = {}
 
     def _set_pushdown(self, pushdown) -> None:
         """Normalise the ``pushdown`` spelling (bool or step-index set)."""
@@ -198,13 +179,18 @@ class Evaluator:
     def _push_at(self, step_index: Optional[int]) -> bool:
         """Is pushdown enabled for the top-level step at ``step_index``?
 
-        ``None`` marks steps without a top-level position (predicate
-        sub-paths, bulk-filter internals) — only blanket ``pushdown=True``
-        reaches those.
+        ``None`` marks steps without a top-level position — only blanket
+        ``pushdown=True`` reaches those.
         """
         if self._pushdown_steps is None:
             return self.pushdown
         return step_index is not None and step_index in self._pushdown_steps
+
+    def _pushdown_config(self):
+        """The hashable pushdown spelling (compile-cache key component)."""
+        if self._pushdown_steps is not None:
+            return self._pushdown_steps
+        return self.pushdown
 
     # ------------------------------------------------------------------
     @property
@@ -214,41 +200,48 @@ class Evaluator:
         return self._fragments
 
     # ------------------------------------------------------------------
+    # Compile and drive
+    # ------------------------------------------------------------------
+    def compile(self, path: Union[str, Expr]):
+        """The cached :class:`~repro.xpath.pipeline.PhysicalPlan` for
+        ``path`` under this evaluator's pushdown configuration."""
+        if isinstance(path, str):
+            path = self._parse(path)
+        key = (path, self._pushdown_config())
+        plan = self._compiled.get(key)
+        if plan is None:
+            if len(self._compiled) >= self.COMPILE_CACHE_LIMIT:
+                self._compiled.clear()
+            plan = compile_plan(path, pushdown=self._pushdown_config())
+            self._compiled[key] = plan
+        return plan
+
     def evaluate(
         self,
         path: Union[str, LocationPath],
         context: Union[None, int, np.ndarray] = None,
-    ) -> np.ndarray:
-        """Evaluate ``path``; returns preorder ranks in document order.
+        mode: str = "materialize",
+    ):
+        """Evaluate ``path``; returns preorder ranks in document order
+        (``mode="count"``: their cardinality; ``mode="exists"``: a
+        boolean, computed with early termination).
 
         ``context`` seeds relative paths (default: the root element); it
         is ignored by absolute paths, which start at the virtual document
         node.
         """
-        if isinstance(path, str):
-            path = self._parse(path)
-        if isinstance(path, BinaryExpr):
-            if path.op != "|":
-                raise XPathEvaluationError(
-                    f"top-level expression must be a path or union, got {path.op!r}"
-                )
-            left = self.evaluate(path.left, context=context)
-            right = self.evaluate(path.right, context=context)
-            return np.union1d(left, right)
-        if path.absolute:
-            current = DOCUMENT_CONTEXT
-        elif context is None:
-            current = np.asarray([self.doc.root], dtype=np.int64)
-        elif isinstance(context, (int, np.integer)):
-            current = np.asarray([int(context)], dtype=np.int64)
-        else:
-            current = np.unique(np.asarray(context, dtype=np.int64))
-        for index, step in enumerate(path.steps):
-            current = self._evaluate_step(current, step, index)
-        if current is DOCUMENT_CONTEXT:
-            # A bare "/" — the document node itself is not encoded.
-            return np.empty(0, dtype=np.int64)
-        return current
+        plan = self.compile(path)
+        if mode != "materialize":
+            plan = plan.with_mode(mode)
+        return drive(plan, self, context=context)
+
+    def count(self, path, context=None) -> int:
+        """Result cardinality without materializing a caller payload."""
+        return self.evaluate(path, context=context, mode="count")
+
+    def exists(self, path, context=None) -> bool:
+        """Early-terminating existence check."""
+        return self.evaluate(path, context=context, mode="exists")
 
     def _parse(self, query: str) -> Expr:
         """Parse ``query``, going through the shared plan cache if set."""
@@ -260,97 +253,41 @@ class Evaluator:
     ) -> np.ndarray:
         """Evaluate one location step against an explicit context.
 
-        The single-step face of :meth:`evaluate` — same semantics,
+        The single-step face of :meth:`evaluate` — the step is compiled
+        into its operator(s) and driven directly, same semantics
         including positional predicates and per-step pushdown (keyed by
         ``step_index``).  ``context`` is an array of preorder ranks or
-        the :data:`~repro.xpath.axes.DOCUMENT_CONTEXT` sentinel.  The
-        batch executor drives this directly to share step-prefix work
-        across the queries of a batch.
+        the :data:`~repro.xpath.axes.DOCUMENT_CONTEXT` sentinel.  Kept
+        as the stable public face for step-at-a-time callers; the batch
+        executor's trie dispatches compiled operators directly.
         """
-        return self._evaluate_step(context, step, step_index)
-
-    def _evaluate_step(
-        self, context, step: Step, step_index: Optional[int] = None
-    ) -> np.ndarray:
-        positional = any(_is_positional_predicate(p) for p in step.predicates)
-        if positional and context is not DOCUMENT_CONTEXT:
-            if self.engine == "vectorized":
-                bulk = self._bulk_positional_step(context, step, step_index)
-                if bulk is not None:
-                    return bulk
-            # Positional semantics are per context node: evaluate the axis
-            # for each node separately so position()/last() see the right
-            # node list.
-            pieces = []
-            for c in np.asarray(context, dtype=np.int64):
-                single = np.asarray([int(c)], dtype=np.int64)
-                pieces.append(self._single_context_step(single, step, step_index))
-            if not pieces:
-                return np.empty(0, dtype=np.int64)
-            merged = np.concatenate(pieces)
-            return np.unique(merged)
-        return self._single_context_step(context, step, step_index)
-
-    def _single_context_step(
-        self, context, step: Step, step_index: Optional[int] = None
-    ) -> np.ndarray:
-        candidates = self._axis_with_test(context, step, step_index)
-        for predicate in step.predicates:
-            candidates = self._filter_predicate(candidates, step.axis, predicate)
-        return candidates
-
-    def _axis_with_test(
-        self, context, step: Step, step_index: Optional[int] = None
-    ) -> np.ndarray:
-        if (
-            self._push_at(step_index)
-            and context is DOCUMENT_CONTEXT
-            and step.test.kind == "name"
-            and step.axis in ("descendant", "descendant-or-self")
-        ):
-            # Every node descends from the document node: the pushed-down
-            # name test *is* the step — read the fragment and be done.
-            pres, _ = self.fragments.fragment(step.test.name or "")
-            return pres
-        if (
-            self._push_at(step_index)
-            and context is not DOCUMENT_CONTEXT
-            and step.test.kind == "name"
-            and step.axis in ("descendant", "ancestor")
-        ):
-            context_array = np.asarray(context, dtype=np.int64)
-            if step.axis == "descendant":
-                if self.engine == "vectorized":
-                    return self.fragments.descendant_step_vectorized(
-                        context_array, step.test.name or "", self.stats
-                    )
-                return self.fragments.descendant_step(
-                    context_array, step.test.name or "", self.stats
-                )
-            if self.engine == "vectorized":
-                return self.fragments.ancestor_step_vectorized(
-                    context_array, step.test.name or "", self.stats
-                )
-            return self.fragments.ancestor_step(
-                context_array, step.test.name or "", self.stats
-            )
-        pres = self.axes.step(context, step.axis)
-        return apply_node_test(
-            self.doc, pres, step.axis, step.test.kind, step.test.name
-        )
+        index = -1 if step_index is None else step_index
+        for op in compile_step_ops(step, index, self._push_at(step_index)):
+            context = dispatch(op, self, context)
+        return context
 
     # ------------------------------------------------------------------
-    # Predicates
+    # Kernel callbacks: predicates
     # ------------------------------------------------------------------
-    def _filter_predicate(
+    def filter_predicate(
         self, candidates: np.ndarray, axis: str, predicate: Expr
     ) -> np.ndarray:
+        """Filter ``candidates`` through one predicate, bulk when the
+        engine and shape allow, per-candidate otherwise."""
         if len(candidates) == 0:
             return candidates
         if self.engine == "vectorized":
-            mask = self._bulk_predicate_mask(candidates, predicate)
+            mask = self.bulk_predicate_mask(candidates, predicate)
             if mask is not None:
                 return candidates[mask]
+        return self.filter_predicate_scalar(candidates, axis, predicate)
+
+    def filter_predicate_scalar(
+        self, candidates: np.ndarray, axis: str, predicate: Expr
+    ) -> np.ndarray:
+        """The per-candidate predicate loop (positional semantics)."""
+        if len(candidates) == 0:
+            return candidates
         ordered = candidates[::-1] if axis in _REVERSE_AXES else candidates
         size = len(ordered)
         kept = []
@@ -367,11 +304,23 @@ class Evaluator:
         kept.sort()
         return np.asarray(kept, dtype=np.int64)
 
+    def single_context_step(
+        self, context, step: Step, pushdown: bool = False
+    ) -> np.ndarray:
+        """One whole step (axis, test, all predicates) for one context —
+        the per-node body of the PositionalSelect operator."""
+        candidates = dispatch(
+            StaircaseStep(-1, step.axis, step.test, pushdown), self, context
+        )
+        for predicate in step.predicates:
+            candidates = self.filter_predicate(candidates, step.axis, predicate)
+        return candidates
+
     # ------------------------------------------------------------------
-    # Bulk positional selection — vectorised engine only
+    # Kernel callbacks: bulk positional selection (vectorised engine)
     # ------------------------------------------------------------------
-    def _bulk_positional_step(
-        self, context, step: Step, step_index: Optional[int] = None
+    def bulk_positional_select(
+        self, context, step: Step, pushdown: bool = False
     ) -> Optional[np.ndarray]:
         """Set-at-a-time ``child::t[k]`` / ``child::t[last()]``, or ``None``.
 
@@ -397,7 +346,9 @@ class Evaluator:
             if value != int(value) or int(value) < 1:
                 return np.empty(0, dtype=np.int64)
             wanted_rank = int(value) - 1
-        candidates = self._axis_with_test(context, step, step_index)
+        candidates = dispatch(
+            StaircaseStep(-1, step.axis, step.test, pushdown), self, context
+        )
         if len(candidates) == 0:
             return candidates
         parents = self.doc.parent[candidates]
@@ -414,9 +365,9 @@ class Evaluator:
         return np.sort(grouped[picks])
 
     # ------------------------------------------------------------------
-    # Bulk (boolean-mask) predicate filtering — vectorised engine only
+    # Kernel callbacks: bulk (boolean-mask) predicate filtering
     # ------------------------------------------------------------------
-    def _bulk_predicate_mask(
+    def bulk_predicate_mask(
         self, candidates: np.ndarray, predicate: Expr
     ) -> Optional[np.ndarray]:
         """Keep-mask over ``candidates`` for a set-at-a-time filterable
@@ -436,13 +387,13 @@ class Evaluator:
             and predicate.name == "not"
             and len(predicate.args) == 1
         ):
-            inner = self._bulk_predicate_mask(candidates, predicate.args[0])
+            inner = self.bulk_predicate_mask(candidates, predicate.args[0])
             return None if inner is None else ~inner
         if isinstance(predicate, BinaryExpr) and predicate.op in ("and", "or"):
-            left = self._bulk_predicate_mask(candidates, predicate.left)
+            left = self.bulk_predicate_mask(candidates, predicate.left)
             if left is None:
                 return None
-            right = self._bulk_predicate_mask(candidates, predicate.right)
+            right = self.bulk_predicate_mask(candidates, predicate.right)
             if right is None:
                 return None
             return (left & right) if predicate.op == "and" else (left | right)
@@ -762,10 +713,12 @@ def evaluate(
     pushdown: bool = False,
     stats: Optional[JoinStatistics] = None,
     engine: Optional[str] = None,
-) -> np.ndarray:
-    """One-shot convenience wrapper around :class:`Evaluator`."""
+    result_mode: str = "materialize",
+) -> Union[np.ndarray, int, bool]:
+    """One-shot convenience wrapper around :class:`Evaluator` (the
+    return type follows ``result_mode``: ranks, a count, or a bool)."""
     evaluator = Evaluator(
         doc, strategy=strategy, mode=mode, pushdown=pushdown, stats=stats,
         engine=engine,
     )
-    return evaluator.evaluate(path, context=context)
+    return evaluator.evaluate(path, context=context, mode=result_mode)

@@ -1,0 +1,758 @@
+"""Physical operator pipelines: the compiled execution spine.
+
+The paper's core claim is that each XPath location step is one
+predictable physical operator over the pre/post plane.  This module
+gives the execution layer that shape: :func:`compile_plan` turns a
+costed :class:`~repro.xpath.planner.QueryPlan` (or a bare AST) into a
+:class:`PhysicalPlan` — a picklable sequence of typed operators that
+both engines execute behind one kernel dispatch:
+
+* :class:`ContextInit` — seed the context (document node or caller
+  context), normalised to a sorted duplicate-free rank array;
+* :class:`StaircaseStep` — one axis step plus its node test, with the
+  planner's name-test pushdown verdict *fused into the operator* (the
+  per-step ``pushdown`` frozenset side-channel is absorbed at compile
+  time);
+* :class:`PredicateFilter` — non-positional predicates, mask-based in
+  the vectorized engine, cheapest-first order preserved from the plan;
+* :class:`PositionalSelect` — a whole step whose predicates need
+  per-context-node position semantics (``[2]``, ``[last()]``, …);
+* :class:`DocOrderDedup` — merges union branches in document order;
+* terminal :class:`Materialize` / :class:`Count` / :class:`Exists` —
+  the result mode.
+
+Each non-terminal operator has a scalar and a vectorized kernel
+registered behind one dispatch table (:func:`register_kernel` /
+:func:`dispatch`); the runtime object (an
+:class:`~repro.xpath.evaluator.Evaluator`) supplies the document,
+the axis executor, fragments and the predicate machinery.
+
+:func:`drive` threads a single context through the operators and
+supports early termination: ``Exists`` stops at the first non-empty
+final frontier (the last producing operator is re-run on geometrically
+growing context chunks) and short-circuits the moment any intermediate
+frontier is empty; ``Count`` skips rank materialization beyond the
+final frontier.  Both modes are value-identical to materializing and
+then applying ``len``/truthiness — the property tests pin this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.staircase import SkipMode
+from repro.errors import XPathEvaluationError
+from repro.xpath.ast import (
+    BinaryExpr,
+    Expr,
+    FunctionCall,
+    LocationPath,
+    NodeTest,
+    NumberLiteral,
+    Step,
+)
+from repro.xpath.axes import DOCUMENT_CONTEXT, apply_node_test
+
+__all__ = [
+    "MODES",
+    "ContextInit",
+    "Count",
+    "DocOrderDedup",
+    "Exists",
+    "Materialize",
+    "PhysicalPlan",
+    "PositionalSelect",
+    "PredicateFilter",
+    "StaircaseStep",
+    "compile_plan",
+    "compile_step_ops",
+    "dispatch",
+    "drive",
+    "exists_ready",
+    "exists_tail",
+    "is_positional_predicate",
+    "operator_name",
+    "register_kernel",
+]
+
+#: The result modes a pipeline can terminate in.
+MODES = ("materialize", "count", "exists")
+
+
+# ----------------------------------------------------------------------
+# Positional-predicate classification (compile-time concern)
+# ----------------------------------------------------------------------
+def _uses_position(expr: Expr) -> bool:
+    """Does ``expr`` call ``position()``/``last()`` anywhere?"""
+    if isinstance(expr, FunctionCall):
+        if expr.name in ("position", "last"):
+            return True
+        return any(_uses_position(a) for a in expr.args)
+    if isinstance(expr, BinaryExpr):
+        return _uses_position(expr.left) or _uses_position(expr.right)
+    return False
+
+
+#: Core functions whose return type is number (XPath 1.0 §4.4).
+_NUMBER_FUNCTIONS = frozenset(
+    ("position", "last", "count", "string-length", "sum", "number",
+     "floor", "ceiling", "round")
+)
+
+
+def _returns_number(expr: Expr) -> bool:
+    """Can ``expr``'s top-level value be a number?
+
+    Per the XPath 1.0 predicate rule, a numeric predicate value is
+    shorthand for ``position() = <number>`` — so any expression that can
+    yield a number must be evaluated per context position.  Comparisons
+    and ``and``/``or`` always yield booleans, unions yield node-sets, so a
+    predicate like ``[initial + 20 < current]`` is *not* positional and
+    can be filtered set-at-a-time.
+    """
+    if isinstance(expr, NumberLiteral):
+        return True
+    if isinstance(expr, FunctionCall):
+        return expr.name in _NUMBER_FUNCTIONS
+    if isinstance(expr, BinaryExpr):
+        return expr.op in ("+", "-", "*", "div", "mod")
+    return False
+
+
+def is_positional_predicate(expr: Expr) -> bool:
+    """Positional predicates compare against the context position."""
+    return _uses_position(expr) or _returns_number(expr)
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ContextInit:
+    """Seed the pipeline's context.
+
+    Absolute paths anchor at the virtual document node; relative paths
+    at the caller context (default: the root element), normalised to a
+    sorted duplicate-free rank array.
+    """
+
+    absolute: bool
+
+    def __str__(self) -> str:
+        return f"ContextInit({'document' if self.absolute else 'context'})"
+
+
+@dataclass(frozen=True)
+class StaircaseStep:
+    """One axis step plus its node test.
+
+    ``pushdown`` fuses the name test below the join: the step reads the
+    per-tag fragment instead of filtering the join output (the planner's
+    per-step verdict, baked in at compile time).  The kernel still
+    guards the shape — only ``descendant``/``ancestor`` steps (and
+    ``descendant-or-self`` from the document node) have a fragment
+    variant; ineligible contexts fall back to join-then-test.
+    """
+
+    index: int  #: top-level step position (-1 = no top-level position)
+    axis: str
+    test: NodeTest
+    pushdown: bool = False
+
+    def __str__(self) -> str:
+        fused = ", pushdown" if self.pushdown else ""
+        return f"StaircaseStep({self.axis}::{self.test}{fused})"
+
+
+@dataclass(frozen=True)
+class PredicateFilter:
+    """Filter the frontier through non-positional predicates.
+
+    Predicates arrive in the plan's (cheapest-first) order and are
+    applied in sequence; the vectorized kernel evaluates each as one
+    boolean keep-mask (reverse-path semi-join) where the shape allows
+    and falls back to the per-candidate evaluator otherwise.
+    """
+
+    index: int
+    axis: str  #: the producing step's axis (reverse axes flip positions)
+    predicates: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"PredicateFilter({preds})"
+
+
+@dataclass(frozen=True)
+class PositionalSelect:
+    """A whole step whose predicates carry position semantics.
+
+    ``position()``/``last()``/numeric predicates see the axis order per
+    context node, so the step cannot be decomposed into a bulk axis step
+    plus a set-at-a-time filter; the vectorized kernel still recognises
+    ``child::t[k]`` / ``child::t[last()]`` and selects set-at-a-time by
+    ranking candidates within parent groups.
+    """
+
+    index: int
+    step: Step
+    pushdown: bool = False
+
+    def __str__(self) -> str:
+        return f"PositionalSelect({self.step})"
+
+
+@dataclass(frozen=True)
+class DocOrderDedup:
+    """Merge union branches into one duplicate-free, document-ordered
+    rank array (each branch is already sorted and duplicate-free)."""
+
+    def __str__(self) -> str:
+        return "DocOrderDedup(merge branches)"
+
+
+@dataclass(frozen=True)
+class Materialize:
+    """Terminal: the full rank array, in document order."""
+
+    def __str__(self) -> str:
+        return "Materialize"
+
+
+@dataclass(frozen=True)
+class Count:
+    """Terminal: result cardinality only — the driver never converts
+    the final frontier into a caller-facing rank payload."""
+
+    def __str__(self) -> str:
+        return "Count"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Terminal: boolean existence — the driver stops at the first
+    non-empty final frontier and short-circuits on empty ones."""
+
+    def __str__(self) -> str:
+        return "Exists"
+
+
+Operator = Union[
+    ContextInit, StaircaseStep, PredicateFilter, PositionalSelect,
+    DocOrderDedup, Materialize, Count, Exists,
+]
+
+_TERMINALS = {"materialize": Materialize(), "count": Count(), "exists": Exists()}
+
+#: Operators that produce a new frontier from the previous one (the
+#: chunkable targets of the ``Exists`` early-termination driver).
+_PRODUCERS = (StaircaseStep, PositionalSelect)
+
+
+#: What each axis runs on (the Section 2/3 execution vocabulary) —
+#: shared with the planner's ``explain`` rendering.
+AXIS_OPERATORS = {
+    "descendant": "staircase_join_desc",
+    "ancestor": "staircase_join_anc",
+    "following": "staircase_join_following (context degenerates to a singleton)",
+    "preceding": "staircase_join_preceding (context degenerates to a singleton)",
+    "descendant-or-self": "staircase_join_desc ∪ context",
+    "ancestor-or-self": "staircase_join_anc ∪ context",
+    "child": "parent-column equi-join (kind ≠ attribute)",
+    "parent": "parent-column projection (unique)",
+    "attribute": "parent-column equi-join (kind = attribute)",
+    "self": "identity",
+    "following-sibling": "parent-column sibling scan (pre > context)",
+    "preceding-sibling": "parent-column sibling scan (pre < context)",
+}
+
+
+def operator_name(axis: str) -> str:
+    """The physical operator an axis step runs on."""
+    return AXIS_OPERATORS.get(axis, axis)
+
+
+# ----------------------------------------------------------------------
+# The compiled plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """A compiled, engine-agnostic operator pipeline.
+
+    ``branches`` holds one operator sequence per union branch (usually
+    one); ``terminal`` is the result mode.  Plans are immutable,
+    hashable and picklable — the service ships them to shard workers
+    as-is, and the workers' prefix tries key shared intermediate
+    contexts by operator-prefix tuples.
+
+    ``source`` keeps the expression the operators were compiled from
+    (document-scoped execution re-anchors its first step), and
+    ``pushdown_steps``/``skip_mode`` carry the originating
+    :class:`~repro.xpath.planner.QueryPlan`'s evaluator-level decisions
+    for that scoped path.
+    """
+
+    branches: Tuple[Tuple[Operator, ...], ...]
+    terminal: Operator
+    source: Expr
+    query: str
+    skip_mode: Optional[SkipMode] = None
+    pushdown_steps: frozenset = frozenset()
+    #: Compiled from a costed QueryPlan.  Only planned pipelines enter
+    #: the executor's shared-prefix trie — ``planner=False`` keeps its
+    #: documented ablation meaning of per-query execution.
+    planned: bool = False
+    merge: DocOrderDedup = field(default_factory=DocOrderDedup)
+
+    @property
+    def mode(self) -> str:
+        if isinstance(self.terminal, Count):
+            return "count"
+        if isinstance(self.terminal, Exists):
+            return "exists"
+        return "materialize"
+
+    def with_mode(self, mode: str) -> "PhysicalPlan":
+        """The same pipeline under a different terminal."""
+        if mode not in _TERMINALS:
+            raise XPathEvaluationError(
+                f"unknown result mode {mode!r} (expected one of {MODES})"
+            )
+        if self.mode == mode:
+            return self
+        return replace(self, terminal=_TERMINALS[mode])
+
+    @property
+    def single_path(self) -> bool:
+        """One branch — the shape the prefix trie can share."""
+        return len(self.branches) == 1
+
+    def operator_count(self) -> int:
+        return sum(len(branch) for branch in self.branches) + 1
+
+    def describe(self) -> str:
+        """The ``explain`` rendering of the compiled pipeline."""
+        skip = f", scalar skip={self.skip_mode.value}" if self.skip_mode else ""
+        lines = [
+            f"physical pipeline: {self.operator_count()} operators, "
+            f"terminal {self.terminal}{skip}"
+        ]
+        for number, branch in enumerate(self.branches, start=1):
+            if len(self.branches) > 1:
+                lines.append(f"  branch {number}:")
+            indent = "    " if len(self.branches) > 1 else "  "
+            for op in branch:
+                lines.append(f"{indent}{op}")
+                if isinstance(op, StaircaseStep):
+                    lines.append(f"{indent}  └─ {operator_name(op.axis)}")
+        if len(self.branches) > 1:
+            lines.append(f"  {self.merge}")
+        lines.append(f"  {self.terminal}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _pushdown_shape(step: Step) -> bool:
+    """Steps that *can* run against a per-tag fragment."""
+    return step.test.kind == "name" and step.axis in (
+        "descendant", "descendant-or-self", "ancestor",
+    )
+
+
+def compile_step_ops(
+    step: Step, index: int, pushdown: bool
+) -> Tuple[Operator, ...]:
+    """Compile one location step into its operator(s).
+
+    A step carrying any positional predicate compiles to one
+    :class:`PositionalSelect`; otherwise to a :class:`StaircaseStep`
+    plus, if predicates remain, a :class:`PredicateFilter`.
+    """
+    push = pushdown and _pushdown_shape(step)
+    if any(is_positional_predicate(p) for p in step.predicates):
+        return (PositionalSelect(index, step, push),)
+    ops: Tuple[Operator, ...] = (
+        StaircaseStep(index, step.axis, step.test, push),
+    )
+    if step.predicates:
+        ops += (PredicateFilter(index, step.axis, step.predicates),)
+    return ops
+
+
+def _compile_path(path: LocationPath, push_at) -> Tuple[Operator, ...]:
+    ops: List[Operator] = [ContextInit(path.absolute)]
+    for index, step in enumerate(path.steps):
+        ops.extend(compile_step_ops(step, index, push_at(index)))
+    return tuple(ops)
+
+
+def compile_plan(
+    plan,
+    mode: str = "materialize",
+    pushdown=None,
+    skip_mode: Optional[SkipMode] = None,
+) -> "PhysicalPlan":
+    """Compile ``plan`` into a :class:`PhysicalPlan`.
+
+    ``plan`` is a :class:`~repro.xpath.planner.QueryPlan` (its rewritten
+    path, per-step pushdown verdicts and skip mode are honoured), a
+    parsed expression, or a query string.  ``pushdown`` overrides the
+    name-test placement: ``True``/``False`` for every eligible step, or
+    an iterable of top-level step indices (the planner's spelling);
+    ``None`` takes the :class:`QueryPlan`'s verdicts (no pushdown for
+    bare expressions).  Already-compiled plans pass through (re-moded).
+    """
+    if isinstance(plan, PhysicalPlan):
+        return plan.with_mode(mode)
+    query: Optional[str] = None
+    planned = False
+    if isinstance(plan, str):
+        from repro.xpath.parser import parse_xpath
+
+        query, plan = plan, parse_xpath(plan)
+    if hasattr(plan, "pushdown_steps") and hasattr(plan, "path"):
+        # A QueryPlan (duck-typed to avoid the planner import cycle).
+        query = plan.query
+        planned = True
+        if pushdown is None:
+            pushdown = plan.pushdown_steps
+        if skip_mode is None:
+            skip_mode = plan.skip_mode
+        expr = plan.path
+    else:
+        expr = plan
+    if pushdown is None:
+        pushdown = False
+    if isinstance(pushdown, bool):
+        blanket = pushdown
+
+        def push_at(index: int) -> bool:
+            return blanket
+        pushdown_steps = frozenset()
+    else:
+        pushdown_steps = frozenset(int(i) for i in pushdown)
+
+        def push_at(index: int) -> bool:
+            return index in pushdown_steps
+
+    branches: List[Tuple[Operator, ...]] = []
+
+    def flatten(e: Expr) -> None:
+        if isinstance(e, BinaryExpr):
+            if e.op != "|":
+                raise XPathEvaluationError(
+                    f"top-level expression must be a path or union, got {e.op!r}"
+                )
+            flatten(e.left)
+            flatten(e.right)
+        elif isinstance(e, LocationPath):
+            branches.append(_compile_path(e, push_at))
+        else:
+            raise XPathEvaluationError(
+                f"cannot compile top-level expression {e!r}"
+            )
+
+    flatten(expr)
+    if mode not in _TERMINALS:
+        raise XPathEvaluationError(
+            f"unknown result mode {mode!r} (expected one of {MODES})"
+        )
+    return PhysicalPlan(
+        branches=tuple(branches),
+        terminal=_TERMINALS[mode],
+        source=expr,
+        query=query if query is not None else str(expr),
+        skip_mode=skip_mode,
+        pushdown_steps=pushdown_steps,
+        planned=planned,
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel dispatch — one registry, a scalar and a vectorized impl each
+# ----------------------------------------------------------------------
+Kernel = Callable[[Operator, object, object], object]
+
+_KERNELS: Dict[Tuple[type, str], Kernel] = {}
+
+
+def register_kernel(op_type: type, *engines: str):
+    """Register a kernel for ``op_type`` under the given engine names."""
+
+    def decorate(fn: Kernel) -> Kernel:
+        for engine in engines:
+            _KERNELS[(op_type, engine)] = fn
+        return fn
+
+    return decorate
+
+
+def dispatch(op: Operator, runtime, context):
+    """Run one operator's kernel for the runtime's engine."""
+    try:
+        kernel = _KERNELS[(type(op), runtime.engine)]
+    except KeyError:
+        raise XPathEvaluationError(
+            f"no {runtime.engine!r} kernel for operator {type(op).__name__}"
+        ) from None
+    return kernel(op, runtime, context)
+
+
+def _empty() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+@register_kernel(ContextInit, "scalar", "vectorized")
+def _context_init(op: ContextInit, rt, context):
+    if op.absolute:
+        return DOCUMENT_CONTEXT
+    if context is None:
+        return np.asarray([rt.doc.root], dtype=np.int64)
+    if isinstance(context, (int, np.integer)):
+        return np.asarray([int(context)], dtype=np.int64)
+    return np.unique(np.asarray(context, dtype=np.int64))
+
+
+def _fragment_document(op: StaircaseStep, rt):
+    """Every node descends from the document node: the pushed-down name
+    test *is* the step — read the fragment and be done."""
+    pres, _ = rt.fragments.fragment(op.test.name or "")
+    return pres
+
+
+def _staircase(op: StaircaseStep, rt, context, fragment_steps):
+    if op.pushdown and op.test.kind == "name":
+        if context is DOCUMENT_CONTEXT:
+            if op.axis in ("descendant", "descendant-or-self"):
+                return _fragment_document(op, rt)
+        elif op.axis in ("descendant", "ancestor"):
+            fragment_step = fragment_steps(rt.fragments)[op.axis]
+            context_array = np.asarray(context, dtype=np.int64)
+            return fragment_step(context_array, op.test.name or "", rt.stats)
+    pres = rt.axes.step(context, op.axis)
+    return apply_node_test(rt.doc, pres, op.axis, op.test.kind, op.test.name)
+
+
+@register_kernel(StaircaseStep, "scalar")
+def _staircase_scalar(op: StaircaseStep, rt, context):
+    return _staircase(
+        op, rt, context,
+        lambda fragments: {
+            "descendant": fragments.descendant_step,
+            "ancestor": fragments.ancestor_step,
+        },
+    )
+
+
+@register_kernel(StaircaseStep, "vectorized")
+def _staircase_vectorized(op: StaircaseStep, rt, context):
+    return _staircase(
+        op, rt, context,
+        lambda fragments: {
+            "descendant": fragments.descendant_step_vectorized,
+            "ancestor": fragments.ancestor_step_vectorized,
+        },
+    )
+
+
+@register_kernel(PredicateFilter, "scalar")
+def _filter_scalar(op: PredicateFilter, rt, candidates):
+    for predicate in op.predicates:
+        if len(candidates) == 0:
+            return candidates
+        candidates = rt.filter_predicate_scalar(candidates, op.axis, predicate)
+    return candidates
+
+
+@register_kernel(PredicateFilter, "vectorized")
+def _filter_vectorized(op: PredicateFilter, rt, candidates):
+    for predicate in op.predicates:
+        if len(candidates) == 0:
+            return candidates
+        mask = rt.bulk_predicate_mask(candidates, predicate)
+        if mask is not None:
+            candidates = candidates[mask]
+        else:
+            candidates = rt.filter_predicate_scalar(
+                candidates, op.axis, predicate
+            )
+    return candidates
+
+
+def _positional_per_node(op: PositionalSelect, rt, context):
+    """Positional semantics are per context node: evaluate the whole
+    step for each node separately so position()/last() see the right
+    node list."""
+    if context is DOCUMENT_CONTEXT:
+        return rt.single_context_step(context, op.step, op.pushdown)
+    pieces = []
+    for c in np.asarray(context, dtype=np.int64):
+        single = np.asarray([int(c)], dtype=np.int64)
+        pieces.append(rt.single_context_step(single, op.step, op.pushdown))
+    if not pieces:
+        return _empty()
+    return np.unique(np.concatenate(pieces))
+
+
+@register_kernel(PositionalSelect, "scalar")
+def _positional_scalar(op: PositionalSelect, rt, context):
+    return _positional_per_node(op, rt, context)
+
+
+@register_kernel(PositionalSelect, "vectorized")
+def _positional_vectorized(op: PositionalSelect, rt, context):
+    if context is not DOCUMENT_CONTEXT:
+        bulk = rt.bulk_positional_select(context, op.step, op.pushdown)
+        if bulk is not None:
+            return bulk
+    return _positional_per_node(op, rt, context)
+
+
+@register_kernel(DocOrderDedup, "scalar", "vectorized")
+def _doc_order_dedup(op: DocOrderDedup, rt, results):
+    merged = results[0]
+    for other in results[1:]:
+        merged = np.union1d(merged, other)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+#: First chunk size (and geometric growth factor) of the ``Exists``
+#: final-frontier scan: small enough that a hit on the first context
+#: nodes touches almost nothing, steep enough that a miss costs only a
+#: constant factor over the one-shot evaluation.
+_EXISTS_CHUNK = 8
+_EXISTS_GROWTH = 4
+
+
+def _run_branch(ops: Tuple[Operator, ...], runtime, context) -> np.ndarray:
+    for op in ops:
+        context = dispatch(op, runtime, context)
+        if context is not DOCUMENT_CONTEXT and len(context) == 0:
+            # Every downstream operator maps empty to empty.
+            return _empty()
+    if context is DOCUMENT_CONTEXT:
+        # A bare "/" — the document node itself is not encoded.
+        return _empty()
+    return context
+
+
+def exists_ready(ops: Tuple[Operator, ...], depth: int, context) -> bool:
+    """Should an ``Exists`` evaluation leave the shared pipeline at
+    ``depth`` and drive the remaining tail over context chunks?
+
+    Every operator distributes over context partitions (axis steps and
+    positional selects are per context node, predicate filters per
+    candidate), so the tail may be chunked from *any* multi-element
+    frontier — the earlier, the more downstream work a first-chunk hit
+    skips.  The one exception is a :class:`PredicateFilter` whose bulk
+    mask rescans the plane per invocation: tails containing one only
+    chunk at the last producer, so the mask runs at most once per
+    chunk of the *final* frontier instead of once per intermediate
+    chunk cascade.
+    """
+    if not isinstance(context, np.ndarray) or len(context) <= 1:
+        return False
+    if depth >= len(ops) or not isinstance(ops[depth], _PRODUCERS):
+        return False
+    tail = ops[depth:]
+    if not any(isinstance(op, PredicateFilter) for op in tail):
+        return True
+    return not any(isinstance(op, _PRODUCERS) for op in tail[1:])
+
+
+def exists_tail(
+    tail: Tuple[Operator, ...], runtime, context, exclude_pre: Optional[int]
+) -> bool:
+    """Early-terminating existence of the final pipeline segment.
+
+    ``tail`` is the last producing operator plus its trailing filters;
+    ``context`` the frontier feeding it.  Predicates are per-node (the
+    positional ones per *context* node), so running the segment on a
+    slice of the context can only produce a subset of the full result —
+    any non-empty slice output proves existence, and exhausting the
+    slices proves absence.
+    """
+    def survives(out) -> bool:
+        if exclude_pre is not None and len(out):
+            out = out[out != exclude_pre]
+        return len(out) > 0
+
+    def run_tail(chunk) -> np.ndarray:
+        out = chunk
+        for op in tail:
+            out = dispatch(op, runtime, out)
+            if len(out) == 0:
+                break
+        return out
+
+    if not tail:
+        if context is DOCUMENT_CONTEXT:
+            return False
+        return survives(context)
+    if context is DOCUMENT_CONTEXT:
+        return survives(run_tail(context))
+    size = _EXISTS_CHUNK
+    start = 0
+    total = len(context)
+    while start < total:
+        if survives(run_tail(context[start : start + size])):
+            return True
+        start += size
+        size *= _EXISTS_GROWTH
+    return False
+
+
+def _branch_exists(
+    ops: Tuple[Operator, ...], runtime, context, exclude_pre: Optional[int]
+) -> bool:
+    frontier = context
+    for depth, op in enumerate(ops):
+        if exists_ready(ops, depth, frontier):
+            return exists_tail(ops[depth:], runtime, frontier, exclude_pre)
+        frontier = dispatch(op, runtime, frontier)
+        if frontier is not DOCUMENT_CONTEXT and len(frontier) == 0:
+            return False
+    if frontier is DOCUMENT_CONTEXT:
+        return False
+    if exclude_pre is not None and len(frontier):
+        frontier = frontier[frontier != exclude_pre]
+    return len(frontier) > 0
+
+
+def drive(
+    plan: PhysicalPlan,
+    runtime,
+    context=None,
+    exclude_pre: Optional[int] = None,
+):
+    """Execute a compiled plan against ``runtime`` (an Evaluator).
+
+    Returns a rank array (``materialize``), an ``int`` (``count``) or a
+    ``bool`` (``exists``).  ``exclude_pre`` drops one rank from the
+    result — the collection layer's virtual-root filter, honoured by
+    the early-terminating modes too.
+    """
+    mode = plan.mode
+    if mode == "exists":
+        return any(
+            _branch_exists(ops, runtime, context, exclude_pre)
+            for ops in plan.branches
+        )
+    results = [_run_branch(ops, runtime, context) for ops in plan.branches]
+    if len(results) == 1:
+        merged = results[0]
+    else:
+        merged = dispatch(plan.merge, runtime, results)
+    if exclude_pre is not None and len(merged):
+        merged = merged[merged != exclude_pre]
+    if mode == "count":
+        return int(len(merged))
+    return merged

@@ -45,8 +45,11 @@ from repro.xpath.ast import (
     StringLiteral,
 )
 from repro.xpath.axes import resolve_engine
-from repro.xpath.evaluator import _is_positional_predicate
 from repro.xpath.parser import parse_xpath
+from repro.xpath.pipeline import (
+    is_positional_predicate as _is_positional_predicate,
+    operator_name,
+)
 from repro.xpath.rewrite import collapse_descendant_or_self, symmetry_rewrite
 
 __all__ = ["TagStatistics", "Planner", "QueryPlan", "StepDecision"]
@@ -119,23 +122,6 @@ class TagStatistics:
             f"TagStatistics(tags={len(self.counts)}, "
             f"nodes={self.total_nodes}, height={self.height})"
         )
-
-
-#: Operator each axis runs on (the Section 2/3 execution vocabulary).
-_OPERATORS = {
-    "descendant": "staircase_join_desc",
-    "ancestor": "staircase_join_anc",
-    "following": "staircase_join_following (context degenerates to a singleton)",
-    "preceding": "staircase_join_preceding (context degenerates to a singleton)",
-    "descendant-or-self": "staircase_join_desc ∪ context",
-    "ancestor-or-self": "staircase_join_anc ∪ context",
-    "child": "parent-column equi-join (kind ≠ attribute)",
-    "parent": "parent-column projection (unique)",
-    "attribute": "parent-column equi-join (kind = attribute)",
-    "self": "identity",
-    "following-sibling": "parent-column sibling scan (pre > context)",
-    "preceding-sibling": "parent-column sibling scan (pre < context)",
-}
 
 
 @dataclass(frozen=True)
@@ -474,7 +460,7 @@ class Planner:
             est_out = self._test_estimate(step, est_axis)
             pushdown = False
             cost_alt: Optional[float] = None
-            operator = _OPERATORS.get(step.axis, step.axis)
+            operator = operator_name(step.axis)
             if "staircase" in operator:
                 detail = (
                     f"skip={self._skip_mode().value}"

@@ -90,7 +90,9 @@ def collapse_descendant_or_self(
       root may carry (e.g. a collection's virtual root tag); ``None``
       means unknown, which disables the leading collapse entirely.
     """
-    from repro.xpath.evaluator import _is_positional_predicate
+    from repro.xpath.pipeline import (
+        is_positional_predicate as _is_positional_predicate,
+    )
 
     if isinstance(path, str):
         path = parse_xpath(path)

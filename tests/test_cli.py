@@ -71,12 +71,34 @@ class TestQuery:
         b = capsys.readouterr().out
         assert a == b
 
-    def test_bad_xpath_is_a_clean_error(self, xml_file, capsys):
-        assert main(["query", xml_file, "sideways::x"]) == 1
+    def test_query_count_mode(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person", "--mode", "count"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "2"
+        assert "count in" in captured.err
+
+    def test_query_mode_rejects_row_flags(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person", "--mode", "count",
+                     "--limit", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["query", xml_file, "//person", "--mode", "exists",
+                     "--serialize"]) == 2
         assert "error:" in capsys.readouterr().err
 
-    def test_missing_file_is_a_clean_error(self, capsys):
-        assert main(["query", "no-such-file.xml", "//a"]) == 1
+    def test_query_exists_mode(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person", "--mode", "exists"]) == 0
+        assert capsys.readouterr().out.strip() == "true"
+        assert main(["query", xml_file, "//robot", "--mode", "exists"]) == 0
+        assert capsys.readouterr().out.strip() == "false"
+
+    def test_bad_xpath_is_a_clean_usage_error(self, xml_file, capsys):
+        assert main(["query", xml_file, "sideways::x"]) == 2
+        err = capsys.readouterr().err
+        error_lines = [line for line in err.splitlines() if line.startswith("error:")]
+        assert len(error_lines) == 1  # one line, no caret rendering
+
+    def test_missing_file_is_a_clean_usage_error(self, capsys):
+        assert main(["query", "no-such-file.xml", "//a"]) == 2
         assert "error:" in capsys.readouterr().err
 
 
@@ -201,9 +223,47 @@ class TestShardServeBatch:
         assert main(["serve-batch", store_dir]) == 1
         assert "no queries" in capsys.readouterr().err
 
-    def test_serve_batch_on_non_store_is_a_clean_error(self, tmp_path, capsys):
-        assert main(["serve-batch", str(tmp_path), "//a"]) == 1
+    def test_serve_batch_on_non_store_is_a_clean_usage_error(self, tmp_path, capsys):
+        assert main(["serve-batch", str(tmp_path), "//a"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_serve_batch_bad_xpath_is_a_clean_usage_error(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["serve-batch", store_dir, "//a[", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        error_lines = [line for line in err.splitlines() if line.startswith("error:")]
+        assert len(error_lines) == 1
+
+    def test_serve_batch_count_mode(self, store_dir, capsys):
+        capsys.readouterr()
+        assert (
+            main(["serve-batch", store_dir, "//person", "--workers", "0",
+                  "--mode", "count", "--per-document"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cold  //person" in out
+        assert "doc.xml" in out
+
+    def test_serve_batch_exists_rejects_per_document(self, store_dir, capsys):
+        capsys.readouterr()
+        assert (
+            main(["serve-batch", store_dir, "//person", "--workers", "0",
+                  "--mode", "exists", "--per-document"])
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_batch_exists_mode(self, store_dir, capsys):
+        capsys.readouterr()
+        assert (
+            main(["serve-batch", store_dir, "//person", "//robot",
+                  "--workers", "0", "--mode", "exists"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "true  cold  //person" in out
+        assert "false  cold  //robot" in out
 
 
 class TestUpdate:
@@ -249,7 +309,49 @@ class TestUpdate:
         assert main(["update", store_dir, ops]) == 1
         assert "unknown update op" in capsys.readouterr().err
 
-    def test_update_on_non_store_is_a_clean_error(self, tmp_path, capsys):
+    def test_update_on_non_store_is_a_clean_usage_error(self, tmp_path, capsys):
         ops = self.write_ops(tmp_path, [])
-        assert main(["update", str(tmp_path), ops]) == 1
+        assert main(["update", str(tmp_path), ops]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_update_bad_verify_xpath_is_a_clean_usage_error(
+        self, store_dir, tmp_path, capsys
+    ):
+        ops = self.write_ops(tmp_path, [])
+        assert main(["update", store_dir, ops, "--verify", ":::"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_update_bad_verify_xpath_leaves_the_store_untouched(
+        self, store_dir, tmp_path, capsys
+    ):
+        """A usage error must be a no-op: the verify expression is
+        validated before the ops batch may commit an epoch bump."""
+        from repro.service import ShardedStore
+
+        ops = self.write_ops(
+            tmp_path,
+            [{"op": "add", "document": "extra",
+              "xml": "<site><people><person/></people></site>"}],
+        )
+        assert main(["update", store_dir, ops, "--verify", "bad["]) == 2
+        assert "error:" in capsys.readouterr().err
+        store = ShardedStore.open(store_dir)
+        assert store.epoch == 1
+        assert "extra" not in store.document_names()
+
+    def test_explain_bad_xpath_is_a_clean_usage_error(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["explain", store_dir, "//a[oops"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_on_missing_store_is_a_clean_usage_error(self, capsys):
+        assert main(["explain", "no-such-place", "//a"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_prints_physical_pipeline(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["explain", store_dir, "//person/name", "--mode", "count"]) == 0
+        out = capsys.readouterr().out
+        assert "physical pipeline:" in out
+        assert "StaircaseStep" in out
+        assert "terminal Count" in out

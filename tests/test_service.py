@@ -650,6 +650,22 @@ class TestExecutor:
     def test_default_workers_capped(self, store):
         assert 1 <= default_workers(store) <= store.shard_count
 
+    def test_default_workers_respects_cpu_affinity(self, store, monkeypatch):
+        """Containerized CI exposes fewer schedulable CPUs than
+        ``os.cpu_count`` reports; the pool must size to the mask."""
+        from repro.service import executor
+
+        if hasattr(os, "sched_getaffinity"):
+            assert executor.available_cpus() == len(os.sched_getaffinity(0))
+            monkeypatch.setattr(
+                os, "sched_getaffinity", lambda pid: {0}, raising=False
+            )
+            assert executor.available_cpus() == 1
+            assert default_workers(store) == 1
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert executor.available_cpus() == 6
+
     def test_negative_workers_rejected(self, store):
         with pytest.raises(ReproError):
             QueryService(store, workers=-1)

@@ -67,6 +67,66 @@ class TestTokens:
         assert tokens[2].position == 5
 
 
+class TestEdgeCases:
+    """Boundary behaviour: quoting, number shapes, `::`/`//` adjacency."""
+
+    def test_empty_string_literal(self):
+        assert types("''") == ["STRING"]
+        assert values("''") == [""]
+
+    def test_quotes_nest_the_other_kind(self):
+        assert values('"it\'s"') == ["it's"]
+        assert values("'say \"hi\"'") == ['say "hi"']
+
+    def test_string_keeps_specials_verbatim(self):
+        # Operators and axis separators inside a literal are not tokens.
+        assert types("'a//b::c'") == ["STRING"]
+        assert values("'a//b::c'") == ["a//b::c"]
+
+    def test_whitespace_only_string(self):
+        assert values("'  '") == ["  "]
+
+    def test_number_boundaries(self):
+        assert values("0") == ["0"]
+        assert values("007") == ["007"]
+        assert values("3.0") == ["3.0"]
+        # A trailing dot is not part of the number (abbreviated step).
+        assert types("3.") == ["NUMBER", "."]
+        assert values("3.") == ["3", "."]
+        # Nor is a second decimal point.
+        assert types("1.2.3") == ["NUMBER", ".", "NUMBER"]
+        assert values("1.2.3") == ["1.2", ".", "3"]
+
+    def test_number_then_name(self):
+        assert types("2x") == ["NUMBER", "NAME"]
+
+    def test_name_may_contain_digits_dots_dashes(self):
+        assert types("a-b.c2") == ["NAME"]
+        assert values("a-b.c2") == ["a-b.c2"]
+
+    def test_axis_boundary_not_consumed_by_name(self):
+        # The '::' terminates the greedy name scan exactly at the axis.
+        tokens = tokenize("ancestor-or-self::a")
+        assert tokens[0].type == "AXIS"
+        assert tokens[0].value == "ancestor-or-self"
+        assert tokens[1].position == len("ancestor-or-self::")
+
+    def test_double_slash_boundaries(self):
+        assert types("//a//b") == ["//", "NAME", "//", "NAME"]
+        assert types("a///b") == ["NAME", "//", "/", "NAME"]
+        assert types("////") == ["//", "//"]
+
+    def test_double_slash_after_axis_step(self):
+        assert types("descendant::a//b") == ["AXIS", "NAME", "//", "NAME"]
+
+    def test_slash_adjacent_to_predicate(self):
+        assert types("a[1]//b") == ["NAME", "[", "NUMBER", "]", "//", "NAME"]
+
+    def test_union_and_arithmetic_tokens(self):
+        assert types("a|b") == ["NAME", "|", "NAME"]
+        assert types("1+2-3") == ["NUMBER", "+", "NUMBER", "-", "NUMBER"]
+
+
 class TestErrors:
     def test_unterminated_string(self):
         with pytest.raises(XPathSyntaxError, match="unterminated string"):
