@@ -13,6 +13,7 @@ Makes the library usable without writing Python::
     python -m repro shard -o store --generate 8 --size 0.2 --shards 4
     python -m repro serve-batch store "//open_auction[bidder]/seller" --workers 4
     python -m repro serve-batch store "//person" --mode exists
+    python -m repro serve store --port 8080 --rate 50 --queue-limit 32
     python -m repro update store ops.json --verify "//person"
     python -m repro explain store "/descendant::increase/ancestor::bidder"
 
@@ -247,6 +248,33 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import QueryServer, ServerConfig
+    from repro.service import QueryService, ShardedStore
+
+    store = ShardedStore.open(args.store)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        coalesce_window_s=args.coalesce_window_ms / 1e3,
+        max_batch=args.max_batch,
+        rate=args.rate,
+        burst=args.burst,
+        queue_limit=args.queue_limit,
+    )
+    service = QueryService(
+        store,
+        engine=args.engine,
+        workers=args.workers,
+        planner=not args.no_planner,
+    )
+    with service:
+        asyncio.run(QueryServer(service, config).serve())
+    return 0
+
+
 def _cmd_update(args: argparse.Namespace) -> int:
     import json
 
@@ -438,6 +466,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmd.add_argument("--stats", action="store_true", help="print cache statistics")
     cmd.set_defaults(handler=_cmd_serve_batch)
+
+    cmd = commands.add_parser(
+        "serve",
+        help="serve a sharded store over HTTP/JSON (asyncio, coalescing, "
+        "admission control)",
+    )
+    cmd.add_argument("store", help="store directory built by `shard`")
+    cmd.add_argument("--host", default="127.0.0.1")
+    cmd.add_argument("--port", type=int, default=8080, help="0 = OS-assigned")
+    cmd.add_argument(
+        "--coalesce-window-ms", type=float, default=4.0, metavar="MS",
+        help="merge concurrent queries arriving within this window into "
+        "one batch (0 disables coalescing; default 4)",
+    )
+    cmd.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a forming batch at this size (default 64)",
+    )
+    cmd.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-client requests/second; over-rate requests get 429 + "
+        "Retry-After (0 disables; default 0)",
+    )
+    cmd.add_argument(
+        "--burst", type=float, default=16.0,
+        help="per-client token-bucket burst (default 16)",
+    )
+    cmd.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bound on admitted-but-unanswered requests; beyond it the "
+        "server sheds with 503 + Retry-After (0 disables; default 64)",
+    )
+    cmd.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default="vectorized",
+        help="execution engine (default: vectorized)",
+    )
+    cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="shard worker processes (0 = serial; default: one per shard)",
+    )
+    cmd.add_argument(
+        "--no-planner", action="store_true",
+        help="skip cost-based planning and prefix sharing",
+    )
+    cmd.set_defaults(handler=_cmd_serve)
 
     cmd = commands.add_parser(
         "update", help="apply a JSON ops file to a sharded store"

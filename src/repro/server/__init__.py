@@ -1,0 +1,43 @@
+"""The network front door: an asyncio HTTP/JSON server for the service.
+
+The library answered queries in-process (PRs 1–5); this package serves
+*traffic*:
+
+* :class:`~repro.server.app.QueryServer` — stdlib-asyncio HTTP/1.1
+  endpoint in front of a :class:`~repro.service.service.QueryService`
+  (``/query``, ``/batch``, ``/update``, ``/health``, ``/stats``);
+* :class:`~repro.server.coalescer.QueryCoalescer` — concurrent single
+  queries arriving within a small window merge into one
+  ``execute_batch`` (the shared-prefix trie's unit of work), per-query
+  result mode preserved;
+* :class:`~repro.server.admission.RateLimiter` /
+  :class:`~repro.server.admission.AdmissionQueue` — per-client token
+  buckets and a bounded in-flight cap that shed with 429/503 +
+  ``Retry-After`` instead of queueing unboundedly;
+* :class:`~repro.server.stats.ServerStats` — request counters and
+  p50/p99 latency histograms behind ``/stats``.
+
+CLI: ``python -m repro serve store --port 8080``.
+"""
+
+from repro.server.admission import AdmissionQueue, RateLimiter, TokenBucket
+from repro.server.app import (
+    QueryServer,
+    ServerConfig,
+    ThreadedServer,
+    result_to_payload,
+)
+from repro.server.coalescer import QueryCoalescer
+from repro.server.stats import ServerStats
+
+__all__ = [
+    "AdmissionQueue",
+    "QueryCoalescer",
+    "QueryServer",
+    "RateLimiter",
+    "ServerConfig",
+    "ServerStats",
+    "ThreadedServer",
+    "TokenBucket",
+    "result_to_payload",
+]

@@ -1,0 +1,152 @@
+"""Admission control: per-client token buckets + a bounded queue.
+
+Two independent gates stand between a connection and the query engine,
+and both *shed* instead of queueing unboundedly — the grid-file lesson
+of partitioned, bounded access applied to a request stream:
+
+1. :class:`RateLimiter` — one token bucket per client (peer address or
+   ``X-Client-Id``).  A client over its rate gets **429** with a
+   ``Retry-After`` computed from its own bucket, and cannot starve
+   other clients: buckets are independent and the table is bounded
+   (least-recently-seen clients are evicted first, which forgives —
+   never punishes — returning clients by handing them a fresh burst).
+
+2. :class:`AdmissionQueue` — a global cap on requests admitted but not
+   yet answered (coalescing window + dispatch + serialization).  When
+   the server is saturated the queue fills and new work gets **503** +
+   ``Retry-After`` immediately — a cheap rejection the client can act
+   on, instead of an unbounded backlog where every queued request's
+   latency grows without limit.  This is what keeps p99 *bounded* under
+   overload in ``bench_server_load.py``.
+
+Both gates are plain locked objects (no asyncio coupling) so the unit
+tests and the load bench can drive them from threads directly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = ["AdmissionQueue", "RateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """A continuous-refill token bucket.
+
+    Starts full at ``burst`` tokens, refills at ``rate`` tokens/second
+    up to ``burst``.  :meth:`try_acquire` either takes a token (returns
+    ``0.0``) or returns the seconds until one will be available — the
+    caller's ``Retry-After``.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0 or burst <= 0:
+            raise ReproError("token bucket rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._updated = time.monotonic()
+
+    def try_acquire(self, now: Optional[float] = None) -> float:
+        """Take one token if available; else the wait in seconds."""
+        if now is None:
+            now = time.monotonic()
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+        # The epsilon admits a client that waited *exactly* the advised
+        # time (float refill arithmetic can land at 1.0 - 1e-15).
+        if self._tokens >= 1.0 - 1e-9:
+            self._tokens = max(0.0, self._tokens - 1.0)
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client token buckets behind one lock.
+
+    ``rate <= 0`` disables limiting entirely (every ``admit`` returns
+    ``0.0``) — the spelling the CLI uses for ``--rate 0``.  The client
+    table is an LRU capped at ``max_clients`` so an adversary cycling
+    client ids cannot grow it without bound.
+    """
+
+    def __init__(self, rate: float, burst: float, max_clients: int = 4096):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def admit(self, client: str) -> float:
+        """``0.0`` to admit, else seconds the client should back off."""
+        if not self.enabled:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(self.rate, self.burst)
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+            return bucket.try_acquire()
+
+    def clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+
+def retry_after_header(wait_s: float) -> str:
+    """``Retry-After`` is integral seconds; always advise at least 1."""
+    return str(max(1, math.ceil(wait_s)))
+
+
+class AdmissionQueue:
+    """A bounded count of admitted-but-unanswered requests.
+
+    ``try_enter`` admits while fewer than ``limit`` requests are in
+    flight and returns ``False`` once the bound is hit — the caller
+    sheds with 503 instead of queueing.  ``limit <= 0`` disables the
+    bound.  ``retry_after_s`` is the advisory backoff handed to shed
+    clients (half the bound's worth of requests at the recent service
+    rate would be ideal; a fixed small constant keeps it predictable).
+    """
+
+    def __init__(self, limit: int, retry_after_s: float = 1.0):
+        self.limit = int(limit)
+        self.retry_after_s = float(retry_after_s)
+        self._depth = 0
+        self._lock = threading.Lock()
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def try_enter(self) -> bool:
+        with self._lock:
+            if self.limit > 0 and self._depth >= self.limit:
+                return False
+            self._depth += 1
+            return True
+
+    def leave(self) -> None:
+        with self._lock:
+            if self._depth <= 0:  # pragma: no cover - guards misuse
+                raise ReproError("admission queue leave() without enter()")
+            self._depth -= 1
+
+    def info(self) -> dict:
+        with self._lock:
+            return {"depth": self._depth, "limit": self.limit}

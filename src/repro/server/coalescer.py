@@ -1,0 +1,165 @@
+"""Request coalescing: concurrent single queries → one ``execute_batch``.
+
+The service's shared-prefix trie (PR 4) and mode-aware merge (PR 5) do
+their best work on *batches* — eight queries opening with the same
+steps pay for the common prefix once.  A network server naturally
+receives those eight queries as eight separate requests, so the
+coalescer holds each arriving query for a small window (a few ms) and
+flushes everything that accumulated as **one**
+:meth:`~repro.service.service.QueryService.execute_batch` call, fanning
+the per-query results back to the waiting handlers.  Per-query result
+``mode`` is preserved (mixed-mode batches share prefixes by design);
+queries only coalesce with compatible siblings — same engine, planner
+and cache settings — via the batch key.
+
+The flush runs on a dedicated dispatcher thread pool (default: one
+thread), never on the event loop: the engines hold the GIL for the
+duration of a batch, and a single dispatch lane both keeps the serial
+executor's worker state single-threaded (it is not thread-safe) and
+makes coalescing the real concurrency mechanism instead of thread
+interleaving.
+
+All coalescer state is touched only from the event loop thread — the
+async-idiomatic alternative to locking.  ``window <= 0`` degrades to
+one-batch-per-request (the ablation the load bench measures against).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.server.stats import ServerStats
+from repro.service.service import QueryService, ServiceResult
+
+__all__ = ["QueryCoalescer"]
+
+#: Queries coalesce only with siblings that share these settings.
+BatchKey = Tuple[Optional[str], Optional[bool], bool]
+
+
+class _Pending:
+    """One forming batch: queries + the futures awaiting their results."""
+
+    __slots__ = ("id", "queries", "modes", "futures", "timer")
+
+    def __init__(self, pending_id: int):
+        self.id = pending_id
+        self.queries: List[str] = []
+        self.modes: List[str] = []
+        self.futures: List[asyncio.Future] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class QueryCoalescer:
+    """Merge concurrent single-query submissions into batched dispatch."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        dispatcher,
+        stats: Optional[ServerStats] = None,
+        window_s: float = 0.004,
+        max_batch: int = 64,
+    ):
+        self.service = service
+        self.window_s = float(window_s)
+        self.max_batch = max(1, int(max_batch))
+        self._dispatcher = dispatcher
+        self._stats = stats if stats is not None else ServerStats()
+        self._pending: Dict[BatchKey, _Pending] = {}
+        self._ids = itertools.count()
+        self._tasks: set = set()
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        query: str,
+        engine: Optional[str] = None,
+        mode: str = "materialize",
+        use_planner: Optional[bool] = None,
+        use_cache: bool = True,
+    ) -> ServiceResult:
+        """Enqueue one query and await its (possibly batched) result."""
+        if self._closing:
+            raise ReproError("coalescer is draining; no new queries")
+        loop = asyncio.get_running_loop()
+        key: BatchKey = (engine, use_planner, use_cache)
+        pending = self._pending.get(key)
+        if pending is None:
+            pending = self._pending[key] = _Pending(next(self._ids))
+            if self.window_s > 0:
+                pending.timer = loop.call_later(
+                    self.window_s, self._flush, key, pending.id
+                )
+        future: asyncio.Future = loop.create_future()
+        pending.queries.append(query)
+        pending.modes.append(mode)
+        pending.futures.append(future)
+        if self.window_s <= 0 or len(pending.queries) >= self.max_batch:
+            self._flush(key, pending.id)
+        return await future
+
+    async def run(self, fn):
+        """Run a blocking callable on the dispatch lane (used for batch
+        and update endpoints, which serialize with coalesced flushes)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._dispatcher, fn)
+
+    # ------------------------------------------------------------------
+    def _flush(self, key: BatchKey, pending_id: int) -> None:
+        """Detach the forming batch and dispatch it (idempotent per
+        batch: the timer and the max-batch path may both fire)."""
+        pending = self._pending.get(key)
+        if pending is None or pending.id != pending_id:
+            return
+        del self._pending[key]
+        if pending.timer is not None:
+            pending.timer.cancel()
+        task = asyncio.get_running_loop().create_task(self._dispatch(key, pending))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _dispatch(self, key: BatchKey, pending: _Pending) -> None:
+        engine, use_planner, use_cache = key
+        self._stats.record_batch(len(pending.queries))
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._dispatcher,
+                lambda: self.service.execute_batch(
+                    pending.queries,
+                    engine=engine,
+                    use_cache=use_cache,
+                    use_planner=use_planner,
+                    mode=pending.modes,
+                ),
+            )
+        except BaseException as error:  # noqa: BLE001 - fan the failure out
+            for future in pending.futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for future, result in zip(pending.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    # ------------------------------------------------------------------
+    def pending_queries(self) -> int:
+        """Queries currently held in forming batches (for /stats)."""
+        return sum(len(p.queries) for p in self._pending.values())
+
+    async def close(self) -> None:
+        """Drain: flush every forming batch, wait for all dispatches.
+
+        Every already-submitted query still gets its real answer — the
+        graceful-shutdown contract — while new submissions are refused.
+        """
+        self._closing = True
+        for key, pending in list(self._pending.items()):
+            self._flush(key, pending.id)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

@@ -1,0 +1,127 @@
+"""The server's observability surface: request counters + latency.
+
+One :class:`ServerStats` lives per :class:`~repro.server.app.QueryServer`
+and is written from the event loop (response accounting) and the
+coalescer (batch accounting) while ``/stats`` handlers, tests and the
+load bench read it concurrently — every method takes the internal lock,
+and latency quantiles come from the bounded
+:class:`~repro.counters.LatencyHistogram` rather than per-request
+samples, so the surface stays O(1) memory under any traffic.
+
+The ``/stats`` payload stitches three layers together:
+
+* **server** — uptime, per-endpoint request/latency histograms, status
+  code counts, open connections;
+* **coalescer** — batches flushed, queries coalesced, largest batch
+  (the "is the window earning its keep" signal);
+* **admission** — queue depth/limit and shed counts (429 rate-limit,
+  503 queue-full, 503 draining);
+* **service** — the :meth:`~repro.service.service.QueryService.stats_snapshot`
+  consistent view (epoch, cache hit rates, planner/engine/workers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+from repro.counters import LatencyHistogram
+
+__all__ = ["ServerStats"]
+
+
+class ServerStats:
+    """Thread-safe counters + latency histograms for one server."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._status_counts: Dict[int, int] = {}
+        self._requests = 0
+        self._shed: Dict[str, int] = {
+            "rate_limited": 0,
+            "queue_full": 0,
+            "draining": 0,
+        }
+        self._batches = 0
+        self._coalesced_queries = 0
+        self._largest_batch = 0
+        self._connections_opened = 0
+        self._connections_open = 0
+
+    # ------------------------------------------------------------------
+    # Recording (event loop + coalescer side)
+    # ------------------------------------------------------------------
+    def record_response(self, endpoint: str, status: int, seconds: float) -> None:
+        """Account one finished request (any status, shed or served)."""
+        with self._lock:
+            self._requests += 1
+            self._status_counts[status] = self._status_counts.get(status, 0) + 1
+            histogram = self._histograms.get(endpoint)
+            if histogram is None:
+                histogram = self._histograms[endpoint] = LatencyHistogram()
+        # The histogram has its own lock; no need to nest it here.
+        histogram.observe(seconds)
+
+    def record_shed(self, kind: str) -> None:
+        """Count one load-shedding rejection (``rate_limited`` 429,
+        ``queue_full`` / ``draining`` 503)."""
+        with self._lock:
+            self._shed[kind] = self._shed.get(kind, 0) + 1
+
+    def record_batch(self, size: int) -> None:
+        """Account one coalesced ``execute_batch`` flush of ``size``."""
+        with self._lock:
+            self._batches += 1
+            self._coalesced_queries += size
+            if size > self._largest_batch:
+                self._largest_batch = size
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections_opened += 1
+            self._connections_open += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections_open -= 1
+
+    # ------------------------------------------------------------------
+    # Reading (/stats, tests, bench)
+    # ------------------------------------------------------------------
+    def shed_total(self) -> int:
+        with self._lock:
+            return sum(self._shed.values())
+
+    def snapshot(self) -> dict:
+        """The server-layer slice of the ``/stats`` payload."""
+        with self._lock:
+            batches = self._batches
+            coalesced = self._coalesced_queries
+            histograms = dict(self._histograms)
+            payload = {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "requests": self._requests,
+                "status": {
+                    str(code): n
+                    for code, n in sorted(self._status_counts.items())
+                },
+                "shed": dict(self._shed),
+                "connections": {
+                    "opened": self._connections_opened,
+                    "open": self._connections_open,
+                },
+                "coalescer": {
+                    "batches": batches,
+                    "queries": coalesced,
+                    "largest_batch": self._largest_batch,
+                    "mean_batch": round(coalesced / batches, 2) if batches else 0.0,
+                },
+            }
+        payload["latency"] = {
+            endpoint: histogram.snapshot()
+            for endpoint, histogram in sorted(histograms.items())
+        }
+        return payload

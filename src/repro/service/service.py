@@ -27,6 +27,7 @@ terminate at their first hit and the merge ORs the shard verdicts).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Union
@@ -132,6 +133,15 @@ class QueryService:
         self.planner_enabled = planner
         #: (epoch, engine) → Planner — statistics change only at commits.
         self._planners: Dict[tuple, Planner] = {}
+        # Pairs the epoch with the cache state in one critical section:
+        # ``apply_updates`` commits + clears under this lock, and
+        # ``stats_snapshot`` reads under it, so a snapshot can never
+        # observe a post-update epoch with pre-update cache statistics
+        # (or vice versa).
+        self._stats_lock = threading.Lock()
+        #: Update batches applied through this service (monotonic; each
+        #: applied batch bumps the store epoch exactly once).
+        self.updates_applied = 0
 
     # ------------------------------------------------------------------
     def execute(
@@ -332,18 +342,44 @@ class QueryService:
 
         Returns the store's summary: ``{"epoch", "applied", "shards"}``.
         """
-        summary = self.store.apply_updates(ops)
-        if summary["applied"]:
-            self.result_cache.clear()
+        with self._stats_lock:
+            summary = self.store.apply_updates(ops)
+            if summary["applied"]:
+                self.result_cache.clear()
+                self.updates_applied += 1
         return summary
 
     # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """One *consistent* statistics snapshot.
+
+        Epoch, update count and cache statistics are read inside the
+        same critical section ``apply_updates`` commits under — a
+        reader can never see the new epoch paired with the old caches'
+        numbers (the field-by-field reads this replaces could).  Safe
+        to call concurrently with queries and updates from any thread;
+        the ``/stats`` endpoint of :mod:`repro.server` is built on it.
+        """
+        with self._stats_lock:
+            return {
+                "epoch": self.store.epoch,
+                "updates_applied": self.updates_applied,
+                "engine": self.engine,
+                "workers": self.executor.workers,
+                "planner": self.planner_enabled,
+                "plan": self.plan_cache.info(),
+                "result": self.result_cache.info(),
+            }
+
     def cache_info(self) -> dict:
-        """Cache occupancy/hit statistics plus the current store epoch."""
+        """Cache occupancy/hit statistics plus the current store epoch
+        (a trimmed view of :meth:`stats_snapshot`, kept for callers of
+        the original shape)."""
+        snapshot = self.stats_snapshot()
         return {
-            "epoch": self.store.epoch,
-            "plan": self.plan_cache.info(),
-            "result": self.result_cache.info(),
+            "epoch": snapshot["epoch"],
+            "plan": snapshot["plan"],
+            "result": snapshot["result"],
         }
 
     def clear_caches(self) -> None:

@@ -1,0 +1,734 @@
+"""Server suite: endpoints, coalescing, admission, faults, shutdown.
+
+The headline property mirrors the service-layer ones: **the network
+front door is transparent** — any mix of concurrent ``/query`` requests
+answers byte-identically to per-request ``QueryService.execute`` (the
+hypothesis sweep drives engines × modes × planner on/off through a live
+coalescing server).  Around it, the protocol contracts: backpressure
+(429/503 + ``Retry-After``) instead of unbounded queueing, slow and
+disconnecting clients costing a connection but never the server, mixed
+query/update traffic staying epoch-consistent, and graceful shutdown
+draining every in-flight request while refusing new connections.
+"""
+
+import contextlib
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.harness.workloads import get_forest
+from repro.server import (
+    AdmissionQueue,
+    RateLimiter,
+    ServerConfig,
+    ThreadedServer,
+    TokenBucket,
+)
+from repro.service import QueryService, ShardedStore
+
+ENGINES = ("scalar", "vectorized")
+MODES = ("materialize", "count", "exists")
+
+#: Queries for the equivalence sweep — every axis family the engines
+#: treat differently, plus empty-result and union shapes.
+SUITE = (
+    "//person",
+    "//person/profile/interest",
+    "/descendant::increase/ancestor::bidder",
+    "//open_auction[bidder]/seller",
+    "//bidder[1]",
+    "//seller | //buyer",
+    "//no_such_tag",
+    "//person/attribute::id",
+)
+
+
+# ----------------------------------------------------------------------
+# Fixtures and helpers
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def forest():
+    return get_forest(4, 0.05)
+
+
+@pytest.fixture(scope="module")
+def store_dir(forest, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("server") / "store")
+    ShardedStore.build(directory, forest, shards=2)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def live(store_dir):
+    """A module-wide read-only server (5 ms window, no limits)."""
+    service = QueryService(ShardedStore.open(store_dir), workers=0)
+    server = ThreadedServer(
+        service, ServerConfig(port=0, coalesce_window_s=0.005)
+    ).start()
+    yield server
+    server.stop()
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def reference(store_dir):
+    """A direct (no-network) service over the same store."""
+    with QueryService(ShardedStore.open(store_dir), workers=0) as service:
+        yield service
+
+
+def request(port, method, path, body=None, headers=None, timeout=15):
+    """One HTTP exchange; returns ``(status, json payload, headers)``."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            method,
+            path,
+            body=json.dumps(body) if body is not None else None,
+            headers=headers or {},
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw or b"null"), dict(
+            response.getheaders()
+        )
+    finally:
+        conn.close()
+
+
+@contextlib.contextmanager
+def serving(directory, config=None, workers=0):
+    """A per-test server over a private store/service."""
+    service = QueryService(ShardedStore.open(directory), workers=workers)
+    server = ThreadedServer(service, config or ServerConfig(port=0)).start()
+    try:
+        yield server
+    finally:
+        server.stop()
+        service.close()
+
+
+def expected_payload(reference, query, engine=None, mode="materialize",
+                     use_planner=None, document=None):
+    """What the wire payload must contain, from a direct execute."""
+    result = reference.execute(
+        query, engine=engine, document=document, use_cache=False,
+        use_planner=use_planner, mode=mode,
+    )
+    if mode == "exists":
+        return {"total": result.total, "exists": result.exists}
+    if mode == "count":
+        return {
+            "total": result.total,
+            "per_document": {
+                name: int(n) for name, n in result.per_document.items()
+            },
+        }
+    return {
+        "total": result.total,
+        "per_document": {
+            name: [int(pre) for pre in ranks]
+            for name, ranks in result.per_document.items()
+        },
+    }
+
+
+def assert_matches(payload, expected):
+    for key, value in expected.items():
+        assert payload[key] == value, key
+
+
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_health(self, live):
+        status, payload, _ = request(live.port, "GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["epoch"] == live.service.store.epoch
+        assert payload["documents"] == 4
+
+    def test_stats_surface(self, live):
+        request(live.port, "POST", "/query", {"query": "//person"})
+        status, payload, _ = request(live.port, "GET", "/stats")
+        assert status == 200
+        assert set(payload) == {"server", "admission", "coalescer", "service"}
+        assert payload["admission"]["depth"] == 0
+        assert payload["admission"]["limit"] == 64
+        assert payload["service"]["epoch"] == live.service.store.epoch
+        assert "hits" in payload["service"]["result"]
+        latency = payload["server"]["latency"]["/query"]
+        assert latency["count"] >= 1
+        assert latency["p99_ms"] >= latency["p50_ms"] >= 0
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_query_matches_direct(self, live, reference, mode):
+        for query in ("//person", "//open_auction[bidder]/seller", "//nope"):
+            status, payload, _ = request(
+                live.port, "POST", "/query",
+                {"query": query, "mode": mode, "use_cache": False},
+            )
+            assert status == 200
+            assert payload["mode"] == mode
+            assert_matches(payload, expected_payload(reference, query, mode=mode))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_engine_and_planner_pass_through(self, live, reference, engine):
+        for use_planner in (True, False):
+            status, payload, _ = request(
+                live.port, "POST", "/query",
+                {"query": "//person/profile", "engine": engine,
+                 "use_planner": use_planner, "use_cache": False},
+            )
+            assert status == 200
+            assert payload["engine"] == engine
+            assert_matches(
+                payload,
+                expected_payload(reference, "//person/profile", engine=engine,
+                                 use_planner=use_planner),
+            )
+
+    def test_document_scoped_query(self, live, reference):
+        name = live.service.store.document_names()[0]
+        status, payload, _ = request(
+            live.port, "POST", "/query",
+            {"query": "//person", "document": name, "use_cache": False},
+        )
+        assert status == 200
+        assert list(payload["per_document"]) == [name]
+        assert_matches(
+            payload, expected_payload(reference, "//person", document=name)
+        )
+
+    def test_batch_endpoint_mixed_modes(self, live, reference):
+        queries = ["//person", "//person", "//person"]
+        status, payload, _ = request(
+            live.port, "POST", "/batch",
+            {"queries": queries, "mode": list(MODES), "use_cache": False},
+        )
+        assert status == 200
+        assert [r["mode"] for r in payload["results"]] == list(MODES)
+        for result, mode in zip(payload["results"], MODES):
+            assert_matches(
+                result, expected_payload(reference, "//person", mode=mode)
+            )
+
+    def test_cache_round_trip(self, live):
+        request(live.port, "POST", "/query", {"query": "//site/people"})
+        status, payload, _ = request(
+            live.port, "POST", "/query", {"query": "//site/people"}
+        )
+        assert status == 200 and payload["from_cache"] is True
+
+
+class TestErrors:
+    def test_unknown_endpoint(self, live):
+        status, payload, _ = request(live.port, "GET", "/nope")
+        assert status == 404 and "error" in payload
+
+    def test_wrong_method(self, live):
+        status, _, headers = request(live.port, "POST", "/health", {})
+        assert status == 405 and headers["Allow"] == "GET"
+        status, _, _ = request(live.port, "GET", "/query")
+        assert status == 405
+
+    def test_malformed_json(self, live):
+        conn = http.client.HTTPConnection("127.0.0.1", live.port, timeout=15)
+        try:
+            conn.request("POST", "/query", body="{not json")
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert "JSON" in payload["error"]
+        finally:
+            conn.close()
+
+    def test_non_object_body(self, live):
+        status, payload, _ = request(live.port, "POST", "/query", ["//a"])
+        assert status == 400 and "object" in payload["error"]
+
+    def test_missing_and_mistyped_fields(self, live):
+        status, payload, _ = request(live.port, "POST", "/query", {})
+        assert status == 400 and "'query'" in payload["error"]
+        status, payload, _ = request(
+            live.port, "POST", "/query", {"query": 7}
+        )
+        assert status == 400
+        status, payload, _ = request(
+            live.port, "POST", "/batch", {"queries": []}
+        )
+        assert status == 400
+        status, payload, _ = request(
+            live.port, "POST", "/update", {"ops": "not-a-list"}
+        )
+        assert status == 400
+
+    def test_malformed_xpath_is_400(self, live):
+        status, payload, _ = request(
+            live.port, "POST", "/query", {"query": "//["}
+        )
+        assert status == 400 and "error" in payload
+        # the connection/server both survive a syntax error
+        assert request(live.port, "GET", "/health")[0] == 200
+
+    def test_unknown_mode_is_400(self, live):
+        status, payload, _ = request(
+            live.port, "POST", "/query", {"query": "//a", "mode": "tally"}
+        )
+        assert status == 400 and "mode" in payload["error"]
+
+    def test_bad_update_op_is_400_and_applies_nothing(self, live):
+        epoch = live.service.store.epoch
+        status, payload, _ = request(
+            live.port, "POST", "/update",
+            {"ops": [{"op": "explode", "document": "x"}]},
+        )
+        assert status == 400
+        assert live.service.store.epoch == epoch
+
+    def test_oversized_content_length_is_413(self, live):
+        raw = socket.create_connection(("127.0.0.1", live.port), timeout=15)
+        try:
+            raw.sendall(
+                b"POST /query HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+            )
+            response = raw.recv(4096)
+            assert b"413" in response.split(b"\r\n", 1)[0]
+        finally:
+            raw.close()
+
+    def test_oversized_header_is_431(self, live):
+        raw = socket.create_connection(("127.0.0.1", live.port), timeout=15)
+        try:
+            raw.sendall(b"GET /health HTTP/1.1\r\nX-Junk: " + b"j" * 100_000)
+            chunks = b""
+            with contextlib.suppress(OSError):
+                while True:
+                    chunk = raw.recv(4096)
+                    if not chunk:
+                        break
+                    chunks += chunk
+            assert b"431" in chunks.split(b"\r\n", 1)[0]
+        finally:
+            raw.close()
+
+
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_concurrent_queries_coalesce_into_one_batch(self, store_dir):
+        config = ServerConfig(port=0, coalesce_window_s=0.1)
+        with serving(store_dir, config) as server:
+            queries = ["//person", "//person/profile", "//open_auction",
+                       "//item", "//bidder", "//seller"]
+            outcomes = [None] * len(queries)
+            barrier = threading.Barrier(len(queries))
+
+            def client(i):
+                barrier.wait()
+                outcomes[i] = request(
+                    server.port, "POST", "/query",
+                    {"query": queries[i], "use_cache": False},
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(queries))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(status == 200 for status, _, _ in outcomes)
+            _, stats, _ = request(server.port, "GET", "/stats")
+            coalescer = stats["server"]["coalescer"]
+            assert coalescer["largest_batch"] > 1
+            assert coalescer["queries"] == len(queries)
+
+    def test_max_batch_flushes_early(self, store_dir):
+        config = ServerConfig(port=0, coalesce_window_s=5.0, max_batch=2)
+        with serving(store_dir, config) as server:
+            outcomes = [None, None]
+            barrier = threading.Barrier(2)
+
+            def client(i):
+                barrier.wait()
+                outcomes[i] = request(
+                    server.port, "POST", "/query",
+                    {"query": "//person", "use_cache": False}, timeout=3,
+                )
+
+            started = time.perf_counter()
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - started
+            # Without the size trigger these would wait out the 5s window.
+            assert elapsed < 3.0
+            assert all(status == 200 for status, _, _ in outcomes)
+
+    def test_incompatible_settings_do_not_coalesce(self, store_dir, reference):
+        """Different engines form different batches — and both answer
+        correctly."""
+        config = ServerConfig(port=0, coalesce_window_s=0.05)
+        with serving(store_dir, config) as server:
+            outcomes = {}
+            barrier = threading.Barrier(2)
+
+            def client(engine):
+                barrier.wait()
+                outcomes[engine] = request(
+                    server.port, "POST", "/query",
+                    {"query": "//person", "engine": engine, "use_cache": False},
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(engine,))
+                for engine in ENGINES
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for engine in ENGINES:
+                status, payload, _ = outcomes[engine]
+                assert status == 200 and payload["engine"] == engine
+                assert_matches(
+                    payload,
+                    expected_payload(reference, "//person", engine=engine),
+                )
+
+
+class TestCoalescingEquivalence:
+    """Responses from coalesced batches == per-request execute."""
+
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.sampled_from(SUITE),
+                st.sampled_from(MODES),
+                st.sampled_from((None,) + ENGINES),
+                st.sampled_from((None, True, False)),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_coalesced_equals_direct(self, live, reference, jobs):
+        outcomes = [None] * len(jobs)
+        barrier = threading.Barrier(len(jobs))
+
+        def client(i):
+            query, mode, engine, use_planner = jobs[i]
+            body = {"query": query, "mode": mode, "use_cache": False}
+            if engine is not None:
+                body["engine"] = engine
+            if use_planner is not None:
+                body["use_planner"] = use_planner
+            barrier.wait()
+            outcomes[i] = request(live.port, "POST", "/query", body)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(len(jobs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for (query, mode, engine, use_planner), (status, payload, _) in zip(
+            jobs, outcomes
+        ):
+            assert status == 200, payload
+            assert_matches(
+                payload,
+                expected_payload(
+                    reference, query, engine=engine, mode=mode,
+                    use_planner=use_planner,
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_token_bucket_refills(self):
+        bucket = TokenBucket(rate=10, burst=2)
+        now = 100.0
+        assert bucket.try_acquire(now) == 0.0
+        assert bucket.try_acquire(now) == 0.0
+        wait = bucket.try_acquire(now)
+        assert wait == pytest.approx(0.1)
+        assert bucket.try_acquire(now + wait) == 0.0
+
+    def test_token_bucket_validates(self):
+        with pytest.raises(ReproError):
+            TokenBucket(rate=0, burst=1)
+
+    def test_rate_limiter_isolates_clients(self):
+        limiter = RateLimiter(rate=1, burst=1)
+        assert limiter.admit("a") == 0.0
+        assert limiter.admit("a") > 0.0
+        assert limiter.admit("b") == 0.0  # an unrelated client is fine
+
+    def test_rate_limiter_bounds_client_table(self):
+        limiter = RateLimiter(rate=1, burst=1, max_clients=4)
+        for i in range(40):
+            limiter.admit(f"client-{i}")
+        assert limiter.clients() <= 4
+
+    def test_disabled_rate_limiter_admits_everything(self):
+        limiter = RateLimiter(rate=0, burst=1)
+        assert all(limiter.admit("x") == 0.0 for _ in range(100))
+
+    def test_admission_queue_bounds_depth(self):
+        queue = AdmissionQueue(limit=2)
+        assert queue.try_enter() and queue.try_enter()
+        assert not queue.try_enter()
+        queue.leave()
+        assert queue.try_enter()
+        assert queue.info() == {"depth": 2, "limit": 2}
+
+    def test_rate_limited_client_gets_429_with_retry_after(self, store_dir):
+        config = ServerConfig(port=0, coalesce_window_s=0, rate=2, burst=2)
+        with serving(store_dir, config) as server:
+            spam = [
+                request(server.port, "POST", "/query",
+                        {"query": "//person", "mode": "exists"},
+                        headers={"X-Client-Id": "spammy"})
+                for _ in range(6)
+            ]
+            codes = [status for status, _, _ in spam]
+            assert 200 in codes and 429 in codes
+            shed = next(h for status, _, h in spam if status == 429)
+            assert int(shed["Retry-After"]) >= 1
+            # another client is unaffected, and health is never limited
+            status, _, _ = request(
+                server.port, "POST", "/query",
+                {"query": "//person", "mode": "exists"},
+                headers={"X-Client-Id": "calm"},
+            )
+            assert status == 200
+            assert request(server.port, "GET", "/health")[0] == 200
+            _, stats, _ = request(server.port, "GET", "/stats")
+            assert stats["server"]["shed"]["rate_limited"] >= 1
+
+    def test_overload_sheds_503_without_deadlock(self, store_dir):
+        """Beyond the admission bound the server answers 503 immediately
+        — and keeps serving normally once the burst passes."""
+        config = ServerConfig(
+            port=0, coalesce_window_s=0.3, queue_limit=1, retry_after_s=1
+        )
+        with serving(store_dir, config) as server:
+            outcomes = [None] * 6
+            barrier = threading.Barrier(6)
+
+            def client(i):
+                barrier.wait()
+                outcomes[i] = request(
+                    server.port, "POST", "/query",
+                    {"query": "//person", "use_cache": False},
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            codes = sorted(status for status, _, _ in outcomes)
+            assert codes.count(200) >= 1
+            assert codes.count(503) >= 1
+            shed = next(h for status, _, h in outcomes if status == 503)
+            assert int(shed["Retry-After"]) >= 1
+            # the queue drained: a fresh request is served, not shed
+            status, _, _ = request(
+                server.port, "POST", "/query", {"query": "//person"}
+            )
+            assert status == 200
+            _, stats, _ = request(server.port, "GET", "/stats")
+            assert stats["server"]["shed"]["queue_full"] >= 1
+            assert stats["admission"]["depth"] == 0
+
+
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_slow_client_times_out_without_blocking_others(self, store_dir):
+        config = ServerConfig(port=0, header_timeout_s=0.4)
+        with serving(store_dir, config) as server:
+            stalled = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=15
+            )
+            try:
+                stalled.sendall(b"POST /query HTTP/1.1\r\n")  # ...and stall
+                # a healthy client is served while the slow one stalls
+                assert request(server.port, "GET", "/health")[0] == 200
+                # the server reclaims the stalled connection (EOF)
+                stalled.settimeout(5)
+                assert stalled.recv(1024) == b""
+            finally:
+                stalled.close()
+            assert request(server.port, "GET", "/health")[0] == 200
+
+    def test_client_disconnecting_mid_request_is_harmless(self, store_dir):
+        config = ServerConfig(port=0, coalesce_window_s=0.05)
+        with serving(store_dir, config) as server:
+            for _ in range(3):
+                gone = socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=15
+                )
+                body = json.dumps({"query": "//person", "use_cache": False})
+                gone.sendall(
+                    f"POST /query HTTP/1.1\r\nContent-Length: {len(body)}"
+                    f"\r\n\r\n{body}".encode()
+                )
+                gone.close()  # vanish before the response
+            time.sleep(0.2)
+            status, payload, _ = request(
+                server.port, "POST", "/query", {"query": "//person"}
+            )
+            assert status == 200 and payload["total"] > 0
+
+    def test_mixed_query_update_traffic(self, forest, tmp_path):
+        """Concurrent queries and updates: no errors, every response is
+        a committed epoch's answer (per-client totals never regress)."""
+        directory = str(tmp_path / "store")
+        ShardedStore.build(directory, forest, shards=2)
+        config = ServerConfig(port=0, coalesce_window_s=0.003)
+        rounds = 6
+        with serving(directory, config) as server:
+            _, baseline, _ = request(
+                server.port, "POST", "/query",
+                {"query": "//person", "mode": "count"},
+            )
+            errors, totals = [], {i: [] for i in range(3)}
+            done = threading.Event()
+
+            def querier(i):
+                try:
+                    while not done.is_set():
+                        status, payload, _ = request(
+                            server.port, "POST", "/query",
+                            {"query": "//person", "use_cache": False},
+                        )
+                        assert status == 200, payload
+                        totals[i].append(payload["total"])
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=querier, args=(i,)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            base_epoch = None
+            for i in range(rounds):
+                status, payload, _ = request(
+                    server.port, "POST", "/update",
+                    {"ops": [{
+                        "op": "insert", "document": "xmark-00", "pre": 1,
+                        "xml": f"<person>mixed-{i}</person>",
+                    }]},
+                )
+                assert status == 200 and payload["applied"] == 1
+                base_epoch = payload["epoch"]
+                time.sleep(0.01)
+            done.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            for series in totals.values():
+                assert series == sorted(series)  # never a stale regression
+            status, payload, _ = request(server.port, "GET", "/health")
+            assert payload["epoch"] == base_epoch
+            status, payload, _ = request(
+                server.port, "POST", "/query",
+                {"query": "//person", "use_cache": False},
+            )
+            # every round inserted exactly one <person>
+            assert payload["total"] == baseline["total"] + rounds
+
+    def test_update_through_server_bumps_epoch_and_results(self, forest, tmp_path):
+        directory = str(tmp_path / "store")
+        ShardedStore.build(directory, forest, shards=2)
+        with serving(directory) as server:
+            _, before, _ = request(
+                server.port, "POST", "/query",
+                {"query": "//person", "mode": "count"},
+            )
+            _, health_before, _ = request(server.port, "GET", "/health")
+            status, summary, _ = request(
+                server.port, "POST", "/update",
+                {"ops": [{
+                    "op": "add", "document": "fresh",
+                    "xml": "<site><people><person/><person/></people></site>",
+                }]},
+            )
+            assert status == 200
+            assert summary["epoch"] == health_before["epoch"] + 1
+            _, after, _ = request(
+                server.port, "POST", "/query",
+                {"query": "//person", "mode": "count"},
+            )
+            assert after["total"] == before["total"] + 2
+            assert after["from_cache"] is False
+            assert after["per_document"]["fresh"] == 2
+
+
+# ----------------------------------------------------------------------
+class TestGracefulShutdown:
+    def test_drains_in_flight_and_refuses_new(self, store_dir):
+        """Requests sitting in the coalescing window at shutdown still
+        get their real answers; new connections are refused."""
+        config = ServerConfig(port=0, coalesce_window_s=0.25)
+        service = QueryService(ShardedStore.open(store_dir), workers=0)
+        server = ThreadedServer(service, config).start()
+        port = server.port
+        try:
+            outcomes = [None] * 3
+
+            def client(i):
+                outcomes[i] = request(
+                    port, "POST", "/query",
+                    {"query": "//person/profile", "use_cache": False},
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.08)  # requests are now held by the window
+            server.stop()  # graceful: drains before returning
+            for t in threads:
+                t.join(timeout=30)
+            assert all(
+                status == 200 and payload["total"] > 0
+                for status, payload, _ in outcomes
+            ), outcomes
+            with pytest.raises(OSError):
+                request(port, "GET", "/health", timeout=2)
+        finally:
+            server.stop()
+            service.close()
+
+    def test_shutdown_is_idempotent_and_stats_survive(self, store_dir):
+        service = QueryService(ShardedStore.open(store_dir), workers=0)
+        server = ThreadedServer(
+            service, ServerConfig(port=0, coalesce_window_s=0)
+        ).start()
+        try:
+            assert request(server.port, "GET", "/health")[0] == 200
+            server.stop()
+            server.stop()  # second stop is a no-op
+            assert server.server.draining
+        finally:
+            service.close()

@@ -453,6 +453,82 @@ class TestServiceUpdates:
 
 
 # ----------------------------------------------------------------------
+class TestStatsSnapshot:
+    """``stats_snapshot`` pairs epoch + cache state atomically with
+    ``apply_updates`` — the field-by-field reads it replaced could see
+    a post-commit epoch with pre-commit cache statistics."""
+
+    def test_snapshot_shape(self, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+        with QueryService(store, workers=0) as service:
+            snapshot = service.stats_snapshot()
+            assert snapshot["epoch"] == store.epoch
+            assert snapshot["updates_applied"] == 0
+            assert snapshot["engine"] == "vectorized"
+            assert snapshot["planner"] is True
+            assert set(snapshot["plan"]) == {"size", "capacity", "hits", "misses"}
+            # cache_info keeps the original trimmed shape
+            assert set(service.cache_info()) == {"epoch", "plan", "result"}
+
+    def test_snapshot_counts_update_batches(self, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+        with QueryService(store, workers=0) as service:
+            seed_epoch = store.epoch
+            service.apply_updates(
+                [UpdateOp("insert", "d0", tree=element("person"), pre=1)]
+            )
+            service.apply_updates([])  # no-op batches don't count
+            snapshot = service.stats_snapshot()
+            assert snapshot["updates_applied"] == 1
+            assert snapshot["epoch"] == seed_epoch + 1
+
+    def test_snapshot_consistent_under_concurrent_updates(self, tmp_path):
+        """Every snapshot taken while an updater thread commits satisfies
+        ``epoch == seed_epoch + updates_applied`` (each applied batch
+        bumps the epoch exactly once) — the invariant unlocked reads
+        tear."""
+        store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
+        rounds = 12
+        with QueryService(store, workers=0) as service:
+            seed_epoch = store.epoch
+            errors, torn = [], []
+            started = threading.Event()
+            done = threading.Event()
+
+            def snapshot_loop():
+                try:
+                    started.set()
+                    while not done.is_set():
+                        snapshot = service.stats_snapshot()
+                        if (
+                            snapshot["epoch"]
+                            != seed_epoch + snapshot["updates_applied"]
+                        ):
+                            torn.append(snapshot)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            thread = threading.Thread(target=snapshot_loop)
+            thread.start()
+            started.wait()
+            for i in range(rounds):
+                service.apply_updates(
+                    [
+                        UpdateOp(
+                            "insert", "d1", tree=element("person", text(f"s{i}")),
+                            pre=1,
+                        )
+                    ]
+                )
+            done.set()
+            thread.join(timeout=30)
+            assert not errors
+            assert not torn, f"torn snapshots observed: {torn[:3]}"
+            final = service.stats_snapshot()
+            assert final["updates_applied"] == rounds
+            assert final["epoch"] == seed_epoch + rounds
+
+
 class TestExecutorFallForward:
     def test_stale_task_falls_forward_to_current_manifest(self, tmp_path):
         """A task naming an unlinked shard file re-reads the manifest and
