@@ -262,6 +262,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         rate=args.rate,
         burst=args.burst,
+        peer_rate_factor=args.peer_rate_factor,
         queue_limit=args.queue_limit,
     )
     service = QueryService(
@@ -492,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument(
         "--burst", type=float, default=16.0,
         help="per-client token-bucket burst (default 16)",
+    )
+    cmd.add_argument(
+        "--peer-rate-factor", type=float, default=4.0,
+        help="per-peer backstop bucket = this x the per-client rate/burst "
+        "(bounds X-Client-Id rotation; 0 disables the backstop; default 4)",
     )
     cmd.add_argument(
         "--queue-limit", type=int, default=64,

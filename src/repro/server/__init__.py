@@ -27,11 +27,12 @@ from repro.server.app import (
     ThreadedServer,
     result_to_payload,
 )
-from repro.server.coalescer import QueryCoalescer
+from repro.server.coalescer import CoalescerDraining, QueryCoalescer
 from repro.server.stats import ServerStats
 
 __all__ = [
     "AdmissionQueue",
+    "CoalescerDraining",
     "QueryCoalescer",
     "QueryServer",
     "RateLimiter",

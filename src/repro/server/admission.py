@@ -4,12 +4,21 @@ Two independent gates stand between a connection and the query engine,
 and both *shed* instead of queueing unboundedly — the grid-file lesson
 of partitioned, bounded access applied to a request stream:
 
-1. :class:`RateLimiter` — one token bucket per client (peer address or
-   ``X-Client-Id``).  A client over its rate gets **429** with a
-   ``Retry-After`` computed from its own bucket, and cannot starve
-   other clients: buckets are independent and the table is bounded
-   (least-recently-seen clients are evicted first, which forgives —
-   never punishes — returning clients by handing them a fresh burst).
+1. :class:`RateLimiter` — one token bucket per client, plus a per-peer
+   *backstop* bucket.  The client key anchors on the peer address (the
+   one identity a client cannot choose); the ``X-Client-Id`` header is
+   **advisory** — it subdivides fairness among cooperating clients
+   behind one peer but never escapes it, because ids are scoped to
+   their peer and every admitted request is also charged against the
+   peer's backstop bucket (``peer_factor`` × the per-client rate).
+   Rotating ids therefore buys at most ``peer_factor`` × one client's
+   rate, not a fresh burst per request.  A client over its rate gets
+   **429** with a ``Retry-After`` computed from its own bucket, and
+   cannot starve siblings behind the same peer: the backstop is only
+   charged for requests the per-client gate already granted.  The
+   table is bounded (least-recently-seen clients are evicted first,
+   which forgives returning clients with a fresh burst — eviction
+   churn cannot defeat the limiter, the peer backstop still binds).
 
 2. :class:`AdmissionQueue` — a global cap on requests admitted but not
    yet answered (coalescing window + dispatch + serialization).  When
@@ -69,38 +78,74 @@ class TokenBucket:
 
 
 class RateLimiter:
-    """Per-client token buckets behind one lock.
+    """Per-client token buckets + per-peer backstops behind one lock.
 
     ``rate <= 0`` disables limiting entirely (every ``admit`` returns
-    ``0.0``) — the spelling the CLI uses for ``--rate 0``.  The client
-    table is an LRU capped at ``max_clients`` so an adversary cycling
-    client ids cannot grow it without bound.
+    ``0.0``) — the spelling the CLI uses for ``--rate 0``.  Both tables
+    are LRUs capped at ``max_clients`` so an adversary cycling client
+    ids cannot grow them without bound.
+
+    When ``admit`` is given a ``peer``, a request must pass *two*
+    buckets: the per-client one (keyed by whatever identity the caller
+    chose — typically ``peer#header-id``) and the peer's backstop
+    bucket at ``peer_factor`` × (rate, burst).  The backstop is charged
+    only after the per-client gate grants, so one over-rate client id
+    cannot drain its peer's shared allowance — but cycling fresh ids
+    from one address is bounded by the backstop instead of earning a
+    full burst per id.
     """
 
-    def __init__(self, rate: float, burst: float, max_clients: int = 4096):
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 4096,
+        peer_factor: float = 4.0,
+    ):
         self.rate = float(rate)
         self.burst = float(burst)
         self.max_clients = int(max_clients)
+        self.peer_factor = float(peer_factor)
         self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._peers: "OrderedDict[str, TokenBucket]" = OrderedDict()
         self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
         return self.rate > 0
 
-    def admit(self, client: str) -> float:
+    def _bucket(
+        self,
+        table: "OrderedDict[str, TokenBucket]",
+        key: str,
+        rate: float,
+        burst: float,
+    ) -> TokenBucket:
+        bucket = table.get(key)
+        if bucket is None:
+            bucket = table[key] = TokenBucket(rate, burst)
+            while len(table) > self.max_clients:
+                table.popitem(last=False)
+        else:
+            table.move_to_end(key)
+        return bucket
+
+    def admit(self, client: str, peer: Optional[str] = None) -> float:
         """``0.0`` to admit, else seconds the client should back off."""
         if not self.enabled:
             return 0.0
         with self._lock:
-            bucket = self._buckets.get(client)
-            if bucket is None:
-                bucket = self._buckets[client] = TokenBucket(self.rate, self.burst)
-                while len(self._buckets) > self.max_clients:
-                    self._buckets.popitem(last=False)
-            else:
-                self._buckets.move_to_end(client)
-            return bucket.try_acquire()
+            bucket = self._bucket(self._buckets, client, self.rate, self.burst)
+            wait = bucket.try_acquire()
+            if wait > 0 or peer is None or self.peer_factor <= 0:
+                return wait
+            backstop = self._bucket(
+                self._peers,
+                peer,
+                self.rate * self.peer_factor,
+                self.burst * self.peer_factor,
+            )
+            return backstop.try_acquire()
 
     def clients(self) -> int:
         with self._lock:

@@ -35,6 +35,12 @@ Protocol guarantees (the test suite pins each):
 
 * **Backpressure, not backlog** — over-rate clients get 429 and a
   saturated server gets 503, both with ``Retry-After``, in O(1).
+  ``X-Client-Id`` is advisory; rate enforcement anchors on the peer
+  address with a per-peer backstop so rotating ids cannot bypass it.
+* **Coalescing shares work, never failures** — queries are validated
+  per-request before they may join a batch, and a batch that still
+  fails mid-flight is re-run per query; one client's bad input can
+  only 400 that client, never its coalesced siblings.
 * **Slow clients cannot wedge the server** — header/body reads and
   response writes carry timeouts; a stalled peer costs one connection,
   never a dispatch lane or an admission slot.
@@ -57,10 +63,13 @@ from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro.errors import ReproError, XPathSyntaxError
 from repro.server.admission import AdmissionQueue, RateLimiter, retry_after_header
-from repro.server.coalescer import QueryCoalescer
+from repro.server.coalescer import CoalescerDraining, QueryCoalescer
 from repro.server.stats import ServerStats
 from repro.service.service import QueryService, ServiceResult
 from repro.service.updates import parse_ops
+from repro.xpath.axes import resolve_engine
+from repro.xpath.evaluator import parse_with_cache
+from repro.xpath.pipeline import MODES
 
 __all__ = ["QueryServer", "ServerConfig", "ThreadedServer", "result_to_payload"]
 
@@ -73,6 +82,7 @@ _REASONS = {
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    501: "Not Implemented",
     503: "Service Unavailable",
 }
 
@@ -89,6 +99,7 @@ class ServerConfig:
     max_batch: int = 64  #: flush a forming batch at this size
     rate: float = 0.0  #: per-client requests/second; 0 disables
     burst: float = 16.0  #: per-client token-bucket burst
+    peer_rate_factor: float = 4.0  #: per-peer backstop = this × rate/burst
     queue_limit: int = 64  #: admitted-but-unanswered cap; 0 disables
     retry_after_s: float = 1.0  #: advisory backoff for 503 sheds
     header_timeout_s: float = 10.0  #: slow-client guard (request head)
@@ -127,7 +138,11 @@ class QueryServer:
         self.service = service
         self.config = config or ServerConfig()
         self.stats = ServerStats()
-        self.limiter = RateLimiter(self.config.rate, self.config.burst)
+        self.limiter = RateLimiter(
+            self.config.rate,
+            self.config.burst,
+            peer_factor=self.config.peer_rate_factor,
+        )
         self.admission = AdmissionQueue(
             self.config.queue_limit, self.config.retry_after_s
         )
@@ -313,6 +328,14 @@ class QueryServer:
                 continue
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            # Only Content-Length bodies are supported.  Silently
+            # ignoring a chunked body would leave the chunk bytes in the
+            # stream to be misread as the next request head on this
+            # kept-alive connection — reject and close instead.
+            raise _HttpError(
+                501, "Transfer-Encoding is not supported; send Content-Length"
+            )
         length = headers.get("content-length", "0")
         try:
             length = int(length)
@@ -397,6 +420,17 @@ class QueryServer:
         except XPathSyntaxError as error:
             message = str(error).strip().splitlines()[0]
             return 400, {"error": message}, {}, request.keep_alive
+        except CoalescerDraining as error:
+            # A request that passed the _draining check can still lose
+            # the race against shutdown at coalescer.submit — that is a
+            # server-side drain, not a client error.
+            self.stats.record_shed("draining")
+            return (
+                503,
+                {"error": str(error)},
+                {"Retry-After": retry_after_header(self.config.retry_after_s)},
+                False,
+            )
         except ReproError as error:
             return 400, {"error": str(error)}, {}, request.keep_alive
         except Exception as error:  # noqa: BLE001 - the 500 boundary
@@ -418,11 +452,15 @@ class QueryServer:
         self, request: _Request, writer: asyncio.StreamWriter
     ) -> Optional[_HttpError]:
         """Rate-limit + admission gates; an ``_HttpError`` to shed."""
-        client = request.headers.get("x-client-id")
-        if client is None:
-            peer = writer.get_extra_info("peername")
-            client = peer[0] if peer else "unknown"
-        wait = self.limiter.admit(client)
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if peername else "unknown"
+        header = request.headers.get("x-client-id")
+        # X-Client-Id is advisory: it subdivides fairness within one
+        # peer but enforcement anchors on the peer address, which the
+        # client cannot choose — ids are scoped to their peer and a
+        # per-peer backstop bucket bounds id rotation.
+        client = f"{peer}#{header}" if header else peer
+        wait = self.limiter.admit(client, peer=peer if header else None)
         if wait > 0:
             self.stats.record_shed("rate_limited")
             return _HttpError(
@@ -468,6 +506,18 @@ class QueryServer:
         document = self._field(body, "document", str)
         use_planner = self._field(body, "use_planner", bool)
         use_cache = self._field(body, "use_cache", bool, default=True)
+        # Validate everything per-request *before* the query may join a
+        # coalesced batch: a syntax error, bad mode, or unknown engine
+        # must 400 this request alone — inside execute_batch it would
+        # abort the whole batch and contaminate other clients' queries.
+        if mode not in MODES:
+            raise _HttpError(
+                400,
+                f"unknown result mode {mode!r} (expected one of {MODES})",
+            )
+        if engine is not None:
+            engine = resolve_engine(engine)  # ReproError → 400
+        parse_with_cache(query, self.service.plan_cache)  # syntax → 400
         if document is not None:
             # Scoped queries target one member document — nothing to
             # share with the batch, so they take the dispatch lane solo.

@@ -22,6 +22,12 @@ interleaving.
 All coalescer state is touched only from the event loop thread — the
 async-idiomatic alternative to locking.  ``window <= 0`` degrades to
 one-batch-per-request (the ablation the load bench measures against).
+
+Sharing a batch never shares *failures*: the HTTP layer pre-validates
+each query before it may join a batch, and if a batch call still raises
+mid-flight the coalescer falls back to per-query execution so the
+exception reaches only the offending submitter — every valid sibling
+gets its real answer.
 """
 
 from __future__ import annotations
@@ -34,7 +40,16 @@ from repro.errors import ReproError
 from repro.server.stats import ServerStats
 from repro.service.service import QueryService, ServiceResult
 
-__all__ = ["QueryCoalescer"]
+__all__ = ["CoalescerDraining", "QueryCoalescer"]
+
+
+class CoalescerDraining(ReproError):
+    """Submission refused because the server is shutting down.
+
+    A distinct type so the HTTP layer can map a drain-race refusal to
+    **503** + ``Retry-After`` (a server-side condition) instead of the
+    generic ``ReproError`` → 400 client-error path.
+    """
 
 #: Queries coalesce only with siblings that share these settings.
 BatchKey = Tuple[Optional[str], Optional[bool], bool]
@@ -85,7 +100,7 @@ class QueryCoalescer:
     ) -> ServiceResult:
         """Enqueue one query and await its (possibly batched) result."""
         if self._closing:
-            raise ReproError("coalescer is draining; no new queries")
+            raise CoalescerDraining("coalescer is draining; no new queries")
         loop = asyncio.get_running_loop()
         key: BatchKey = (engine, use_planner, use_cache)
         pending = self._pending.get(key)
@@ -138,10 +153,45 @@ class QueryCoalescer:
                     mode=pending.modes,
                 ),
             )
-        except BaseException as error:  # noqa: BLE001 - fan the failure out
+        except asyncio.CancelledError:
             for future in pending.futures:
                 if not future.done():
+                    future.cancel()
+            raise
+        except BaseException as error:  # noqa: BLE001 - isolate the failure
+            if len(pending.queries) == 1:
+                future = pending.futures[0]
+                if not future.done():
                     future.set_exception(error)
+                return
+            # A batch-level failure (one bad query aborts the whole
+            # ``execute_batch``) must not contaminate coalesced siblings
+            # from other clients: re-run each query alone so the
+            # exception lands only on the offender's future and every
+            # valid sibling still gets its real answer.
+            self._stats.record_fallback()
+            for query, mode, future in zip(
+                pending.queries, pending.modes, pending.futures
+            ):
+                if future.done():
+                    continue
+                try:
+                    result = await loop.run_in_executor(
+                        self._dispatcher,
+                        lambda q=query, m=mode: self.service.execute(
+                            q,
+                            engine=engine,
+                            use_cache=use_cache,
+                            use_planner=use_planner,
+                            mode=m,
+                        ),
+                    )
+                except BaseException as solo_error:  # noqa: BLE001
+                    if not future.done():
+                        future.set_exception(solo_error)
+                else:
+                    if not future.done():
+                        future.set_result(result)
             return
         for future, result in zip(pending.futures, results):
             if not future.done():

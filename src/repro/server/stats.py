@@ -48,6 +48,7 @@ class ServerStats:
         self._batches = 0
         self._coalesced_queries = 0
         self._largest_batch = 0
+        self._fallbacks = 0
         self._connections_opened = 0
         self._connections_open = 0
 
@@ -78,6 +79,12 @@ class ServerStats:
             self._coalesced_queries += size
             if size > self._largest_batch:
                 self._largest_batch = size
+
+    def record_fallback(self) -> None:
+        """Count one failed batch re-run as per-query executions (the
+        coalescer's failure-isolation path)."""
+        with self._lock:
+            self._fallbacks += 1
 
     def connection_opened(self) -> None:
         with self._lock:
@@ -118,6 +125,7 @@ class ServerStats:
                     "queries": coalesced,
                     "largest_batch": self._largest_batch,
                     "mean_batch": round(coalesced / batches, 2) if batches else 0.0,
+                    "fallbacks": self._fallbacks,
                 },
             }
         payload["latency"] = {

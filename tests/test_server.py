@@ -11,12 +11,14 @@ query/update traffic staying epoch-consistent, and graceful shutdown
 draining every in-flight request while refusing new connections.
 """
 
+import asyncio
 import contextlib
 import http.client
 import json
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -25,6 +27,7 @@ from repro.errors import ReproError
 from repro.harness.workloads import get_forest
 from repro.server import (
     AdmissionQueue,
+    QueryCoalescer,
     RateLimiter,
     ServerConfig,
     ThreadedServer,
@@ -302,6 +305,28 @@ class TestErrors:
         finally:
             raw.close()
 
+    def test_chunked_transfer_encoding_is_rejected(self, live):
+        """Chunked bodies are unsupported: honoring only Content-Length
+        would leave the chunk bytes to be misparsed as the next request
+        head on the kept-alive connection — reject and close instead."""
+        raw = socket.create_connection(("127.0.0.1", live.port), timeout=15)
+        try:
+            raw.sendall(
+                b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"5\r\nhello\r\n0\r\n\r\n"
+            )
+            chunks = b""
+            with contextlib.suppress(OSError):
+                while True:
+                    chunk = raw.recv(4096)
+                    if not chunk:
+                        break
+                    chunks += chunk
+            assert b"501" in chunks.split(b"\r\n", 1)[0]
+        finally:
+            raw.close()
+        assert request(live.port, "GET", "/health")[0] == 200
+
     def test_oversized_header_is_431(self, live):
         raw = socket.create_connection(("127.0.0.1", live.port), timeout=15)
         try:
@@ -374,6 +399,79 @@ class TestCoalescing:
             # Without the size trigger these would wait out the 5s window.
             assert elapsed < 3.0
             assert all(status == 200 for status, _, _ in outcomes)
+
+    def test_bad_queries_do_not_contaminate_coalesced_siblings(
+        self, store_dir, reference
+    ):
+        """A malformed query or unknown mode arriving inside the window
+        400s its own request only — concurrent valid queries sharing the
+        batch still get their real answers."""
+        config = ServerConfig(port=0, coalesce_window_s=0.2)
+        with serving(store_dir, config) as server:
+            jobs = [
+                ({"query": "//person", "use_cache": False}, 200),
+                ({"query": "//[", "use_cache": False}, 400),
+                ({"query": "//bidder", "mode": "tally"}, 400),
+                ({"query": "//bidder", "mode": "count",
+                  "use_cache": False}, 200),
+            ]
+            outcomes = [None] * len(jobs)
+            barrier = threading.Barrier(len(jobs))
+
+            def client(i):
+                barrier.wait()
+                outcomes[i] = request(server.port, "POST", "/query", jobs[i][0])
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(jobs))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for (body, expected), (status, payload, _) in zip(jobs, outcomes):
+                assert status == expected, (body, payload)
+            assert_matches(
+                outcomes[0][1], expected_payload(reference, "//person")
+            )
+            assert_matches(
+                outcomes[3][1],
+                expected_payload(reference, "//bidder", mode="count"),
+            )
+
+    def test_batch_failure_falls_back_to_per_query_execution(self):
+        """Defense in depth below pre-validation: if ``execute_batch``
+        itself raises, only the offending query's future sees the error
+        — siblings are re-run solo and still answered."""
+
+        class _FailingBatchService:
+            def execute_batch(self, queries, **kwargs):
+                raise RuntimeError("batch-level failure")
+
+            def execute(self, query, **kwargs):
+                if query == "bad":
+                    raise ReproError("bad query")
+                return f"ok:{query}"
+
+        async def drive(pool):
+            coalescer = QueryCoalescer(
+                _FailingBatchService(), pool, window_s=0.05
+            )
+            results = await asyncio.gather(
+                coalescer.submit("good-1"),
+                coalescer.submit("bad"),
+                coalescer.submit("good-2"),
+                return_exceptions=True,
+            )
+            return results, coalescer._stats.snapshot()["coalescer"]
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            (r1, r2, r3), stats = asyncio.run(drive(pool))
+        assert r1 == "ok:good-1" and r3 == "ok:good-2"
+        assert isinstance(r2, ReproError)
+        assert stats["batches"] == 1 and stats["largest_batch"] == 3
+        assert stats["fallbacks"] == 1
 
     def test_incompatible_settings_do_not_coalesce(self, store_dir, reference):
         """Different engines form different batches — and both answer
@@ -483,6 +581,42 @@ class TestAdmission:
         for i in range(40):
             limiter.admit(f"client-{i}")
         assert limiter.clients() <= 4
+
+    def test_rotating_ids_bounded_by_peer_backstop(self):
+        """Fresh client ids stop earning a fresh full burst each: every
+        admitted request is also charged to the peer's backstop bucket."""
+        limiter = RateLimiter(rate=1, burst=1, peer_factor=4)
+        admitted = sum(
+            1
+            for i in range(40)
+            if limiter.admit(f"peer#rot-{i}", peer="peer") == 0.0
+        )
+        assert 4 <= admitted <= 5  # ~peer_factor x burst, never 40
+        # clients behind an unrelated peer are unaffected
+        assert limiter.admit("other#steady", peer="other") == 0.0
+
+    def test_over_rate_client_does_not_drain_peer_backstop(self):
+        """The backstop is charged only for granted requests: one id
+        hammering past its own rate cannot starve siblings behind the
+        same peer address."""
+        limiter = RateLimiter(rate=1, burst=1, peer_factor=4)
+        for _ in range(50):
+            limiter.admit("nat#spammy", peer="nat")
+        assert limiter.admit("nat#calm", peer="nat") == 0.0
+
+    def test_rotating_client_ids_get_429_from_server(self, store_dir):
+        config = ServerConfig(port=0, coalesce_window_s=0, rate=1, burst=1)
+        with serving(store_dir, config) as server:
+            codes = [
+                request(
+                    server.port, "POST", "/query",
+                    {"query": "//person", "mode": "exists"},
+                    headers={"X-Client-Id": f"rot-{i}"},
+                )[0]
+                for i in range(12)
+            ]
+            assert codes[0] == 200
+            assert codes.count(429) >= 1  # rotation no longer bypasses
 
     def test_disabled_rate_limiter_admits_everything(self):
         limiter = RateLimiter(rate=0, burst=1)
@@ -719,6 +853,18 @@ class TestGracefulShutdown:
         finally:
             server.stop()
             service.close()
+
+    def test_drain_race_at_coalescer_returns_503(self, store_dir):
+        """A request that passes the _draining check but reaches the
+        coalescer after close() is a server-side drain: 503 +
+        Retry-After, not a 400 client error."""
+        with serving(store_dir) as server:
+            server.server.coalescer._closing = True
+            status, payload, headers = request(
+                server.port, "POST", "/query", {"query": "//person"}
+            )
+            assert status == 503, payload
+            assert int(headers["Retry-After"]) >= 1
 
     def test_shutdown_is_idempotent_and_stats_survive(self, store_dir):
         service = QueryService(ShardedStore.open(store_dir), workers=0)
