@@ -45,15 +45,15 @@ BATCH = (
     '//item[starts-with(location, "A")]',
 )
 
-#: (label, engine, workers, warm-result-cache) configurations.
+#: (label, engine, backend spec, warm-result-cache) configurations.
 CONFIGS = (
-    ("serial-cold-scalar", "scalar", 0, False),
-    ("w4-cold-scalar", "scalar", 4, False),
-    ("serial-cold-vectorized", "vectorized", 0, False),
-    ("w1-cold-vectorized", "vectorized", 1, False),
-    ("w2-cold-vectorized", "vectorized", 2, False),
-    ("w4-cold-vectorized", "vectorized", 4, False),
-    ("w4-warm-vectorized", "vectorized", 4, True),
+    ("serial-cold-scalar", "scalar", "serial", False),
+    ("w4-cold-scalar", "scalar", "pool:4", False),
+    ("serial-cold-vectorized", "vectorized", "serial", False),
+    ("w1-cold-vectorized", "vectorized", "pool:1", False),
+    ("w2-cold-vectorized", "vectorized", "pool:2", False),
+    ("w4-cold-vectorized", "vectorized", "pool:4", False),
+    ("w4-warm-vectorized", "vectorized", "pool:4", True),
 )
 
 
@@ -63,28 +63,28 @@ def service_store(tmp_path_factory):
     return ShardedStore.build(directory, get_forest(DOCUMENTS, SIZE_MB), shards=SHARDS)
 
 
-def _measure_qps(store, engine, workers, warm, rounds=3):
+def _measure_qps(store, engine, backend, warm, rounds=3, batch=BATCH):
     """Best-of-``rounds`` queries/sec for one configuration."""
-    with QueryService(store, engine=engine, workers=workers) as service:
-        # Touch every shard once: spin up the pool, mmap the columns.
-        service.execute_batch(BATCH, use_cache=warm)
+    with QueryService(store, engine=engine, backend=backend) as service:
+        # Touch every shard once: spin up the workers, mmap the columns.
+        service.execute_batch(batch, use_cache=warm)
         best = float("inf")
         for _ in range(rounds):
             if not warm:
                 service.clear_caches()
             started = time.perf_counter()
-            results = service.execute_batch(BATCH, use_cache=warm)
+            results = service.execute_batch(batch, use_cache=warm)
             best = min(best, time.perf_counter() - started)
         total = sum(r.total for r in results)
-    return len(BATCH) / best, best, total
+    return len(batch) / best, best, total
 
 
 @pytest.mark.parametrize(
-    "label,engine,workers,warm", CONFIGS, ids=[c[0] for c in CONFIGS]
+    "label,engine,backend,warm", CONFIGS, ids=[c[0] for c in CONFIGS]
 )
-def test_batch_config(benchmark, service_store, label, engine, workers, warm):
+def test_batch_config(benchmark, service_store, label, engine, backend, warm):
     """One pytest-benchmark line item per service configuration."""
-    with QueryService(service_store, engine=engine, workers=workers) as service:
+    with QueryService(service_store, engine=engine, backend=backend) as service:
         service.execute_batch(BATCH, use_cache=warm)
 
         def run():
@@ -94,7 +94,7 @@ def test_batch_config(benchmark, service_store, label, engine, workers, warm):
 
         results = benchmark(run)
     benchmark.extra_info["engine"] = engine
-    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["backend"] = backend
     benchmark.extra_info["warm_cache"] = warm
     benchmark.extra_info["results"] = int(sum(r.total for r in results))
 
@@ -107,8 +107,8 @@ def test_throughput_summary(service_store, emit, benchmark):
     def run():
         rows.clear()
         qps_by_label.clear()
-        for label, engine, workers, warm in CONFIGS:
-            qps, best_s, total = _measure_qps(service_store, engine, workers, warm)
+        for label, engine, backend, warm in CONFIGS:
+            qps, best_s, total = _measure_qps(service_store, engine, backend, warm)
             qps_by_label[label] = qps
             rows.append(
                 {
@@ -142,4 +142,86 @@ def test_throughput_summary(service_store, emit, benchmark):
     assert contract >= 3.0, (
         "4 workers + warm caches below the 3x contract over serial "
         f"cold-cache scalar execution: {contract:.1f}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# Fabric: shared-memory result planes vs the pickling pool.
+#
+# The fabric's claim is about *transfer*, not compute: on a
+# materialize-heavy batch the pool pickles every rank array through a
+# pipe while the fabric writes them once into a shared-memory segment
+# the parent maps zero-copy.  The batch below is deliberately
+# rank-dense (broad node tests over every shard) so result bytes, not
+# staircase work, dominate the worker→parent path.
+
+#: Queries whose answers are a large fraction of the store's nodes.
+RANK_BATCH = (
+    "//*",
+    "/descendant::node()",
+    "//site//item",
+    "//open_auction//node()",
+    "//text//keyword",
+    "//person",
+    "//bidder",
+    "//item//description//node()",
+)
+
+FABRIC_DOCUMENTS = 8
+FABRIC_SIZE_MB = 0.22
+FABRIC_WORKER_SWEEP = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def fabric_store(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("fabric-bench") / "store")
+    return ShardedStore.build(
+        directory, get_forest(FABRIC_DOCUMENTS, FABRIC_SIZE_MB), shards=SHARDS
+    )
+
+
+def test_fabric_worker_scaling(fabric_store, emit, benchmark):
+    """Fabric 1→4 worker curve + the ≥ 1.5× contract over the pool.
+
+    Both backends run the identical cold-cache materialize batch; at
+    equal worker counts the staircase compute is the same, so the gap
+    is the result plane: ``multiprocessing`` pipe + pickle for the
+    pool, one shared-memory segment per worker for the fabric.
+    """
+    rows = []
+    qps_by_label = {}
+
+    def run():
+        rows.clear()
+        qps_by_label.clear()
+        sweep = [(f"fabric:{n}", f"fabric:{n}") for n in FABRIC_WORKER_SWEEP]
+        for label, spec in [("pool:4", "pool:4"), *sweep]:
+            qps, best_s, total = _measure_qps(
+                fabric_store, "vectorized", spec, warm=False, batch=RANK_BATCH
+            )
+            qps_by_label[label] = qps
+            rows.append(
+                {
+                    "backend": label,
+                    "batch_ms": f"{best_s * 1e3:.2f}",
+                    "queries_per_s": f"{qps:,.0f}",
+                    "result_mb": f"{total * 8 / 1e6:.2f}",
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    nodes = sum(entry["nodes"] for entry in fabric_store.describe()["shards"])
+    emit(
+        f"fabric worker scaling — {FABRIC_DOCUMENTS} documents / {SHARDS} "
+        f"shards, {nodes:,} nodes, rank-dense batch of {len(RANK_BATCH)}",
+        format_table(rows),
+    )
+    speedup = qps_by_label["fabric:4"] / qps_by_label["pool:4"]
+    benchmark.extra_info["contract_min_fabric_vs_pool_speedup"] = round(speedup, 2)
+    for n in FABRIC_WORKER_SWEEP:
+        benchmark.extra_info[f"qps_fabric_{n}"] = round(qps_by_label[f"fabric:{n}"], 1)
+    assert speedup >= 1.5, (
+        "fabric shared-memory transfer below the 1.5x contract over the "
+        f"pickling pool on a rank-dense batch: {speedup:.2f}x"
     )

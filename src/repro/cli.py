@@ -11,7 +11,7 @@ Makes the library usable without writing Python::
     python -m repro info auction.npz
     python -m repro sql "/descendant::profile/descendant::education"
     python -m repro shard -o store --generate 8 --size 0.2 --shards 4
-    python -m repro serve-batch store "//open_auction[bidder]/seller" --workers 4
+    python -m repro serve-batch store "//open_auction[bidder]/seller" --backend pool:4
     python -m repro serve-batch store "//person" --mode exists
     python -m repro serve store --port 8080 --rate 50 --queue-limit 32
     python -m repro update store ops.json --verify "//person"
@@ -194,6 +194,30 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_spec(value: str) -> str:
+    """argparse type for ``--backend``: a bad spec is a usage error."""
+    from repro.service.backend import parse_backend_spec
+
+    try:
+        parse_backend_spec(value)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error))
+    return value
+
+
+def _backend_kwargs(args: argparse.Namespace) -> dict:
+    """Map ``--backend``/``--workers`` onto ``QueryService`` arguments.
+
+    ``--workers`` is the deprecated spelling; passing it alongside
+    ``--backend`` is rejected by the service (``--backend pool:4``
+    covers the combination).
+    """
+    kwargs: dict = {"backend": args.backend}
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    return kwargs
+
+
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.service import QueryService, ShardedStore
 
@@ -217,8 +241,8 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     service = QueryService(
         store,
         engine=args.engine,
-        workers=args.workers,
         planner=not args.no_planner,
+        **_backend_kwargs(args),
     )
     with service:
         for round_number in range(1, args.repeat + 1):
@@ -268,8 +292,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = QueryService(
         store,
         engine=args.engine,
-        workers=args.workers,
         planner=not args.no_planner,
+        **_backend_kwargs(args),
     )
     with service:
         asyncio.run(QueryServer(service, config).serve())
@@ -298,7 +322,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
     store = ShardedStore.open(args.store)
     before = store.epoch
     started = time.perf_counter()
-    with QueryService(store, workers=0) as service:
+    with QueryService(store, backend="serial") as service:
         summary = service.apply_updates(ops)
         if args.verify:
             result = service.execute(args.verify)
@@ -444,8 +468,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine (default: vectorized)",
     )
     cmd.add_argument(
+        "--backend", type=_backend_spec, default=None, metavar="NAME[:N]",
+        help="execution backend: serial, pool, or fabric, with an "
+        "optional worker count (e.g. fabric:4); default: $REPRO_BACKEND "
+        "or a pool with one worker per shard",
+    )
+    cmd.add_argument(
         "--workers", type=int, default=None,
-        help="worker processes (0 = serial; default: one per shard)",
+        help="deprecated: use --backend (0 = serial, N = pool:N)",
     )
     cmd.add_argument(
         "--repeat", type=int, default=1,
@@ -509,8 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine (default: vectorized)",
     )
     cmd.add_argument(
+        "--backend", type=_backend_spec, default=None, metavar="NAME[:N]",
+        help="execution backend: serial, pool, or fabric, with an "
+        "optional worker count (e.g. fabric:4); default: $REPRO_BACKEND "
+        "or a pool with one worker per shard",
+    )
+    cmd.add_argument(
         "--workers", type=int, default=None,
-        help="shard worker processes (0 = serial; default: one per shard)",
+        help="deprecated: use --backend (0 = serial, N = pool:N)",
     )
     cmd.add_argument(
         "--no-planner", action="store_true",

@@ -683,6 +683,10 @@ class ThreadedServer:
         self._ready.set()
         await self._stop_event.wait()
         await self.server.shutdown()
+        # The drain is complete — no dispatch can still be in flight —
+        # so release the service's execution backend (worker processes,
+        # shared-memory segments) before the loop stops.
+        self.service.close()
 
     @property
     def port(self) -> int:

@@ -7,9 +7,13 @@ package turns that into a servable system:
   into persisted collection shards (memory-mapped, epoch-versioned);
 * :class:`~repro.service.cache.LRUCache` — bounded caches for parsed
   plans and finished results;
-* :class:`~repro.service.executor.ShardExecutor` — serial or
-  multiprocessing fan-out of (query, shard) tasks with pre-ordered
-  merge;
+* :class:`~repro.service.backend.ExecutionBackend` — how batches fan
+  out over the shards: :class:`~repro.service.backend.SerialBackend`
+  (in-process), :class:`~repro.service.backend.PoolBackend`
+  (multiprocessing, pickled results), or
+  :class:`~repro.service.fabric.FabricBackend` (long-lived
+  shard-affine workers returning ``materialize`` payloads through
+  shared-memory segments), all with the same pre-ordered merge;
 * :class:`~repro.service.service.QueryService` — the front door:
   ``execute`` / ``execute_batch`` with plan + result caching, and
   ``apply_updates`` for the live write path;
@@ -23,13 +27,21 @@ serve-batch`` runs query batches against one, ``python -m repro
 update`` applies an ops file to one.
 """
 
+from repro.service.backend import (
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    make_backend,
+)
 from repro.service.cache import LRUCache
 from repro.service.executor import (
     ShardExecutor,
+    ShardResult,
     ShardWorkerState,
     available_cpus,
     default_workers,
 )
+from repro.service.fabric import FabricBackend
 from repro.service.service import QueryService, ServiceResult
 from repro.service.store import ShardedStore
 from repro.service.updates import UpdateOp, parse_ops
@@ -37,9 +49,15 @@ from repro.service.updates import UpdateOp, parse_ops
 __all__ = [
     "LRUCache",
     "available_cpus",
+    "ExecutionBackend",
+    "FabricBackend",
+    "PoolBackend",
+    "SerialBackend",
     "ShardExecutor",
+    "ShardResult",
     "ShardWorkerState",
     "default_workers",
+    "make_backend",
     "QueryService",
     "ServiceResult",
     "ShardedStore",

@@ -1,0 +1,343 @@
+"""Execution backends: how a query batch fans out over the shards.
+
+The :class:`~repro.service.service.QueryService` compiles a batch into
+``(plan, engine, document, mode)`` items and hands them to an
+**execution backend** — the single object that owns worker lifecycle
+and result transport.  All backends run the exact same per-shard code
+(:class:`~repro.service.executor.ShardWorkerState`) and produce the
+exact same :class:`~repro.service.executor.ShardResult` values, so the
+choice is purely an execution-strategy one:
+
+============  ======================================================
+``serial``    In-process, zero worker processes.  The reference path
+              (and the right choice under ``update``-heavy loads or
+              in tests).
+``pool``      A lazily created ``multiprocessing.Pool``; results are
+              pickled back through the pool pipe.
+``fabric``    Long-lived workers with **shard affinity** whose
+              ``materialize`` payloads travel through shared-memory
+              segments instead of pickle
+              (:class:`~repro.service.fabric.FabricBackend`).
+============  ======================================================
+
+Construct one with :func:`make_backend` (or pass an instance /
+spec string to ``QueryService(backend=...)``).  The historical
+``workers=N`` sentinel still works everywhere it used to, through a
+deprecation shim (:func:`resolve_backend`): ``workers=0`` maps to
+``serial``, ``workers>0`` to ``pool``.  The ``REPRO_BACKEND``
+environment variable supplies the *default* spec when neither
+``backend`` nor ``workers`` is given — the hook the CI backend matrix
+uses to run one test suite per backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.service.executor import (
+    ShardResult,
+    ShardTask,
+    ShardWorkerState,
+    _item_mode,
+    _pool_init,
+    _pool_run_group,
+    _split_for_pool,
+    default_workers,
+)
+from repro.service.store import ShardedStore
+from repro.xpath.pipeline import MODES
+
+__all__ = [
+    "BACKEND_ENV",
+    "ExecutionBackend",
+    "PoolBackend",
+    "SerialBackend",
+    "make_backend",
+    "resolve_backend",
+]
+
+#: Environment variable supplying the default backend spec (e.g.
+#: ``serial``, ``pool``, ``pool:4``, ``fabric``) when a caller passes
+#: neither ``backend`` nor ``workers``.  Explicit arguments always win.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+class ExecutionBackend:
+    """Template for executing compiled query batches over the shards.
+
+    Subclasses implement :meth:`_dispatch` — take per-shard task
+    groups, return every group's :class:`ShardResult` list — and may
+    override :meth:`close` to release workers.  Expansion (query ×
+    shard → :class:`ShardTask`) and merging (shard results → one
+    payload per item, global document order) live here so every
+    backend answers byte-identically.
+    """
+
+    #: Registry name (``make_backend`` spec, CLI ``--backend`` value).
+    name: str = "?"
+
+    def __init__(self, store: ShardedStore):
+        self.store = store
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Worker process count (0 = in-process)."""
+        return 0
+
+    def run_batch(self, items: Sequence[Sequence]) -> List:
+        """Evaluate a batch of ``(plan, engine, document[, mode])`` items.
+
+        Returns, per item, the merged payload of the item's result
+        mode: a mapping of document name → document-relative preorder
+        ranks (``materialize``) or → cardinality (``count``), in global
+        document order (scoped items report their single document
+        only); ``exists`` items merge to one boolean — shard payloads
+        are OR-ed together instead of concatenated.
+        """
+        order = self.store.document_names()
+        tasks = self._expand(items)
+        # One dispatch unit per shard: the worker holding a shard sees
+        # the whole batch's plans for it and shares their prefixes.
+        groups: Dict[int, List[ShardTask]] = {}
+        for task in tasks:
+            groups.setdefault(task.shard_id, []).append(task)
+        outcomes = self._dispatch(list(groups.values()))
+        return self._merge(items, outcomes, order)
+
+    def _dispatch(
+        self, grouped: List[List[ShardTask]]
+    ) -> List[ShardResult]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _expand(self, items: Sequence[Sequence]) -> List[ShardTask]:
+        tasks = []
+        for index, item in enumerate(items):
+            plan, engine, document = item[0], item[1], item[2]
+            mode = _item_mode(item)
+            if mode not in MODES:
+                raise ReproError(
+                    f"unknown result mode {mode!r} (expected one of {MODES})"
+                )
+            if document is not None:
+                shard_ids = [self.store.shard_of(document)]
+            else:
+                shard_ids = self.store.shard_ids()
+            for shard_id in shard_ids:
+                entry = self.store.shard_entry(shard_id)
+                tasks.append(
+                    ShardTask(
+                        index=index,
+                        shard_id=shard_id,
+                        shard_file=entry["file"],
+                        names=tuple(entry["documents"]),
+                        plan=plan,
+                        engine=engine,
+                        document=document,
+                        mode=mode,
+                    )
+                )
+        return tasks
+
+    def _merge(
+        self,
+        items: Sequence[Sequence],
+        outcomes: Sequence[ShardResult],
+        order: Sequence[str],
+    ) -> List:
+        per_item: List[Optional[dict]] = [None] * len(items)
+        exists: Dict[int, bool] = {}
+        for result in outcomes:
+            if result.mode == "exists":
+                # OR the shard booleans instead of concatenating arrays.
+                exists[result.index] = exists.get(result.index, False) or result.found
+            else:
+                if per_item[result.index] is None:
+                    per_item[result.index] = {}
+                per_item[result.index].update(result.payload)
+        merged = []
+        for index, (item, collected) in enumerate(zip(items, per_item)):
+            document, mode = item[2], _item_mode(item)
+            if mode == "exists":
+                merged.append(exists.get(index, False))
+                continue
+            collected = collected if collected is not None else {}
+            if document is not None:
+                merged.append({document: collected[document]})
+                continue
+            # Global document order (snapshotted at batch start — a
+            # racing update may add/drop members mid-flight; only names
+            # present in both the snapshot and the results are reported).
+            merged.append(
+                {name: collected[name] for name in order if name in collected}
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release worker resources (idempotent; serial has none)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution: one :class:`ShardWorkerState`, no workers."""
+
+    name = "serial"
+
+    def __init__(self, store: ShardedStore):
+        super().__init__(store)
+        self._serial_state: Optional[ShardWorkerState] = None
+
+    def _dispatch(self, grouped: List[List[ShardTask]]) -> List[ShardResult]:
+        if self._serial_state is None:
+            self._serial_state = ShardWorkerState(
+                self.store.directory, mmap=self.store.mmap
+            )
+        return [
+            outcome
+            for group in grouped
+            for outcome in self._serial_state.run_group(group)
+        ]
+
+
+class PoolBackend(ExecutionBackend):
+    """A lazily created ``multiprocessing.Pool`` of shard workers.
+
+    Shard columns arrive memory-mapped in every worker, so the pool
+    shares one page-cache copy of each shard file; results come back
+    *pickled* through the pool pipe — the cost the fabric backend's
+    shared-memory planes remove for ``materialize``.
+    """
+
+    name = "pool"
+
+    def __init__(self, store: ShardedStore, workers: Optional[int] = None):
+        super().__init__(store)
+        if workers is not None and workers < 0:
+            raise ReproError("workers must be >= 0")
+        self._workers = (
+            default_workers(store) if not workers else int(workers)
+        )
+        self._pool = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _dispatch(self, grouped: List[List[ShardTask]]) -> List[ShardResult]:
+        # Fewer shards than workers would leave workers idle and
+        # serialise whole query batches behind one process; split the
+        # groups (contiguously — adjacent batch queries are the
+        # likeliest prefix-sharers) until the pool is fed.
+        batches = self._ensure_pool().map(
+            _pool_run_group, _split_for_pool(grouped, self._workers)
+        )
+        return [outcome for batch in batches for outcome in batch]
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(
+                processes=self._workers,
+                initializer=_pool_init,
+                initargs=(self.store.directory, self.store.mmap),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def parse_backend_spec(spec: str) -> tuple:
+    """Split ``"name[:N]"`` into ``(name, workers-or-None)``.
+
+    Raises :class:`ReproError` on an unknown name or a malformed count
+    — shared by :func:`make_backend` and the CLI's argument validation
+    (which maps it to a usage error).
+    """
+    name, _, suffix = spec.partition(":")
+    name = name.strip().lower()
+    if name not in ("serial", "pool", "fabric"):
+        raise ReproError(
+            f"unknown backend {name!r} (expected serial, pool, or fabric)"
+        )
+    workers = None
+    if suffix:
+        try:
+            workers = int(suffix)
+        except ValueError:
+            raise ReproError(f"bad worker count in backend spec {spec!r}")
+    return name, workers
+
+
+def make_backend(
+    spec, store: ShardedStore, workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Build a backend from a spec.
+
+    ``spec`` is a backend instance (returned as-is), a name
+    (``"serial"``, ``"pool"``, ``"fabric"``), or a ``"name:N"`` string
+    fixing the worker count (``"pool:4"``).  An explicit ``workers``
+    argument overrides the suffix.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise ReproError(f"not a backend spec: {spec!r}")
+    name, suffix_workers = parse_backend_spec(spec)
+    if workers is None:
+        workers = suffix_workers
+    if name == "serial":
+        return SerialBackend(store)
+    if name == "pool":
+        return PoolBackend(store, workers=workers)
+    from repro.service.fabric import FabricBackend
+
+    return FabricBackend(store, workers=workers)
+
+
+#: Sentinel distinguishing "argument not passed" from an explicit None.
+_UNSET = object()
+
+
+def resolve_backend(
+    store: ShardedStore, backend=None, workers=_UNSET
+) -> ExecutionBackend:
+    """Resolve ``QueryService``'s ``backend``/``workers`` arguments.
+
+    Precedence: an explicit ``backend`` wins; else an explicit
+    ``workers`` count is honoured through the deprecation shim
+    (``0`` → serial, else pool — the historical sentinel); else the
+    ``REPRO_BACKEND`` environment variable names the default; else a
+    pool sized by :func:`~repro.service.executor.default_workers`.
+    """
+    if backend is not None:
+        if workers is not _UNSET and workers is not None:
+            raise ReproError("pass backend= or workers=, not both")
+        return make_backend(backend, store)
+    if workers is not _UNSET and workers is not None:
+        warnings.warn(
+            "QueryService(workers=...) is deprecated; use "
+            "backend='serial'/'pool'/'fabric' (or a backend instance)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if workers == 0:
+            return SerialBackend(store)
+        return PoolBackend(store, workers=workers)
+    spec = os.environ.get(BACKEND_ENV)
+    if spec:
+        return make_backend(spec, store)
+    return PoolBackend(store)

@@ -1,20 +1,25 @@
-"""Fan a query (or a batch) across shards, serially or over processes.
+"""Shard-level execution units shared by every execution backend.
 
 Each unit of work is a :class:`ShardTask`: run one compiled
 :class:`~repro.xpath.pipeline.PhysicalPlan` against one shard and
-return the payload of the task's **result mode** — per-document
-*relative* preorder ranks (``materialize``), per-document cardinalities
-(``count``), or a single shard-level boolean (``exists``).  The same
-:class:`ShardWorkerState` object executes tasks in both modes:
+return a :class:`ShardResult` carrying the payload of the task's
+**result mode** — per-document *relative* preorder ranks
+(``materialize``), per-document cardinalities (``count``), or a single
+shard-level boolean (``exists``).  The same :class:`ShardWorkerState`
+object executes tasks for every backend:
 
-* ``workers=0`` — in-process (the serial reference path; also what the
-  tests cover line-by-line);
-* ``workers>0`` — a ``multiprocessing`` pool whose initializer opens the
-  store read-only in every worker.  Shard columns arrive memory-mapped
-  (``persist.load(mmap=True)``), so all workers share one page-cache
-  copy of each shard file; only the task tuples and the result payloads
-  cross the process boundary — for ``count``/``exists`` that payload is
-  a handful of integers instead of rank arrays.
+* :class:`~repro.service.backend.SerialBackend` — in-process (the
+  serial reference path; also what the tests cover line-by-line);
+* :class:`~repro.service.backend.PoolBackend` — a ``multiprocessing``
+  pool whose initializer opens the store read-only in every worker.
+  Shard columns arrive memory-mapped (``persist.load(mmap=True)``), so
+  all workers share one page-cache copy of each shard file; only the
+  task tuples and the result payloads cross the process boundary — for
+  ``count``/``exists`` that payload is a handful of integers instead of
+  rank arrays;
+* :class:`~repro.service.fabric.FabricBackend` — long-lived workers
+  with shard affinity that return ``materialize`` payloads through
+  shared-memory segments instead of pickle.
 
 Tasks are dispatched *grouped by shard* (one pool item per shard, not
 per query × shard): a worker holding a whole batch's plans for one
@@ -44,8 +49,9 @@ picked up on the next task without restarting the pool.
 from __future__ import annotations
 
 import contextlib
-import multiprocessing
 import os
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
@@ -56,7 +62,6 @@ from repro.service.store import ShardedStore
 from repro.xpath.axes import DOCUMENT_CONTEXT
 from repro.xpath.evaluator import Evaluator, parse_with_cache
 from repro.xpath.pipeline import (
-    MODES,
     PhysicalPlan,
     compile_plan,
     dispatch,
@@ -68,6 +73,7 @@ from repro.xpath.pipeline import (
 __all__ = [
     "PrefixContextCache",
     "ShardExecutor",
+    "ShardResult",
     "ShardTask",
     "ShardWorkerState",
     "available_cpus",
@@ -86,6 +92,46 @@ class ShardTask(NamedTuple):
     engine: str
     document: Optional[str]  #: scope to one member, or None for the shard
     mode: str = "materialize"  #: result mode: materialize | count | exists
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's answer to one query of a batch.
+
+    Exactly one of the three payload fields is meaningful, selected by
+    ``mode`` — ``ranks`` (document name → document-relative preorder
+    ranks) for ``materialize``, ``counts`` (document name →
+    cardinality) for ``count``, ``found`` for ``exists``.  Every
+    backend produces and merges the same shape: the serial and pool
+    paths pickle it whole, while the fabric ships ``ranks`` through a
+    shared-memory segment and rebuilds the dataclass around zero-copy
+    views on arrival.
+    """
+
+    index: int  #: position of the query in the batch
+    shard_id: int
+    mode: str = "materialize"
+    ranks: Dict[str, np.ndarray] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    found: bool = False
+
+    @classmethod
+    def of(cls, task: "ShardTask", payload) -> "ShardResult":
+        """Wrap a mode-shaped worker payload for ``task``."""
+        if task.mode == "exists":
+            return cls(task.index, task.shard_id, "exists", found=bool(payload))
+        if task.mode == "count":
+            return cls(task.index, task.shard_id, "count", counts=dict(payload))
+        return cls(task.index, task.shard_id, "materialize", ranks=dict(payload))
+
+    @property
+    def payload(self):
+        """The mode's natural payload (rank mapping, counts, or bool)."""
+        if self.mode == "exists":
+            return self.found
+        if self.mode == "count":
+            return self.counts
+        return self.ranks
 
 
 def available_cpus() -> int:
@@ -302,8 +348,10 @@ class ShardWorkerState:
             return collection.partition_counts(pres)
         return collection.partition_relative(pres)
 
-    def run(self, task: ShardTask, pipeline: Optional[PhysicalPlan] = None):
-        """Execute one task; returns ``(index, shard_id, payload)``.
+    def run(
+        self, task: ShardTask, pipeline: Optional[PhysicalPlan] = None
+    ) -> ShardResult:
+        """Execute one task; returns its :class:`ShardResult`.
 
         A shard (or scoped document) a racing update removed mid-flight
         contributes an empty result instead of failing the batch — the
@@ -312,9 +360,9 @@ class ShardWorkerState:
         try:
             collection = self._collection(task)
         except _ShardVanished:
-            return task.index, task.shard_id, self._gone(task)
+            return ShardResult.of(task, self._gone(task))
         if task.document is not None and task.document not in collection:
-            return task.index, task.shard_id, self._gone(task)
+            return ShardResult.of(task, self._gone(task))
         evaluator = self._evaluator(task.shard_id, task.engine, collection)
         if pipeline is None:
             pipeline = self._pipeline(task)
@@ -335,7 +383,7 @@ class ShardWorkerState:
                     payload = {
                         task.document: (pres - start).astype(np.int64, copy=False)
                     }
-                return task.index, task.shard_id, payload
+                return ShardResult.of(task, payload)
             root = collection.doc.root
             if task.mode == "exists":
                 payload = drive(pipeline, evaluator, exclude_pre=root)
@@ -344,12 +392,12 @@ class ShardWorkerState:
                     pipeline.with_mode("materialize"), evaluator, exclude_pre=root
                 )
                 payload = self._finish(task, collection, pres)
-        return task.index, task.shard_id, payload
+        return ShardResult.of(task, payload)
 
     # ------------------------------------------------------------------
     # Shared-prefix batch execution
     # ------------------------------------------------------------------
-    def run_group(self, tasks: Sequence[ShardTask]):
+    def run_group(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
         """Execute one shard's slice of a whole batch.
 
         Planned single-branch pipelines over the whole shard are
@@ -360,7 +408,7 @@ class ShardWorkerState:
         plans — falls back to :meth:`run` per task.
         """
         shared: Dict[str, List[Tuple[ShardTask, PhysicalPlan]]] = {}
-        outcomes: List[tuple] = []
+        outcomes: List[ShardResult] = []
         for task in tasks:
             pipeline = (
                 self._pipeline(task) if task.document is None else None
@@ -381,20 +429,18 @@ class ShardWorkerState:
 
     def _run_trie(
         self, engine: str, members: List[Tuple[ShardTask, PhysicalPlan]]
-    ) -> List[tuple]:
+    ) -> List[ShardResult]:
         """Evaluate same-shard pipelines, sharing operator prefixes."""
         try:
             collection = self._collection(members[0][0])
         except _ShardVanished:
-            return [
-                (t.index, t.shard_id, self._gone(t)) for t, _ in members
-            ]
+            return [ShardResult.of(t, self._gone(t)) for t, _ in members]
         # The *loaded* file (fall-forward may differ from the task's
         # snapshot) keys the prefix cache, so cached contexts always
         # describe the plane they were computed on.
         shard_file = self._collections[members[0][0].shard_id][0]
         evaluator = self._evaluator(members[0][0].shard_id, engine, collection)
-        outcomes: List[tuple] = []
+        outcomes: List[ShardResult] = []
         root = collection.doc.root
 
         def finish(task: ShardTask, collection, final) -> None:
@@ -402,7 +448,7 @@ class ShardWorkerState:
                 final = np.empty(0, dtype=np.int64)
             final = final[final != root]
             outcomes.append(
-                (task.index, task.shard_id, self._finish(task, collection, final))
+                ShardResult.of(task, self._finish(task, collection, final))
             )
 
         def finish_exists(
@@ -417,7 +463,7 @@ class ShardWorkerState:
                 return
             with self._applied(evaluator, pipeline):
                 hit = exists_tail(tail, evaluator, context, exclude_pre=root)
-            outcomes.append((task.index, task.shard_id, bool(hit)))
+            outcomes.append(ShardResult.of(task, bool(hit)))
 
         def descend(members, depth: int, prefix, context) -> None:
             groups: Dict[object, list] = {}
@@ -509,145 +555,22 @@ def _item_mode(item: Sequence) -> str:
     return item[3] if len(item) > 3 else "materialize"
 
 
-class ShardExecutor:
-    """Dispatches shard tasks and merges per-shard results.
+def ShardExecutor(store: ShardedStore, workers: Optional[int] = None):
+    """Deprecated: the ``workers`` sentinel mapped onto a backend.
 
-    Parameters
-    ----------
-    store:
-        The sharded store to execute against.
-    workers:
-        ``0`` — serial, in this process.  ``n > 0`` — a lazily created
-        pool of ``n`` processes.  ``None`` — :func:`default_workers`.
+    ``ShardExecutor(store, workers=0)`` returns a
+    :class:`~repro.service.backend.SerialBackend`; any other worker
+    count returns a :class:`~repro.service.backend.PoolBackend`.  New
+    code should construct backends directly (or pass
+    ``QueryService(backend=...)``).
     """
+    from repro.service.backend import make_backend
 
-    def __init__(self, store: ShardedStore, workers: Optional[int] = None):
-        if workers is not None and workers < 0:
-            raise ReproError("workers must be >= 0")
-        self.store = store
-        self.workers = default_workers(store) if workers is None else int(workers)
-        self._pool = None
-        self._serial_state: Optional[ShardWorkerState] = None
-
-    # ------------------------------------------------------------------
-    def run_batch(self, items: Sequence[Sequence]) -> List:
-        """Evaluate a batch of ``(plan, engine, document[, mode])`` items.
-
-        Returns, per item, the merged payload of the item's result
-        mode: a mapping of document name → document-relative preorder
-        ranks (``materialize``) or → cardinality (``count``), in global
-        document order (scoped items report their single document
-        only); ``exists`` items merge to one boolean — shard payloads
-        are OR-ed together instead of concatenated.
-        """
-        order = self.store.document_names()
-        tasks = self._expand(items)
-        # One dispatch unit per shard: the worker holding a shard sees
-        # the whole batch's plans for it and shares their prefixes.
-        groups: Dict[int, List[ShardTask]] = {}
-        for task in tasks:
-            groups.setdefault(task.shard_id, []).append(task)
-        grouped = list(groups.values())
-        if self.workers == 0:
-            if self._serial_state is None:
-                self._serial_state = ShardWorkerState(
-                    self.store.directory, mmap=self.store.mmap
-                )
-            batches = [self._serial_state.run_group(group) for group in grouped]
-        else:
-            # Fewer shards than workers would leave workers idle and
-            # serialise whole query batches behind one process; split
-            # the groups (contiguously — adjacent batch queries are the
-            # likeliest prefix-sharers) until the pool is fed.
-            batches = self._ensure_pool().map(
-                _pool_run_group, _split_for_pool(grouped, self.workers)
-            )
-        outcomes = [outcome for batch in batches for outcome in batch]
-        return self._merge(items, outcomes, order)
-
-    # ------------------------------------------------------------------
-    def _expand(self, items: Sequence[Sequence]) -> List[ShardTask]:
-        tasks = []
-        for index, item in enumerate(items):
-            plan, engine, document = item[0], item[1], item[2]
-            mode = _item_mode(item)
-            if mode not in MODES:
-                raise ReproError(
-                    f"unknown result mode {mode!r} (expected one of {MODES})"
-                )
-            if document is not None:
-                shard_ids = [self.store.shard_of(document)]
-            else:
-                shard_ids = self.store.shard_ids()
-            for shard_id in shard_ids:
-                entry = self.store.shard_entry(shard_id)
-                tasks.append(
-                    ShardTask(
-                        index=index,
-                        shard_id=shard_id,
-                        shard_file=entry["file"],
-                        names=tuple(entry["documents"]),
-                        plan=plan,
-                        engine=engine,
-                        document=document,
-                        mode=mode,
-                    )
-                )
-        return tasks
-
-    def _merge(
-        self,
-        items: Sequence[Sequence],
-        outcomes: Sequence[tuple],
-        order: Sequence[str],
-    ) -> List:
-        per_item: List[Optional[dict]] = [None] * len(items)
-        exists: Dict[int, bool] = {}
-        for index, _, payload in outcomes:
-            if _item_mode(items[index]) == "exists":
-                # OR the shard booleans instead of concatenating arrays.
-                exists[index] = exists.get(index, False) or bool(payload)
-            else:
-                if per_item[index] is None:
-                    per_item[index] = {}
-                per_item[index].update(payload)
-        merged = []
-        for index, (item, collected) in enumerate(zip(items, per_item)):
-            document, mode = item[2], _item_mode(item)
-            if mode == "exists":
-                merged.append(exists.get(index, False))
-                continue
-            collected = collected if collected is not None else {}
-            if document is not None:
-                merged.append({document: collected[document]})
-                continue
-            # Global document order (snapshotted at batch start — a
-            # racing update may add/drop members mid-flight; only names
-            # present in both the snapshot and the results are reported).
-            merged.append(
-                {name: collected[name] for name in order if name in collected}
-            )
-        return merged
-
-    # ------------------------------------------------------------------
-    def _ensure_pool(self):
-        if self._pool is None:
-            self._pool = multiprocessing.get_context().Pool(
-                processes=self.workers,
-                initializer=_pool_init,
-                initargs=(self.store.directory, self.store.mmap),
-            )
-        return self._pool
-
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-
-    def __enter__(self) -> "ShardExecutor":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    warnings.warn(
+        "ShardExecutor is deprecated; use make_backend()/QueryService(backend=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if workers == 0:
+        return make_backend("serial", store)
+    return make_backend("pool", store, workers=workers)

@@ -11,9 +11,11 @@ A :class:`QueryService` answers XPath queries over a
    stale entry is ever reachable;
 3. misses are compiled into
    :class:`~repro.xpath.pipeline.PhysicalPlan` operator pipelines and
-   fan out through the :class:`~repro.service.executor.ShardExecutor`
-   (vectorized engine by default); the pre-ordered per-shard results
-   are merged in global document order.
+   fan out through an
+   :class:`~repro.service.backend.ExecutionBackend` — serial
+   in-process, a pickled ``multiprocessing`` pool, or the
+   shared-memory worker fabric (vectorized engine by default); the
+   pre-ordered per-shard results are merged in global document order.
 
 Every query runs in a **result mode**: ``materialize`` (the default),
 ``count``, or ``exists``.  Results are :class:`ServiceResult` values:
@@ -33,8 +35,8 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.service.backend import _UNSET, ExecutionBackend, resolve_backend
 from repro.service.cache import LRUCache
-from repro.service.executor import ShardExecutor
 from repro.service.store import ShardedStore
 from repro.xpath.axes import resolve_engine
 from repro.xpath.evaluator import parse_with_cache
@@ -101,9 +103,17 @@ class QueryService:
     engine:
         Default execution engine; the vectorized bulk engine unless the
         caller opts into the instrumented scalar one.
+    backend:
+        How batches execute: an
+        :class:`~repro.service.backend.ExecutionBackend` instance or a
+        spec string — ``"serial"`` (in-process), ``"pool"`` /
+        ``"pool:4"`` (process pool), ``"fabric"`` (shared-memory
+        worker fabric).  Defaults to the ``REPRO_BACKEND`` environment
+        variable, else a pool with one worker per shard (capped by
+        CPU count).
     workers:
-        ``0`` = serial in-process execution, ``n`` = process pool of
-        ``n``, ``None`` = one worker per shard (capped by CPU count).
+        Deprecated alias for ``backend`` (``0`` = serial, ``n`` = pool
+        of ``n``); emits a :class:`DeprecationWarning`.
     plan_cache_size / result_cache_size:
         LRU capacities; ``0`` disables the respective cache.
     planner:
@@ -120,16 +130,17 @@ class QueryService:
         self,
         store: ShardedStore,
         engine: str = "vectorized",
-        workers: Optional[int] = None,
+        workers: Optional[int] = _UNSET,
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
         planner: bool = True,
+        backend: Union[str, ExecutionBackend, None] = None,
     ):
         self.store = store
         self.engine = resolve_engine(engine)
         self.plan_cache = LRUCache(plan_cache_size)
         self.result_cache = LRUCache(result_cache_size)
-        self.executor = ShardExecutor(store, workers=workers)
+        self.backend = resolve_backend(store, backend=backend, workers=workers)
         self.planner_enabled = planner
         #: (epoch, engine) → Planner — statistics change only at commits.
         self._planners: Dict[tuple, Planner] = {}
@@ -142,6 +153,19 @@ class QueryService:
         #: Update batches applied through this service (monotonic; each
         #: applied batch bumps the store epoch exactly once).
         self.updates_applied = 0
+
+    @property
+    def executor(self) -> ExecutionBackend:
+        """The execution backend (historical name, kept for callers)."""
+        return self.backend
+
+    @classmethod
+    def open(cls, directory: str, mmap: bool = True, **kwargs) -> "QueryService":
+        """Open a store directory and serve it: ``with
+        QueryService.open(dir, backend="fabric") as service: ...`` —
+        the ``with`` exit releases the backend's workers (the store
+        itself holds no resources beyond mapped files)."""
+        return cls(ShardedStore.open(directory, mmap=mmap), **kwargs)
 
     # ------------------------------------------------------------------
     def execute(
@@ -365,7 +389,8 @@ class QueryService:
                 "epoch": self.store.epoch,
                 "updates_applied": self.updates_applied,
                 "engine": self.engine,
-                "workers": self.executor.workers,
+                "backend": self.backend.name,
+                "workers": self.backend.workers,
                 "planner": self.planner_enabled,
                 "plan": self.plan_cache.info(),
                 "result": self.result_cache.info(),
@@ -387,11 +412,19 @@ class QueryService:
         self.result_cache.clear()
 
     def close(self) -> None:
-        """Release the worker pool (idempotent)."""
-        self.executor.close()
+        """Release the backend's workers (idempotent)."""
+        self.backend.close()
 
     def __enter__(self) -> "QueryService":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing is interpreter's
+        # A dropped service must not leak worker processes or shared
+        # memory; close() is idempotent, so explicit closers pay nothing.
+        try:
+            self.close()
+        except Exception:
+            pass

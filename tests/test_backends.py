@@ -1,0 +1,496 @@
+"""Execution-backend suite: protocol, fabric transport, lifecycle.
+
+The headline property extends the service layer's batched == serial:
+**the backend is invisible** — serial, pool, and fabric answer any
+batch byte-identically across engines, result modes, and planner
+settings (pinned suite + a hypothesis sweep over random forests).
+Around it, what is new with the fabric: shared-memory segments are
+recycled rather than reallocated, crash leftovers are swept by pid,
+shard affinity keeps per-worker prefix caches warm, a killed worker is
+replaced mid-batch, and closing (explicitly, via GC, or through
+``ThreadedServer`` teardown) leaks neither processes nor segments.
+"""
+
+import gc
+import os
+import signal
+import time
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.harness.workloads import get_forest
+from repro.server import ServerConfig, ThreadedServer
+from repro.service import (
+    FabricBackend,
+    PoolBackend,
+    QueryService,
+    SerialBackend,
+    ShardedStore,
+    ShardResult,
+    make_backend,
+)
+from repro.service.backend import BACKEND_ENV, resolve_backend
+from repro.service.executor import ShardExecutor, ShardTask
+from repro.service.fabric import (
+    _SHM_DIR,
+    SegmentPool,
+    SegmentWriter,
+    sweep_orphan_segments,
+)
+
+from _reference import random_tree
+
+ENGINES = ("scalar", "vectorized")
+MODES = ("materialize", "count", "exists")
+
+SUITE = (
+    "//open_auction/bidder",
+    "/descendant::increase/ancestor::bidder",
+    "//person/attribute::id",
+    "//seller | //buyer",
+    "//open_auction[bidder]/seller",
+    "//no_such_tag",
+)
+
+
+def fabric_segments() -> list:
+    """Fabric segment names currently present in /dev/shm."""
+    try:
+        return [n for n in os.listdir(_SHM_DIR) if n.startswith("repro-fab-")]
+    except OSError:  # pragma: no cover - no /dev/shm
+        return []
+
+
+@pytest.fixture(scope="module")
+def forest():
+    return get_forest(4, 0.04)
+
+
+@pytest.fixture(scope="module")
+def store(forest, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("backends") / "store")
+    return ShardedStore.build(directory, forest, shards=3)
+
+
+def snapshot(result):
+    """A backend-independent, byte-exact image of a ServiceResult."""
+    if result.mode == "materialize":
+        payload = {
+            name: (a.dtype.str, a.tobytes())
+            for name, a in result.per_document.items()
+        }
+    else:
+        payload = result.value
+    return (result.query, result.mode, result.total, payload)
+
+
+def run_suite(service, queries, engine, use_planner):
+    out = []
+    for mode in MODES:
+        out.extend(
+            snapshot(r)
+            for r in service.execute_batch(
+                queries, engine=engine, mode=mode,
+                use_cache=False, use_planner=use_planner,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pinned_suite_identical(self, store, engine):
+        images = []
+        for backend in ("serial", "pool:2", "fabric:2"):
+            with QueryService(store, backend=backend) as service:
+                images.append(run_suite(service, SUITE, engine, True))
+        assert images[0] == images[1] == images[2]
+
+    @given(
+        seeds=st.lists(st.integers(0, 300), min_size=2, max_size=3),
+        size=st.integers(10, 50),
+        shards=st.integers(1, 3),
+        engine=st.sampled_from(ENGINES),
+        use_planner=st.booleans(),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_random_forest_identical(
+        self, seeds, size, shards, engine, use_planner, tmp_path_factory
+    ):
+        forest = [
+            (f"doc-{i}", random_tree(size, seed)) for i, seed in enumerate(seeds)
+        ]
+        directory = str(tmp_path_factory.mktemp("bprop") / "store")
+        store = ShardedStore.build(directory, forest, shards=shards)
+        queries = ("//*", "/descendant::node()", "//*[*]/..", "//*[2]")
+        images = []
+        for backend in ("serial", "pool:2", "fabric:2"):
+            with QueryService(store, backend=backend) as service:
+                images.append(run_suite(service, queries, engine, use_planner))
+        assert images[0] == images[1] == images[2]
+
+    def test_scoped_and_mixed_mode_batches(self, store):
+        document = store.document_names()[1]
+        images = []
+        for backend in ("serial", "fabric:2"):
+            with QueryService(store, backend=backend) as service:
+                scoped = service.execute(
+                    "//person", document=document, use_cache=False
+                )
+                mixed = service.execute_batch(
+                    ["//person", "//person", "//person"],
+                    mode=["materialize", "count", "exists"],
+                    use_cache=False,
+                )
+                images.append([snapshot(scoped)] + [snapshot(r) for r in mixed])
+        assert images[0] == images[1]
+
+    def test_fabric_arrays_survive_service_close(self, store):
+        with QueryService(store, backend="fabric:2") as service:
+            result = service.execute("//open_auction/bidder", use_cache=False)
+        expected = None
+        with QueryService(store, backend="serial") as service:
+            expected = service.execute("//open_auction/bidder", use_cache=False)
+        # The fabric's segments were unlinked at close; the mappings
+        # behind the handed-out arrays must still read correctly.
+        for name, ranks in expected.per_document.items():
+            assert result.per_document[name].tobytes() == ranks.tobytes()
+
+
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_make_backend_specs(self, store):
+        assert isinstance(make_backend("serial", store), SerialBackend)
+        pool = make_backend("pool:3", store)
+        assert isinstance(pool, PoolBackend) and pool.workers == 3
+        fabric = make_backend("fabric:2", store)
+        assert isinstance(fabric, FabricBackend) and fabric.workers == 2
+        fabric.close()
+        instance = SerialBackend(store)
+        assert make_backend(instance, store) is instance
+
+    def test_bad_specs_rejected(self, store):
+        with pytest.raises(ReproError, match="unknown backend"):
+            make_backend("quantum", store)
+        with pytest.raises(ReproError, match="worker count"):
+            make_backend("pool:many", store)
+        with pytest.raises(ReproError, match="backend spec"):
+            make_backend(3.14, store)
+
+    def test_env_variable_supplies_default(self, store, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "serial")
+        backend = resolve_backend(store)
+        assert isinstance(backend, SerialBackend)
+        monkeypatch.delenv(BACKEND_ENV)
+        assert isinstance(resolve_backend(store), PoolBackend)
+
+    def test_explicit_arguments_beat_env(self, store, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "pool:2")
+        assert isinstance(resolve_backend(store, backend="serial"), SerialBackend)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert isinstance(resolve_backend(store, workers=0), SerialBackend)
+
+    def test_backend_and_workers_conflict(self, store):
+        with pytest.raises(ReproError, match="not both"):
+            QueryService(store, backend="serial", workers=2)
+
+    def test_workers_shim_warns_and_maps(self, store):
+        with pytest.warns(DeprecationWarning):
+            service = QueryService(store, workers=0)
+        assert isinstance(service.backend, SerialBackend)
+        with pytest.warns(DeprecationWarning):
+            service = QueryService(store, workers=2)
+        assert isinstance(service.backend, PoolBackend)
+        assert service.backend.workers == 2
+        service.close()
+
+    def test_shard_executor_shim(self, store):
+        with pytest.warns(DeprecationWarning):
+            backend = ShardExecutor(store, workers=0)
+        assert isinstance(backend, SerialBackend)
+        with pytest.warns(DeprecationWarning):
+            backend = ShardExecutor(store, workers=1)
+        assert isinstance(backend, PoolBackend)
+
+    def test_negative_workers_still_rejected(self, store):
+        with pytest.raises(ReproError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                QueryService(store, workers=-1)
+        with pytest.raises(ReproError):
+            FabricBackend(store, workers=0)
+
+    def test_stats_snapshot_names_backend(self, store):
+        with QueryService(store, backend="serial") as service:
+            snapshot = service.stats_snapshot()
+        assert snapshot["backend"] == "serial"
+        assert snapshot["workers"] == 0
+
+    def test_query_service_open_context_manager(self, store):
+        with QueryService.open(store.directory, backend="fabric:1") as service:
+            total = service.execute("//person").total
+            assert total > 0
+            backend = service.backend
+            assert backend._procs is not None
+        assert backend._procs is None  # closed on exit
+
+
+# ----------------------------------------------------------------------
+class TestShardResult:
+    def _task(self, mode):
+        return ShardTask(
+            index=3, shard_id=1, shard_file="shard.npz", names=("d0",),
+            plan="//a", engine="vectorized", document=None, mode=mode,
+        )
+
+    def test_of_and_payload_round_trip(self):
+        ranks = {"d0": np.arange(4, dtype=np.int64)}
+        materialized = ShardResult.of(self._task("materialize"), ranks)
+        assert materialized.payload == ranks
+        assert (materialized.index, materialized.shard_id) == (3, 1)
+        counted = ShardResult.of(self._task("count"), {"d0": 4})
+        assert counted.payload == {"d0": 4}
+        found = ShardResult.of(self._task("exists"), True)
+        assert found.payload is True and found.mode == "exists"
+
+
+# ----------------------------------------------------------------------
+class TestSegmentLifecycle:
+    def _results(self, arrays):
+        task = ShardTask(
+            index=0, shard_id=0, shard_file="f.npz", names=("d0",),
+            plan="//a", engine="vectorized", document=None,
+        )
+        return [
+            ShardResult.of(task, {f"d{i}": a for i, a in enumerate(arrays)})
+        ]
+
+    def test_writer_pack_pool_unpack_round_trip(self):
+        writer = SegmentWriter(f"repro-fab-{os.getpid()}-9000-w0g0")
+        pool = SegmentPool(lambda owner, name: writer.release(name))
+        try:
+            arrays = [
+                np.arange(100, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.array([7, 9], dtype=np.int64),
+            ]
+            payload = writer.pack(self._results(arrays))
+            assert payload[1] is not None and payload[2] == 102 * 8
+            [rebuilt] = pool.unpack(payload, owner=0)
+            for i, expected in enumerate(arrays):
+                actual = rebuilt.ranks[f"d{i}"]
+                assert actual.dtype == np.int64
+                assert actual.tobytes() == expected.tobytes()
+            assert writer.info()["busy"] == 1
+        finally:
+            writer.close()
+
+    def test_release_recycles_segment(self):
+        writer = SegmentWriter(f"repro-fab-{os.getpid()}-9001-w0g0")
+        try:
+            first = writer.pack(self._results([np.arange(64, dtype=np.int64)]))
+            writer.release(first[1])
+            assert writer.info() == {
+                "created": 1, "recycled": 0, "free": 1, "busy": 0,
+            }
+            second = writer.pack(self._results([np.arange(32, dtype=np.int64)]))
+            # Same segment, reused — not a fresh allocation.
+            assert second[1] == first[1]
+            assert writer.info()["recycled"] == 1
+        finally:
+            writer.close()
+
+    def test_inline_payloads_skip_the_segment(self):
+        writer = SegmentWriter(f"repro-fab-{os.getpid()}-9002-w0g0")
+        try:
+            payload = writer.pack(self._results([np.empty(0, dtype=np.int64)]))
+            assert payload[1] is None
+            assert writer.info()["created"] == 0
+        finally:
+            writer.close()
+
+    def test_view_keeps_segment_alive_through_slices(self):
+        writer = SegmentWriter(f"repro-fab-{os.getpid()}-9003-w0g0")
+        recycled = []
+        pool = SegmentPool(lambda owner, name: recycled.append(name))
+        payload = writer.pack(self._results([np.arange(50, dtype=np.int64)]))
+        [rebuilt] = pool.unpack(payload, owner=0)
+        tail = rebuilt.ranks["d0"][25:]  # derived view, parent dropped
+        del rebuilt
+        gc.collect()
+        assert recycled == []  # the slice still pins the lease
+        assert tail.tolist() == list(range(25, 50))
+        del tail
+        gc.collect()
+        assert recycled == [payload[1]]
+        writer.close()
+
+    def test_end_to_end_recycling_and_zero_leak(self, store):
+        before = set(fabric_segments())
+        with QueryService(store, backend="fabric:1") as service:
+            for _ in range(5):
+                results = service.execute_batch(SUITE, use_cache=False)
+                del results
+                gc.collect()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                stats = service.backend.worker_stats()
+                segments = stats["workers"][0]["segments"]
+                if segments["recycled"] > 0:
+                    break
+                time.sleep(0.05)  # recycle messages are asynchronous
+            assert segments["recycled"] > 0
+            assert segments["created"] <= 5
+        gc.collect()
+        assert set(fabric_segments()) <= before
+
+    def test_sweep_unlinks_dead_pid_segments(self, tmp_path):
+        # Fabricate leftovers of a "crashed" fabric: a pid that cannot
+        # be running (pid_max+1 territory is unreliable; use one we
+        # spawned and reaped) plus a live-pid control.
+        child = os.fork()
+        if child == 0:  # pragma: no cover - exits immediately
+            os._exit(0)
+        os.waitpid(child, 0)
+        dead = os.path.join(_SHM_DIR, f"repro-fab-{child}-0-w0g0-0")
+        live = os.path.join(_SHM_DIR, f"repro-fab-{os.getpid()}-8999-w0g0-0")
+        with open(dead, "wb") as f:
+            f.write(b"\0" * 8)
+        with open(live, "wb") as f:
+            f.write(b"\0" * 8)
+        try:
+            removed = sweep_orphan_segments()
+            assert os.path.basename(dead) in removed
+            assert not os.path.exists(dead)
+            assert os.path.exists(live)  # never touch a live fabric
+        finally:
+            for path in (dead, live):
+                if os.path.exists(path):
+                    os.unlink(path)
+
+    def test_fabric_init_runs_the_sweep(self, store):
+        child = os.fork()
+        if child == 0:  # pragma: no cover - exits immediately
+            os._exit(0)
+        os.waitpid(child, 0)
+        leftover = os.path.join(_SHM_DIR, f"repro-fab-{child}-0-w0g1-7")
+        with open(leftover, "wb") as f:
+            f.write(b"\0" * 8)
+        backend = FabricBackend(store, workers=1)
+        try:
+            assert not os.path.exists(leftover)
+        finally:
+            backend.close()
+
+
+# ----------------------------------------------------------------------
+class TestAffinityAndResilience:
+    def test_affinity_routes_shards_to_stable_workers(self, store):
+        backend = FabricBackend(store, workers=2, steal_threshold=100)
+        with QueryService(store, backend=backend) as service:
+            for _ in range(3):
+                service.execute_batch(SUITE, use_cache=False)
+            stats = backend.worker_stats()
+        # 3 shards over 2 workers: shard 0 and 2 → worker 0, shard 1 →
+        # worker 1; with stealing disabled the split must be exactly 2:1
+        # per batch.
+        assert stats["stolen"] == 0
+        assert stats["dispatched"][0] == 2 * stats["dispatched"][1]
+
+    def test_affinity_keeps_prefix_caches_warm(self, store):
+        backend = FabricBackend(store, workers=2, steal_threshold=100)
+        with QueryService(store, backend=backend) as service:
+            prefix_batch = [
+                "//open_auction/bidder/increase",
+                "//open_auction/bidder/date",
+                "//open_auction/bidder/personref",
+            ]
+            service.execute_batch(prefix_batch, use_cache=False)
+            first = backend.worker_stats()
+            service.execute_batch(prefix_batch, use_cache=False)
+            second = backend.worker_stats()
+        for before, after in zip(first["workers"], second["workers"]):
+            # Every worker re-read its shard's shared prefixes from its
+            # own LRU — affinity means the second batch hits.
+            assert after["prefix_cache"]["hits"] > before["prefix_cache"]["hits"]
+
+    def test_stealing_rebalances_a_backlogged_worker(self, store):
+        backend = FabricBackend(store, workers=2, steal_threshold=1)
+        # Shard 0's affine worker is 3 deep, worker 1 idle: steal.
+        assert backend._assign(0, [3, 0]) == 1
+        assert backend._assign(0, [0, 0]) == 0  # balanced: stay affine
+        assert backend.stolen == 1
+        backend.close()
+        lazy = FabricBackend(store, workers=2)  # default threshold 2
+        assert lazy._assign(0, [1, 0]) == 0  # under threshold: stay
+        lazy.close()
+
+    def test_killed_worker_is_respawned_and_batch_completes(self, store):
+        backend = FabricBackend(store, workers=2)
+        with QueryService(store, backend=backend) as service:
+            baseline = [
+                snapshot(r)
+                for r in service.execute_batch(SUITE, use_cache=False)
+            ]
+            victim = backend._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+            again = [
+                snapshot(r)
+                for r in service.execute_batch(SUITE, use_cache=False)
+            ]
+            assert again == baseline
+            assert backend._procs[0].pid != victim.pid
+        assert fabric_segments() == []
+
+    def test_worker_error_propagates(self, store):
+        backend = FabricBackend(store, workers=1)
+        with pytest.raises(ReproError, match="fabric worker"):
+            backend.run_batch([(object(), "vectorized", None)])
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_service_gc_closes_backend(self, store):
+        service = QueryService(store, backend="fabric:1")
+        service.execute("//person", use_cache=False)
+        backend = service.backend
+        assert backend._procs is not None
+        del service
+        gc.collect()
+        assert backend._procs is None
+
+    def test_threaded_server_teardown_closes_backend(self, store):
+        service = QueryService(store, backend="fabric:1")
+        server = ThreadedServer(service, ServerConfig(port=0)).start()
+        try:
+            assert service.backend is not None
+        finally:
+            server.stop()
+        assert service.backend._procs is None
+        assert fabric_segments() == []
+
+    def test_backend_close_is_idempotent_and_reusable(self, store):
+        backend = FabricBackend(store, workers=1)
+        with QueryService(store, backend=backend) as service:
+            first = service.execute("//person", use_cache=False).total
+            backend.close()
+            backend.close()
+            # A closed backend lazily respawns workers on next use.
+            assert service.execute("//person", use_cache=False).total == first
+
+    def test_pool_backend_close_terminates_workers(self, store):
+        backend = PoolBackend(store, workers=1)
+        backend.run_batch([("//person", "vectorized", None)])
+        pids = [p.pid for p in backend._pool._pool]
+        backend.close()
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)

@@ -181,7 +181,7 @@ class TestShardServeBatch:
         capsys.readouterr()
         assert (
             main(["serve-batch", store_dir, "//person/name",
-                  "--workers", "0", "--no-planner"])
+                  "--backend", "serial", "--no-planner"])
             == 0
         )
         assert "cold  //person/name" in capsys.readouterr().out
@@ -211,7 +211,7 @@ class TestShardServeBatch:
         assert (
             main(
                 ["serve-batch", store_dir, "--queries-file", str(queries),
-                 "--workers", "0", "--engine", "scalar", "--no-cache"]
+                 "--backend", "serial", "--engine", "scalar", "--no-cache"]
             )
             == 0
         )
@@ -229,7 +229,7 @@ class TestShardServeBatch:
 
     def test_serve_batch_bad_xpath_is_a_clean_usage_error(self, store_dir, capsys):
         capsys.readouterr()
-        assert main(["serve-batch", store_dir, "//a[", "--workers", "0"]) == 2
+        assert main(["serve-batch", store_dir, "//a[", "--backend", "serial"]) == 2
         err = capsys.readouterr().err
         error_lines = [line for line in err.splitlines() if line.startswith("error:")]
         assert len(error_lines) == 1
@@ -237,7 +237,7 @@ class TestShardServeBatch:
     def test_serve_batch_count_mode(self, store_dir, capsys):
         capsys.readouterr()
         assert (
-            main(["serve-batch", store_dir, "//person", "--workers", "0",
+            main(["serve-batch", store_dir, "//person", "--backend", "serial",
                   "--mode", "count", "--per-document"])
             == 0
         )
@@ -248,7 +248,7 @@ class TestShardServeBatch:
     def test_serve_batch_exists_rejects_per_document(self, store_dir, capsys):
         capsys.readouterr()
         assert (
-            main(["serve-batch", store_dir, "//person", "--workers", "0",
+            main(["serve-batch", store_dir, "//person", "--backend", "serial",
                   "--mode", "exists", "--per-document"])
             == 2
         )
@@ -258,7 +258,7 @@ class TestShardServeBatch:
         capsys.readouterr()
         assert (
             main(["serve-batch", store_dir, "//person", "//robot",
-                  "--workers", "0", "--mode", "exists"])
+                  "--backend", "serial", "--mode", "exists"])
             == 0
         )
         out = capsys.readouterr().out

@@ -75,14 +75,14 @@ def assert_modes_agree(service, queries, engine, use_planner):
 # ----------------------------------------------------------------------
 class TestFixedSuite:
     @pytest.mark.parametrize("engine", ENGINES)
-    @pytest.mark.parametrize("workers", (0, 2))
-    def test_suite_agrees(self, store, engine, workers):
-        with QueryService(store, workers=workers) as service:
+    @pytest.mark.parametrize("backend", ("serial", "pool:2", "fabric:2"))
+    def test_suite_agrees(self, store, engine, backend):
+        with QueryService(store, backend=backend) as service:
             assert_modes_agree(service, SUITE, engine, use_planner=True)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_suite_agrees_without_planner(self, store, engine):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             assert_modes_agree(service, SUITE, engine, use_planner=False)
 
     def test_mixed_mode_batch_shares_prefixes(self, store):
@@ -90,7 +90,7 @@ class TestFixedSuite:
         materializing ones — and return per-mode payloads."""
         queries = ["//open_auction/bidder", "//open_auction/bidder",
                    "//open_auction/bidder"]
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             mat, cnt, ex = service.execute_batch(
                 queries, use_cache=False,
                 mode=["materialize", "count", "exists"],
@@ -104,7 +104,7 @@ class TestFixedSuite:
 
     def test_scoped_modes_agree(self, store):
         name = store.document_names()[0]
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             for query in ("//person", "//site", "//no_such_tag"):
                 mat = service.execute(query, document=name, use_cache=False)
                 cnt = service.execute(
@@ -118,7 +118,7 @@ class TestFixedSuite:
                 assert ex.value is (mat.total > 0)
 
     def test_cache_keys_include_mode(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             count = service.execute("//person", mode="count")
             materialized = service.execute("//person")
             exists = service.execute("//person", mode="exists")
@@ -128,7 +128,7 @@ class TestFixedSuite:
         assert warm.total == count.total
 
     def test_unknown_mode_rejected(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             with pytest.raises(ReproError, match="result mode"):
                 service.execute("//person", mode="tally")
             with pytest.raises(ReproError, match="modes for"):
@@ -138,7 +138,7 @@ class TestFixedSuite:
         """Post-update stores answer count/exists from the new epoch."""
         directory = str(tmp_path / "updated")
         updated = ShardedStore.build(directory, forest[:4], shards=2)
-        with QueryService(updated, workers=0) as service:
+        with QueryService(updated, backend="serial") as service:
             before = service.execute("//person", mode="count")
             ops = parse_ops(
                 [{"op": "add", "document": "fresh",
@@ -169,7 +169,7 @@ class TestRandomForests:
         directory = str(tmp_path_factory.mktemp("modes-prop") / "store")
         store = ShardedStore.build(directory, forest, shards=shards)
         queries = ("//*", "/descendant::node()", "//*[*]/..", "//*[2]")
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             for engine in ENGINES:
                 for use_planner in (True, False):
                     assert_modes_agree(service, queries, engine, use_planner)

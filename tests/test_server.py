@@ -15,6 +15,7 @@ import asyncio
 import contextlib
 import http.client
 import json
+import os
 import socket
 import threading
 import time
@@ -34,6 +35,10 @@ from repro.server import (
     TokenBucket,
 )
 from repro.service import QueryService, ShardedStore
+
+#: Execution backend the server suite runs against — the CI matrix sets
+#: REPRO_BACKEND to cover serial, pool, and fabric with one suite.
+BACKEND = os.environ.get("REPRO_BACKEND", "serial")
 
 ENGINES = ("scalar", "vectorized")
 MODES = ("materialize", "count", "exists")
@@ -70,7 +75,7 @@ def store_dir(forest, tmp_path_factory):
 @pytest.fixture(scope="module")
 def live(store_dir):
     """A module-wide read-only server (5 ms window, no limits)."""
-    service = QueryService(ShardedStore.open(store_dir), workers=0)
+    service = QueryService(ShardedStore.open(store_dir), backend=BACKEND)
     server = ThreadedServer(
         service, ServerConfig(port=0, coalesce_window_s=0.005)
     ).start()
@@ -82,7 +87,7 @@ def live(store_dir):
 @pytest.fixture(scope="module")
 def reference(store_dir):
     """A direct (no-network) service over the same store."""
-    with QueryService(ShardedStore.open(store_dir), workers=0) as service:
+    with QueryService(ShardedStore.open(store_dir), backend=BACKEND) as service:
         yield service
 
 
@@ -106,9 +111,9 @@ def request(port, method, path, body=None, headers=None, timeout=15):
 
 
 @contextlib.contextmanager
-def serving(directory, config=None, workers=0):
+def serving(directory, config=None, backend=BACKEND):
     """A per-test server over a private store/service."""
-    service = QueryService(ShardedStore.open(directory), workers=workers)
+    service = QueryService(ShardedStore.open(directory), backend=backend)
     server = ThreadedServer(service, config or ServerConfig(port=0)).start()
     try:
         yield server
@@ -823,7 +828,7 @@ class TestGracefulShutdown:
         """Requests sitting in the coalescing window at shutdown still
         get their real answers; new connections are refused."""
         config = ServerConfig(port=0, coalesce_window_s=0.25)
-        service = QueryService(ShardedStore.open(store_dir), workers=0)
+        service = QueryService(ShardedStore.open(store_dir), backend=BACKEND)
         server = ThreadedServer(service, config).start()
         port = server.port
         try:
@@ -867,7 +872,7 @@ class TestGracefulShutdown:
             assert int(headers["Retry-After"]) >= 1
 
     def test_shutdown_is_idempotent_and_stats_survive(self, store_dir):
-        service = QueryService(ShardedStore.open(store_dir), workers=0)
+        service = QueryService(ShardedStore.open(store_dir), backend=BACKEND)
         server = ThreadedServer(
             service, ServerConfig(port=0, coalesce_window_s=0)
         ).start()

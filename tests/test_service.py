@@ -102,7 +102,7 @@ def store(forest, tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def pooled_service(store):
-    with QueryService(store, workers=2) as service:
+    with QueryService(store, backend="pool:2") as service:
         yield service
 
 
@@ -268,7 +268,7 @@ class TestEquivalence:
     @pytest.mark.parametrize("engine", ENGINES)
     def test_axis_queries_serial_mode(self, store, forest, engine):
         trees = dict(forest)
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             results = service.execute_batch(
                 AXIS_QUERIES, engine=engine, use_cache=False
             )
@@ -295,7 +295,7 @@ class TestEquivalence:
             store = ShardedStore.build(
                 str(tmp_path / f"s{shards}"), forest, shards=shards
             )
-            with QueryService(store, workers=0) as service:
+            with QueryService(store, backend="serial") as service:
                 result = service.execute(query)
             payloads.append({n: a.tobytes() for n, a in result.per_document.items()})
         assert payloads[0] == payloads[1] == payloads[2]
@@ -317,7 +317,7 @@ class TestEquivalence:
         store = ShardedStore.build(directory, forest, shards=shards)
         queries = ("//*", "/descendant::node()", "//*[*]/..")
         trees = dict(forest)
-        with QueryService(store, workers=2) as service:
+        with QueryService(store, backend="pool:2") as service:
             for engine in ENGINES:
                 results = service.execute_batch(queries, engine=engine)
                 for query, result in zip(queries, results):
@@ -328,7 +328,7 @@ class TestEquivalence:
 # ----------------------------------------------------------------------
 class TestCaching:
     def test_result_cache_round_trip(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             cold = service.execute("//people")
             warm = service.execute("//people")
         assert not cold.from_cache
@@ -336,7 +336,7 @@ class TestCaching:
         assert_identical(warm.per_document, cold.per_document)
 
     def test_cache_key_includes_engine_and_scope(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             service.execute("//people", engine="scalar")
             other_engine = service.execute("//people", engine="vectorized")
             scoped = service.execute("//people", document="xmark-00")
@@ -344,7 +344,7 @@ class TestCaching:
         assert not scoped.from_cache
 
     def test_use_cache_false_bypasses(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             service.execute("//people")
             again = service.execute("//people", use_cache=False)
         assert not again.from_cache
@@ -353,7 +353,7 @@ class TestCaching:
         # Two cache levels share the LRU: the parsed AST (string key)
         # and the costed QueryPlan ((epoch, engine, query) key) — one
         # miss each on the first execution, one hit each afterwards.
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             service.execute("//people", use_cache=False)
             service.execute("//people", use_cache=False)
             info = service.cache_info()
@@ -361,7 +361,7 @@ class TestCaching:
         assert info["plan"]["hits"] == 2
 
     def test_plan_cache_parses_once_without_planner(self, store):
-        with QueryService(store, workers=0, planner=False) as service:
+        with QueryService(store, backend="serial", planner=False) as service:
             service.execute("//people", use_cache=False)
             service.execute("//people", use_cache=False)
             info = service.cache_info()
@@ -369,14 +369,14 @@ class TestCaching:
         assert info["plan"]["hits"] == 1
 
     def test_cached_arrays_are_frozen(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             result = service.execute("//people")
         array = next(iter(result.per_document.values()))
         with pytest.raises(ValueError):
             array[...] = 0
 
     def test_caller_mutation_cannot_poison_the_cache(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             first = service.execute("//people")
             first.per_document.clear()          # hostile caller
             second = service.execute("//people")
@@ -385,7 +385,7 @@ class TestCaching:
         assert list(second.per_document) == store.document_names()
 
     def test_duplicate_queries_in_cold_batch_run_once(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             a, b = service.execute_batch(["//people", "//people"], use_cache=False)
             info = service.cache_info()
         assert not a.from_cache and not b.from_cache
@@ -402,7 +402,7 @@ class TestCaching:
         under the pre-swap epoch key, never the new one."""
         store = ShardedStore.build(str(tmp_path / "race"), forest[:4], shards=2)
         query = "//people/person"
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             original = service.executor.run_batch
 
             def replace_mid_flight(items):
@@ -447,13 +447,13 @@ class TestCaching:
         collection.evaluate("//people", evaluator=evaluator)
         assert cache.hits == 2
 
-    @pytest.mark.parametrize("workers", (0, 2))
-    def test_replace_shard_never_serves_stale_results(self, forest, tmp_path, workers):
+    @pytest.mark.parametrize("backend", ("serial", "pool:2", "fabric:2"))
+    def test_replace_shard_never_serves_stale_results(self, forest, tmp_path, backend):
         """The epoch in the cache key fences every pre-replacement entry."""
-        directory = str(tmp_path / f"stale-{workers}")
+        directory = str(tmp_path / f"stale-{backend.replace(':', '-')}")
         store = ShardedStore.build(directory, forest[:4], shards=2)
         query = "//people/person"
-        with QueryService(store, workers=workers) as service:
+        with QueryService(store, backend=backend) as service:
             before = service.execute(query)
             assert service.execute(query).from_cache
             shard_id = store.shard_of("xmark-03")
@@ -509,10 +509,10 @@ class TestPlannerIntegration:
     )
 
     @pytest.mark.parametrize("engine", ENGINES)
-    @pytest.mark.parametrize("workers", (0, 2))
-    def test_planned_equals_unplanned(self, store, engine, workers):
+    @pytest.mark.parametrize("backend", ("serial", "pool:2"))
+    def test_planned_equals_unplanned(self, store, engine, backend):
         queries = AXIS_QUERIES + PLANE_QUERIES + self.PREFIX_BATCH
-        with QueryService(store, workers=workers) as service:
+        with QueryService(store, backend=backend) as service:
             planned = service.execute_batch(
                 queries, engine=engine, use_cache=False, use_planner=True
             )
@@ -524,7 +524,7 @@ class TestPlannerIntegration:
             assert a.query == b.query == query
 
     def test_prefix_cache_fills_and_hits(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             service.execute_batch(self.PREFIX_BATCH, use_cache=False)
             prefix_cache = service.executor._serial_state.prefix_cache
             assert len(prefix_cache) > 0
@@ -538,7 +538,7 @@ class TestPlannerIntegration:
         store = ShardedStore.build(directory, forest[:4], shards=2)
         trees = {name: tree for name, tree in forest[:4]}
         query = "//person/name"
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             before = service.execute(query, use_cache=False)
             victim = store.document_names()[0]
             replacement = element("site")
@@ -561,7 +561,7 @@ class TestPlannerIntegration:
         plane's virtual root) would be wrong — `//site` must keep
         excluding the member root, planned or not."""
         name = store.document_names()[0]
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             for query in ("//site", "//site/regions", "//person/name"):
                 planned = service.execute(
                     query, engine=engine, document=name,
@@ -580,7 +580,7 @@ class TestPlannerIntegration:
 
         directory = str(tmp_path / "narrow")
         narrow = ShardedStore.build(directory, forest[:2], shards=1)
-        with QueryService(narrow, workers=4) as service:
+        with QueryService(narrow, backend="pool:4") as service:
             results = service.execute_batch(
                 self.PREFIX_BATCH, use_cache=False
             )
@@ -627,19 +627,19 @@ class TestPlannerIntegration:
         assert len(cache) <= (32 << 10) // PrefixContextCache.ENTRY_OVERHEAD
 
     def test_empty_batch_is_a_noop(self, store):
-        with QueryService(store, workers=2) as service:
+        with QueryService(store, backend="pool:2") as service:
             assert service.execute_batch([]) == []
             assert service.executor.run_batch([]) == []
 
     def test_service_explain_returns_a_costed_plan(self, store):
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             plan = service.explain("//open_auction/bidder/increase")
         assert plan.pushdown_steps  # the collapsed descendant step pushed
         text = plan.describe()
         assert "//-collapse" in text and "cardinality" in text
 
     def test_planner_off_service_never_plans(self, store):
-        with QueryService(store, workers=0, planner=False) as service:
+        with QueryService(store, backend="serial", planner=False) as service:
             service.execute("//people", use_cache=False)
             # Only the parsed AST is cached — no (epoch, engine, query) key.
             assert len(service.plan_cache) == 1
@@ -684,15 +684,15 @@ class TestExecutor:
             engine="vectorized",
             document=None,
         )
-        index, shard_id, first = state.run(task)
-        assert (index, shard_id) == (0, 0)
-        assert list(first) == list(entry["documents"])
+        result = state.run(task)
+        assert (result.index, result.shard_id) == (0, 0)
+        assert list(result.ranks) == list(entry["documents"])
         collection = state._collections[0][1]
         state.run(task)
         assert state._collections[0][1] is collection
 
     def test_close_is_idempotent(self, store):
-        service = QueryService(store, workers=1)
+        service = QueryService(store, backend="pool:1")
         service.execute("//people")
         service.close()
         service.close()

@@ -261,7 +261,7 @@ class TestStoreWritePath:
         reopened = ShardedStore.open(store.directory)
         assert reopened.epoch == store.epoch
         assert reopened.document_names() == store.document_names()
-        with QueryService(reopened, workers=0) as service:
+        with QueryService(reopened, backend="serial") as service:
             counts = service.execute("//person").counts()
         assert counts["d3"] == 5 and counts["d4"] == 1
 
@@ -301,7 +301,7 @@ class TestOrphanSweep:
         assert os.path.exists(foreign)
         for entry in reopened.describe()["shards"]:
             assert os.path.exists(os.path.join(store.directory, entry["file"]))
-        with QueryService(reopened, workers=0) as service:
+        with QueryService(reopened, backend="serial") as service:
             assert service.execute("//person").total == 10
 
     def test_crashed_commit_leaves_old_state_servable(self, tmp_path, monkeypatch):
@@ -318,7 +318,7 @@ class TestOrphanSweep:
         # disk: old manifest + old files + one stranded new file
         reopened = ShardedStore.open(store.directory)
         assert reopened.epoch == 1
-        with QueryService(reopened, workers=0) as service:
+        with QueryService(reopened, backend="serial") as service:
             assert service.execute("//person").counts()["d0"] == 1
         # the stranded epoch-2 file was swept at open
         assert not any(".e0002." in f for f in os.listdir(store.directory))
@@ -329,7 +329,7 @@ class TestServiceUpdates:
     @pytest.fixture
     def service(self, tmp_path):
         store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             yield service
 
     def test_updates_invalidate_cached_results(self, service):
@@ -460,7 +460,7 @@ class TestStatsSnapshot:
 
     def test_snapshot_shape(self, tmp_path):
         store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             snapshot = service.stats_snapshot()
             assert snapshot["epoch"] == store.epoch
             assert snapshot["updates_applied"] == 0
@@ -472,7 +472,7 @@ class TestStatsSnapshot:
 
     def test_snapshot_counts_update_batches(self, tmp_path):
         store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             seed_epoch = store.epoch
             service.apply_updates(
                 [UpdateOp("insert", "d0", tree=element("person"), pre=1)]
@@ -489,7 +489,7 @@ class TestStatsSnapshot:
         tear."""
         store = ShardedStore.build(str(tmp_path / "s"), small_forest(), shards=2)
         rounds = 12
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             seed_epoch = store.epoch
             errors, torn = [], []
             started = threading.Event()
@@ -551,7 +551,7 @@ class TestExecutorFallForward:
         store.update_document("d0", people_site("x", "y"))  # unlinks stale file
         assert not os.path.exists(os.path.join(store.directory, stale["file"]))
         state = ShardWorkerState(store.directory)
-        _, _, relative = state.run(task)
+        relative = state.run(task).ranks
         assert len(relative["d0"]) == 2  # the post-update answer
 
     def test_dropped_shard_contributes_empty_result(self, tmp_path):
@@ -574,7 +574,8 @@ class TestExecutorFallForward:
         store.remove_document("d0")
         store.remove_document("d1")  # shard 0 is gone entirely
         state = ShardWorkerState(store.directory)
-        assert state.run(task) == (0, 0, {})
+        result = state.run(task)
+        assert (result.index, result.shard_id, result.ranks) == (0, 0, {})
 
     def test_removed_scoped_document_contributes_empty_result(self, tmp_path):
         from repro.service import ShardWorkerState
@@ -593,7 +594,7 @@ class TestExecutorFallForward:
         )
         store.remove_document("d0")
         state = ShardWorkerState(store.directory)
-        index, shard_id, relative = state.run(task)
+        relative = state.run(task).ranks
         assert list(relative) == ["d0"]
         assert len(relative["d0"]) == 0
 
@@ -631,7 +632,7 @@ class TestExecutorFallForward:
 
         state._current_entry = commit_then_answer
         store.update_document("d0", people_site("p0"))  # unlinks task's file
-        _, _, relative = state.run(task)
+        relative = state.run(task).ranks
         assert len(chased) == 2
         assert len(relative["d0"]) == 3  # the last committed state
 
@@ -760,7 +761,7 @@ class TestSpliceEqualsReencode:
                 ops.append(UpdateOp("remove", name))
                 del mirror[name]
 
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             service.apply_updates(ops)
             fresh_directory = str(
                 tmp_path_factory.mktemp("splice-prop") / "fresh"
@@ -768,7 +769,7 @@ class TestSpliceEqualsReencode:
             fresh_store = ShardedStore.build(
                 fresh_directory, list(mirror.items()), shards=shards
             )
-            with QueryService(fresh_store, workers=0) as fresh_service:
+            with QueryService(fresh_store, backend="serial") as fresh_service:
                 for engine in ENGINES:
                     updated = store_bytes(service, PROPERTY_QUERIES, engine)
                     rebuilt = store_bytes(fresh_service, PROPERTY_QUERIES, engine)

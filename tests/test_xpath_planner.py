@@ -220,7 +220,7 @@ class TestResultInvariance:
         ]
         directory = str(tmp_path_factory.mktemp("planner-prop") / "store")
         store = ShardedStore.build(directory, forest, shards=shards)
-        with QueryService(store, workers=0) as service:
+        with QueryService(store, backend="serial") as service:
             for engine in ENGINES:
                 planned = service.execute_batch(
                     PLANNER_QUERIES, engine=engine,
