@@ -337,6 +337,22 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.__main__ import main as analysis_main
+
+    if args.list_rules:
+        return analysis_main(["--list-rules"])
+    argv = list(args.paths) or ["src"]
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    if args.pickle_check:
+        argv.append("--pickle-check")
+    return analysis_main(argv)
+
+
 def _cmd_sql(args: argparse.Namespace) -> int:
     print(path_to_sql(args.xpath, eq1_delimiter=args.eq1))
     return 0
@@ -569,6 +585,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one query after the update and print its result count",
     )
     cmd.set_defaults(handler=_cmd_update)
+
+    cmd = commands.add_parser(
+        "analyze",
+        help="run the project-invariant linter (rules REP001-REP007)",
+    )
+    cmd.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: src)"
+    )
+    cmd.add_argument("--format", choices=("text", "json"), default="text")
+    cmd.add_argument(
+        "--select", metavar="REP00X[,REP00Y]", help="run only these rule codes"
+    )
+    cmd.add_argument("--show-suppressed", action="store_true")
+    cmd.add_argument(
+        "--pickle-check", action="store_true",
+        help="also round-trip registered cross-process payload types",
+    )
+    cmd.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule codes and summaries, then exit",
+    )
+    cmd.set_defaults(handler=_cmd_analyze)
 
     cmd = commands.add_parser("sql", help="translate XPath to Figure-3 style SQL")
     cmd.add_argument("xpath")

@@ -259,9 +259,11 @@ def _siblings_vectorized(
     ctx_sorted = ctx[order]
     group_ends = np.nonzero(np.diff(parent_sorted))[0]
     if following:
-        edges = np.concatenate(([0], group_ends + 1))  # min child per parent
+        edges = np.concatenate(([0], group_ends + 1), dtype=np.int64)  # min child per parent
     else:
-        edges = np.append(group_ends, len(parent_sorted) - 1)  # max child
+        edges = np.concatenate(  # max child
+            (group_ends, [len(parent_sorted) - 1]), dtype=np.int64
+        )
     unique_parents = parent_sorted[edges]
     extreme_child = ctx_sorted[edges]
     candidates = _nodes_with_parent_in(doc, unique_parents, want_attributes=False)

@@ -121,12 +121,12 @@ class LatencyHistogram:
     #: 30 buckets reach ~17.9 minutes, far past any served request.
     BUCKETS = 30
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counts: List[int] = [0] * self.BUCKETS
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
+        self._counts: List[int] = [0] * self.BUCKETS  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._max = 0.0  # guarded-by: _lock
 
     @staticmethod
     def _bucket(seconds: float) -> int:

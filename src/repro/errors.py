@@ -33,7 +33,7 @@ class XMLSyntaxError(ReproError):
     known, mirroring the conventions of familiar XML parsers.
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
         self.line = line
         self.column = column
         if line:
@@ -65,7 +65,9 @@ class BTreeError(StorageError):
 class XPathSyntaxError(ReproError):
     """Raised when an XPath expression cannot be tokenised or parsed."""
 
-    def __init__(self, message: str, position: int = -1, expression: str = ""):
+    def __init__(
+        self, message: str, position: int = -1, expression: str = ""
+    ) -> None:
         self.position = position
         self.expression = expression
         if position >= 0 and expression:

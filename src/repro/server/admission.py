@@ -38,7 +38,7 @@ import math
 import threading
 import time
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import ReproError
 
@@ -54,7 +54,7 @@ class TokenBucket:
     caller's ``Retry-After``.
     """
 
-    def __init__(self, rate: float, burst: float):
+    def __init__(self, rate: float, burst: float) -> None:
         if rate <= 0 or burst <= 0:
             raise ReproError("token bucket rate and burst must be positive")
         self.rate = float(rate)
@@ -101,13 +101,13 @@ class RateLimiter:
         burst: float,
         max_clients: int = 4096,
         peer_factor: float = 4.0,
-    ):
+    ) -> None:
         self.rate = float(rate)
         self.burst = float(burst)
         self.max_clients = int(max_clients)
         self.peer_factor = float(peer_factor)
-        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
-        self._peers: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()  # guarded-by: _lock
+        self._peers: "OrderedDict[str, TokenBucket]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
@@ -168,10 +168,10 @@ class AdmissionQueue:
     rate would be ideal; a fixed small constant keeps it predictable).
     """
 
-    def __init__(self, limit: int, retry_after_s: float = 1.0):
+    def __init__(self, limit: int, retry_after_s: float = 1.0) -> None:
         self.limit = int(limit)
         self.retry_after_s = float(retry_after_s)
-        self._depth = 0
+        self._depth = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
@@ -192,6 +192,6 @@ class AdmissionQueue:
                 raise ReproError("admission queue leave() without enter()")
             self._depth -= 1
 
-    def info(self) -> dict:
+    def info(self) -> Dict[str, int]:
         with self._lock:
             return {"depth": self._depth, "limit": self.limit}

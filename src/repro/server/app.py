@@ -433,7 +433,7 @@ class QueryServer:
             )
         except ReproError as error:
             return 400, {"error": str(error)}, {}, request.keep_alive
-        except Exception as error:  # noqa: BLE001 - the 500 boundary
+        except Exception as error:  # noqa: BLE001  # repro: allow[REP007] - the 500 boundary: one bad handler must answer 500, not kill the connection loop
             print(
                 f"server error on {request.method} {request.path}: "
                 f"{type(error).__name__}: {error}",
@@ -676,7 +676,7 @@ class ThreadedServer:
             self._stop_event = asyncio.Event()
             self.server = QueryServer(self.service, self.config)
             await self.server.start()
-        except BaseException as error:  # noqa: BLE001 - surfaced in start()
+        except BaseException as error:  # noqa: BLE001  # repro: allow[REP007] - startup failures (incl. KeyboardInterrupt) must cross threads and re-raise in start()
             self._error = error
             self._ready.set()
             return

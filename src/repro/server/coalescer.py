@@ -158,7 +158,7 @@ class QueryCoalescer:
                 if not future.done():
                     future.cancel()
             raise
-        except BaseException as error:  # noqa: BLE001 - isolate the failure
+        except BaseException as error:  # noqa: BLE001  # repro: allow[REP007] - batch isolation boundary: the failure is re-raised on the offending future(s)
             if len(pending.queries) == 1:
                 future = pending.futures[0]
                 if not future.done():
@@ -186,7 +186,7 @@ class QueryCoalescer:
                             mode=m,
                         ),
                     )
-                except BaseException as solo_error:  # noqa: BLE001
+                except BaseException as solo_error:  # noqa: BLE001  # repro: allow[REP007] - delivered to the one offending future
                     if not future.done():
                         future.set_exception(solo_error)
                 else:

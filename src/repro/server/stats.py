@@ -34,23 +34,23 @@ __all__ = ["ServerStats"]
 class ServerStats:
     """Thread-safe counters + latency histograms for one server."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._started = time.monotonic()
-        self._histograms: Dict[str, LatencyHistogram] = {}
-        self._status_counts: Dict[int, int] = {}
-        self._requests = 0
-        self._shed: Dict[str, int] = {
+        self._started = time.monotonic()  # immutable after publication
+        self._histograms: Dict[str, LatencyHistogram] = {}  # guarded-by: _lock
+        self._status_counts: Dict[int, int] = {}  # guarded-by: _lock
+        self._requests = 0  # guarded-by: _lock
+        self._shed: Dict[str, int] = {  # guarded-by: _lock
             "rate_limited": 0,
             "queue_full": 0,
             "draining": 0,
         }
-        self._batches = 0
-        self._coalesced_queries = 0
-        self._largest_batch = 0
-        self._fallbacks = 0
-        self._connections_opened = 0
-        self._connections_open = 0
+        self._batches = 0  # guarded-by: _lock
+        self._coalesced_queries = 0  # guarded-by: _lock
+        self._largest_batch = 0  # guarded-by: _lock
+        self._fallbacks = 0  # guarded-by: _lock
+        self._connections_opened = 0  # guarded-by: _lock
+        self._connections_open = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Recording (event loop + coalescer side)

@@ -38,14 +38,14 @@ class LRUCache:
     gives callers a uniform "caching off" spelling.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ReproError("cache capacity must be non-negative")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:
@@ -106,7 +106,8 @@ class LRUCache:
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.info()
         return (
-            f"LRUCache(size={len(self)}, capacity={self.capacity}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"LRUCache(size={stats['size']}, capacity={self.capacity}, "
+            f"hits={stats['hits']}, misses={stats['misses']})"
         )

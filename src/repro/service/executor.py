@@ -187,7 +187,7 @@ class PrefixContextCache(LRUCache):
         # as a backstop for key/bookkeeping overhead.
         super().__init__(capacity=capacity)
         self.budget_bytes = int(budget_bytes)
-        self._bytes = 0
+        self._bytes = 0  # guarded-by: _lock
 
     def _cost(self, value) -> int:
         return int(value.nbytes) + self.ENTRY_OVERHEAD

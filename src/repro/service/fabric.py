@@ -36,10 +36,15 @@ fabric keeps the data plane bulk end-to-end:
   ``k % n``, so one worker's prefix-context LRU stays warm for that
   shard's plans across batches; when the affine worker's queue runs
   ``steal_threshold`` deeper than the least-loaded one, the unit is
-  stolen by the laggard's idle peer.  A worker that dies mid-batch is
-  respawned on a fresh inbox queue (the old one may die with its
-  reader lock held) and its in-flight units re-dispatched (duplicate
-  completions are deduped by sequence number).  Fall-forward
+  stolen by the laggard's idle peer.  Each worker gets a private inbox
+  *and* a private results outbox (a shared outbox is a liability: one
+  worker SIGKILLed holding the write lock, or mid-frame, wedges or
+  desyncs everyone's results); per-worker drain threads merge replies
+  into an in-process queue the dispatch loop reads.  A worker that
+  dies mid-batch is respawned on fresh queues (the old ones may die
+  with locks held or frames half-written) and its in-flight units
+  re-dispatched (duplicate completions are deduped by sequence
+  number).  Fall-forward
   across epoch flips needs nothing new: shard files are named by epoch
   and workers chase the manifest exactly as the pool does.
 """
@@ -103,7 +108,9 @@ def _untrack(shm: shared_memory.SharedMemory) -> None:
         resource_tracker.unregister(
             getattr(shm, "_name", "/" + shm.name), "shared_memory"
         )
-    except Exception:  # pragma: no cover - tracker variants
+    except (ImportError, AttributeError, KeyError, OSError, ValueError):
+        # pragma: no cover - tracker layout varies by platform/version;
+        # a failed unregister only costs an exit-time warning.
         pass
 
 
@@ -320,7 +327,7 @@ def _fabric_worker(
         seq, tasks = message[1], message[2]
         try:
             payload = writer.pack(state.run_group(tasks))
-        except Exception:
+        except Exception:  # repro: allow[REP007] - worker crash boundary: any failure ships its traceback to the parent instead of killing the loop
             outbox.put(("err", idx, seq, traceback.format_exc()))
             continue
         outbox.put(("done", idx, seq, payload))
@@ -375,13 +382,13 @@ class SegmentPool:
     """
 
     def __init__(self, recycle):
-        self._recycle = recycle  #: (owner, name) -> None, or None when closed
+        self._recycle = recycle  # guarded-by: _lock  ((owner, name) -> None, or None when closed)
         self._lock = threading.Lock()
-        self._live: Dict[str, weakref.ref] = {}
+        self._live: Dict[str, weakref.ref] = {}  # guarded-by: _lock
         #: Handles whose close() hit a transient BufferError (the last
         #: view was still mid-deallocation); retried on every attach.
-        self._graveyard: List[shared_memory.SharedMemory] = []
-        self.attached = 0
+        self._graveyard: List[shared_memory.SharedMemory] = []  # guarded-by: _lock
+        self.attached = 0  # guarded-by: _lock
 
     def attach(self, name: str, owner: int) -> _Lease:
         self._reap()
@@ -443,7 +450,7 @@ class SegmentPool:
         if recycle is not None:
             try:
                 recycle(owner, name)
-            except Exception:  # queues may be torn down already
+            except (OSError, ValueError):  # queues may be torn down already
                 pass
 
     def _reap(self) -> None:
@@ -507,7 +514,9 @@ class FabricBackend(ExecutionBackend):
         self._generation = [0] * self._workers
         self._procs: Optional[list] = None
         self._inboxes: Optional[list] = None
-        self._outbox = None
+        self._outboxes: Optional[list] = None
+        self._merged: Optional[queue.Queue] = None
+        self._drainers: Optional[list] = None
         self._pool: Optional[SegmentPool] = None
         # Recover segments a crashed predecessor left behind before we
         # start minting our own (mirrors the store's orphan sweep).
@@ -521,10 +530,43 @@ class FabricBackend(ExecutionBackend):
     def _ensure_workers(self) -> None:
         if self._procs is not None:
             return
-        self._outbox = self._ctx.Queue()
+        self._merged = queue.Queue()
+        self._outboxes = [self._ctx.Queue() for _ in range(self._workers)]
         self._inboxes = [self._ctx.Queue() for _ in range(self._workers)]
         self._pool = SegmentPool(self._send_recycle)
         self._procs = [self._spawn(idx) for idx in range(self._workers)]
+        self._drainers = [self._start_drain(idx) for idx in range(self._workers)]
+
+    def _start_drain(self, idx: int) -> threading.Thread:
+        """Pump one worker's outbox into the in-process merged queue.
+
+        The dispatch loop never reads a ``multiprocessing.Queue``
+        directly: a worker SIGKILLed mid-``put`` leaves a partial frame
+        in its pipe, and any parent ``get()`` on that channel would
+        block forever inside ``recv`` waiting for bytes that will never
+        arrive.  Confining each cross-process read to a dedicated
+        thread means corruption wedges only that thread, which is
+        abandoned with its queue at respawn — the dispatch loop keeps
+        draining the plain ``queue.Queue`` and stays responsive.
+        """
+        source = self._outboxes[idx]  # bind the queue, not the slot:
+        sink = self._merged  # respawn swaps the slot under us
+
+        def drain() -> None:
+            while True:
+                try:
+                    message = source.get()
+                except (OSError, ValueError, EOFError):
+                    return  # queue torn down under us at close()
+                if message[0] == "drain-stop":
+                    return
+                sink.put(message)
+
+        thread = threading.Thread(
+            target=drain, daemon=True, name=f"fabric-drain-{idx}"
+        )
+        thread.start()
+        return thread
 
     def _spawn(self, idx: int):
         generation = self._generation[idx]
@@ -535,7 +577,7 @@ class FabricBackend(ExecutionBackend):
                 self.store.directory,
                 self.store.mmap,
                 self._inboxes[idx],
-                self._outbox,
+                self._outboxes[idx],
                 idx,
                 f"{self._prefix}-w{idx}g{generation}",
             ),
@@ -574,7 +616,7 @@ class FabricBackend(ExecutionBackend):
         outcomes: List[ShardResult] = []
         while pending:
             try:
-                message = self._outbox.get(timeout=0.25)
+                message = self._merged.get(timeout=0.25)
             except queue.Empty:
                 self._respawn_dead(pending)
                 continue
@@ -604,16 +646,21 @@ class FabricBackend(ExecutionBackend):
     def _respawn_dead(self, pending: Dict[int, tuple]) -> None:
         """Replace dead workers and re-dispatch their in-flight units.
 
-        The dead inbox is abandoned, not inherited: ``Queue.get()``
-        holds the queue's reader lock *while blocked waiting for data*,
-        so a worker killed at idle dies owning that semaphore and a
-        replacement reading the same queue would deadlock on it.  The
-        replacement gets a fresh queue; every pending unit assigned to
-        the worker is re-sent there (units stranded in the old queue
-        are a subset of ``pending``, so nothing is lost), completions
-        are deduped by sequence number, and duplicate segments recycle
-        harmlessly.  Segments the dead generation minted stay readable
-        through live leases and are swept by ``close()``.
+        Both of the dead worker's queues are abandoned, not inherited.
+        The inbox: ``Queue.get()`` holds the queue's reader lock *while
+        blocked waiting for data*, so a worker killed at idle dies
+        owning that semaphore and a replacement reading the same queue
+        would deadlock on it.  The outbox: a worker killed mid-``put``
+        dies holding the write lock (wedging any other writer — hence
+        one outbox per worker) and may leave a partial frame that would
+        block the reader forever; its drain thread is left behind on
+        the stale queue (it still relays any intact completions, which
+        dedup by sequence number) and a fresh queue + drain thread take
+        the slot.  Every pending unit assigned to the worker is re-sent
+        (units stranded in the old inbox are a subset of ``pending``,
+        so nothing is lost) and duplicate segments recycle harmlessly.
+        Segments the dead generation minted stay readable through live
+        leases and are swept by ``close()``.
         """
         for idx, process in enumerate(self._procs):
             if process.is_alive():
@@ -623,7 +670,10 @@ class FabricBackend(ExecutionBackend):
             stale.cancel_join_thread()
             stale.close()
             self._inboxes[idx] = self._ctx.Queue()
+            self._outboxes[idx].cancel_join_thread()
+            self._outboxes[idx] = self._ctx.Queue()
             self._procs[idx] = self._spawn(idx)
+            self._drainers[idx] = self._start_drain(idx)
             for seq, (owner, unit) in pending.items():
                 if owner == idx:
                     self._inboxes[idx].put(("run", seq, unit))
@@ -639,7 +689,7 @@ class FabricBackend(ExecutionBackend):
         stats: List[Optional[dict]] = [None] * self._workers
         needed = self._workers
         while needed:
-            message = self._outbox.get(timeout=10.0)
+            message = self._merged.get(timeout=10.0)
             if message[0] == "stats" and stats[message[1]] is None:
                 stats[message[1]] = message[2]
                 needed -= 1
@@ -663,6 +713,8 @@ class FabricBackend(ExecutionBackend):
             return
         procs, self._procs = self._procs, None
         inboxes, self._inboxes = self._inboxes, None
+        outboxes, self._outboxes = self._outboxes, None
+        drainers, self._drainers = self._drainers, None
         for inbox in inboxes:
             try:
                 inbox.put(("stop",))
@@ -673,10 +725,19 @@ class FabricBackend(ExecutionBackend):
             if process.is_alive():  # pragma: no cover - wedged worker
                 process.terminate()
                 process.join()
-        for channel in [*inboxes, self._outbox]:
+        # Release the drain threads: workers have exited, so each
+        # outbox is quiescent and the sentinel is the next message.
+        for outbox in outboxes:
+            try:
+                outbox.put(("drain-stop",))
+            except (OSError, ValueError):  # pragma: no cover - torn down
+                pass
+        for thread in drainers:
+            thread.join(timeout=5.0)
+        for channel in [*inboxes, *outboxes]:
             channel.cancel_join_thread()
             channel.close()
-        self._outbox = None
+        self._merged = None
         self._pool.close()
         self._pool = None
         # Backstop for segments a terminated worker never unlinked.

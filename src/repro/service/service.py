@@ -152,7 +152,7 @@ class QueryService:
         self._stats_lock = threading.Lock()
         #: Update batches applied through this service (monotonic; each
         #: applied batch bumps the store epoch exactly once).
-        self.updates_applied = 0
+        self.updates_applied = 0  # guarded-by: _stats_lock
 
     @property
     def executor(self) -> ExecutionBackend:
@@ -426,5 +426,5 @@ class QueryService:
         # memory; close() is idempotent, so explicit closers pay nothing.
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro: allow[REP007] - destructor boundary: raising during GC aborts nothing and spams stderr
             pass

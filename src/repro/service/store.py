@@ -49,6 +49,7 @@ import re
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.lockgraph import assert_held
 from repro.encoding.collection import DocumentCollection
 from repro.encoding.persist import FORMAT_VERSION, load, save
 from repro.errors import ReproError, StoreNotFoundError
@@ -82,19 +83,22 @@ class ShardedStore:
     def __init__(self, directory: str, manifest: dict, mmap: bool = True):
         self.directory = directory
         self.mmap = mmap
-        self._manifest = manifest
-        self._collections: Dict[int, Tuple[str, DocumentCollection]] = {}
+        self._manifest = manifest  # guarded-by: _lock
+        self._collections: Dict[int, Tuple[str, DocumentCollection]] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
-        self._reindex()
+        with self._lock:
+            self._reindex_locked()
 
-    def _reindex(self) -> None:
+    def _reindex_locked(self) -> None:
         """Rebuild the name → shard index and the global name order.
 
-        Called at open and after every mutation, so document-scoped
-        lookups are O(1) instead of a scan over shards × documents.
+        Called at open and after every mutation (with ``_lock`` held),
+        so document-scoped lookups are O(1) instead of a scan over
+        shards × documents.
         """
-        self._doc_shard: Dict[str, int] = {}
-        self._names: List[str] = []
+        assert_held(self._lock)
+        self._doc_shard: Dict[str, int] = {}  # guarded-by: _lock
+        self._names: List[str] = []  # guarded-by: _lock
         for entry in self._manifest["shards"]:
             for name in entry["documents"]:
                 self._doc_shard[name] = entry["id"]
@@ -181,7 +185,8 @@ class ShardedStore:
 
     def _sweep_orphans(self) -> List[str]:
         """Remove shard-pattern files the manifest does not reference."""
-        referenced = {entry["file"] for entry in self._manifest["shards"]}
+        with self._lock:
+            referenced = {entry["file"] for entry in self._manifest["shards"]}
         swept = []
         for file_name in os.listdir(self.directory):
             if file_name in referenced or not _SHARD_FILE.fullmatch(file_name):
@@ -204,7 +209,8 @@ class ShardedStore:
 
     @property
     def virtual_root_tag(self) -> str:
-        return self._manifest["virtual_root_tag"]
+        with self._lock:
+            return self._manifest["virtual_root_tag"]
 
     @property
     def shard_count(self) -> int:
@@ -340,7 +346,7 @@ class ShardedStore:
             if len(set(new_names)) != len(new_names) or others & set(new_names):
                 raise ReproError("document names must be unique across the store")
             collection = DocumentCollection(documents, self.virtual_root_tag)
-            self._commit({shard_id: collection})
+            self._commit_locked({shard_id: collection})
 
     def add_document(
         self, name: str, tree: Node, shard_id: Optional[int] = None
@@ -449,16 +455,21 @@ class ShardedStore:
                     staged[shard_id] = plane.splice(
                         op.document, op.op, op.pre, tree=op.tree, before=op.before
                     )
-            epoch = self._commit(staged)
+            epoch = self._commit_locked(staged)
             return {"epoch": epoch, "applied": len(ops), "shards": sorted(staged)}
 
-    def _commit(self, staged: Dict[int, Optional[DocumentCollection]]) -> int:
+    def _commit_locked(
+        self, staged: Dict[int, Optional[DocumentCollection]]
+    ) -> int:
         """Persist staged shard planes under the next epoch, atomically.
 
-        Writes every new shard file first (a crash here leaves only
-        sweepable orphans), then flips the manifest once — the commit
-        point — then drops cached planes and unlinks the old files.
+        Caller holds ``_lock`` (both mutation entry points take it for
+        their whole stage-validate-commit span).  Writes every new
+        shard file first (a crash here leaves only sweepable orphans),
+        then flips the manifest once — the commit point — then drops
+        cached planes and unlinks the old files.
         """
+        assert_held(self._lock)
         epoch = self.epoch + 1
         old_files = []
         for shard_id, collection in staged.items():
@@ -505,7 +516,7 @@ class ShardedStore:
                     _shard_file_name(shard_id, epoch),
                     collection,
                 )
-        self._reindex()
+        self._reindex_locked()
         for old_file in old_files:
             try:
                 os.remove(os.path.join(self.directory, old_file))

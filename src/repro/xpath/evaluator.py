@@ -356,10 +356,10 @@ class Evaluator:
         grouped = candidates[order]
         boundaries = np.nonzero(np.diff(parents[order]))[0]
         if wants_last:
-            picks = np.append(boundaries, len(grouped) - 1)
+            picks = np.concatenate((boundaries, [len(grouped) - 1]), dtype=np.int64)
         else:
-            starts = np.concatenate(([0], boundaries + 1))
-            ends = np.append(boundaries, len(grouped) - 1)
+            starts = np.concatenate(([0], boundaries + 1), dtype=np.int64)
+            ends = np.concatenate((boundaries, [len(grouped) - 1]), dtype=np.int64)
             picks = starts + wanted_rank
             picks = picks[picks <= ends]
         return np.sort(grouped[picks])

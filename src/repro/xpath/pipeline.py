@@ -596,7 +596,7 @@ def _positional_per_node(op: PositionalSelect, rt, context):
         pieces.append(rt.single_context_step(single, op.step, op.pushdown))
     if not pieces:
         return _empty()
-    return np.unique(np.concatenate(pieces))
+    return np.unique(np.concatenate(pieces, dtype=np.int64))
 
 
 @register_kernel(PositionalSelect, "scalar")

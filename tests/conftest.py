@@ -4,10 +4,38 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import lockgraph
 from repro.encoding.prepost import encode
 from repro.harness.workloads import figure1_document, figure1_table, get_document
 
 from _reference import random_tree
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_watchdog():
+    """Opt-in deadlock hunting: ``REPRO_LOCKGRAPH=1 pytest ...``.
+
+    Instruments ``threading.Lock``/``RLock`` for the whole session and
+    fails at teardown if the threaded suites ever acquired two locks in
+    inconsistent orders — a potential deadlock even when the timing
+    never actually hung.  The CI ``analysis`` job runs the threaded
+    suites under this flag.
+    """
+    if not lockgraph.enabled_by_env():
+        yield None
+        return
+    graph = lockgraph.install()
+    try:
+        yield graph
+    finally:
+        lockgraph.uninstall()
+        cycles = graph.cycles()
+        if cycles:
+            pytest.fail(
+                "lock-order cycles detected:\n\n"
+                + "\n\n".join(cycle.render() for cycle in cycles),
+                pytrace=False,
+            )
 
 
 @pytest.fixture(scope="session")
