@@ -1,0 +1,311 @@
+"""Compressed-plane benchmark: bytes on disk, warm speed, out-of-core.
+
+Three contracts back the compressed shard format (FORMAT_VERSION 3:
+dictionary-encoded strings + FOR/delta bit-packed vectors in page
+blocks), recorded in ``BENCH_compressed.json`` and held against drift by
+``compare_baselines.py``:
+
+* **bytes on disk** — a packed store is **≥ 2×** smaller than the same
+  forest saved eagerly (v2);
+* **warm queries** — with the default ``decode_cache="full"`` open mode
+  (columns decoded once at load, then dense), the full query suite runs
+  at most **1.5×** slower than the uncompressed store, on both engines;
+* **out of core** — under an ``RLIMIT_AS`` address budget that a single
+  flat allocation of the plane's decoded bytes cannot fit (proved by a
+  ``MemoryError``), the paged open mode (``decode_cache="blocks"``)
+  still answers the whole query suite, with identical results to the
+  uncapped run.  The budget headroom is several times smaller than the
+  collection's decoded size, so the run is genuinely bigger than RAM.
+
+The out-of-core leg runs in a subprocess (this file invoked with
+``--out-of-core-worker``) so the address-space cap cannot leak into the
+pytest process.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_compressed_planes.py --benchmark-only
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+#: Forest for the bytes + out-of-core legs (~440k nodes, ~20 MB decoded).
+DOCUMENTS = 8
+SIZE_MB = 1.1
+SHARDS = 4
+
+#: Smaller forest for the warm-timing leg (both engines × both stores).
+WARM_DOCUMENTS = 4
+WARM_SIZE_MB = 0.55
+WARM_SHARDS = 2
+
+#: Address-space budget above the warmed worker's footprint.  The
+#: collection's decoded bytes must be ≥ 2× this, and a flat allocation
+#: of them must fail under the cap.
+HEADROOM_BYTES = 8 << 20
+
+MIN_BYTES_REDUCTION = 2.0
+MAX_WARM_SLOWDOWN = 1.5
+
+ENGINES = ("scalar", "vectorized")
+
+
+def _build_pair(tmp_path_factory, name, documents, size_mb, shards):
+    from repro.harness.workloads import get_forest
+    from repro.service import ShardedStore
+
+    forest = get_forest(documents, size_mb)
+    root = tmp_path_factory.mktemp(name)
+    plain = ShardedStore.build(
+        str(root / "plain"), forest, shards=shards, compression="none"
+    )
+    packed = ShardedStore.build(
+        str(root / "packed"), forest, shards=shards, compression="packed"
+    )
+    return plain, packed
+
+
+@pytest.fixture(scope="module")
+def big_stores(tmp_path_factory):
+    return _build_pair(
+        tmp_path_factory, "compressed-big", DOCUMENTS, SIZE_MB, SHARDS
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_stores(tmp_path_factory):
+    return _build_pair(
+        tmp_path_factory, "compressed-warm", WARM_DOCUMENTS, WARM_SIZE_MB,
+        WARM_SHARDS,
+    )
+
+
+def test_bytes_on_disk_contract(big_stores, emit, benchmark):
+    """Packed shards must be ≥ 2× smaller on disk than eager (v2) ones."""
+    from repro.harness.reporting import format_table
+
+    plain, packed = big_stores
+    report = {}
+
+    def run():
+        report["plain"] = plain.info()
+        report["packed"] = packed.info()
+        return report
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    plain_disk = report["plain"]["total_bytes_on_disk"]
+    packed_disk = report["packed"]["total_bytes_on_disk"]
+    reduction = plain_disk / packed_disk
+    rows = [
+        {
+            "shard": str(entry["id"]),
+            "eager_bytes": f"{plain_entry['bytes_on_disk']:,}",
+            "packed_bytes": f"{entry['bytes_on_disk']:,}",
+            "ratio": f"{plain_entry['bytes_on_disk'] / entry['bytes_on_disk']:.2f}x",
+        }
+        for entry, plain_entry in zip(
+            report["packed"]["shards"], report["plain"]["shards"]
+        )
+    ]
+    rows.append(
+        {
+            "shard": "total",
+            "eager_bytes": f"{plain_disk:,}",
+            "packed_bytes": f"{packed_disk:,}",
+            "ratio": f"{reduction:.2f}x",
+        }
+    )
+    emit(
+        f"compressed planes — {DOCUMENTS} documents / {SHARDS} shards, "
+        f"bytes on disk (v2 eager vs v3 packed)",
+        format_table(rows),
+    )
+    benchmark.extra_info["eager_bytes"] = plain_disk
+    benchmark.extra_info["packed_bytes"] = packed_disk
+    benchmark.extra_info["contract_min_bytes_reduction"] = round(reduction, 2)
+    assert reduction >= MIN_BYTES_REDUCTION, (
+        f"packed store only {reduction:.2f}x smaller than eager "
+        f"(contract: >= {MIN_BYTES_REDUCTION}x)"
+    )
+
+
+def _suite_seconds(store, queries, engine, rounds=3):
+    from repro.service import QueryService
+
+    with QueryService(store, backend="serial") as service:
+        service.execute_batch(queries, engine=engine, use_cache=False)  # warm
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            service.execute_batch(queries, engine=engine, use_cache=False)
+            best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_warm_query_slowdown_contract(warm_stores, engine, emit, benchmark):
+    """Warm suite over a packed store: ≤ 1.5× the uncompressed time."""
+    from repro.harness.queries import QUERY_SUITE
+    from repro.harness.reporting import format_table
+
+    plain, packed = warm_stores
+    queries = tuple(q.xpath for q in QUERY_SUITE)
+    timings = {}
+
+    def run():
+        timings["plain"] = _suite_seconds(plain, queries, engine)
+        timings["packed"] = _suite_seconds(packed, queries, engine)
+        return timings
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    slowdown = timings["packed"] / timings["plain"]
+    emit(
+        f"compressed planes — warm query suite ({len(queries)} queries, "
+        f"{engine} engine)",
+        format_table(
+            [
+                {"store": "eager (v2)", "best_ms": f"{timings['plain'] * 1e3:.2f}"},
+                {"store": "packed (v3)", "best_ms": f"{timings['packed'] * 1e3:.2f}"},
+                {"store": "slowdown", "best_ms": f"{slowdown:.2f}x"},
+            ]
+        ),
+    )
+    benchmark.extra_info["plain_ms"] = timings["plain"] * 1e3
+    benchmark.extra_info["packed_ms"] = timings["packed"] * 1e3
+    benchmark.extra_info[f"contract_max_warm_slowdown_{engine}"] = round(
+        slowdown, 3
+    )
+    assert slowdown <= MAX_WARM_SLOWDOWN, (
+        f"warm packed suite {slowdown:.2f}x slower than eager on "
+        f"{engine} (contract: <= {MAX_WARM_SLOWDOWN}x)"
+    )
+
+
+def test_out_of_core_rlimit(big_stores, emit, benchmark):
+    """Queries complete under an address budget the decoded plane exceeds."""
+    from repro.harness.reporting import format_table
+
+    _, packed = big_stores
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    report = {}
+
+    def run():
+        proc = subprocess.run(
+            [sys.executable, __file__, "--out-of-core-worker", packed.directory],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report.update(json.loads(proc.stdout))
+        return report
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = report["logical_bytes"] / HEADROOM_BYTES
+    emit(
+        "compressed planes — out-of-core run under RLIMIT_AS",
+        format_table(
+            [
+                {"metric": "decoded plane bytes", "value": f"{report['logical_bytes']:,}"},
+                {"metric": "address budget headroom", "value": f"{HEADROOM_BYTES:,}"},
+                {"metric": "plane / headroom", "value": f"{ratio:.2f}x"},
+                {"metric": "flat allocation", "value": "MemoryError (as required)"},
+                {"metric": "suite under cap", "value": "identical results"},
+                {"metric": "page decode events / page blocks", "value": f"{report['blocks_decoded']:,} / {report['pages']:,}"},
+            ]
+        ),
+    )
+    benchmark.extra_info["logical_bytes"] = report["logical_bytes"]
+    benchmark.extra_info["headroom_bytes"] = HEADROOM_BYTES
+    benchmark.extra_info["blocks_decoded"] = report["blocks_decoded"]
+    benchmark.extra_info["pages"] = report["pages"]
+    benchmark.extra_info["contract_min_out_of_core_ratio"] = round(ratio, 2)
+    assert report["memory_error_on_flat_alloc"], (
+        "a flat allocation of the decoded plane fit inside the address "
+        "budget — the run was not actually out of core"
+    )
+    assert report["suite_matches_uncapped"], "capped suite results diverged"
+    assert ratio >= 2.0, (
+        f"collection only {ratio:.2f}x the address budget (need >= 2x)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Out-of-core worker (subprocess entry point)
+# ----------------------------------------------------------------------
+def _vm_bytes() -> int:
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith("VmSize:"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("VmSize not found")
+
+
+def _out_of_core_worker(directory: str) -> None:
+    import resource
+
+    import numpy as np
+
+    from repro.harness.queries import QUERY_SUITE
+    from repro.service import ShardedStore
+    from repro.xpath.evaluator import Evaluator
+
+    store = ShardedStore.open(directory, decode_cache="blocks")
+    logical = int(store.info()["total_logical_bytes"])
+
+    def run_suite():
+        counts = []
+        for query in QUERY_SUITE:
+            total = 0
+            for shard_id in store.shard_ids():
+                collection = store.collection(shard_id)
+                evaluator = Evaluator(collection.doc, engine="vectorized")
+                total += int(
+                    collection.evaluate(query.xpath, evaluator=evaluator).shape[0]
+                )
+            counts.append(total)
+        return counts
+
+    uncapped = run_suite()
+    limit = _vm_bytes() + HEADROOM_BYTES
+    resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    try:
+        np.zeros(logical, dtype=np.uint8)
+        memory_error = False
+    except MemoryError:
+        memory_error = True
+    capped = run_suite()
+    blocks = pages = 0
+    for shard_id in store.shard_ids():
+        plane = store.collection(shard_id).doc.plane
+        totals = plane.totals()
+        blocks += totals["blocks_decoded"]
+        pages += totals["pages"]
+    print(
+        json.dumps(
+            {
+                "logical_bytes": logical,
+                "limit_bytes": limit,
+                "memory_error_on_flat_alloc": memory_error,
+                "suite_matches_uncapped": capped == uncapped,
+                "result_counts": capped,
+                "blocks_decoded": blocks,
+                "pages": pages,
+            }
+        )
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--out-of-core-worker":
+        _out_of_core_worker(sys.argv[2])
+    else:  # pragma: no cover - defensive
+        raise SystemExit(f"usage: {sys.argv[0]} --out-of-core-worker STORE_DIR")

@@ -44,6 +44,7 @@ def build_representatives() -> List[object]:
     :class:`PositionalSelect`; the union exercises
     :class:`DocOrderDedup`; the three result modes cover the terminals.
     """
+    from repro.encoding.codec import pack_int_column
     from repro.service.executor import ShardResult, ShardTask
     from repro.service.updates import UpdateOp
     from repro.xpath.pipeline import compile_plan
@@ -72,6 +73,8 @@ def build_representatives() -> List[object]:
         ),
         ShardResult(index=0, shard_id=2, mode="count", counts={"doc-a": 3}),
         UpdateOp(op="delete", document="doc-a", pre=4),
+        # PageDirectory (array-backed dataclass; defines its own __eq__)
+        pack_int_column("post", np.arange(100, dtype=np.int64), "delta", 64)[0],
     ]
     instances.extend(planner.plan("//a/b").steps)  # StepDecision
     for plan in (materialize, count, exists):

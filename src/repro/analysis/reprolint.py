@@ -30,7 +30,8 @@ REP004   Pickle safety: registered cross-process payload types must not
          other unpicklables (the runtime half round-trips real
          instances: :mod:`repro.analysis.pickle_check`).
 REP005   numpy dtype discipline: array constructors in the
-         ``repro.core``/``repro.xpath`` hot paths must pin ``dtype=``
+         ``repro.core``/``repro.xpath`` hot paths and the
+         ``repro.encoding.codec`` bit-packing layer must pin ``dtype=``
          explicitly so rank arrays cannot silently promote off
          ``int64`` on other platforms (``np.append`` has no ``dtype``
          parameter at all — rewrite with ``np.concatenate``).
@@ -449,6 +450,7 @@ class LoopConfinement(Rule):
 #: runtime half (`repro.analysis.pickle_check`) round-trips real
 #: instances of every entry at import time.
 PAYLOAD_REGISTRY: Dict[str, Tuple[str, ...]] = {
+    "repro.encoding.codec": ("PageDirectory",),
     "repro.service.executor": ("ShardTask", "ShardResult"),
     "repro.service.updates": ("UpdateOp",),
     "repro.xpath.planner": ("QueryPlan", "StepDecision"),
@@ -532,6 +534,7 @@ class DtypeDiscipline(Rule):
         if not (
             self.m.module.startswith("repro.core")
             or self.m.module.startswith("repro.xpath")
+            or self.m.module == "repro.encoding.codec"
         ):
             return self.findings
         return super().run()

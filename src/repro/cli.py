@@ -182,15 +182,59 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         print("error: no documents (pass .xml files or --generate N)", file=sys.stderr)
         return 1
     started = time.perf_counter()
-    store = ShardedStore.build(args.output, documents, shards=args.shards)
+    store = ShardedStore.build(
+        args.output, documents, shards=args.shards,
+        compression=args.compression,
+    )
     summary = store.describe()
     nodes = sum(entry["nodes"] for entry in summary["shards"])
     print(
         f"built {args.output}: {len(documents)} documents, "
         f"{store.shard_count} shards, {nodes:,} nodes, "
+        f"compression {summary['compression']}, "
         f"{time.perf_counter() - started:.2f}s",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.service import ShardedStore
+
+    store = ShardedStore.open(args.directory, decode_cache="blocks")
+    # Open every shard plane so packed shards report what the open
+    # itself decoded (region scans) — the paging counters are the point.
+    for shard_id in store.shard_ids():
+        store.collection(shard_id)
+    info = store.info()
+    print(f"store          {info['directory']}")
+    print(f"epoch          {info['epoch']}")
+    print(f"compression    {info['compression']}")
+    print(f"documents      {info['documents']}")
+    print(f"bytes on disk  {info['total_bytes_on_disk']:,}")
+    if info["total_logical_bytes"]:
+        print(f"logical bytes  {info['total_logical_bytes']:,} (decoded size of packed shards)")
+    for shard in info["shards"]:
+        line = (
+            f"  shard {shard['id']:<4d} v{shard['format_version']}  "
+            f"{shard['nodes']:>10,} nodes  "
+            f"{shard['bytes_on_disk']:>12,}B on disk"
+        )
+        if shard["format_version"] == 3:
+            line += (
+                f"  {shard['pages']:,} pages x {shard['page_size']}  "
+                f"tag dict {shard['tag_dictionary']['entries']:,}"
+                f"/{shard['tag_dictionary']['bytes']:,}B  "
+                f"value dict {shard['value_dictionary']['entries']:,}"
+                f"/{shard['value_dictionary']['bytes']:,}B"
+            )
+            decoded = shard.get("decoded")
+            if decoded is not None:
+                line += (
+                    f"  decoded {decoded['blocks']:,} blocks"
+                    f"/{decoded['bytes']:,}B"
+                )
+        print(line)
     return 0
 
 
@@ -465,10 +509,29 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--size", type=float, default=0.2, help="nominal MB per generated document")
     cmd.add_argument("--seed", type=int, default=2003)
     cmd.add_argument(
+        "--compression", choices=("auto", "none", "packed"), default="auto",
+        help="shard archive layout: packed = dictionary + bit-packed page "
+        "blocks (v3), none = eager arrays (v2), auto = packed for large "
+        "shards (default)",
+    )
+    cmd.add_argument(
         "--info", metavar="DIR", default=None,
         help="describe an existing store instead of building one",
     )
     cmd.set_defaults(handler=_cmd_shard)
+
+    cmd = commands.add_parser(
+        "store",
+        help="inspect a sharded store (bytes on disk, pages, dictionaries, "
+        "decode counters)",
+    )
+    cmd.add_argument(
+        "action", choices=("info",),
+        help="info: per-shard bytes on disk / format / page + dictionary "
+        "sizes, and bytes decoded per open plane",
+    )
+    cmd.add_argument("directory", help="store directory built by `shard`")
+    cmd.set_defaults(handler=_cmd_store)
 
     cmd = commands.add_parser(
         "serve-batch", help="run a query batch against a sharded store"

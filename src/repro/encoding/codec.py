@@ -1,0 +1,636 @@
+"""Per-column codecs for compressed, pageable planes (FORMAT_VERSION 3).
+
+The paper's Section-4 cache-consciousness argument is a memory-hierarchy
+argument, and it extends one level down: a plane laid out in fixed-size
+page blocks streams through the staircase join from disk the same way
+cache lines stream through it from DRAM.  This module provides the three
+codecs that make a :class:`~repro.encoding.doctable.DocTable` column
+pageable:
+
+* **Frame-of-reference bit-packing** (``CODEC_FOR``) — each fixed-height
+  page block stores one ``int64`` reference (the block minimum) plus the
+  per-value deltas packed at the block's minimal bit width.  ``level``,
+  ``kind``, and the dictionary code vectors compress this way.
+* **Position-delta FOR** (``CODEC_DELTA``) — the same, applied to
+  ``value − pre`` instead of the raw value.  ``post`` and ``parent``
+  track the void ``pre`` column closely (``post − pre`` is the subtree
+  size minus the level term of Equation (1); ``parent − pre`` is usually
+  a small negative number), so the residuals need a handful of bits
+  where the raw values need 20+.
+* **Sorted dictionary blobs** — tag and text dictionaries persist as one
+  UTF-8 byte blob plus an ``int64`` offset vector, sorted in code-point
+  order.  UTF-8 byte order equals code-point order, so
+  :func:`dictionary_find` binary-searches the *compressed* blob directly
+  — a name test never materialises the dictionary.
+
+:class:`PagedArray` is the query-facing face of a packed column: an
+``int64`` vector that decodes one page block at a time, on first touch,
+with an LRU over decoded blocks and per-column decode counters.  Scalar
+reads, slices, and integer-array gathers touch only the blocks they
+cover — ranges the staircase join skips are pages never decoded (and,
+under ``mmap``, never faulted in from disk).
+
+Everything here is pure numpy + stdlib; the module sits below
+``repro.core`` and ``repro.service`` in the import graph.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+__all__ = [
+    "CODEC_FOR",
+    "CODEC_DELTA",
+    "DEFAULT_PAGE_SIZE",
+    "PageDirectory",
+    "PlaneStats",
+    "pack_int_column",
+    "decode_page",
+    "decode_column",
+    "encode_dictionary",
+    "dictionary_entry",
+    "dictionary_find",
+    "PagedArray",
+    "PagedStrings",
+]
+
+#: Frame-of-reference: block minimum + bit-packed deltas.
+CODEC_FOR = "for"
+
+#: FOR over ``value − pre`` (position-delta); for columns tracking ``pre``.
+CODEC_DELTA = "delta"
+
+#: Values per page block.  Must be a power of two: scalar access resolves
+#: ``pre → (block, offset)`` with a shift and a mask on the hot path.
+DEFAULT_PAGE_SIZE = 1024
+
+
+def _require_power_of_two(page_size: int) -> int:
+    if page_size < 1 or page_size & (page_size - 1):
+        raise EncodingError(f"page_size must be a power of two, got {page_size}")
+    return int(page_size).bit_length() - 1
+
+
+# ----------------------------------------------------------------------
+# Bit packing (little-endian bit streams via packbits/unpackbits)
+# ----------------------------------------------------------------------
+def _pack_bits(deltas: np.ndarray, bits: int) -> np.ndarray:
+    """Pack non-negative ``uint64`` deltas into a ``bits``-wide bit stream."""
+    if bits == 0:
+        return np.empty(0, dtype=np.uint8)
+    count = deltas.shape[0]
+    le_bytes = np.ascontiguousarray(deltas, dtype="<u8").view(np.uint8)
+    bit_matrix = np.unpackbits(
+        le_bytes.reshape(count, 8), axis=1, bitorder="little"
+    )
+    return np.packbits(bit_matrix[:, :bits].reshape(-1), bitorder="little")
+
+
+def _unpack_bits(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bits`; returns ``int64`` deltas."""
+    if bits == 0:
+        return np.zeros(count, dtype=np.int64)
+    bit_stream = np.unpackbits(
+        np.ascontiguousarray(packed, dtype=np.uint8),
+        count=count * bits,
+        bitorder="little",
+    ).reshape(count, bits)
+    widened = np.zeros((count, 64), dtype=np.uint8)
+    widened[:, :bits] = bit_stream
+    le_bytes = np.packbits(widened, axis=1, bitorder="little")
+    return le_bytes.view("<u8").reshape(count).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Page directory + block codec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class PageDirectory:
+    """Descriptor of one packed column: where every page block lives.
+
+    ``offsets`` has ``n_blocks + 1`` entries; block ``b`` occupies bytes
+    ``offsets[b]:offsets[b+1]`` of the packed blob, decoded against
+    reference ``refs[b]`` at width ``bits[b]``.  The directory is a
+    cross-process payload (fabric tasks may describe shard columns by
+    directory), so it is registered in ``PAYLOAD_REGISTRY`` and must
+    stay pickle-clean.
+    """
+
+    column: str
+    codec: str
+    page_size: int
+    length: int
+    refs: np.ndarray  # int64, (n_blocks,)
+    bits: np.ndarray  # uint8, (n_blocks,)
+    offsets: np.ndarray  # int64, (n_blocks + 1,)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.refs.shape[0])
+
+    @property
+    def packed_bytes(self) -> int:
+        return int(self.offsets[-1]) if self.offsets.shape[0] else 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PageDirectory):
+            return NotImplemented
+        return (
+            self.column == other.column
+            and self.codec == other.codec
+            and self.page_size == other.page_size
+            and self.length == other.length
+            and np.array_equal(self.refs, other.refs)
+            and np.array_equal(self.bits, other.bits)
+            and np.array_equal(self.offsets, other.offsets)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return hash((self.column, self.codec, self.page_size, self.length))
+
+
+def pack_int_column(
+    column: str,
+    values: np.ndarray,
+    codec: str = CODEC_FOR,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> Tuple[PageDirectory, np.ndarray]:
+    """Bit-pack an integer vector into page blocks.
+
+    Returns the directory plus one contiguous ``uint8`` blob holding all
+    blocks back to back (mmap-friendly: a block decode reads exactly its
+    byte range).
+    """
+    _require_power_of_two(page_size)
+    if codec not in (CODEC_FOR, CODEC_DELTA):
+        raise EncodingError(f"unknown codec {codec!r} for column {column!r}")
+    work = np.ascontiguousarray(values, dtype=np.int64)
+    if work.ndim != 1:
+        raise EncodingError(f"column {column!r} must be one-dimensional")
+    n = work.shape[0]
+    if codec == CODEC_DELTA:
+        work = work - np.arange(n, dtype=np.int64)
+    n_blocks = -(-n // page_size) if n else 0
+    refs = np.zeros(n_blocks, dtype=np.int64)
+    bits = np.zeros(n_blocks, dtype=np.uint8)
+    offsets = np.zeros(n_blocks + 1, dtype=np.int64)
+    chunks: List[np.ndarray] = []
+    for b in range(n_blocks):
+        block = work[b * page_size : (b + 1) * page_size]
+        reference = int(block.min())
+        width = int(int(block.max()) - reference).bit_length()
+        packed = _pack_bits((block - reference).astype(np.uint64), width)
+        refs[b] = reference
+        bits[b] = width
+        offsets[b + 1] = offsets[b] + packed.shape[0]
+        chunks.append(packed)
+    blob = (
+        np.concatenate(chunks, dtype=np.uint8)
+        if chunks
+        else np.empty(0, dtype=np.uint8)
+    )
+    directory = PageDirectory(
+        column=column,
+        codec=codec,
+        page_size=int(page_size),
+        length=int(n),
+        refs=refs,
+        bits=bits,
+        offsets=offsets,
+    )
+    return directory, blob
+
+
+def decode_page(
+    directory: PageDirectory, blob: np.ndarray, block: int
+) -> np.ndarray:
+    """Decode page ``block`` of a packed column to a fresh ``int64`` array."""
+    if not 0 <= block < directory.n_blocks:
+        raise EncodingError(
+            f"column {directory.column!r}: page {block} out of "
+            f"range [0, {directory.n_blocks})"
+        )
+    start = block * directory.page_size
+    count = min(directory.page_size, directory.length - start)
+    packed = blob[int(directory.offsets[block]) : int(directory.offsets[block + 1])]
+    decoded = _unpack_bits(packed, int(directory.bits[block]), count)
+    decoded += int(directory.refs[block])
+    if directory.codec == CODEC_DELTA:
+        decoded += np.arange(start, start + count, dtype=np.int64)
+    return decoded
+
+
+def decode_column(directory: PageDirectory, blob: np.ndarray) -> np.ndarray:
+    """Decode a whole packed column eagerly (the ``mmap=False`` load path)."""
+    if directory.length == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [decode_page(directory, blob, b) for b in range(directory.n_blocks)],
+        dtype=np.int64,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sorted dictionary blobs
+# ----------------------------------------------------------------------
+def encode_dictionary(strings: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``strings`` (must be sorted) into a UTF-8 blob + offsets.
+
+    Sorting is the caller's job (and is asserted): binary search over the
+    blob relies on UTF-8 byte order matching code-point order.
+    """
+    encoded = [s.encode("utf-8") for s in strings]
+    for i in range(1, len(encoded)):
+        if encoded[i - 1] >= encoded[i]:
+            raise EncodingError(
+                "dictionary must be strictly sorted for binary search"
+            )
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    if encoded:
+        offsets[1:] = np.cumsum(
+            np.asarray([len(e) for e in encoded], dtype=np.int64)
+        )
+    blob = np.frombuffer(b"".join(encoded), dtype=np.uint8).copy()
+    return blob, offsets
+
+
+def dictionary_entry(blob: np.ndarray, offsets: np.ndarray, code: int) -> str:
+    """Decode one dictionary entry."""
+    return bytes(
+        blob[int(offsets[code]) : int(offsets[code + 1])]
+    ).decode("utf-8")
+
+
+def dictionary_find(blob: np.ndarray, offsets: np.ndarray, needle: str) -> int:
+    """Binary-search the sorted blob for ``needle``; ``-1`` if absent.
+
+    Compares raw UTF-8 bytes — the blob is never decoded, matching the
+    "binary-searchable without decompression" contract.
+    """
+    target = needle.encode("utf-8")
+    lo, hi = 0, int(offsets.shape[0]) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        entry = bytes(blob[int(offsets[mid]) : int(offsets[mid + 1])])
+        if entry < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo < int(offsets.shape[0]) - 1:
+        if bytes(blob[int(offsets[lo]) : int(offsets[lo + 1])]) == target:
+            return lo
+    return -1
+
+
+# ----------------------------------------------------------------------
+# Paged columns
+# ----------------------------------------------------------------------
+@dataclass
+class PlaneStats:
+    """Decode counters for one paged column (``store info`` reads these)."""
+
+    blocks_decoded: int = 0
+    bytes_decoded: int = 0
+    full_decodes: int = 0
+
+
+#: Decoded-block LRU capacity per column (blocks, not bytes).  At the
+#: default page size this caps resident decoded state per column at
+#: ``128 × 1024 × 8B = 1 MiB`` — the out-of-core working set.
+DEFAULT_CACHE_BLOCKS = 128
+
+
+class PagedArray:
+    """An ``int64`` vector that decodes one page block at a time.
+
+    Supports the access patterns the join kernels actually use — scalar
+    reads (block memo fast path), contiguous slices, and integer-array
+    gathers — decoding only the blocks they cover.  Whole-column
+    operations (boolean masks, ufuncs, ``np.asarray``) fall back to a
+    full decode so correctness is universal; the decoded copy is cached
+    unless ``cache_full=False`` (the out-of-core open mode).
+    """
+
+    __slots__ = (
+        "directory",
+        "stats",
+        "_blob",
+        "_shift",
+        "_mask",
+        "_cache",
+        "_cache_blocks",
+        "_cache_full",
+        "_last_block",
+        "_last_data",
+        "_full",
+    )
+
+    def __init__(
+        self,
+        directory: PageDirectory,
+        blob: np.ndarray,
+        stats: Optional[PlaneStats] = None,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        cache_full: bool = True,
+    ):
+        self.directory = directory
+        self.stats = stats if stats is not None else PlaneStats()
+        self._blob = blob
+        self._shift = _require_power_of_two(directory.page_size)
+        self._mask = directory.page_size - 1
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._cache_blocks = max(1, int(cache_blocks))
+        self._cache_full = bool(cache_full)
+        self._last_block = -1
+        self._last_data: Optional[np.ndarray] = None
+        self._full: Optional[np.ndarray] = None
+
+    # -- numpy-protocol surface ---------------------------------------
+    @property
+    def shape(self) -> Tuple[int]:
+        return (self.directory.length,)
+
+    @property
+    def size(self) -> int:
+        return self.directory.length
+
+    @property
+    def ndim(self) -> int:
+        return 1
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.int64)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical (decoded) bytes — what the column would occupy eagerly."""
+        return self.directory.length * 8
+
+    @property
+    def packed_bytes(self) -> int:
+        return self.directory.packed_bytes
+
+    def __len__(self) -> int:
+        return self.directory.length
+
+    # -- block machinery ----------------------------------------------
+    def _decode_block(self, block: int) -> np.ndarray:
+        data = self._cache.get(block)
+        if data is None:
+            if self._full is not None:
+                start = block << self._shift
+                data = self._full[start : start + self.directory.page_size]
+            else:
+                data = decode_page(self.directory, self._blob, block)
+                self.stats.blocks_decoded += 1
+                self.stats.bytes_decoded += data.nbytes
+            self._cache[block] = data
+            if len(self._cache) > self._cache_blocks:
+                self._cache.popitem(last=False)
+        else:
+            self._cache.move_to_end(block)
+        self._last_block = block
+        self._last_data = data
+        return data
+
+    def blocks_touched(self) -> int:
+        return self.stats.blocks_decoded
+
+    # -- indexing ------------------------------------------------------
+    def __getitem__(self, index):
+        # Dense fast path: once a full decode is cached (the
+        # ``decode_cache="full"`` open mode pre-populates it) every
+        # access is plain ndarray indexing — warm reads cost one branch.
+        full = self._full
+        if full is not None:
+            return full[index]
+        if isinstance(index, (int, np.integer)):
+            i = int(index)
+            if i < 0:
+                i += self.directory.length
+            if not 0 <= i < self.directory.length:
+                raise IndexError(
+                    f"index {index} out of range [0, {self.directory.length})"
+                )
+            block = i >> self._shift
+            if block == self._last_block:
+                return self._last_data[i & self._mask]
+            return self._decode_block(block)[i & self._mask]
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.directory.length)
+            if step != 1:
+                return self._dense()[index]
+            return self._slice(start, stop)
+        idx = np.asarray(index)  # repro: allow[REP005] - bool vs int dispatch below
+        if idx.dtype == np.bool_:
+            return self._dense()[idx]
+        return self._gather(idx.astype(np.int64, copy=False))
+
+    def _slice(self, start: int, stop: int) -> np.ndarray:
+        if stop <= start:
+            return np.empty(0, dtype=np.int64)
+        first = start >> self._shift
+        last = (stop - 1) >> self._shift
+        if first == last:
+            block = self._decode_block(first)
+            base = first << self._shift
+            return block[start - base : stop - base]
+        parts = []
+        for b in range(first, last + 1):
+            block = self._decode_block(b)
+            base = b << self._shift
+            lo = max(start, base) - base
+            hi = min(stop, base + self.directory.page_size) - base
+            parts.append(block[lo:hi])
+        return np.concatenate(parts, dtype=np.int64)
+
+    def _gather(self, idx: np.ndarray) -> np.ndarray:
+        if idx.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        if np.any(idx < 0) or np.any(idx >= self.directory.length):
+            raise IndexError("gather index out of range")
+        blocks = idx >> self._shift
+        out = np.empty(idx.shape[0], dtype=np.int64)
+        for b in np.unique(blocks):
+            selected = blocks == b
+            data = self._decode_block(int(b))
+            out[selected] = data[idx[selected] & self._mask]
+        return out
+
+    # -- whole-column fallbacks ---------------------------------------
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        full = self._full
+        if full is None:
+            full = decode_column(self.directory, self._blob)
+            self.stats.full_decodes += 1
+            self.stats.blocks_decoded += self.directory.n_blocks
+            self.stats.bytes_decoded += full.nbytes
+            if self._cache_full:
+                self._full = full
+        if dtype is not None and full.dtype != np.dtype(dtype):
+            return full.astype(dtype)
+        if copy:
+            return full.copy()
+        return full
+
+    def _dense(self) -> np.ndarray:
+        """The whole column, decoded (always ``int64`` by construction)."""
+        return self.__array__()
+
+    def copy(self) -> np.ndarray:
+        return self._dense().copy()
+
+    def astype(self, dtype, copy: bool = True) -> np.ndarray:
+        return self._dense().astype(dtype, copy=copy)
+
+    def max(self) -> int:
+        return int(self._dense().max())
+
+    def min(self) -> int:
+        return int(self._dense().min())
+
+    # Comparisons delegate to the decoded column so whole-column code
+    # (np.isin, mask builds in scalar axes) stays correct unchanged.
+    def __eq__(self, other):
+        return self._dense() == other
+
+    def __ne__(self, other):
+        return self._dense() != other
+
+    def __lt__(self, other):
+        return self._dense() < other
+
+    def __le__(self, other):
+        return self._dense() <= other
+
+    def __gt__(self, other):
+        return self._dense() > other
+
+    def __ge__(self, other):
+        return self._dense() >= other
+
+    __hash__ = None  # elementwise __eq__ makes hashing incoherent
+
+    def __iter__(self) -> Iterator[int]:
+        if self._full is not None:
+            yield from self._full
+            return
+        for b in range(self.directory.n_blocks):
+            yield from self._decode_block(b)
+
+    def page(self, i: int) -> Tuple[int, np.ndarray]:
+        """``(block_start, decoded_block)`` for the page containing ``i``.
+
+        The scan driver for loops that hop (the ancestor join): the
+        caller walks the returned block with plain ndarray indexing and
+        re-fetches only when a hop crosses the block boundary.  Once the
+        full decode is cached the whole column is one "block", so a
+        hopping caller never re-fetches at all.
+        """
+        if self._full is not None:
+            return 0, self._full
+        block = i >> self._shift
+        return block << self._shift, self._decode_block(block)
+
+    def iter_pages(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(block_start, decoded_view)`` covering ``[start, stop)``.
+
+        The paged scan driver: each yielded view is exactly one decoded
+        page block clipped to the requested range, so a consumer that
+        stops early leaves the remaining pages untouched.
+        """
+        n = self.directory.length
+        stop = n if stop is None else min(stop, n)
+        if start >= stop:
+            return
+        if self._full is not None:
+            yield start, self._full[start:stop]
+            return
+        first = start >> self._shift
+        last = (stop - 1) >> self._shift
+        for b in range(first, last + 1):
+            base = b << self._shift
+            data = self._decode_block(b)
+            lo = max(start, base) - base
+            hi = min(stop, base + self.directory.page_size) - base
+            yield base + lo, data[lo:hi]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PagedArray({self.directory.column!r}, n={self.directory.length}, "
+            f"pages={self.directory.n_blocks}, "
+            f"packed={self.directory.packed_bytes}B)"
+        )
+
+
+class PagedStrings:
+    """Lazily decoded string column: packed codes + a sorted dictionary blob.
+
+    ``code == -1`` is ``None`` (elements carry no value).  Scalar access
+    decodes one string; iteration walks the code column page by page.
+    """
+
+    __slots__ = ("codes", "blob", "offsets")
+
+    def __init__(
+        self,
+        codes: Union[PagedArray, np.ndarray],
+        blob: np.ndarray,
+        offsets: np.ndarray,
+    ):
+        self.codes = codes
+        self.blob = blob
+        self.offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def _decode(self, code: int) -> Optional[str]:
+        if code < 0:
+            return None
+        return dictionary_entry(self.blob, self.offsets, code)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._decode(int(c)) for c in self.codes[index]]
+        return self._decode(int(self.codes[index]))
+
+    def __iter__(self) -> Iterator[Optional[str]]:
+        for code in self.codes:
+            yield self._decode(int(code))
+
+    def __eq__(self, other):
+        if isinstance(other, (list, tuple, PagedStrings)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None
+
+    def materialize(self) -> List[Optional[str]]:
+        """Decode every value into a plain list (the eager load path)."""
+        return list(self)
+
+    @property
+    def dictionary_bytes(self) -> int:
+        return int(self.blob.shape[0])
+
+    @property
+    def dictionary_size(self) -> int:
+        return int(self.offsets.shape[0]) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PagedStrings(len={len(self)}, dict={self.dictionary_size}, "
+            f"blob={self.dictionary_bytes}B)"
+        )

@@ -18,6 +18,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro.encoding.codec import PagedArray
 from repro.errors import EncodingError
 from repro.storage.bat import BAT
 from repro.storage.column import IntColumn, StringColumn, VoidColumn
@@ -44,6 +45,11 @@ class DocTable:
         validated table — e.g. the memory-mapped persistence load path,
         where the check would fault in every page of an otherwise lazily
         opened archive.
+    height:
+        The document height, when the caller already knows it (persisted
+        archives do).  Without it the constructor computes
+        ``level.max()`` — an O(n) pass a paged (compressed) column would
+        have to fully decode, defeating the lazy open.
     """
 
     __slots__ = (
@@ -54,6 +60,7 @@ class DocTable:
         "tag",
         "values",
         "height",
+        "plane",
         "_pre_of_post",
         "_first_child_cache",
         "_tag_histogram",
@@ -68,6 +75,7 @@ class DocTable:
         tag: StringColumn,
         values: Optional[List[Optional[str]]] = None,
         validate: bool = True,
+        height: Optional[int] = None,
     ):
         n = post.shape[0]
         for name, column in (("level", level), ("parent", parent), ("kind", kind)):
@@ -87,8 +95,13 @@ class DocTable:
         self.kind = kind
         self.tag = tag
         self.values = values if values is not None else [None] * n
-        # h — the document height; computed once at load time (footnote 3).
-        self.height = int(level.max())
+        # h — the document height; computed once at load time (footnote 3)
+        # unless a persisted archive already carries it.
+        self.height = int(level.max()) if height is None else int(height)
+        #: Set by the persistence layer when the columns are paged
+        #: (FORMAT_VERSION 3, ``mmap=True``); the join kernels use it to
+        #: drive block-at-a-time scans.  ``None`` for eager tables.
+        self.plane = None
         self._pre_of_post: Optional[np.ndarray] = None
         self._first_child_cache: Optional[np.ndarray] = None
         self._tag_histogram: Optional[np.ndarray] = None
@@ -292,15 +305,46 @@ class DocTable:
         code = self.tag.code_of(tag_name)
         if code < 0:
             return np.empty(0, dtype=np.int64)
-        mask = (self.tag.codes == code) & (self.kind == int(kind))
+        codes = self.tag.codes
+        if isinstance(codes, PagedArray):
+            # Page-at-a-time scan: decoded state stays one block deep,
+            # so a shard bigger than RAM can still answer name tests.
+            parts = []
+            for start, chunk in codes.iter_pages():
+                kinds = self.kind[start : start + chunk.shape[0]]
+                hits = np.nonzero((chunk == code) & (kinds == int(kind)))[0]
+                if hits.shape[0]:
+                    parts.append(hits.astype(np.int64) + start)
+            if not parts:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(parts)
+        mask = (codes == code) & (self.kind == int(kind))
         return np.nonzero(mask)[0].astype(np.int64)
 
     def pres_with_kind(self, kind: NodeKind) -> np.ndarray:
         """Preorder ranks of all nodes of the given kind."""
+        if isinstance(self.kind, PagedArray):
+            parts = []
+            for start, chunk in self.kind.iter_pages():
+                hits = np.nonzero(chunk == int(kind))[0]
+                if hits.shape[0]:
+                    parts.append(hits.astype(np.int64) + start)
+            if not parts:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(parts)
         return np.nonzero(self.kind == int(kind))[0].astype(np.int64)
 
     def non_attribute_pres(self) -> np.ndarray:
         """All nodes the non-attribute axes may ever return."""
+        if isinstance(self.kind, PagedArray):
+            parts = []
+            for start, chunk in self.kind.iter_pages():
+                hits = np.nonzero(chunk != int(NodeKind.ATTRIBUTE))[0]
+                if hits.shape[0]:
+                    parts.append(hits.astype(np.int64) + start)
+            if not parts:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(parts)
         return np.nonzero(self.kind != int(NodeKind.ATTRIBUTE))[0].astype(np.int64)
 
     # ------------------------------------------------------------------
@@ -315,10 +359,21 @@ class DocTable:
         once per table and cached; O(n) on first use.
         """
         if self._tag_histogram is None:
-            element_codes = self.tag.codes[self.kind == int(NodeKind.ELEMENT)]
-            self._tag_histogram = np.bincount(
-                element_codes, minlength=len(self.tag.dictionary)
-            ).astype(np.int64)
+            codes = self.tag.codes
+            if isinstance(codes, PagedArray):
+                histogram = np.zeros(len(self.tag.dictionary), dtype=np.int64)
+                for start, chunk in codes.iter_pages():
+                    kinds = self.kind[start : start + chunk.shape[0]]
+                    histogram += np.bincount(
+                        chunk[kinds == int(NodeKind.ELEMENT)],
+                        minlength=len(self.tag.dictionary),
+                    ).astype(np.int64)
+                self._tag_histogram = histogram
+            else:
+                element_codes = codes[self.kind == int(NodeKind.ELEMENT)]
+                self._tag_histogram = np.bincount(
+                    element_codes, minlength=len(self.tag.dictionary)
+                ).astype(np.int64)
         return self._tag_histogram
 
     def tag_statistics(self) -> dict:

@@ -51,17 +51,43 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.lockgraph import assert_held
 from repro.encoding.collection import DocumentCollection
-from repro.encoding.persist import FORMAT_VERSION, load, save
+from repro.encoding.persist import (
+    FORMAT_VERSION,
+    describe_archive,
+    load,
+    save,
+)
 from repro.errors import ReproError, StoreNotFoundError
 from repro.service.updates import UpdateOp
 from repro.xmltree.model import Node
 
-__all__ = ["ShardedStore", "STORE_FORMAT"]
+__all__ = ["ShardedStore", "STORE_FORMAT", "COMPRESSION_SETTINGS", "AUTO_PACK_NODES"]
 
 #: Version of the manifest schema (independent of the archive format).
 STORE_FORMAT = 1
 
 MANIFEST = "manifest.json"
+
+#: ``compression=`` settings a store accepts.  ``auto`` packs a shard
+#: when it crosses :data:`AUTO_PACK_NODES`; ``none``/``packed`` force the
+#: archive format unconditionally.  The setting persists in the manifest
+#: and governs every later commit (``apply_updates`` re-packs touched
+#: shards under the same policy).
+COMPRESSION_SETTINGS = ("auto", "none", "packed")
+
+#: ``auto`` threshold: shards at or above this node count are written
+#: packed (FORMAT_VERSION 3).  Small shards gain little from packing and
+#: load faster eagerly.
+AUTO_PACK_NODES = 65536
+
+
+def _resolve_compression(setting: str, nodes: int) -> str:
+    """Map a store-level setting to a per-shard ``save`` compression."""
+    if setting == "packed":
+        return "packed"
+    if setting == "none":
+        return "none"
+    return "packed" if nodes >= AUTO_PACK_NODES else "none"
 
 #: Shard archive naming scheme; anything matching it that the manifest
 #: does not reference is a crash leftover :meth:`ShardedStore.open` sweeps.
@@ -80,9 +106,16 @@ class ShardedStore:
     coherent.
     """
 
-    def __init__(self, directory: str, manifest: dict, mmap: bool = True):
+    def __init__(
+        self,
+        directory: str,
+        manifest: dict,
+        mmap: bool = True,
+        decode_cache: str = "full",
+    ):
         self.directory = directory
         self.mmap = mmap
+        self.decode_cache = decode_cache
         self._manifest = manifest  # guarded-by: _lock
         self._collections: Dict[int, Tuple[str, DocumentCollection]] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
@@ -115,15 +148,28 @@ class ShardedStore:
         shards: int = 1,
         virtual_root_tag: str = "collection",
         mmap: bool = True,
+        compression: str = "auto",
     ) -> "ShardedStore":
         """Partition ``documents`` into ``shards`` collections and persist.
 
         Documents are split contiguously in the given order (shard 0
         gets the first ``ceil(n/k)`` documents, and so on), which keeps
         the global document order reconstructible from the manifest.
+
+        ``compression`` (``"auto"``/``"none"``/``"packed"``) selects the
+        shard archive format: ``packed`` writes compressed pageable
+        FORMAT_VERSION 3 planes, ``none`` the eager v2 layout, and
+        ``auto`` packs shards of :data:`AUTO_PACK_NODES` nodes or more.
+        The setting persists in the manifest and applies to every later
+        commit.
         """
         if not documents:
             raise ReproError("a sharded store needs at least one document")
+        if compression not in COMPRESSION_SETTINGS:
+            raise ReproError(
+                f"unknown compression {compression!r}; expected one of "
+                f"{COMPRESSION_SETTINGS}"
+            )
         names = [name for name, _ in documents]
         if len(set(names)) != len(names):
             raise ReproError("document names must be unique across the store")
@@ -134,7 +180,14 @@ class ShardedStore:
         for shard_id, chunk in enumerate(_split(list(documents), shards)):
             collection = DocumentCollection(chunk, virtual_root_tag)
             file_name = _shard_file_name(shard_id, epoch)
-            save(collection.doc, os.path.join(directory, file_name))
+            shard_compression = _resolve_compression(
+                compression, len(collection.doc)
+            )
+            save(
+                collection.doc,
+                os.path.join(directory, file_name),
+                compression=shard_compression,
+            )
             entries.append(
                 {
                     "id": shard_id,
@@ -143,6 +196,7 @@ class ShardedStore:
                     "nodes": len(collection.doc),
                     "height": collection.doc.height,
                     "tags": collection.tag_statistics(),
+                    "format": 3 if shard_compression == "packed" else 2,
                 }
             )
         manifest = {
@@ -150,19 +204,27 @@ class ShardedStore:
             "persist_format": FORMAT_VERSION,
             "epoch": epoch,
             "virtual_root_tag": virtual_root_tag,
+            "compression": compression,
             "shards": entries,
         }
         _write_manifest(directory, manifest)
         return cls(directory, manifest, mmap=mmap)
 
     @classmethod
-    def open(cls, directory: str, mmap: bool = True) -> "ShardedStore":
+    def open(
+        cls, directory: str, mmap: bool = True, decode_cache: str = "full"
+    ) -> "ShardedStore":
         """Open an existing store directory.
 
         Sweeps shard files the manifest does not reference — leftovers
         of a crash between writing new shard files and the manifest
         flip (the flip is the commit point, so unreferenced files are
         garbage by construction).
+
+        ``decode_cache`` governs packed shards opened with ``mmap``:
+        ``"full"`` caches whole-column decodes (fastest when the plane
+        fits in RAM), ``"blocks"`` keeps only the bounded page-block LRU
+        — the out-of-core mode for shards bigger than memory.
         """
         path = os.path.join(directory, MANIFEST)
         try:
@@ -179,7 +241,7 @@ class ShardedStore:
                 f"{path}: store format {manifest.get('store_format')!r} != "
                 f"supported {STORE_FORMAT}"
             )
-        store = cls(directory, manifest, mmap=mmap)
+        store = cls(directory, manifest, mmap=mmap, decode_cache=decode_cache)
         store._sweep_orphans()
         return store
 
@@ -285,12 +347,19 @@ class ShardedStore:
                     self.shard_tag_statistics(shard_id)
             return max(e["height"] for e in self._manifest["shards"])
 
+    @property
+    def compression(self) -> str:
+        """The store's compression setting (pre-compression stores: none)."""
+        with self._lock:
+            return self._manifest.get("compression", "none")
+
     def describe(self) -> dict:
         """A JSON-friendly summary (used by ``python -m repro shard``)."""
         with self._lock:
             return {
                 "directory": self.directory,
                 "epoch": self.epoch,
+                "compression": self.compression,
                 "shards": [
                     {
                         "id": entry["id"],
@@ -301,6 +370,71 @@ class ShardedStore:
                     for entry in self._manifest["shards"]
                 ],
                 "documents": len(self._names),
+            }
+
+    def info(self) -> dict:
+        """Bytes-level report: disk/decoded accounting per shard.
+
+        Backs the ``store info`` CLI verb.  Per shard: bytes on disk,
+        archive format version, page counts and dictionary sizes (packed
+        shards), and — when the shard plane is open in this process —
+        blocks/bytes decoded per column, so the paging behaviour is
+        observable without running the bench.
+        """
+        with self._lock:
+            shards = []
+            total_disk = 0
+            total_logical = 0
+            for entry in self._manifest["shards"]:
+                path = os.path.join(self.directory, entry["file"])
+                archive = describe_archive(path)
+                record = {
+                    "id": entry["id"],
+                    "file": entry["file"],
+                    "documents": len(entry["documents"]),
+                    "nodes": entry["nodes"],
+                    "format_version": archive["format_version"],
+                    "bytes_on_disk": archive["bytes_on_disk"],
+                }
+                total_disk += archive["bytes_on_disk"]
+                if archive["format_version"] == 3:
+                    columns = archive["columns"]
+                    record["page_size"] = archive["page_size"]
+                    record["pages"] = sum(c["pages"] for c in columns.values())
+                    record["packed_bytes"] = sum(
+                        c["packed_bytes"] for c in columns.values()
+                    )
+                    record["logical_bytes"] = sum(
+                        c["logical_bytes"] for c in columns.values()
+                    )
+                    record["tag_dictionary"] = archive["tag_dictionary"]
+                    record["value_dictionary"] = archive["value_dictionary"]
+                    total_logical += record["logical_bytes"]
+                cached = self._collections.get(entry["id"])
+                if cached is not None and cached[0] == entry["file"]:
+                    plane = getattr(cached[1].doc, "plane", None)
+                    if plane is not None:
+                        totals = plane.totals()
+                        record["decoded"] = {
+                            "blocks": totals["blocks_decoded"],
+                            "bytes": totals["bytes_decoded"],
+                            "columns": {
+                                name: {
+                                    "blocks_decoded": stat["blocks_decoded"],
+                                    "bytes_decoded": stat["bytes_decoded"],
+                                }
+                                for name, stat in plane.column_stats().items()
+                            },
+                        }
+                shards.append(record)
+            return {
+                "directory": self.directory,
+                "epoch": self.epoch,
+                "compression": self.compression,
+                "documents": len(self._names),
+                "total_bytes_on_disk": total_disk,
+                "total_logical_bytes": total_logical,
+                "shards": shards,
             }
 
     # ------------------------------------------------------------------
@@ -317,7 +451,11 @@ class ShardedStore:
             cached = self._collections.get(shard_id)
             if cached is not None and cached[0] == entry["file"]:
                 return cached[1]
-            table = load(os.path.join(self.directory, entry["file"]), mmap=self.mmap)
+            table = load(
+                os.path.join(self.directory, entry["file"]),
+                mmap=self.mmap,
+                decode_cache=self.decode_cache,
+            )
             collection = DocumentCollection.from_table(
                 table, entry["documents"], self.virtual_root_tag
             )
@@ -382,7 +520,9 @@ class ShardedStore:
             [UpdateOp(op, name, tree=tree, pre=pre, before=before)]
         )["epoch"]
 
-    def apply_updates(self, ops: Sequence[UpdateOp]) -> dict:
+    def apply_updates(
+        self, ops: Sequence[UpdateOp], compression: Optional[str] = None
+    ) -> dict:
         """Apply a batch of :class:`UpdateOp` and commit it atomically.
 
         Every op splices in memory first — a validation error anywhere
@@ -390,8 +530,23 @@ class ShardedStore:
         planes are then written as new epoch files and the manifest
         flips once (one epoch bump per batch; a crash before the flip
         strands files that :meth:`open` sweeps).
+
+        Only *touched* shards are staged and rewritten: on a compressed
+        store the splice decodes the touched shard's page blocks,
+        splices ranks, and re-packs at commit — untouched shards (and
+        their pages) are never decoded.  Tag statistics are recomputed
+        from the spliced plane, so they stay exact.  Passing
+        ``compression`` re-pins the store's setting for this and all
+        later commits.
         """
         with self._lock:
+            if compression is not None:
+                if compression not in COMPRESSION_SETTINGS:
+                    raise ReproError(
+                        f"unknown compression {compression!r}; expected one "
+                        f"of {COMPRESSION_SETTINGS}"
+                    )
+                self._manifest = dict(self._manifest, compression=compression)
             if not ops:
                 return {"epoch": self.epoch, "applied": 0, "shards": []}
             # shard id → staged plane (None = shard emptied by removals)
@@ -471,14 +626,21 @@ class ShardedStore:
         """
         assert_held(self._lock)
         epoch = self.epoch + 1
+        setting = self._manifest.get("compression", "none")
+        formats: Dict[int, int] = {}
         old_files = []
         for shard_id, collection in staged.items():
             old_files.append(self.shard_entry(shard_id)["file"])
             if collection is None:
                 continue
+            shard_compression = _resolve_compression(
+                setting, len(collection.doc)
+            )
+            formats[shard_id] = 3 if shard_compression == "packed" else 2
             save(
                 collection.doc,
                 os.path.join(self.directory, _shard_file_name(shard_id, epoch)),
+                compression=shard_compression,
             )
         # The manifest is rebuilt as a copy and only swapped in after the
         # on-disk flip: a failed write leaves memory and disk agreeing on
@@ -500,6 +662,7 @@ class ShardedStore:
                     "nodes": len(collection.doc),
                     "height": collection.doc.height,
                     "tags": collection.tag_statistics(),
+                    "format": formats[shard_id],
                 }
             )
         manifest = dict(self._manifest, shards=entries, epoch=epoch)

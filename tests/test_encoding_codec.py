@@ -1,0 +1,305 @@
+"""Codec tests: bit packing, page directories, dictionaries, paged columns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.codec import (
+    CODEC_DELTA,
+    CODEC_FOR,
+    PagedArray,
+    PagedStrings,
+    PageDirectory,
+    PlaneStats,
+    decode_column,
+    decode_page,
+    dictionary_entry,
+    dictionary_find,
+    encode_dictionary,
+    pack_int_column,
+)
+from repro.errors import EncodingError
+
+
+def pack(values, codec=CODEC_FOR, page_size=64):
+    return pack_int_column("col", np.asarray(values, dtype=np.int64), codec, page_size)
+
+
+class TestPackRoundTrip:
+    @pytest.mark.parametrize("codec", [CODEC_FOR, CODEC_DELTA])
+    @pytest.mark.parametrize(
+        "n", [0, 1, 63, 64, 65, 127, 128, 129, 1000]
+    )
+    def test_block_boundaries(self, codec, n):
+        rng = np.random.default_rng(n)
+        values = rng.integers(-(2**40), 2**40, size=n)
+        directory, blob = pack(values, codec)
+        assert directory.length == n
+        assert directory.n_blocks == -(-n // 64)
+        assert np.array_equal(decode_column(directory, blob), values)
+
+    @pytest.mark.parametrize("codec", [CODEC_FOR, CODEC_DELTA])
+    def test_constant_blocks_pack_to_zero_bits(self, codec):
+        base = np.arange(256, dtype=np.int64) if codec == CODEC_DELTA else (
+            np.full(256, 7, dtype=np.int64)
+        )
+        directory, blob = pack(base, codec)
+        assert directory.bits.max() == 0
+        assert blob.shape[0] == 0
+        assert np.array_equal(decode_column(directory, blob), base)
+
+    def test_monotone_delta_is_narrow(self):
+        # post - pre residuals in a real plane stay within a few bits;
+        # the delta codec must exploit that, not store raw magnitudes.
+        values = np.arange(4096, dtype=np.int64) + np.random.default_rng(0).integers(
+            0, 8, size=4096
+        )
+        directory, _ = pack(values, CODEC_DELTA, page_size=1024)
+        assert int(directory.bits.max()) <= 4
+
+    @given(
+        data=st.lists(st.integers(-(2**62), 2**62), max_size=300),
+        page_pow=st.integers(2, 8),
+        codec=st.sampled_from([CODEC_FOR, CODEC_DELTA]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_round_trip(self, data, page_pow, codec):
+        values = np.asarray(data, dtype=np.int64)
+        directory, blob = pack(values, codec, page_size=2**page_pow)
+        assert np.array_equal(decode_column(directory, blob), values)
+
+    def test_decode_single_page(self):
+        values = np.arange(0, 500, 3, dtype=np.int64)
+        directory, blob = pack(values, CODEC_FOR, page_size=64)
+        assert np.array_equal(decode_page(directory, blob, 1), values[64:128])
+
+    def test_page_out_of_range(self):
+        directory, blob = pack([1, 2, 3])
+        with pytest.raises(EncodingError, match="out of range"):
+            decode_page(directory, blob, 5)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(EncodingError):
+            pack([1, 2, 3], page_size=100)
+
+    def test_rejects_unknown_codec(self):
+        with pytest.raises(EncodingError, match="unknown codec"):
+            pack([1, 2, 3], codec="rle")
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(EncodingError, match="one-dimensional"):
+            pack_int_column("m", np.zeros((2, 2), dtype=np.int64))
+
+    def test_directory_equality(self):
+        d1, _ = pack([1, 2, 3])
+        d2, _ = pack([1, 2, 3])
+        d3, _ = pack([1, 2, 3, 4])
+        assert d1 == d2
+        assert d1 != d3
+        assert d1 != "not a directory"
+
+
+class TestDictionary:
+    def test_round_trip_and_find(self):
+        words = sorted({"alpha", "beta", "gamma", "Ωmega", "zz"})
+        blob, offsets = encode_dictionary(words)
+        for code, word in enumerate(words):
+            assert dictionary_entry(blob, offsets, code) == word
+            assert dictionary_find(blob, offsets, word) == code
+        assert dictionary_find(blob, offsets, "delta") == -1
+        assert dictionary_find(blob, offsets, "") == -1
+
+    def test_empty_dictionary(self):
+        blob, offsets = encode_dictionary([])
+        assert dictionary_find(blob, offsets, "x") == -1
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(EncodingError, match="sorted"):
+            encode_dictionary(["b", "a"])
+        with pytest.raises(EncodingError, match="sorted"):
+            encode_dictionary(["a", "a"])
+
+    @given(st.sets(st.text(max_size=8), max_size=40), st.text(max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_find_matches_python_search(self, words, needle):
+        ordered = sorted(words)
+        blob, offsets = encode_dictionary(ordered)
+        expected = ordered.index(needle) if needle in words else -1
+        assert dictionary_find(blob, offsets, needle) == expected
+
+
+class TestPagedArray:
+    def make(self, n=500, page_size=64, **kwargs):
+        values = np.random.default_rng(7).integers(0, 10_000, size=n)
+        directory, blob = pack_int_column(
+            "col", values, CODEC_FOR, page_size=page_size
+        )
+        return values, PagedArray(directory, blob, PlaneStats(), **kwargs)
+
+    def test_scalar_access(self):
+        values, paged = self.make()
+        for i in (0, 1, 63, 64, 100, 499, -1, -500):
+            assert paged[i] == values[i]
+        with pytest.raises(IndexError):
+            paged[500]
+        with pytest.raises(IndexError):
+            paged[-501]
+
+    def test_scalar_access_within_one_page_decodes_one_block(self):
+        _, paged = self.make()
+        for i in range(64, 128):
+            paged[i]
+        assert paged.stats.blocks_decoded == 1
+        assert paged.stats.bytes_decoded == 64 * 8
+
+    def test_slices(self):
+        values, paged = self.make()
+        for sl in (
+            slice(0, 10),
+            slice(60, 70),
+            slice(0, 500),
+            slice(130, 130),
+            slice(None, None, 7),
+            slice(None, None, -1),
+        ):
+            assert np.array_equal(paged[sl], values[sl])
+
+    def test_gather(self):
+        values, paged = self.make()
+        idx = np.asarray([3, 499, 64, 63, 3, 200])
+        assert np.array_equal(paged[idx], values[idx])
+        assert np.array_equal(paged[np.asarray([], dtype=np.int64)], values[:0])
+        with pytest.raises(IndexError):
+            paged[np.asarray([0, 500])]
+
+    def test_gather_decodes_only_covered_blocks(self):
+        _, paged = self.make()
+        paged[np.asarray([0, 5, 70, 65])]  # blocks 0 and 1 only
+        assert paged.stats.blocks_decoded == 2
+
+    def test_boolean_mask_falls_back_to_full_decode(self):
+        values, paged = self.make()
+        mask = values % 2 == 0
+        assert np.array_equal(paged[mask], values[mask])
+        assert paged.stats.full_decodes == 1
+
+    def test_numpy_protocol(self):
+        values, paged = self.make()
+        assert paged.shape == (500,)
+        assert paged.size == 500
+        assert paged.ndim == 1
+        assert paged.dtype == np.int64
+        assert paged.nbytes == 500 * 8
+        assert len(paged) == 500
+        assert np.array_equal(np.asarray(paged), values)
+        assert paged.max() == values.max()
+        assert paged.min() == values.min()
+        assert np.array_equal(paged.astype(np.int32), values.astype(np.int32))
+        copied = paged.copy()
+        copied[0] = -1
+        assert paged[0] == values[0]
+
+    def test_comparisons_are_elementwise(self):
+        values, paged = self.make()
+        assert np.array_equal(paged == values[0], values == values[0])
+        assert np.array_equal(paged != 3, values != 3)
+        assert np.array_equal(paged < 5000, values < 5000)
+        assert np.array_equal(paged >= 5000, values >= 5000)
+
+    def test_iter(self):
+        values, paged = self.make(n=130)
+        assert list(paged) == values.tolist()
+
+    def test_page_and_iter_pages(self):
+        values, paged = self.make()
+        base, block = paged.page(130)
+        assert base == 128
+        assert np.array_equal(block, values[128:192])
+        chunks = list(paged.iter_pages(100, 300))
+        assert chunks[0][0] == 100
+        rebuilt = np.concatenate([c for _, c in chunks])
+        assert np.array_equal(rebuilt, values[100:300])
+        assert list(paged.iter_pages(10, 10)) == []
+
+    def test_iter_pages_stop_early_leaves_pages_cold(self):
+        _, paged = self.make()
+        for base, _chunk in paged.iter_pages():
+            if base >= 64:
+                break
+        assert paged.stats.blocks_decoded == 2  # blocks 0 and 1 only
+
+    def test_lru_eviction_bounds_cache(self):
+        values, paged = self.make(cache_blocks=2)
+        paged[0], paged[64], paged[128]  # touch blocks 0, 1, 2
+        assert len(paged._cache) == 2
+        paged[0]  # block 0 was evicted → decoded again
+        assert paged.stats.blocks_decoded == 4
+
+    def test_cache_full_false_does_not_retain_full_decode(self):
+        values, paged = self.make(cache_full=False)
+        np.asarray(paged)
+        np.asarray(paged)
+        assert paged.stats.full_decodes == 2
+        assert paged._full is None
+
+    def test_full_decode_serves_later_blocks(self):
+        values, paged = self.make()
+        np.asarray(paged)
+        before = paged.stats.blocks_decoded
+        paged[450]
+        assert paged.stats.blocks_decoded == before  # sliced from cached full
+
+    def test_unhashable(self):
+        _, paged = self.make()
+        with pytest.raises(TypeError):
+            hash(paged)
+
+
+class TestPagedStrings:
+    def make(self):
+        strings = ["ape", None, "bee", "ape", None, "cat"]
+        ordered = sorted({s for s in strings if s is not None})
+        blob, offsets = encode_dictionary(ordered)
+        codes = np.asarray(
+            [-1 if s is None else ordered.index(s) for s in strings],
+            dtype=np.int64,
+        )
+        directory, packed = pack_int_column("values", codes, CODEC_FOR, 4)
+        return strings, PagedStrings(
+            PagedArray(directory, packed, PlaneStats()), blob, offsets
+        )
+
+    def test_access_and_iteration(self):
+        strings, paged = self.make()
+        assert len(paged) == len(strings)
+        for i, s in enumerate(strings):
+            assert paged[i] == s
+        assert paged[1:4] == strings[1:4]
+        assert list(paged) == strings
+        assert paged.materialize() == strings
+
+    def test_equality(self):
+        strings, paged = self.make()
+        assert paged == strings
+        assert not (paged == strings[:-1])
+        assert not (paged == ["x"] * len(strings))
+        _, other = self.make()
+        assert paged == other
+
+    def test_dictionary_accounting(self):
+        _, paged = self.make()
+        assert paged.dictionary_size == 3
+        assert paged.dictionary_bytes == len(b"apebeecat")
+
+
+class TestDirectoryValidation:
+    def test_page_directory_fields(self):
+        directory, blob = pack(np.arange(200), CODEC_DELTA)
+        assert directory.column == "col"
+        assert directory.codec == CODEC_DELTA
+        assert directory.page_size == 64
+        assert directory.n_blocks == 4
+        assert directory.packed_bytes == blob.shape[0]
+        assert directory.offsets.shape == (5,)
+        assert directory.refs.dtype == np.int64
+        assert directory.bits.dtype == np.uint8

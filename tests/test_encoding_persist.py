@@ -49,6 +49,16 @@ def save_v1(doc, path):
     )
 
 
+def save_version(doc, path, version):
+    """Write ``doc`` in any supported archive format version."""
+    if version == 1:
+        save_v1(doc, path)
+    elif version == 2:
+        save(doc, path, compression="none")
+    else:
+        save(doc, path, compression="packed")
+
+
 class TestRoundTrip:
     def test_figure1(self, fig1_doc, tmp_path):
         path = str(tmp_path / "fig1.npz")
@@ -85,30 +95,35 @@ class TestRoundTrip:
 
 
 class TestFormatVersions:
-    def test_current_format_version_is_2(self):
-        assert FORMAT_VERSION == 2
-        assert set(SUPPORTED_VERSIONS) == {1, 2}
+    def test_current_format_version_is_3(self):
+        assert FORMAT_VERSION == 3
+        assert set(SUPPORTED_VERSIONS) == {1, 2, 3}
+
+    def test_save_default_writes_v2(self, fig1_doc, tmp_path):
+        """``compression="none"`` (the default) keeps the eager v2 layout."""
+        path = str(tmp_path / "doc.npz")
+        save(fig1_doc, path)
+        with np.load(path, allow_pickle=True) as archive:
+            assert int(archive["format_version"][0]) == 2
 
     @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
-    def test_round_trip_both_versions(self, small_xmark, tmp_path, version):
+    def test_round_trip_all_versions(self, small_xmark, tmp_path, version):
         path = str(tmp_path / f"v{version}.npz")
-        if version == 1:
-            save_v1(small_xmark, path)
-        else:
-            save(small_xmark, path)
+        save_version(small_xmark, path, version)
         assert tables_equal(small_xmark, load(path))
 
     @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
-    def test_mmap_load_both_versions(self, small_xmark, tmp_path, version):
-        """mmap=True zero-copies v2 columns; v1 degrades to an eager load."""
+    def test_mmap_load_all_versions(self, small_xmark, tmp_path, version):
+        """mmap=True zero-copies v2 columns and pages v3 blocks; v1
+        degrades to an eager load."""
+        from repro.encoding.codec import PagedArray
+
         path = str(tmp_path / f"v{version}.npz")
-        if version == 1:
-            save_v1(small_xmark, path)
-        else:
-            save(small_xmark, path)
+        save_version(small_xmark, path, version)
         loaded = load(path, mmap=True)
         assert tables_equal(small_xmark, loaded)
         assert isinstance(loaded.post, np.memmap) == (version == 2)
+        assert isinstance(loaded.post, PagedArray) == (version == 3)
 
     def test_mmap_columns_are_file_backed_views(self, fig1_doc, tmp_path):
         path = str(tmp_path / "doc.npz")
@@ -150,3 +165,46 @@ class TestFormatHygiene:
         np.savez(path, **arrays)
         with pytest.raises(EncodingError, match="format version"):
             load(path)
+
+    def test_not_a_zip_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not an archive at all")
+        with pytest.raises(EncodingError):
+            load(path)
+        with pytest.raises(EncodingError):
+            load(path, mmap=True)
+
+    @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
+    @pytest.mark.parametrize("mmap_flag", [False, True])
+    def test_truncated_archive_rejected(
+        self, fig1_doc, tmp_path, version, mmap_flag
+    ):
+        """A tail-truncated archive raises EncodingError, never a raw
+        zipfile/zlib/OSError, for every format version and load mode."""
+        path = str(tmp_path / f"v{version}.npz")
+        save_version(fig1_doc, path, version)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        truncated = str(tmp_path / f"v{version}-cut.npz")
+        with open(truncated, "wb") as handle:
+            handle.write(blob[: len(blob) // 3])
+        with pytest.raises(EncodingError):
+            loaded = load(truncated, mmap=mmap_flag)
+            # A paged load may defer faulting until first decode.
+            np.asarray(loaded.post)
+
+    @pytest.mark.parametrize("mmap_flag", [False, True])
+    def test_v3_missing_member_rejected(self, fig1_doc, tmp_path, mmap_flag):
+        """A v3 archive with a packed member deleted is rejected cleanly."""
+        import zipfile
+
+        path = str(tmp_path / "doc.npz")
+        save(fig1_doc, path, compression="packed")
+        stripped = str(tmp_path / "stripped.npz")
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(stripped, "w") as dst:
+            for name in src.namelist():
+                if name != "post_packed.npy":
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(EncodingError, match="DocTable archive"):
+            load(stripped, mmap=mmap_flag)

@@ -1,0 +1,322 @@
+"""Compressed-shard tests: packed stores, paging, and splice == re-encode.
+
+The headline properties:
+
+* **packed == plain** — a store built with ``compression="packed"``
+  answers the full axis-query battery byte-identically to an
+  uncompressed build, on both engines;
+* **splice == re-encode on packed shards** — update batches applied to a
+  compressed store match a compressed store rebuilt from equivalently
+  edited trees, and tag statistics stay exact;
+* **skipped ranges stay cold** — with ``decode_cache="blocks"`` a
+  selective query decodes strictly fewer page blocks than the plane
+  holds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.persist import load
+from repro.errors import ReproError
+from repro.harness.workloads import get_forest
+from repro.service import QueryService, ShardedStore, UpdateOp
+from repro.service.store import AUTO_PACK_NODES, _resolve_compression
+from repro.xmltree.model import element, text
+
+from _reference import random_tree
+
+ENGINES = ("scalar", "vectorized")
+
+QUERIES = (
+    "/descendant::bidder",
+    "//open_auction//increase",
+    "/site/open_auctions/open_auction/bidder",
+    "/descendant::increase/ancestor::bidder",
+    "//person/attribute::id",
+    "//open_auction[count(bidder) >= 2]",
+    "//profile/education/text()",
+)
+
+
+def people_site(*names):
+    return element(
+        "site", element("people", *[element("person", text(n)) for n in names])
+    )
+
+
+def batch_bytes(store, queries, engine):
+    with QueryService(store, backend="serial") as service:
+        results = service.execute_batch(queries, engine=engine, use_cache=False)
+        return [
+            {name: a.tobytes() for name, a in r.per_document.items()}
+            for r in results
+        ]
+
+
+@pytest.fixture(scope="module")
+def forest():
+    return get_forest(4, 0.05)
+
+
+@pytest.fixture(scope="module")
+def plain_store(forest, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("plain") / "store")
+    return ShardedStore.build(directory, forest, shards=2, compression="none")
+
+
+@pytest.fixture(scope="module")
+def packed_store(forest, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("packed") / "store")
+    return ShardedStore.build(directory, forest, shards=2, compression="packed")
+
+
+class TestCompressionSetting:
+    def test_resolve(self):
+        assert _resolve_compression("packed", 10) == "packed"
+        assert _resolve_compression("none", 10**9) == "none"
+        assert _resolve_compression("auto", AUTO_PACK_NODES - 1) == "none"
+        assert _resolve_compression("auto", AUTO_PACK_NODES) == "packed"
+
+    def test_build_rejects_unknown_setting(self, forest, tmp_path):
+        with pytest.raises(ReproError, match="compression"):
+            ShardedStore.build(
+                str(tmp_path / "s"), forest[:1], compression="zstd"
+            )
+
+    def test_packed_store_records_format_3(self, packed_store):
+        assert packed_store.compression == "packed"
+        for entry in packed_store._manifest["shards"]:
+            assert entry["format"] == 3
+
+    def test_auto_small_docs_stay_eager(self, forest, tmp_path):
+        store = ShardedStore.build(
+            str(tmp_path / "s"), forest[:2], compression="auto"
+        )
+        assert store.compression == "auto"
+        for entry in store._manifest["shards"]:
+            assert entry["format"] == 2
+
+    def test_reopened_store_keeps_setting(self, packed_store):
+        reopened = ShardedStore.open(packed_store.directory)
+        assert reopened.compression == "packed"
+
+    def test_packed_shards_are_smaller_on_disk(
+        self, plain_store, packed_store
+    ):
+        plain = plain_store.info()["total_bytes_on_disk"]
+        packed = packed_store.info()["total_bytes_on_disk"]
+        assert packed < plain
+
+
+class TestPackedEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_axis_queries_match_plain_store(
+        self, plain_store, packed_store, engine
+    ):
+        assert batch_bytes(packed_store, QUERIES, engine) == batch_bytes(
+            plain_store, QUERIES, engine
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_blocks_cache_mode_matches_too(
+        self, plain_store, packed_store, engine
+    ):
+        store = ShardedStore.open(
+            packed_store.directory, decode_cache="blocks"
+        )
+        assert batch_bytes(store, QUERIES, engine) == batch_bytes(
+            plain_store, QUERIES, engine
+        )
+
+    def test_string_values_survive_packing(self, packed_store, plain_store):
+        for shard_id in packed_store.shard_ids():
+            packed = packed_store.collection(shard_id).doc
+            plain = plain_store.collection(shard_id).doc
+            assert list(packed.tag) == list(plain.tag)
+            assert packed.values == plain.values
+
+
+class TestPaging:
+    def open_and_query(self, forest, tmp_path, query):
+        """Build a packed single-shard store and run one query through
+        the store's own (block-cached) collection."""
+        from repro.xpath.evaluator import Evaluator
+
+        directory = str(tmp_path / "store")
+        ShardedStore.build(directory, forest, shards=1, compression="packed")
+        store = ShardedStore.open(directory, decode_cache="blocks")
+        collection = store.collection(0)
+        evaluator = Evaluator(collection.doc, engine="vectorized")
+        collection.evaluate(query, evaluator=evaluator)
+        return store, collection.doc.plane
+
+    def test_selective_query_leaves_pages_cold(self, forest, tmp_path):
+        store, plane = self.open_and_query(forest, tmp_path, "/site/regions")
+        assert plane is not None
+        totals = plane.totals()
+        assert 0 < totals["blocks_decoded"] < totals["pages"]
+        assert totals["bytes_decoded"] < totals["logical_bytes"]
+
+    def test_info_reports_decode_counters(self, forest, tmp_path):
+        store, _plane = self.open_and_query(forest, tmp_path, "//bidder")
+        info = store.info()
+        assert info["compression"] == "packed"
+        assert info["total_bytes_on_disk"] > 0
+        (shard,) = info["shards"]
+        assert shard["format_version"] == 3
+        assert shard["pages"] > 0
+        assert shard["packed_bytes"] < shard["logical_bytes"]
+        assert shard["tag_dictionary"]["entries"] > 0
+        assert shard["decoded"]["blocks"] > 0
+        assert "post" in shard["decoded"]["columns"]
+
+    def test_info_on_plain_store_omits_packing_fields(self, plain_store):
+        info = plain_store.info()
+        for shard in info["shards"]:
+            assert shard["format_version"] == 2
+            assert "pages" not in shard
+        assert info["total_logical_bytes"] == 0
+
+
+class TestPackedUpdates:
+    def make_store(self, tmp_path, compression):
+        forest = [
+            ("d0", people_site("a")),
+            ("d1", people_site("b", "c")),
+            ("d2", people_site("d", "e", "f")),
+        ]
+        store = ShardedStore.build(
+            str(tmp_path / compression), forest, shards=2,
+            compression=compression,
+        )
+        return forest, store
+
+    def test_updates_keep_shards_packed(self, tmp_path):
+        _, store = self.make_store(tmp_path, "packed")
+        store.apply_updates(
+            [UpdateOp("add", "d9", tree=people_site("z"))]
+        )
+        for entry in store._manifest["shards"]:
+            assert entry["format"] == 3
+        reopened = ShardedStore.open(store.directory)
+        assert reopened.compression == "packed"
+        assert reopened.document_names() == store.document_names()
+
+    def test_update_splices_match_reencode(self, tmp_path):
+        forest, store = self.make_store(tmp_path, "packed")
+        ops = [
+            UpdateOp("update", "d1", tree=people_site("B", "C", "X")),
+            UpdateOp("add", "d4", tree=people_site("q", "r")),
+        ]
+        store.apply_updates(ops)
+        edited = [
+            (n, t) for n, t in forest if n != "d1"
+        ] + [("d1", people_site("B", "C", "X")), ("d4", people_site("q", "r"))]
+        rebuilt = ShardedStore.build(
+            str(tmp_path / "rebuilt"), edited, shards=2, compression="packed"
+        )
+        for engine in ENGINES:
+            spliced = batch_bytes(store, ("//*", "//person"), engine)
+            fresh = batch_bytes(rebuilt, ("//*", "//person"), engine)
+            for a, b in zip(spliced, fresh):
+                assert a == b
+
+    def test_tag_statistics_exact_after_packed_splices(self, tmp_path):
+        forest, store = self.make_store(tmp_path, "packed")
+        store.apply_updates(
+            [
+                UpdateOp("update", "d2", tree=people_site("x")),
+                UpdateOp("remove", "d0"),
+            ]
+        )
+        edited = [("d1", people_site("b", "c")), ("d2", people_site("x"))]
+        rebuilt = ShardedStore.build(
+            str(tmp_path / "ref"), edited, shards=2, compression="packed"
+        )
+        assert store.tag_statistics() == rebuilt.tag_statistics()
+
+    def test_apply_updates_compression_override_validated(self, tmp_path):
+        _, store = self.make_store(tmp_path, "packed")
+        with pytest.raises(ReproError, match="compression"):
+            store.apply_updates(
+                [UpdateOp("add", "dx", tree=people_site("y"))],
+                compression="lz4",
+            )
+
+    def test_apply_updates_can_switch_to_packed(self, tmp_path):
+        _, store = self.make_store(tmp_path, "none")
+        store.apply_updates(
+            [UpdateOp("add", "dx", tree=people_site("y"))],
+            compression="packed",
+        )
+        assert store.compression == "packed"
+        for entry in store._manifest["shards"]:
+            if entry.get("dirty", True):  # staged shards were re-saved packed
+                pass
+        reopened = ShardedStore.open(store.directory)
+        assert reopened.compression == "packed"
+
+
+class TestSpliceReencodeProperty:
+    """Hypothesis sweep: random edit batches on a packed store stay
+    byte-identical (through QueryService) to a fresh packed build, and
+    tag statistics remain exact, on both engines."""
+
+    @given(
+        seed=st.integers(0, 10**6),
+        edits=st.lists(st.integers(0, 2), min_size=1, max_size=3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_edit_batches(self, seed, edits, tmp_path_factory):
+        base = tmp_path_factory.mktemp("prop")
+        forest = [
+            (f"d{i}", random_tree(20 + 10 * i, seed + i)) for i in range(4)
+        ]
+        store = ShardedStore.build(
+            str(base / "store"), forest, shards=2, compression="packed"
+        )
+        trees = dict(forest)
+        ops = []
+        for k, kind in enumerate(edits):
+            name = f"d{k}"
+            if kind == 0:
+                replacement = random_tree(15 + k, seed ^ (k + 1))
+                ops.append(UpdateOp("update", name, tree=replacement))
+                trees[name] = replacement
+            elif kind == 1:
+                fresh = random_tree(12, seed ^ (97 + k))
+                new_name = f"n{k}"
+                ops.append(UpdateOp("add", new_name, tree=fresh))
+                trees[new_name] = fresh
+            else:
+                if len(trees) > 1 and name in trees:
+                    ops.append(UpdateOp("remove", name))
+                    del trees[name]
+        store.apply_updates(ops)
+        rebuilt = ShardedStore.build(
+            str(base / "rebuilt"),
+            sorted(trees.items()),
+            shards=2,
+            compression="packed",
+        )
+        assert store.tag_statistics() == rebuilt.tag_statistics()
+        for engine in ENGINES:
+            spliced = batch_bytes(store, ("//*",), engine)[0]
+            fresh = batch_bytes(rebuilt, ("//*",), engine)[0]
+            assert spliced == fresh
+
+    def test_spliced_shard_files_reload_as_v3(self, tmp_path):
+        forest = [("d0", people_site("a")), ("d1", people_site("b", "c"))]
+        store = ShardedStore.build(
+            str(tmp_path / "s"), forest, shards=1, compression="packed"
+        )
+        store.apply_updates(
+            [UpdateOp("update", "d0", tree=people_site("z", "w"))]
+        )
+        import os
+
+        entry = store._manifest["shards"][0]
+        table = load(os.path.join(store.directory, entry["file"]), mmap=True)
+        assert table.plane is not None
+        assert np.asarray(table.post).dtype == np.int64
