@@ -45,6 +45,7 @@ def build_representatives() -> List[object]:
     :class:`DocOrderDedup`; the three result modes cover the terminals.
     """
     from repro.encoding.codec import pack_int_column
+    from repro.feedback.records import DriveObservation, StepObservation
     from repro.service.executor import ShardResult, ShardTask
     from repro.service.updates import UpdateOp
     from repro.xpath.pipeline import compile_plan
@@ -73,6 +74,19 @@ def build_representatives() -> List[object]:
         ),
         ShardResult(index=0, shard_id=2, mode="count", counts={"doc-a": 3}),
         UpdateOp(op="delete", document="doc-a", pre=4),
+        # Feedback observations ride fabric result messages and pool pipes.
+        StepObservation(("step", "descendant", "a"), n_in=4, n_out=9, ns=1200),
+        DriveObservation(
+            shard_id=2,
+            engine="scalar",
+            elapsed_ns=52_000,
+            steps=(
+                StepObservation(("pred", "child", "b"), 9, 3, 400),
+            ),
+            scanned=40,
+            skipped=12,
+            blocks=1,
+        ),
         # PageDirectory (array-backed dataclass; defines its own __eq__)
         pack_int_column("post", np.arange(100, dtype=np.int64), "delta", 64)[0],
     ]

@@ -402,11 +402,91 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``explain --analyze`` flags an operator whose estimated and actual
+#: output cardinality disagree by this factor or more.
+MISESTIMATE_FACTOR = 8.0
+
+
+def _render_analysis(plan, observations) -> str:
+    """The estimated-vs-actual table of ``explain --analyze``.
+
+    Aggregates the sampled per-operator observations by operator
+    signature (summing across shards) and lines each up with the costed
+    plan's cardinality estimate, flagging mis-estimates of
+    :data:`MISESTIMATE_FACTOR` or worse.
+    """
+    from repro.feedback.records import predicate_signature, step_signature
+
+    order: List[tuple] = []
+    agg = {}
+    for observed in observations:
+        for step in observed.steps:
+            sig = tuple(step.signature)
+            if sig not in agg:
+                agg[sig] = [0, 0, 0]
+                order.append(sig)
+            cell = agg[sig]
+            cell[0] += step.n_in
+            cell[1] += step.n_out
+            cell[2] += step.ns
+    # The plan's estimate for the signature each decision's output
+    # corresponds to: the step's own signature, or — when predicates
+    # filtered it — the last predicate's.
+    estimates = {}
+    for decision in plan.steps:
+        step = decision.step
+        sig = (
+            predicate_signature(step.axis, step.predicates[-1])
+            if step.predicates
+            else step_signature(step.axis, step.test)
+        )
+        estimates.setdefault(tuple(sig), decision.est_out)
+    drives = len(observations)
+    shards = len({o.shard_id for o in observations})
+    lines = [f"observed: {drives} sampled drive(s) over {shards} shard(s)"]
+    lines.append(
+        f"  {'operator':<42} {'in':>10} {'out':>10} {'est out':>10} {'ms':>8}"
+    )
+    for sig in order:
+        n_in, n_out, ns = agg[sig]
+        kind, axis, detail = sig
+        if kind == "pred":
+            label = f"{axis} filter [{detail}]"
+        elif kind == "pos":
+            label = f"{axis}::{detail} (positional)"
+        else:
+            label = f"{axis}::{detail}"
+        est = estimates.get(sig)
+        est_text = f"{est:,.0f}" if est is not None else "—"
+        flag = ""
+        if est is not None:
+            hi = max(est, float(n_out))
+            lo = max(1.0, min(est, float(n_out)))
+            if hi / lo >= MISESTIMATE_FACTOR:
+                flag = f"  !! mis-estimate (×{hi / lo:,.0f})"
+        lines.append(
+            f"  {label:<42.42} {n_in:>10,} {n_out:>10,} {est_text:>10} "
+            f"{ns / 1e6:>8.2f}{flag}"
+        )
+    scanned = sum(o.scanned for o in observations)
+    skipped = sum(o.skipped for o in observations)
+    blocks = sum(o.blocks for o in observations)
+    if scanned or skipped or blocks:
+        lines.append(
+            f"  staircase: {scanned:,} scanned, {skipped:,} skipped "
+            f"({skipped / max(1, scanned + skipped):.0%} skip efficacy); "
+            f"{blocks:,} page blocks decoded"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.xpath.pipeline import compile_plan
     from repro.xpath.planner import Planner, TagStatistics
 
     pushdown = {"auto": "auto", "on": True, "off": False}[args.pushdown]
+    store = None
+    doc = None
     if os.path.isdir(args.document):
         from repro.service import ShardedStore
 
@@ -420,7 +500,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         doc = _load_document(args.document)
         statistics = TagStatistics.from_doc(doc)
         source = args.document
-    planner = Planner(statistics, engine=args.engine, pushdown=pushdown)
+    planner = Planner(
+        statistics,
+        engine=args.engine,
+        pushdown=pushdown,
+        feedback=store.feedback if store is not None else None,
+    )
     plan = planner.plan(args.xpath)
     print(
         f"statistics: {source} — {statistics.total_nodes:,} nodes, "
@@ -429,10 +514,54 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     print(plan.describe())
     print()
     print(compile_plan(plan, mode=args.mode).describe())
+    if args.analyze:
+        print()
+        if store is not None:
+            from repro.service import QueryService
+
+            # Serial: the observation path is identical on every
+            # backend, and analyze is a one-shot diagnostic.  Closing
+            # the service persists what the analyzed drive learned.
+            with QueryService(
+                store, engine=args.engine, backend="serial"
+            ) as service:
+                result, analyzed, observations = service.analyze(
+                    args.xpath, engine=args.engine
+                )
+                print(_render_analysis(analyzed, observations))
+                print(
+                    f"result: {result.total:,} node(s), "
+                    f"{result.elapsed_s * 1000:.2f} ms"
+                )
+        else:
+            from repro.feedback.records import DriveObservation, PipelineObserver
+            from repro.xpath.pipeline import drive
+
+            pipeline = compile_plan(plan, mode="materialize")
+            evaluator = Evaluator(doc, engine=args.engine)
+            evaluator._set_pushdown(pipeline.pushdown_steps)
+            if pipeline.skip_mode is not None:
+                evaluator.axes.mode = pipeline.skip_mode
+            observer = PipelineObserver()
+            evaluator.observer = observer
+            started = time.perf_counter_ns()
+            pres = drive(pipeline, evaluator)
+            elapsed = time.perf_counter_ns() - started
+            evaluator.observer = None
+            observation = DriveObservation(
+                shard_id=0,
+                engine=evaluator.engine,
+                elapsed_ns=elapsed,
+                steps=tuple(observer.steps),
+                scanned=evaluator.stats.nodes_scanned,
+                skipped=evaluator.stats.nodes_skipped,
+            )
+            print(_render_analysis(plan, [observation]))
+            print(f"result: {len(pres):,} node(s), {elapsed / 1e6:.2f} ms")
     if args.operators:
         from repro.engine.explain import explain
 
-        if os.path.isdir(args.document):
+        if store is not None:
             print(
                 "(--operators needs a single document, not a store)",
                 file=sys.stderr,
@@ -697,6 +826,12 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument(
         "--operators", action="store_true",
         help="also print the operator-level rendering (single documents)",
+    )
+    cmd.add_argument(
+        "--analyze", action="store_true",
+        help="run the query with the observation layer attached and "
+        "print the estimated-vs-actual table (feeds the adaptive loop "
+        "on stores)",
     )
     cmd.add_argument(
         "--mode", choices=("materialize", "count", "exists"),

@@ -1,0 +1,103 @@
+"""Observation records: what one sampled ``drive()`` learned.
+
+These are the values that travel from shard workers back to the
+service process, so they are deliberately flat — NamedTuples of
+primitives (strings, ints, nested tuples) that pickle cheaply through
+a pool pipe and inline through the fabric's result messages.  Both are
+registered in :data:`repro.analysis.reprolint.PAYLOAD_REGISTRY`.
+
+A **step signature** names one pipeline position independently of the
+shard, the epoch, and the pushdown placement, so observations
+aggregate across shards and commits and a re-plan can look its own
+operators up again:
+
+* ``("step", axis, test)`` — one :class:`StaircaseStep` (the test in
+  its ``str`` spelling, e.g. ``("step", "descendant", "item")``);
+* ``("pred", axis, predicate)`` — one predicate of a
+  :class:`PredicateFilter`, keyed by the predicate's ``str`` form;
+* ``("pos", axis, test)`` — one :class:`PositionalSelect`.
+
+The signature helpers live here (not in the pipeline) because the
+planner computes the same signatures from the AST side when it blends
+observed selectivities into its estimates — one spelling, two readers.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+__all__ = [
+    "DriveObservation",
+    "PipelineObserver",
+    "StepObservation",
+    "predicate_signature",
+    "step_signature",
+]
+
+
+def step_signature(axis: str, test) -> Tuple[str, str, str]:
+    """Signature of one top-level location step (axis + node test)."""
+    return ("step", axis, str(test))
+
+
+def predicate_signature(axis: str, predicate) -> Tuple[str, str, str]:
+    """Signature of one predicate, under its step's axis."""
+    return ("pred", axis, str(predicate))
+
+
+class StepObservation(NamedTuple):
+    """One operator's measured cardinalities inside one drive.
+
+    ``n_in``/``n_out`` are the context sizes entering and leaving the
+    operator (for predicates: the candidate set before and after this
+    one predicate), ``ns`` its wall time on the monotonic clock.
+    """
+
+    signature: Tuple[str, ...]
+    n_in: int
+    n_out: int
+    ns: int
+
+    @property
+    def ratio(self) -> float:
+        """Output per input node — the learned selectivity/fan-out."""
+        return self.n_out / max(1, self.n_in)
+
+
+class DriveObservation(NamedTuple):
+    """One sampled shard drive: per-operator steps plus shard totals.
+
+    ``scanned``/``skipped`` are the scalar staircase's node-access
+    deltas for this drive (the skip-efficacy signal the per-shard
+    :class:`~repro.core.staircase.SkipMode` tuner feeds on) and
+    ``blocks`` the packed-plane page blocks decoded by it.
+    """
+
+    shard_id: int
+    engine: str
+    elapsed_ns: int
+    steps: Tuple[StepObservation, ...] = ()
+    scanned: int = 0
+    skipped: int = 0
+    blocks: int = 0
+
+
+class PipelineObserver:
+    """Collects :class:`StepObservation` values during one drive.
+
+    Attached to an evaluator as ``evaluator.observer`` by the worker
+    for *sampled* drives only; the unobserved hot path pays exactly one
+    ``None`` check per branch and per predicate filter.
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self) -> None:
+        self.steps: List[StepObservation] = []
+
+    def record(
+        self, signature: Tuple[str, ...], n_in: int, n_out: int, ns: int
+    ) -> None:
+        self.steps.append(
+            StepObservation(signature, int(n_in), int(n_out), int(ns))
+        )

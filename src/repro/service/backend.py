@@ -89,7 +89,7 @@ class ExecutionBackend:
         """Worker process count (0 = in-process)."""
         return 0
 
-    def run_batch(self, items: Sequence[Sequence]) -> List:
+    def run_batch(self, items: Sequence[Sequence], sink: Optional[list] = None) -> List:
         """Evaluate a batch of ``(plan, engine, document[, mode])`` items.
 
         Returns, per item, the merged payload of the item's result
@@ -98,15 +98,24 @@ class ExecutionBackend:
         document order (scoped items report their single document
         only); ``exists`` items merge to one boolean — shard payloads
         are OR-ed together instead of concatenated.
+
+        When ``sink`` (a list) is given, the batch is *observed*: every
+        eligible task carries the observation layer and the resulting
+        :class:`~repro.feedback.records.DriveObservation` stream is
+        appended to ``sink``.  The service passes a sink on sampled
+        batches only, so the hot path stays unobserved.
         """
         order = self.store.document_names()
-        tasks = self._expand(items)
+        tasks = self._expand(items, observe=sink is not None)
         # One dispatch unit per shard: the worker holding a shard sees
         # the whole batch's plans for it and shares their prefixes.
         groups: Dict[int, List[ShardTask]] = {}
         for task in tasks:
             groups.setdefault(task.shard_id, []).append(task)
         outcomes = self._dispatch(list(groups.values()))
+        if sink is not None:
+            for result in outcomes:
+                sink.extend(result.observations)
         return self._merge(items, outcomes, order)
 
     def _dispatch(
@@ -115,7 +124,10 @@ class ExecutionBackend:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
-    def _expand(self, items: Sequence[Sequence]) -> List[ShardTask]:
+    def _expand(
+        self, items: Sequence[Sequence], observe: bool = False
+    ) -> List[ShardTask]:
+        feedback = getattr(self.store, "feedback", None)
         tasks = []
         for index, item in enumerate(items):
             plan, engine, document = item[0], item[1], item[2]
@@ -130,6 +142,13 @@ class ExecutionBackend:
                 shard_ids = self.store.shard_ids()
             for shard_id in shard_ids:
                 entry = self.store.shard_entry(shard_id)
+                # Per-shard scalar skip override: measured skip efficacy
+                # outranks the plan's plane-size heuristic.
+                skip = (
+                    feedback.tuned_skip_mode(shard_id)
+                    if feedback is not None and engine == "scalar"
+                    else None
+                )
                 tasks.append(
                     ShardTask(
                         index=index,
@@ -140,6 +159,10 @@ class ExecutionBackend:
                         engine=engine,
                         document=document,
                         mode=mode,
+                        skip_mode=skip,
+                        # Scoped and exists drives yield biased partial
+                        # cardinalities — never observe them.
+                        observe=observe and document is None and mode != "exists",
                     )
                 )
         return tasks

@@ -50,13 +50,16 @@ from __future__ import annotations
 
 import contextlib
 import os
+import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.staircase import SkipMode
 from repro.errors import ReproError
+from repro.feedback.records import DriveObservation, PipelineObserver
 from repro.service.cache import LRUCache
 from repro.service.store import ShardedStore
 from repro.xpath.axes import DOCUMENT_CONTEXT
@@ -92,6 +95,13 @@ class ShardTask(NamedTuple):
     engine: str
     document: Optional[str]  #: scope to one member, or None for the shard
     mode: str = "materialize"  #: result mode: materialize | count | exists
+    #: Feedback-tuned scalar SkipMode override, as the enum's *value*
+    #: string (kept primitive so the task pickles cheaply), or None to
+    #: honour the plan's choice.
+    skip_mode: Optional[str] = None
+    #: Sample this drive into the feedback loop (attach the observation
+    #: layer and return a DriveObservation with the result).
+    observe: bool = False
 
 
 @dataclass(frozen=True)
@@ -114,6 +124,9 @@ class ShardResult:
     ranks: Dict[str, np.ndarray] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
     found: bool = False
+    #: DriveObservations of sampled (``observe=True``) tasks — empty on
+    #: the unobserved hot path, at most one entry per task.
+    observations: tuple = ()
 
     @classmethod
     def of(cls, task: "ShardTask", payload) -> "ShardResult":
@@ -326,13 +339,20 @@ class ShardWorkerState:
 
     @staticmethod
     @contextlib.contextmanager
-    def _applied(evaluator: Evaluator, plan: PhysicalPlan):
+    def _applied(
+        evaluator: Evaluator, plan: PhysicalPlan, skip: Optional[str] = None
+    ):
         """Apply a compiled plan's evaluator-level decisions (per-step
         pushdown set for scoped re-anchoring, scalar skip mode) for one
-        evaluation, restoring the worker-cached evaluator afterwards."""
+        evaluation, restoring the worker-cached evaluator afterwards.
+        A feedback-tuned ``skip`` value string outranks the plan's
+        statically chosen skip mode (the shard's measured skip efficacy
+        beats any plane-size heuristic)."""
         saved = (evaluator.pushdown, evaluator._pushdown_steps, evaluator.axes.mode)
         evaluator._set_pushdown(plan.pushdown_steps)
-        if plan.skip_mode is not None:
+        if skip is not None:
+            evaluator.axes.mode = SkipMode(skip)
+        elif plan.skip_mode is not None:
             evaluator.axes.mode = plan.skip_mode
         try:
             yield
@@ -366,7 +386,7 @@ class ShardWorkerState:
         evaluator = self._evaluator(task.shard_id, task.engine, collection)
         if pipeline is None:
             pipeline = self._pipeline(task)
-        with self._applied(evaluator, pipeline):
+        with self._applied(evaluator, pipeline, task.skip_mode):
             if task.document is not None:
                 # Scoped evaluation re-anchors the path at the member
                 # root (an AST transformation), so it materializes and
@@ -387,12 +407,69 @@ class ShardWorkerState:
             root = collection.doc.root
             if task.mode == "exists":
                 payload = drive(pipeline, evaluator, exclude_pre=root)
+            elif task.observe:
+                # Sampled drive: the observation layer rides along.
+                # Exists-mode tasks are never observed — their early
+                # termination yields biased partial cardinalities.
+                observation, pres = self._observed_drive(
+                    task, collection, evaluator, pipeline
+                )
+                payload = self._finish(task, collection, pres)
+                return replace(
+                    ShardResult.of(task, payload), observations=(observation,)
+                )
             else:
                 pres = drive(
                     pipeline.with_mode("materialize"), evaluator, exclude_pre=root
                 )
                 payload = self._finish(task, collection, pres)
         return ShardResult.of(task, payload)
+
+    def _observed_drive(
+        self,
+        task: ShardTask,
+        collection,
+        evaluator: Evaluator,
+        pipeline: PhysicalPlan,
+    ):
+        """Drive one pipeline with the observation layer attached.
+
+        Caller holds :meth:`_applied`.  Returns ``(observation, pres)``;
+        the result frontier is byte-identical to an unobserved drive —
+        observation only reads counters, it never steers execution.
+        """
+        observer = PipelineObserver()
+        stats = evaluator.stats
+        plane = getattr(collection.doc, "plane", None)
+        blocks_before = (
+            plane.totals()["blocks_decoded"] if plane is not None else 0
+        )
+        scanned_before = stats.nodes_scanned
+        skipped_before = stats.nodes_skipped
+        evaluator.observer = observer
+        started = time.perf_counter_ns()
+        try:
+            pres = drive(
+                pipeline.with_mode("materialize"),
+                evaluator,
+                exclude_pre=collection.doc.root,
+            )
+        finally:
+            evaluator.observer = None
+        elapsed = time.perf_counter_ns() - started
+        blocks_after = (
+            plane.totals()["blocks_decoded"] if plane is not None else 0
+        )
+        observation = DriveObservation(
+            shard_id=task.shard_id,
+            engine=task.engine,
+            elapsed_ns=elapsed,
+            steps=tuple(observer.steps),
+            scanned=stats.nodes_scanned - scanned_before,
+            skipped=stats.nodes_skipped - skipped_before,
+            blocks=blocks_after - blocks_before,
+        )
+        return observation, pres
 
     # ------------------------------------------------------------------
     # Shared-prefix batch execution
@@ -405,7 +482,9 @@ class ShardWorkerState:
         distinct prefix at a time (consulting the prefix cache) —
         result modes mix freely, since the terminal is not part of any
         prefix; everything else — scoped tasks, unions, unplanned
-        plans — falls back to :meth:`run` per task.
+        plans — falls back to :meth:`run` per task.  Observed tasks also
+        bypass the trie: a shared prefix's time and cardinality cannot
+        be attributed to any one query, so sampled drives run whole.
         """
         shared: Dict[str, List[Tuple[ShardTask, PhysicalPlan]]] = {}
         outcomes: List[ShardResult] = []
@@ -413,7 +492,12 @@ class ShardWorkerState:
             pipeline = (
                 self._pipeline(task) if task.document is None else None
             )
-            if pipeline is not None and pipeline.planned and pipeline.single_path:
+            if (
+                pipeline is not None
+                and pipeline.planned
+                and pipeline.single_path
+                and not task.observe
+            ):
                 shared.setdefault(task.engine, []).append((task, pipeline))
             else:
                 outcomes.append(self.run(task, pipeline))
@@ -461,7 +545,7 @@ class ShardWorkerState:
             if cached is not None:
                 finish(task, collection, cached)
                 return
-            with self._applied(evaluator, pipeline):
+            with self._applied(evaluator, pipeline, task.skip_mode):
                 hit = exists_tail(tail, evaluator, context, exclude_pre=root)
             outcomes.append(ShardResult.of(task, bool(hit)))
 
@@ -486,7 +570,7 @@ class ShardWorkerState:
                 key = (shard_file, engine, child)
                 out = self.prefix_cache.get(key)
                 if out is None:
-                    with self._applied(evaluator, sub[0][1]):
+                    with self._applied(evaluator, sub[0][1], sub[0][0].skip_mode):
                         out = dispatch(op, evaluator, context)
                     if isinstance(out, np.ndarray):
                         # Cached contexts are shared across queries and

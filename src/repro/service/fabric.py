@@ -218,7 +218,7 @@ class SegmentWriter:
             if result.mode != "materialize":
                 light.append(
                     (result.index, result.shard_id, result.mode,
-                     result.counts, result.found, None)
+                     result.counts, result.found, None, result.observations)
                 )
                 continue
             layout: List[Tuple[str, int, int]] = []
@@ -234,7 +234,7 @@ class SegmentWriter:
                 offset += ranks.nbytes
             light.append(
                 (result.index, result.shard_id, "materialize",
-                 None, False, layout)
+                 None, False, layout, result.observations)
             )
         if offset == 0:
             return (light, None, 0)
@@ -406,7 +406,7 @@ class SegmentPool:
         light, segment, _ = payload
         lease = self.attach(segment, owner) if segment else None
         results: List[ShardResult] = []
-        for index, shard_id, mode, counts, found, layout in light:
+        for index, shard_id, mode, counts, found, layout, observations in light:
             if mode == "materialize":
                 ranks = {
                     name: (
@@ -417,15 +417,24 @@ class SegmentPool:
                     for name, offset, count in layout
                 }
                 results.append(
-                    ShardResult(index, shard_id, "materialize", ranks=ranks)
+                    ShardResult(
+                        index, shard_id, "materialize",
+                        ranks=ranks, observations=observations,
+                    )
                 )
             elif mode == "count":
                 results.append(
-                    ShardResult(index, shard_id, "count", counts=counts)
+                    ShardResult(
+                        index, shard_id, "count",
+                        counts=counts, observations=observations,
+                    )
                 )
             else:
                 results.append(
-                    ShardResult(index, shard_id, "exists", found=found)
+                    ShardResult(
+                        index, shard_id, "exists",
+                        found=found, observations=observations,
+                    )
                 )
         return results
 

@@ -165,6 +165,11 @@ class Evaluator:
         self.plan_cache = plan_cache
         self._fragments: Optional[FragmentedDocument] = None
         self._compiled: dict = {}
+        #: Per-operator observation collector
+        #: (:class:`repro.feedback.PipelineObserver`), attached by shard
+        #: workers for sampled drives only; ``None`` keeps the pipeline
+        #: on its uninstrumented path.
+        self.observer = None
 
     def _set_pushdown(self, pushdown) -> None:
         """Normalise the ``pushdown`` spelling (bool or step-index set)."""

@@ -38,6 +38,7 @@ then applying ``len``/truthiness — the property tests pin this down.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -45,6 +46,7 @@ import numpy as np
 
 from repro.core.staircase import SkipMode
 from repro.errors import XPathEvaluationError
+from repro.feedback.records import predicate_signature, step_signature
 from repro.xpath.ast import (
     BinaryExpr,
     Expr,
@@ -562,24 +564,50 @@ def _staircase_vectorized(op: StaircaseStep, rt, context):
 
 @register_kernel(PredicateFilter, "scalar")
 def _filter_scalar(op: PredicateFilter, rt, candidates):
+    observer = getattr(rt, "observer", None)
     for predicate in op.predicates:
         if len(candidates) == 0:
             return candidates
-        candidates = rt.filter_predicate_scalar(candidates, op.axis, predicate)
+        if observer is None:
+            candidates = rt.filter_predicate_scalar(
+                candidates, op.axis, predicate
+            )
+        else:
+            n_in, started = len(candidates), time.perf_counter_ns()
+            candidates = rt.filter_predicate_scalar(
+                candidates, op.axis, predicate
+            )
+            observer.record(
+                predicate_signature(op.axis, predicate),
+                n_in,
+                len(candidates),
+                time.perf_counter_ns() - started,
+            )
     return candidates
 
 
 @register_kernel(PredicateFilter, "vectorized")
 def _filter_vectorized(op: PredicateFilter, rt, candidates):
+    observer = getattr(rt, "observer", None)
     for predicate in op.predicates:
         if len(candidates) == 0:
             return candidates
+        n_in, started = len(candidates), (
+            time.perf_counter_ns() if observer is not None else 0
+        )
         mask = rt.bulk_predicate_mask(candidates, predicate)
         if mask is not None:
             candidates = candidates[mask]
         else:
             candidates = rt.filter_predicate_scalar(
                 candidates, op.axis, predicate
+            )
+        if observer is not None:
+            observer.record(
+                predicate_signature(op.axis, predicate),
+                n_in,
+                len(candidates),
+                time.perf_counter_ns() - started,
             )
     return candidates
 
@@ -633,6 +661,8 @@ _EXISTS_GROWTH = 4
 
 
 def _run_branch(ops: Tuple[Operator, ...], runtime, context) -> np.ndarray:
+    if getattr(runtime, "observer", None) is not None:
+        return _run_branch_observed(ops, runtime, context)
     for op in ops:
         context = dispatch(op, runtime, context)
         if context is not DOCUMENT_CONTEXT and len(context) == 0:
@@ -640,6 +670,57 @@ def _run_branch(ops: Tuple[Operator, ...], runtime, context) -> np.ndarray:
             return _empty()
     if context is DOCUMENT_CONTEXT:
         # A bare "/" — the document node itself is not encoded.
+        return _empty()
+    return context
+
+
+def _frontier_size(context) -> int:
+    """Context cardinality for observation: the document node, the
+    implicit root seed, and a bare rank all count as one context node."""
+    if context is None or context is DOCUMENT_CONTEXT:
+        return 1
+    if isinstance(context, (int, np.integer)):
+        return 1
+    return len(context)
+
+
+def _operator_signature(op: Operator) -> Optional[Tuple[str, ...]]:
+    """The feedback signature of one operator (``None`` = unobserved).
+
+    :class:`PredicateFilter` records per *predicate* inside its kernels
+    (the planner orders predicates individually), so the operator-level
+    record is skipped to avoid double counting.
+    """
+    if isinstance(op, StaircaseStep):
+        return step_signature(op.axis, op.test)
+    if isinstance(op, PositionalSelect):
+        return ("pos", op.step.axis, str(op.step.test))
+    return None
+
+
+def _run_branch_observed(
+    ops: Tuple[Operator, ...], runtime, context
+) -> np.ndarray:
+    """The instrumented twin of :func:`_run_branch`.
+
+    Only runs when the worker attached an observer for a *sampled*
+    drive — per-operator timing and cardinality bookkeeping stays off
+    the unobserved hot path entirely.
+    """
+    observer = runtime.observer
+    for op in ops:
+        n_in = _frontier_size(context)
+        started = time.perf_counter_ns()
+        context = dispatch(op, runtime, context)
+        elapsed = time.perf_counter_ns() - started
+        signature = _operator_signature(op)
+        if signature is not None:
+            observer.record(
+                signature, n_in, _frontier_size(context), elapsed
+            )
+        if context is not DOCUMENT_CONTEXT and len(context) == 0:
+            return _empty()
+    if context is DOCUMENT_CONTEXT:
         return _empty()
     return context
 

@@ -1,0 +1,481 @@
+"""Adaptive-loop suite: observations, feedback store, consumers.
+
+The headline property mirrors the repo's other invariants: **feedback
+is a cost decision, not a semantic one** — query results with the
+observation layer and feedback-blended planning enabled are
+byte-identical to fully static planning, on both engines, across every
+execution backend.  Around it: the EWMA aggregates and their
+generation-bump rules, manifest persistence across close/reopen and
+commits, plan-cache fencing on the feedback generation, self-tuned
+SkipMode thresholds, and heat-driven shard split/merge rebalancing.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.feedback import (
+    DriveObservation,
+    FeedbackStore,
+    PipelineObserver,
+    StepObservation,
+    predicate_signature,
+    step_signature,
+)
+from repro.service import QueryService, ShardedStore, UpdateOp
+from repro.xmltree.model import element, text
+
+ENGINES = ("scalar", "vectorized")
+BACKENDS = ("serial", "pool:2", "fabric:2")
+
+#: Queries the feedback-is-invisible property is checked under — steps,
+#: predicates, positional selects, a union, and a value comparison.
+PROPERTY_QUERIES = (
+    "//person",
+    "//person[profile]",
+    "//person[profile][name]",
+    "/site/people/person[2]",
+    "//name | //profile",
+    '//person[name="p1"]',
+)
+
+
+def person(i, profiled):
+    children = [element("name", text(f"p{i}"))]
+    if profiled:
+        children.append(element("profile", element("age", text(str(20 + i)))))
+    return element("person", *children)
+
+
+def site(start, count, profile_every=2):
+    return element(
+        "site",
+        element(
+            "people",
+            *[
+                person(start + i, (start + i) % profile_every == 0)
+                for i in range(count)
+            ],
+        ),
+    )
+
+
+def forest(docs=6, people=4):
+    return [(f"d{i}", site(i * people, people)) for i in range(docs)]
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("feedback") / "store")
+    return ShardedStore.build(directory, forest(), shards=3)
+
+
+def drive(shard, sig=None, ratio=0.5, n_in=100, ns=1_000_000, **kw):
+    steps = ()
+    if sig is not None:
+        steps = (StepObservation(sig, n_in, int(n_in * ratio), 500),)
+    return DriveObservation(
+        shard_id=shard, engine=kw.pop("engine", "scalar"),
+        elapsed_ns=ns, steps=steps, **kw,
+    )
+
+
+def result_bytes(service, engine, **kwargs):
+    results = service.execute_batch(
+        PROPERTY_QUERIES, engine=engine, use_cache=False, **kwargs
+    )
+    return [
+        {name: a.tobytes() for name, a in r.per_document.items()}
+        for r in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# FeedbackStore aggregates
+# ----------------------------------------------------------------------
+class TestFeedbackStore:
+    SIG = step_signature("descendant", "person")
+
+    def test_first_observation_publishes(self):
+        fb = FeedbackStore()
+        assert fb.absorb([drive(0, self.SIG, ratio=0.25)]) is True
+        assert fb.generation == 1
+        ratio, samples = fb.observed(self.SIG)
+        assert ratio == pytest.approx(0.25)
+        assert samples == 1
+
+    def test_stable_aggregate_does_not_bump(self):
+        fb = FeedbackStore()
+        fb.absorb([drive(0, self.SIG, ratio=0.5)])
+        generation = fb.generation
+        # The same ratio again moves the EWMA by zero — no bump.
+        assert fb.absorb([drive(0, self.SIG, ratio=0.5)]) is False
+        assert fb.generation == generation
+
+    def test_large_move_bumps_generation(self):
+        fb = FeedbackStore()
+        fb.absorb([drive(0, self.SIG, ratio=0.5)])
+        generation = fb.generation
+        fb.absorb([drive(0, self.SIG, ratio=8.0)] * 4)
+        assert fb.generation > generation
+
+    def test_observed_is_sample_weighted_across_shards(self):
+        fb = FeedbackStore()
+        fb.absorb([drive(0, self.SIG, ratio=1.0)])
+        fb.absorb([drive(1, self.SIG, ratio=0.0)] * 3)
+        ratio, samples = fb.observed(self.SIG)
+        assert samples == 4
+        # Shard 1's EWMA (0.0, 3 samples) outweighs shard 0's (1.0, 1).
+        assert ratio == pytest.approx(0.25)
+
+    def test_unobserved_signature_is_none(self):
+        assert FeedbackStore().observed(("step", "child", "nope")) is None
+
+    def test_heat_accumulates(self):
+        fb = FeedbackStore()
+        fb.absorb([drive(2, ns=100), drive(2, ns=50), drive(1, ns=7)])
+        assert fb.heat_snapshot() == {2: (150, 2), 1: (7, 1)}
+
+    def test_manifest_round_trip(self):
+        fb = FeedbackStore()
+        fb.absorb([drive(0, self.SIG, ratio=0.3, scanned=80, skipped=20)] * 5)
+        data = fb.to_manifest()
+        assert fb.dirty is False  # to_manifest marks saved
+        loaded = FeedbackStore.from_manifest(data)
+        assert loaded.generation == fb.generation
+        assert loaded.observed(self.SIG) == fb.observed(self.SIG)
+        assert loaded.heat_snapshot() == fb.heat_snapshot()
+        assert loaded.tuned_skip_mode(0) == fb.tuned_skip_mode(0)
+        # Loaded aggregates are published: replaying the same ratio must
+        # not spuriously bump the reopened generation.
+        assert loaded.absorb([drive(0, self.SIG, ratio=0.3)]) is False
+
+    def test_retain_and_reset(self):
+        fb = FeedbackStore()
+        fb.absorb([drive(0, self.SIG), drive(1, self.SIG), drive(2)])
+        fb.retain_shards([0, 1])
+        assert set(fb.heat_snapshot()) == {0, 1}
+        fb.reset_shard(0)
+        assert set(fb.heat_snapshot()) == {1}
+        ratio, samples = fb.observed(self.SIG)
+        assert samples == 1  # only shard 1's cell survives
+
+
+class TestSkipTuning:
+    def scalar_drives(self, skipped, scanned, count):
+        return [
+            drive(0, scanned=scanned, skipped=skipped, engine="scalar")
+        ] * count
+
+    def test_high_skip_fraction_tunes_estimate(self):
+        fb = FeedbackStore()
+        fb.absorb(self.scalar_drives(60, 40, FeedbackStore.MIN_SKIP_SAMPLES))
+        assert fb.tuned_skip_mode(0) == "estimate"
+
+    def test_negligible_skip_fraction_tunes_none(self):
+        fb = FeedbackStore()
+        fb.absorb(self.scalar_drives(1, 999, FeedbackStore.MIN_SKIP_SAMPLES))
+        assert fb.tuned_skip_mode(0) == "none"
+
+    def test_middling_fraction_leaves_planner_choice(self):
+        fb = FeedbackStore()
+        fb.absorb(self.scalar_drives(10, 90, FeedbackStore.MIN_SKIP_SAMPLES))
+        assert fb.tuned_skip_mode(0) is None
+
+    def test_thin_evidence_leaves_planner_choice(self):
+        fb = FeedbackStore()
+        fb.absorb(self.scalar_drives(60, 40, FeedbackStore.MIN_SKIP_SAMPLES - 1))
+        assert fb.tuned_skip_mode(0) is None
+
+    def test_vectorized_drives_do_not_feed_the_tuner(self):
+        fb = FeedbackStore()
+        fb.absorb(
+            [
+                drive(0, scanned=40, skipped=60, engine="vectorized")
+                for _ in range(FeedbackStore.MIN_SKIP_SAMPLES)
+            ]
+        )
+        assert fb.tuned_skip_mode(0) is None
+
+    def test_forced_overrides_keep_results_identical(self, store):
+        # Correctness under both overrides: a tuned SkipMode is a pure
+        # execution-strategy change.
+        with QueryService(store, backend="serial", feedback=False) as plain:
+            baseline = result_bytes(plain, "scalar")
+        for skipped, scanned in ((99, 1), (0, 100)):
+            fb = FeedbackStore()
+            fb.absorb(
+                [drive(s, scanned=scanned, skipped=skipped) for s in (0, 1, 2)]
+                * FeedbackStore.MIN_SKIP_SAMPLES
+            )
+            original = store.feedback
+            store.feedback = fb
+            try:
+                with QueryService(store, backend="serial") as service:
+                    assert result_bytes(service, "scalar") == baseline
+            finally:
+                store.feedback = original
+
+
+# ----------------------------------------------------------------------
+# The loop end to end: observe → absorb → persist → re-plan
+# ----------------------------------------------------------------------
+class TestObservation:
+    def test_analyze_returns_observations(self, store):
+        with QueryService(store, backend="serial") as service:
+            result, plan, observations = service.analyze("//person[profile]")
+            assert result.total == service.execute("//person[profile]").total
+            assert {obs.shard_id for obs in observations} == set(
+                store.shard_ids()
+            )
+            signatures = {
+                step.signature for obs in observations for step in obs.steps
+            }
+            assert step_signature("descendant", "person") in signatures
+            assert any(sig[0] == "pred" for sig in signatures)
+
+    def test_sampled_batches_absorb(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_FEEDBACK_SAMPLE", "1")
+        with QueryService(store, backend="serial") as service:
+            assert service.feedback_sample == 1
+            service.execute("//person", use_cache=False)
+            assert store.feedback.heat_snapshot() != {}
+
+    def test_observer_records_cardinalities(self):
+        observer = PipelineObserver()
+        observer.record(("step", "child", "a"), 4, 12, 900)
+        (obs,) = observer.steps
+        assert (obs.n_in, obs.n_out, obs.ns) == (4, 12, 900)
+        assert obs.ratio == pytest.approx(3.0)
+
+    def test_signature_helpers_are_flat_strings(self):
+        sig = predicate_signature("child", "profile")
+        assert sig == ("pred", "child", "profile")
+        assert all(isinstance(part, str) for part in sig)
+
+    def test_stats_snapshot_has_feedback_section(self, store):
+        with QueryService(store, backend="serial") as service:
+            service.analyze("//person")
+            section = service.stats_snapshot()["feedback"]
+            assert section["enabled"] is True
+            assert section["generation"] >= 1
+            assert section["sampled_drives"] >= len(store.shard_ids())
+        with QueryService(store, backend="serial", feedback=False) as static:
+            assert static.stats_snapshot()["feedback"] == {"enabled": False}
+
+
+class TestPersistence:
+    def test_feedback_survives_close_reopen(self, tmp_path):
+        directory = str(tmp_path / "persist")
+        store = ShardedStore.build(directory, forest(), shards=2)
+        with QueryService(store, backend="serial") as service:
+            service.analyze("//person[profile]")
+            generation = store.feedback.generation
+            observed = store.feedback.observed(
+                step_signature("descendant", "person")
+            )
+            assert generation >= 1 and observed is not None
+        reopened = ShardedStore.open(directory)
+        assert reopened.feedback.generation == generation
+        ratio, samples = reopened.feedback.observed(
+            step_signature("descendant", "person")
+        )
+        assert (ratio, samples) == (
+            pytest.approx(observed[0]),
+            observed[1],
+        )
+
+    def test_commit_persists_feedback_with_the_epoch(self, tmp_path):
+        directory = str(tmp_path / "commit")
+        store = ShardedStore.build(directory, forest(), shards=2)
+        with QueryService(store, backend="serial") as service:
+            service.analyze("//person")
+            service.apply_updates(
+                [UpdateOp(op="add", document="dX", tree=site(99, 2))]
+            )
+            generation = store.feedback.generation
+            epoch = store.epoch
+        reopened = ShardedStore.open(directory)
+        assert reopened.epoch == epoch
+        assert reopened.feedback.generation == generation
+
+    def test_removed_shard_aggregates_dropped_at_commit(self, tmp_path):
+        directory = str(tmp_path / "drop")
+        docs = forest(docs=4, people=2)
+        store = ShardedStore.build(directory, docs, shards=2)
+        with QueryService(store, backend="serial") as service:
+            service.analyze("//person")
+            assert set(store.feedback.heat_snapshot()) == {0, 1}
+            # Empty shard 1 (its two documents removed): the commit must
+            # drop its aggregates with it.
+            gone = store.shard_entry(1)["documents"]
+            service.apply_updates(
+                [UpdateOp(op="remove", document=name) for name in gone]
+            )
+        assert store.shard_ids() == [0]
+        assert set(store.feedback.heat_snapshot()) <= {0}
+        reopened = ShardedStore.open(directory)
+        assert set(reopened.feedback.heat_snapshot()) <= {0}
+
+
+class TestPlanCacheFencing:
+    def test_generation_bump_recosts_cached_plans(self, tmp_path):
+        # The regression this PR guards against: feedback arrives, the
+        # generation bumps, but a cached plan keyed without it keeps
+        # serving the stale costing.
+        store = ShardedStore.build(str(tmp_path / "fence"), forest(), shards=2)
+        with QueryService(store, backend="serial") as service:
+            before = service.explain("//person[profile]")
+            # Unchanged generation → the very same cached object.
+            assert service.explain("//person[profile]") is before
+            generation = store.feedback.generation
+            service.analyze("//person[profile]")  # first absorb publishes
+            assert store.feedback.generation > generation
+            after = service.explain("//person[profile]")
+            assert after is not before
+            assert any(
+                "feedback" in note for step in after.steps for note in step.notes
+            )
+
+    def test_feedback_disabled_pins_generation_zero(self, tmp_path):
+        store = ShardedStore.build(str(tmp_path / "pin"), forest(), shards=2)
+        with QueryService(store, backend="serial", feedback=False) as service:
+            plan = service.explain("//person")
+            # Absorbing directly cannot re-cost anything: the service is
+            # static, its generation is pinned to 0.
+            store.feedback.absorb(
+                [drive(0, step_signature("descendant", "person"), ratio=9.0)]
+            )
+            assert service.explain("//person") is plan
+
+
+# ----------------------------------------------------------------------
+# Feedback is invisible in results
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_feedback_on_equals_feedback_off(
+        self, store, backend, engine, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FEEDBACK_SAMPLE", "1")
+        with QueryService(store, backend=backend, feedback=False) as static:
+            expected = result_bytes(static, engine)
+        with QueryService(store, backend=backend) as adaptive:
+            # Twice: the first pass observes, the second runs under
+            # feedback-blended plans — both must match static planning.
+            assert result_bytes(adaptive, engine) == expected
+            assert result_bytes(adaptive, engine) == expected
+
+    @given(
+        queries=st.lists(
+            st.sampled_from(PROPERTY_QUERIES), min_size=1, max_size=4
+        ),
+        engine=st.sampled_from(ENGINES),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_observed_batches_match_static(self, store, queries, engine):
+        with QueryService(store, backend="serial", feedback=False) as static:
+            expected = [
+                r.counts()
+                for r in static.execute_batch(
+                    queries, engine=engine, use_cache=False, mode="count"
+                )
+            ]
+        os.environ["REPRO_FEEDBACK_SAMPLE"] = "1"
+        try:
+            with QueryService(store, backend="serial") as adaptive:
+                got = [
+                    r.counts()
+                    for r in adaptive.execute_batch(
+                        queries, engine=engine, use_cache=False, mode="count"
+                    )
+                ]
+        finally:
+            del os.environ["REPRO_FEEDBACK_SAMPLE"]
+        assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Heat-driven rebalancing
+# ----------------------------------------------------------------------
+def heat_up(feedback, shares, drives=40):
+    """Inject per-shard heat with the given wall-time shares."""
+    feedback.absorb(
+        [
+            drive(shard, ns=int(share * 1_000_000) or 1)
+            for shard, share in shares.items()
+            for _ in range(drives)
+        ]
+    )
+
+
+class TestRebalancing:
+    def build(self, tmp_path, name, shards, docs=6):
+        directory = str(tmp_path / name)
+        return ShardedStore.build(directory, forest(docs=docs), shards=shards)
+
+    def test_hot_shard_splits(self, tmp_path):
+        store = self.build(tmp_path, "hot", shards=2)
+        with QueryService(store, backend="serial", feedback=False) as service:
+            before = result_bytes(service, "vectorized")
+        heat_up(store.feedback, {0: 0.95, 1: 0.05})
+        summary = store.apply_updates(
+            [UpdateOp(op="update", document="d5", tree=site(50, 4))]
+        )
+        (move,) = summary["rebalanced"]
+        assert move["kind"] == "split" and move["from"] == 0
+        new_id = move["to"]
+        assert new_id == 2  # fresh id, not a reused one
+        assert set(store.shard_ids()) == {0, 1, 2}
+        assert store.shard_entry(new_id)["documents"] == move["documents"]
+        # The split shard's stale aggregates are gone.
+        assert 0 not in store.feedback.heat_snapshot()
+        # Results are unchanged by the re-sharding.
+        with QueryService(store, backend="serial", feedback=False) as service:
+            assert result_bytes(service, "vectorized") == before
+
+    def test_cold_shards_merge(self, tmp_path):
+        store = self.build(tmp_path, "cold", shards=3)
+        store.HOT_SHARE = 2.0  # isolate the merge path
+        heat_up(store.feedback, {0: 0.96, 1: 0.02, 2: 0.02})
+        with QueryService(store, backend="serial", feedback=False) as service:
+            before = result_bytes(service, "vectorized")
+        summary = store.apply_updates(
+            [UpdateOp(op="update", document="d0", tree=site(0, 4))]
+        )
+        (move,) = summary["rebalanced"]
+        assert move["kind"] == "merge"
+        assert {move["from"], move["to"]} == {1, 2}
+        assert move["from"] not in store.shard_ids()
+        with QueryService(store, backend="serial", feedback=False) as service:
+            assert result_bytes(service, "vectorized") == before
+
+    def test_bounded_moves_per_commit(self, tmp_path):
+        store = self.build(tmp_path, "bounded", shards=2, docs=12)
+        heat_up(store.feedback, {0: 0.95, 1: 0.05})
+        summary = store.apply_updates(
+            [UpdateOp(op="update", document="d0", tree=site(0, 4))]
+        )
+        moved = sum(len(m["documents"]) for m in summary["rebalanced"])
+        assert 0 < moved <= store.REBALANCE_MAX_MOVES
+
+    def test_thin_heat_stays_inert(self, tmp_path):
+        store = self.build(tmp_path, "thin", shards=2)
+        heat_up(store.feedback, {0: 0.95, 1: 0.05}, drives=2)
+        summary = store.apply_updates(
+            [UpdateOp(op="update", document="d0", tree=site(0, 4))]
+        )
+        assert "rebalanced" not in summary
+        assert set(store.shard_ids()) == {0, 1}
+
+    def test_rebalance_opt_out(self, tmp_path):
+        store = self.build(tmp_path, "optout", shards=2)
+        heat_up(store.feedback, {0: 0.95, 1: 0.05})
+        summary = store.apply_updates(
+            [UpdateOp(op="update", document="d0", tree=site(0, 4))],
+            rebalance=False,
+        )
+        assert "rebalanced" not in summary
+        assert set(store.shard_ids()) == {0, 1}
